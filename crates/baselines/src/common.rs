@@ -1,0 +1,113 @@
+//! Shared configuration and report types for the adapted baselines
+//! (§5.1.2–5.1.3: the baselines were built for imputation; following the
+//! paper we retrain them with the *future* window as ground truth).
+
+use serde::{Deserialize, Serialize};
+use stsm_core::ProblemInstance;
+use stsm_tensor::Tensor;
+use stsm_timeseries::Metrics;
+
+/// Hyper-parameters shared by the baseline trainers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Input window length `T`.
+    pub t_in: usize,
+    /// Prediction horizon `T'`.
+    pub t_out: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Windows sampled per epoch.
+    pub windows_per_epoch: usize,
+    /// Windows per gradient step.
+    pub batch_windows: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Neighbours used by kNN-style models (INCREASE, GE-GAN).
+    pub k_neighbors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            t_in: 12,
+            t_out: 12,
+            hidden: 16,
+            epochs: 8,
+            windows_per_epoch: 24,
+            batch_windows: 4,
+            lr: 0.01,
+            k_neighbors: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of training + evaluating one baseline on one problem.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// Model name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Accuracy on the unobserved region over the test period.
+    pub metrics: Metrics,
+    /// Wall-clock training seconds.
+    pub train_seconds: f64,
+    /// Wall-clock inference seconds.
+    pub test_seconds: f64,
+}
+
+/// Gathers a `(rows, len)` matrix of scaled values for global ids.
+pub(crate) fn gather_matrix(
+    problem: &ProblemInstance,
+    globals: &[usize],
+    start: usize,
+    len: usize,
+) -> Tensor {
+    let mut data = Vec::with_capacity(globals.len() * len);
+    for &g in globals {
+        data.extend_from_slice(problem.scaled_range(g, start, start + len));
+    }
+    Tensor::from_vec([globals.len(), len], data)
+}
+
+/// Collects unobserved-location predictions vs ground truth into metric
+/// accumulators (predictions arrive in scaled space and are inverted here).
+pub(crate) struct MetricAccumulator {
+    preds: Vec<f32>,
+    truths: Vec<f32>,
+}
+
+impl MetricAccumulator {
+    pub(crate) fn new() -> Self {
+        MetricAccumulator { preds: Vec::new(), truths: Vec::new() }
+    }
+
+    /// Pushes a scaled prediction for global location `g` at absolute time `t`.
+    pub(crate) fn push(&mut self, problem: &ProblemInstance, g: usize, t: usize, scaled_pred: f32) {
+        self.preds.push(problem.scaler.inverse(scaled_pred));
+        self.truths.push(problem.dataset.value(g, t));
+    }
+
+    pub(crate) fn metrics(&self) -> Metrics {
+        Metrics::compute(&self.preds, &self.truths)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_sane() {
+        let c = BaselineConfig::default();
+        assert!(c.t_in > 0 && c.t_out > 0 && c.hidden > 0);
+        assert!(c.k_neighbors >= 1);
+    }
+}

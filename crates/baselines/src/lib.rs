@@ -1,0 +1,23 @@
+//! # stsm-baselines
+//!
+//! Faithful re-implementations of the three baselines the STSM paper
+//! compares against (§5.1.2), adapted — as the paper describes — from data
+//! imputation to forecasting by training against the *future* window:
+//!
+//! * [`run_gegan`] — GE-GAN (transductive graph-embedding GAN);
+//! * [`run_ignnk`] — IGNNK (inductive diffusion-GNN kriging with random
+//!   scattered masking);
+//! * [`run_increase`] — INCREASE (k-nearest-neighbour aggregation + GRU,
+//!   the strongest baseline in the paper).
+
+#![warn(missing_docs)]
+
+mod common;
+mod gegan;
+mod ignnk;
+mod increase;
+
+pub use common::{BaselineConfig, BaselineReport};
+pub use gegan::{graph_embeddings, run_gegan};
+pub use ignnk::run_ignnk;
+pub use increase::run_increase;

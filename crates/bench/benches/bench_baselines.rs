@@ -1,0 +1,51 @@
+//! Component bench behind Tables 6/7: the three baselines' full
+//! train+evaluate cycles on a miniature problem, so their relative cost
+//! (GE-GAN slow to train, IGNNK/INCREASE slow to test — Table 5's pattern)
+//! is measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stsm_baselines::{run_gegan, run_ignnk, run_increase, BaselineConfig};
+use stsm_core::{DistanceMode, ProblemInstance};
+use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+fn problem() -> ProblemInstance {
+    let d = DatasetConfig {
+        name: "bench".into(),
+        network: NetworkKind::Highway,
+        sensors: 50,
+        extent: 12_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 6,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 5_000.0,
+        poi_radius: 300.0,
+        seed: 11,
+    }
+    .generate();
+    let split = space_split(&d.coords, SplitAxis::Horizontal, false);
+    ProblemInstance::new(d, split, DistanceMode::Euclidean)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let p = problem();
+    let cfg = BaselineConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        epochs: 1,
+        windows_per_epoch: 4,
+        k_neighbors: 3,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("gegan_cycle", |b| b.iter(|| run_gegan(black_box(&p), &cfg)));
+    group.bench_function("ignnk_cycle", |b| b.iter(|| run_ignnk(black_box(&p), &cfg)));
+    group.bench_function("increase_cycle", |b| b.iter(|| run_increase(black_box(&p), &cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Component bench behind Fig. 7 / the `A_dtw` construction (§3.4.1):
+//! banded DTW on daily profiles, single-pair and all-pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsm_timeseries::{dtw_all_pairs, dtw_banded};
+
+fn profiles(n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..len)
+                .map(|t| ((t as f32) * 0.3 + i as f32 * 0.7).sin() + 0.1 * (i as f32))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    group.sample_size(20);
+    let series = profiles(2, 72);
+    for band in [4usize, 8, 72] {
+        group.bench_with_input(BenchmarkId::new("single_pair", band), &band, |b, &band| {
+            b.iter(|| dtw_banded(black_box(&series[0]), black_box(&series[1]), band))
+        });
+    }
+    let many = profiles(64, 48);
+    group.bench_function("all_pairs_64x48_band6", |b| {
+        b.iter(|| dtw_all_pairs(black_box(&many), 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

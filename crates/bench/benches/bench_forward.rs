@@ -1,0 +1,51 @@
+//! Component bench behind Table 5 (testing time): a single ST-model forward
+//! pass at realistic node counts, for both temporal modules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use stsm_core::{predict_once, StModel, StsmConfig, TemporalModule};
+use stsm_graph::{gaussian_threshold_adjacency, normalize_gcn, pairwise_euclidean, CsrLinMap};
+use stsm_tensor::nn::randn;
+use stsm_tensor::ParamStore;
+
+fn adjacency(n: usize) -> Arc<CsrLinMap> {
+    let coords: Vec<[f64; 2]> =
+        (0..n).map(|i| [(i % 20) as f64 * 500.0, (i / 20) as f64 * 500.0]).collect();
+    let d = pairwise_euclidean(&coords);
+    Arc::new(CsrLinMap::new(normalize_gcn(&gaussian_threshold_adjacency(&d, n, 0.3))))
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(10);
+    for &n in &[100usize, 325] {
+        for temporal in [TemporalModule::DilatedConv, TemporalModule::Transformer] {
+            let cfg = StsmConfig {
+                t_in: 8,
+                t_out: 8,
+                hidden: 16,
+                blocks: 2,
+                gcn_depth: 2,
+                temporal,
+                ..Default::default()
+            };
+            let mut store = ParamStore::new();
+            let model = StModel::new(&mut store, &cfg);
+            let mut rng = StdRng::seed_from_u64(1);
+            let x = randn([n, 8, 1], 1.0, &mut rng);
+            let tf = StModel::time_features(0, 8, 288);
+            let a = adjacency(n);
+            let label = format!("{temporal:?}_n{n}");
+            group.bench_with_input(BenchmarkId::new("predict_once", label), &n, |b, _| {
+                b.iter(|| predict_once(&model, &store, black_box(&x), &tf, &a, &a))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

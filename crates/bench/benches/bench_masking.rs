@@ -1,0 +1,51 @@
+//! Component bench behind Table 8 / Fig. 9 / Fig. 10: building the selective
+//! masking context (sub-graph embeddings + Eq. 15 probabilities) and drawing
+//! masks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use stsm_core::{DistanceMode, MaskingContext, ProblemInstance};
+use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+fn problem() -> ProblemInstance {
+    let d = DatasetConfig {
+        name: "bench".into(),
+        network: NetworkKind::Highway,
+        sensors: 120,
+        extent: 30_000.0,
+        steps_per_day: 48,
+        interval_minutes: 30,
+        days: 4,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 8_000.0,
+        poi_radius: 300.0,
+        seed: 3,
+    }
+    .generate();
+    let split = space_split(&d.coords, SplitAxis::Horizontal, false);
+    ProblemInstance::new(d, split, DistanceMode::Euclidean)
+}
+
+fn bench_masking(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("masking");
+    group.sample_size(20);
+    group.bench_function("context_build_120_sensors", |b| {
+        b.iter(|| MaskingContext::new(black_box(&p), 0.5, 0.5, 35))
+    });
+    let ctx = MaskingContext::new(&p, 0.5, 0.5, 35);
+    group.bench_function("draw_selective", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| black_box(ctx.draw_selective(&mut rng)))
+    });
+    group.bench_function("draw_random", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| black_box(ctx.draw_random(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_masking);
+criterion_main!(benches);

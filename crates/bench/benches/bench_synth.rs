@@ -1,0 +1,47 @@
+//! Component bench behind Figs. 5/6: synthetic dataset generation —
+//! network layout, POI/road features and signal simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stsm_synth::{
+    four_standard_splits, generate_network, DatasetConfig, NetworkKind, SignalKind,
+};
+
+fn bench_synth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth");
+    group.sample_size(10);
+    for kind in [NetworkKind::Highway, NetworkKind::UrbanGrid, NetworkKind::TwoCities] {
+        group.bench_with_input(
+            BenchmarkId::new("network", format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| generate_network(kind, 200, 40_000.0, black_box(1))),
+        );
+    }
+    group.bench_function("dataset_100_sensors_4_days", |b| {
+        b.iter(|| {
+            DatasetConfig {
+                name: "bench".into(),
+                network: NetworkKind::Highway,
+                sensors: 100,
+                extent: 20_000.0,
+                steps_per_day: 48,
+                interval_minutes: 30,
+                days: 4,
+                kind: SignalKind::TrafficSpeed,
+                latent_scale: 6_000.0,
+                poi_radius: 300.0,
+                seed: black_box(9),
+            }
+            .generate()
+        })
+    });
+    let coords: Vec<[f64; 2]> =
+        (0..400).map(|i| [(i % 20) as f64 * 100.0, (i / 20) as f64 * 100.0]).collect();
+    group.bench_function("four_standard_splits_400", |b| {
+        b.iter(|| four_standard_splits(black_box(&coords)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Component bench behind Table 4 (training time): one full STSM training
+//! run on a miniature problem — masking, pseudo-observations, DTW adjacency
+//! and optimizer steps included.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stsm_core::{train_stsm, DistanceMode, ProblemInstance, StsmConfig, Variant};
+use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+fn problem() -> ProblemInstance {
+    let d = DatasetConfig {
+        name: "bench".into(),
+        network: NetworkKind::Highway,
+        sensors: 60,
+        extent: 15_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 6,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 5_000.0,
+        poi_radius: 300.0,
+        seed: 7,
+    }
+    .generate();
+    let split = space_split(&d.coords, SplitAxis::Horizontal, false);
+    ProblemInstance::new(d, split, DistanceMode::Euclidean)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    for (label, variant) in [("stsm", Variant::Stsm), ("stsm_rnc", Variant::StsmRnc)] {
+        let cfg = StsmConfig {
+            t_in: 6,
+            t_out: 6,
+            hidden: 8,
+            blocks: 1,
+            gcn_depth: 2,
+            epochs: 1,
+            windows_per_epoch: 4,
+            batch_windows: 4,
+            top_k: 12,
+            ..Default::default()
+        }
+        .with_variant(variant);
+        group.bench_function(format!("one_epoch_{label}"), |b| {
+            b.iter(|| train_stsm(black_box(&p), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Extra ablations beyond the paper's own (Table 4): the design choices
+//! DESIGN.md calls out —
+//!
+//! 1. pseudo-observations (Eq. 3) vs zero-filling missing locations;
+//! 2. the temporal-similarity adjacency `A_dtw` (q_ku in-links per
+//!    unobserved location) from 0 (disabled) to 3;
+//! 3. per-horizon error growth of the final model.
+
+use stsm_bench::{apply_sensor_cap, save_results, Scale};
+use stsm_core::{
+    evaluate_detailed, evaluate_stsm, train_stsm, DistanceMode, ProblemInstance,
+};
+use stsm_synth::{presets, space_split, SplitAxis};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!("# Ablations beyond the paper (scale: {scale:?})\n");
+    let dataset = apply_sensor_cap(presets::pems_bay(scale.days(), seed).generate(), scale);
+    let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
+    let name = dataset.name.clone();
+    let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+    let base = scale.stsm_config(&name, seed);
+    let mut payload = serde_json::Map::new();
+
+    // 1. Pseudo-observations vs zero filling.
+    println!("## Pseudo-observations (Eq. 3) vs zero fill\n");
+    println!("| Input filling | RMSE | MAE | R2 |");
+    println!("|---------------|------|-----|----|");
+    for (label, pseudo) in [("pseudo-observations", true), ("zeros", false)] {
+        let mut cfg = base.clone();
+        cfg.pseudo_observations = pseudo;
+        let (trained, _) = train_stsm(&problem, &cfg);
+        let eval = evaluate_stsm(&trained, &problem);
+        println!(
+            "| {label:<13} | {:.3} | {:.3} | {:.3} |",
+            eval.metrics.rmse, eval.metrics.mae, eval.metrics.r2
+        );
+        payload.insert(
+            format!("fill_{label}"),
+            serde_json::to_value(eval.metrics).expect("serialize"),
+        );
+    }
+
+    // 2. Temporal adjacency strength.
+    println!("\n## Temporal adjacency A_dtw: in-links per unobserved location\n");
+    println!("| q_ku | RMSE | R2 |");
+    println!("|------|------|----|");
+    for q_ku in [0usize, 1, 2, 3] {
+        let mut cfg = base.clone();
+        cfg.q_ku = q_ku;
+        let (trained, _) = train_stsm(&problem, &cfg);
+        let eval = evaluate_stsm(&trained, &problem);
+        println!("| {q_ku:>4} | {:.3} | {:.3} |", eval.metrics.rmse, eval.metrics.r2);
+        payload.insert(
+            format!("q_ku_{q_ku}"),
+            serde_json::to_value(eval.metrics).expect("serialize"),
+        );
+    }
+
+    // 3. Error growth with forecast lead time.
+    println!("\n## Per-horizon RMSE of the full model\n");
+    let (trained, _) = train_stsm(&problem, &base);
+    let detail = evaluate_detailed(&trained, &problem);
+    println!("| horizon | RMSE |");
+    println!("|---------|------|");
+    for (h, rmse) in detail.horizon.rmse_curve().iter().enumerate() {
+        println!("| t+{:<5} | {rmse:.3} |", h + 1);
+    }
+    payload.insert(
+        "horizon_rmse".into(),
+        serde_json::to_value(detail.horizon.rmse_curve()).expect("serialize"),
+    );
+    save_results("ablation", &serde_json::Value::Object(payload));
+}

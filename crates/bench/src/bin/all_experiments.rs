@@ -1,0 +1,36 @@
+//! Runs every experiment binary's logic in sequence — the one-shot
+//! regeneration of all paper tables and figures. Equivalent to running
+//! `table4..table11`, `fig7..fig10`, `figmaps` back to back; results land in
+//! `results/*.json` and the tables print to stdout.
+
+use std::process::Command;
+
+fn main() {
+    let scale = std::env::var("STSM_SCALE").unwrap_or_else(|_| "quick".into());
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let experiments = [
+        "figmaps", "fig7", "table4", "table5", "fig8", "table6", "table7", "table8", "fig9",
+        "fig10", "table9", "table10", "table11",
+    ];
+    let started = std::time::Instant::now();
+    for exp in experiments {
+        let bin = exe_dir.join(exp);
+        println!("\n================ running {exp} (STSM_SCALE={scale}) ================\n");
+        let status = Command::new(&bin)
+            .env("STSM_SCALE", &scale)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
+        if !status.success() {
+            eprintln!("experiment {exp} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "\nAll experiments completed in {:.1} minutes. Results in results/*.json.",
+        started.elapsed().as_secs_f64() / 60.0
+    );
+}

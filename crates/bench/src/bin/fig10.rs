@@ -1,0 +1,54 @@
+//! Fig. 10: sensitivity to the sub-graph threshold ε_sg — RMSE of all four
+//! main STSM variants as ε_sg varies (larger ε_sg = smaller sub-graphs).
+
+use stsm_bench::{
+    apply_sensor_cap, distance_mode_for, save_results, ModelId, Scale,
+};
+use stsm_core::{ProblemInstance, Variant};
+use stsm_synth::{presets, space_split, SplitAxis};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Fig. 10 — Sensitivity to eps_sg (scale: {scale:?})\n");
+    let datasets = [presets::pems_bay(days, seed), presets::melbourne(days, seed)];
+    let variants = [Variant::Stsm, Variant::StsmNc, Variant::StsmR, Variant::StsmRnc];
+    let epsilons = [0.3f32, 0.4, 0.5, 0.6, 0.7];
+    let mut payload = serde_json::Map::new();
+    for cfg in datasets {
+        let dataset = apply_sensor_cap(cfg.generate(), scale);
+        println!("## {}\n", dataset.name);
+        println!("| eps_sg | STSM | STSM-NC | STSM-R | STSM-RNC |");
+        println!("|--------|------|---------|--------|----------|");
+        let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
+        let mut series = Vec::new();
+        for &eps in &epsilons {
+            let mut row = Vec::new();
+            for &v in &variants {
+                let model = ModelId::Stsm(v);
+                let problem = ProblemInstance::new(
+                    dataset.clone(),
+                    split.clone(),
+                    distance_mode_for(model),
+                );
+                let mut stsm_cfg = scale.stsm_config(&dataset.name, seed).with_variant(v);
+                stsm_cfg.epsilon_sg = eps;
+                let (trained, _) = stsm_core::train_stsm(&problem, &stsm_cfg);
+                let eval = stsm_core::evaluate_stsm(&trained, &problem);
+                row.push(eval.metrics.rmse);
+            }
+            println!(
+                "| {eps:>6.1} | {:>4.2} | {:>7.2} | {:>6.2} | {:>8.2} |",
+                row[0], row[1], row[2], row[3]
+            );
+            series.push(serde_json::json!({
+                "eps_sg": eps, "stsm": row[0], "stsm_nc": row[1],
+                "stsm_r": row[2], "stsm_rnc": row[3],
+            }));
+        }
+        println!();
+        payload.insert(dataset.name.clone(), serde_json::Value::Array(series));
+    }
+    save_results("fig10", &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,65 @@
+//! Fig. 8: RMSE vs unobserved ratio (0.2–0.5) — STSM against INCREASE, the
+//! strongest baseline, on all five datasets.
+
+use stsm_bench::{
+    apply_sensor_cap, average_results, distance_mode_for, run_model, save_results, ModelId, Scale,
+};
+use stsm_core::{ProblemInstance, Variant};
+use stsm_synth::{presets, space_split_ratio, SplitAxis};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Fig. 8 — RMSE vs unobserved ratio (scale: {scale:?})\n");
+    let datasets = [
+        presets::pems_bay(days, seed),
+        presets::pems_07(days, seed),
+        presets::pems_08(400, days, seed),
+        presets::melbourne(days, seed),
+        presets::airq(days.max(6), seed),
+    ];
+    let models = [ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
+    let ratios = [0.2, 0.3, 0.4, 0.5];
+    let mut payload = serde_json::Map::new();
+    for cfg in datasets {
+        let dataset = apply_sensor_cap(cfg.generate(), scale);
+        println!("## {}\n", dataset.name);
+        println!("| Unobserved ratio | INCREASE RMSE | STSM RMSE |");
+        println!("|------------------|---------------|-----------|");
+        let mut series = Vec::new();
+        for &ratio in &ratios {
+            // Average over axis directions, as in the paper.
+            let mut row = Vec::new();
+            for &model in &models {
+                let mut per = Vec::new();
+                for (axis, flip) in
+                    [(SplitAxis::Horizontal, false), (SplitAxis::Vertical, false)]
+                        .iter()
+                        .take(scale.splits().max(1))
+                {
+                    let split = space_split_ratio(&dataset.coords, *axis, *flip, ratio);
+                    let problem = ProblemInstance::new(
+                        dataset.clone(),
+                        split,
+                        distance_mode_for(model),
+                    );
+                    per.push(run_model(&problem, model, scale, seed));
+                }
+                row.push(average_results(&per));
+            }
+            println!(
+                "| {:>16.1} | {:>13.3} | {:>9.3} |",
+                ratio, row[0].metrics.rmse, row[1].metrics.rmse
+            );
+            series.push(serde_json::json!({
+                "ratio": ratio,
+                "increase_rmse": row[0].metrics.rmse,
+                "stsm_rmse": row[1].metrics.rmse,
+            }));
+        }
+        println!();
+        payload.insert(dataset.name.clone(), serde_json::Value::Array(series));
+    }
+    save_results("fig8", &serde_json::Value::Object(payload));
+}

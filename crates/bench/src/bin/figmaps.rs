@@ -1,0 +1,77 @@
+//! Figs. 5, 6 and 11: sensor distributions and data partitioning, rendered
+//! as ASCII maps (train = `o`, validation = `+`, test/unobserved = `x`).
+
+use stsm_bench::{apply_sensor_cap, save_results, Scale};
+use stsm_synth::{presets, ring_split, space_split, Dataset, SpaceSplit, SplitAxis};
+
+fn ascii_map(dataset: &Dataset, split: &SpaceSplit, width: usize, height: usize) -> Vec<String> {
+    let (mut min_x, mut min_y, mut max_x, mut max_y) =
+        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for c in &dataset.coords {
+        min_x = min_x.min(c[0]);
+        min_y = min_y.min(c[1]);
+        max_x = max_x.max(c[0]);
+        max_y = max_y.max(c[1]);
+    }
+    let sx = (max_x - min_x).max(1e-9);
+    let sy = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    let mut plot = |ids: &[usize], ch: char| {
+        for &i in ids {
+            let c = dataset.coords[i];
+            let gx = (((c[0] - min_x) / sx) * (width - 1) as f64).round() as usize;
+            let gy = (((c[1] - min_y) / sy) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - gy][gx] = ch;
+        }
+    };
+    plot(&split.train, 'o');
+    plot(&split.val, '+');
+    plot(&split.test, 'x');
+    grid.into_iter().map(|row| row.into_iter().collect()).collect()
+}
+
+fn print_map(title: &str, dataset: &Dataset, split: &SpaceSplit) {
+    println!("\n## {title} — split `{}`", split.label);
+    println!(
+        "train {} (o) | val {} (+) | unobserved {} (x)",
+        split.train.len(),
+        split.val.len(),
+        split.test.len()
+    );
+    for line in ascii_map(dataset, split, 64, 20) {
+        println!("  |{line}|");
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Figs. 5/6/11 — Sensor distributions and partitions (scale: {scale:?})");
+    let mut payload = serde_json::Map::new();
+    let datasets = [
+        presets::pems_bay(days, seed),
+        presets::pems_07(days, seed),
+        presets::pems_08(400, days, seed),
+        presets::melbourne(days, seed),
+        presets::airq(days.max(6), seed),
+    ];
+    for cfg in datasets {
+        let dataset = apply_sensor_cap(cfg.generate(), scale);
+        let h = space_split(&dataset.coords, SplitAxis::Horizontal, false);
+        print_map(&dataset.name, &dataset, &h);
+        payload.insert(
+            dataset.name.clone(),
+            serde_json::json!({
+                "sensors": dataset.n,
+                "train": h.train.len(), "val": h.val.len(), "test": h.test.len(),
+            }),
+        );
+        if dataset.name == "PEMS-Bay" {
+            // Fig. 11: the ring split.
+            let ring = ring_split(&dataset.coords);
+            print_map("PEMS-Bay (Fig. 11 ring)", &dataset, &ring);
+        }
+    }
+    save_results("figmaps", &serde_json::Value::Object(payload));
+}

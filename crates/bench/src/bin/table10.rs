@@ -1,0 +1,19 @@
+//! Table 10: STSM vs STSM-trans (transformer temporal module + gated fusion)
+//! on PEMS-Bay — the extensibility experiment of §5.2.5.
+
+use stsm_bench::{
+    apply_sensor_cap, print_metrics_table, run_dataset_lineup, save_results, ModelId, Scale,
+};
+use stsm_core::Variant;
+use stsm_synth::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!("# Table 10 — Advanced temporal correlation module on PEMS-Bay (scale: {scale:?})");
+    let dataset = apply_sensor_cap(presets::pems_bay(scale.days(), seed).generate(), scale);
+    let models = [ModelId::Stsm(Variant::Stsm), ModelId::Stsm(Variant::StsmTrans)];
+    let rows = run_dataset_lineup(&dataset, &models, scale, seed);
+    print_metrics_table("PEMS-Bay: STSM vs STSM-trans", &rows);
+    save_results("table10", &serde_json::to_value(&rows).expect("serialize"));
+}

@@ -1,0 +1,24 @@
+//! Table 11: distance functions on PEMS-Bay — Euclidean STSM vs road-network
+//! distance for matrices + pseudo-observations (rd-a) or matrices only
+//! (rd-m), §5.2.6.
+
+use stsm_bench::{
+    apply_sensor_cap, print_metrics_table, run_dataset_lineup, save_results, ModelId, Scale,
+};
+use stsm_core::Variant;
+use stsm_synth::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!("# Table 11 — Distance functions on PEMS-Bay (scale: {scale:?})");
+    let dataset = apply_sensor_cap(presets::pems_bay(scale.days(), seed).generate(), scale);
+    let models = [
+        ModelId::Stsm(Variant::Stsm),
+        ModelId::Stsm(Variant::StsmRdA),
+        ModelId::Stsm(Variant::StsmRdM),
+    ];
+    let rows = run_dataset_lineup(&dataset, &models, scale, seed);
+    print_metrics_table("PEMS-Bay: Euclidean vs road-network distance", &rows);
+    save_results("table11", &serde_json::to_value(&rows).expect("serialize"));
+}

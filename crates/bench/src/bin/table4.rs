@@ -1,0 +1,47 @@
+//! Table 4: overall model performance — GE-GAN / IGNNK / INCREASE vs the
+//! four main STSM variants on all five datasets.
+
+use stsm_bench::{
+    apply_sensor_cap, improvement_vs_best_baseline, print_metrics_table, run_dataset_lineup,
+    save_results, ModelId, Scale,
+};
+use stsm_synth::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Table 4 — Overall model performance (scale: {scale:?})");
+    let datasets = [
+        presets::pems_bay(days, seed),
+        presets::pems_07(days, seed),
+        presets::pems_08(400, days, seed),
+        presets::melbourne(days, seed),
+        presets::airq(days.max(6), seed),
+    ];
+    let lineup = ModelId::table4_lineup();
+    let mut all = serde_json::Map::new();
+    for cfg in datasets {
+        let dataset = apply_sensor_cap(cfg.generate(), scale);
+        let rows = run_dataset_lineup(&dataset, &lineup, scale, seed);
+        print_metrics_table(&dataset.name, &rows);
+        if let Some((rmse, mae, mape, r2)) = improvement_vs_best_baseline(&rows) {
+            let fmt = |v: f64| {
+                if v.is_nan() {
+                    "N/A".to_string()
+                } else {
+                    format!("{v:+.2}%")
+                }
+            };
+            println!(
+                "Improvement vs best baseline: RMSE {} | MAE {} | MAPE {} | R2 {}",
+                fmt(rmse),
+                fmt(mae),
+                fmt(mape),
+                fmt(r2)
+            );
+        }
+        all.insert(dataset.name.clone(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    save_results("table4", &serde_json::Value::Object(all));
+}

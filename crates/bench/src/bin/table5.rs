@@ -1,0 +1,37 @@
+//! Table 5: model training and testing time over the traffic datasets
+//! (the paper omits AirQ for its small scale).
+
+use stsm_bench::{
+    apply_sensor_cap, print_timing_table, run_dataset_lineup, save_results, ModelId, Scale,
+};
+use stsm_core::Variant;
+use stsm_synth::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Table 5 — Model training/testing time (scale: {scale:?})");
+    let models =
+        [ModelId::GeGan, ModelId::Ignnk, ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
+    let datasets = [
+        presets::pems_bay(days, seed),
+        presets::pems_07(days, seed),
+        presets::pems_08(400, days, seed),
+        presets::melbourne(days, seed),
+    ];
+    let mut named: Vec<(String, Vec<stsm_bench::RunResult>)> = Vec::new();
+    for cfg in datasets {
+        let dataset = apply_sensor_cap(cfg.generate(), scale);
+        let rows = run_dataset_lineup(&dataset, &models, scale, seed);
+        named.push((dataset.name.clone(), rows));
+    }
+    let view: Vec<(&str, Vec<stsm_bench::RunResult>)> =
+        named.iter().map(|(n, r)| (n.as_str(), r.clone())).collect();
+    print_timing_table("Training and testing time", &view);
+    let payload = serde_json::to_value(
+        named.iter().map(|(n, r)| (n.clone(), r.clone())).collect::<Vec<_>>(),
+    )
+    .expect("serialize");
+    save_results("table5", &payload);
+}

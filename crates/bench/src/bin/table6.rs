@@ -1,0 +1,40 @@
+//! Table 6: varying the number of sensors 200–800 by merging the PEMS-07 and
+//! PEMS-08 regions and slicing the combined space into vertical partitions.
+
+use stsm_bench::{
+    apply_sensor_cap, print_metrics_table, run_dataset_lineup, save_results, ModelId, Scale,
+};
+use stsm_core::Variant;
+use stsm_synth::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Table 6 — Varying the number of sensors (PEMS-07 + PEMS-08 merged, scale: {scale:?})");
+    let d07 = presets::pems_07(days, seed).generate();
+    let d08 = presets::pems_08(400, days, seed).generate();
+    let merged = d07.merge(&d08);
+    // Order sensors by x and take prefixes of 200, 400, 600, 800 — vertical
+    // partitions of the merged region.
+    let mut order: Vec<usize> = (0..merged.n).collect();
+    order.sort_by(|&a, &b| merged.coords[a][0].partial_cmp(&merged.coords[b][0]).expect("finite"));
+    let models = [
+        ModelId::GeGan,
+        ModelId::Ignnk,
+        ModelId::Increase,
+        ModelId::Stsm(Variant::Stsm),
+    ];
+    let counts: &[usize] =
+        if scale == Scale::Smoke { &[20, 40] } else { &[200, 400, 600, 800] };
+    let mut payload = serde_json::Map::new();
+    for &count in counts {
+        let mut keep = order[..count.min(merged.n)].to_vec();
+        keep.sort_unstable();
+        let sub = apply_sensor_cap(merged.subset(&keep), scale);
+        let rows = run_dataset_lineup(&sub, &models, scale, seed);
+        print_metrics_table(&format!("{count} sensors"), &rows);
+        payload.insert(count.to_string(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    save_results("table6", &serde_json::Value::Object(payload));
+}

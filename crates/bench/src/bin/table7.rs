@@ -1,0 +1,40 @@
+//! Table 7: varying the density of sensors on PEMS-08 — from 200 up to the
+//! full 964 sensors over the same region.
+
+use stsm_bench::{
+    apply_sensor_cap, print_metrics_table, run_dataset_lineup, save_results, ModelId, Scale,
+};
+use stsm_core::Variant;
+use stsm_synth::presets;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    let days = scale.days();
+    println!("# Table 7 — Varying the density of sensors (PEMS-08, scale: {scale:?})");
+    // Generate the densest network once; sparser datasets sample from it so
+    // the region (and the underlying signal field) stays identical.
+    let full = presets::pems_08(964, days, seed).generate();
+    let models = [
+        ModelId::GeGan,
+        ModelId::Ignnk,
+        ModelId::Increase,
+        ModelId::Stsm(Variant::Stsm),
+    ];
+    let counts: &[usize] =
+        if scale == Scale::Smoke { &[20, 40] } else { &[200, 400, 600, 800, 964] };
+    let mut payload = serde_json::Map::new();
+    for &count in counts {
+        // Uniform stride sample keeps the spatial extent (density sweep).
+        let stride = (full.n as f64 / count as f64).max(1.0);
+        let mut keep: Vec<usize> = (0..count)
+            .map(|i| ((i as f64 * stride) as usize).min(full.n - 1))
+            .collect();
+        keep.dedup();
+        let sub = apply_sensor_cap(full.subset(&keep), scale);
+        let rows = run_dataset_lineup(&sub, &models, scale, seed);
+        print_metrics_table(&format!("{} sensors (density sweep)", sub.n), &rows);
+        payload.insert(count.to_string(), serde_json::to_value(&rows).expect("serialize"));
+    }
+    save_results("table7", &serde_json::Value::Object(payload));
+}

@@ -1,0 +1,32 @@
+//! Table 9: ring split on PEMS-Bay (Fig. 11) — centre observed for training,
+//! middle ring for validation, outer region unobserved.
+
+use stsm_bench::{
+    apply_sensor_cap, improvement_vs_best_baseline, print_metrics_table,
+    run_dataset_lineup_with_splits, save_results, ModelId, Scale,
+};
+use stsm_core::Variant;
+use stsm_synth::{presets, ring_split};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42;
+    println!("# Table 9 — PEMS-Bay with a ring split (scale: {scale:?})");
+    let dataset = apply_sensor_cap(presets::pems_bay(scale.days(), seed).generate(), scale);
+    let splits = vec![ring_split(&dataset.coords)];
+    let models = [
+        ModelId::GeGan,
+        ModelId::Ignnk,
+        ModelId::Increase,
+        ModelId::Stsm(Variant::Stsm),
+    ];
+    let rows = run_dataset_lineup_with_splits(&dataset, &models, &splits, scale, seed);
+    print_metrics_table("PEMS-Bay (ring split)", &rows);
+    if let Some((rmse, mae, mape, r2)) = improvement_vs_best_baseline(&rows) {
+        println!(
+            "Improvement: RMSE {rmse:+.1}% | MAE {mae:+.1}% | MAPE {mape:+.1}% | R2 {}",
+            if r2.is_nan() { "N/A".into() } else { format!("{r2:+.1}%") }
+        );
+    }
+    save_results("table9", &serde_json::to_value(&rows).expect("serialize"));
+}

@@ -1,0 +1,20 @@
+//! # stsm-bench
+//!
+//! The experiment harness reproducing every table and figure of the STSM
+//! paper's evaluation (§5). Each `src/bin/*` binary regenerates one paper
+//! artefact (Table 4–11, Fig. 7–11) at a scale selected via `STSM_SCALE`
+//! (`smoke` | `quick` | `full`); `all_experiments` runs the whole set and
+//! emits the rows recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod scale;
+pub mod table;
+
+pub use runner::{
+    apply_sensor_cap, average_results, distance_mode_for, run_dataset_lineup,
+    run_dataset_lineup_with_splits, run_model, ModelId, RunResult,
+};
+pub use scale::Scale;
+pub use table::{improvement_vs_best_baseline, print_metrics_table, print_timing_table, save_results};

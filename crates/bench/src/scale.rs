@@ -1,0 +1,173 @@
+//! Experiment scales. The paper trained on a V100 over months-long datasets;
+//! this reproduction runs on CPU, so each experiment binary supports three
+//! scales selected by the `STSM_SCALE` environment variable:
+//!
+//! * `smoke` — seconds per run; for CI and tests (tiny subsets);
+//! * `quick` — the default; minutes per table, preserves the paper's sensor
+//!   counts and mechanism but shortens horizons and training;
+//! * `full`  — hours; closest to the paper's protocol (4 splits, longer
+//!   windows and training).
+
+use stsm_baselines::BaselineConfig;
+use stsm_core::StsmConfig;
+
+/// Scale of an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny: for CI.
+    Smoke,
+    /// Default: minutes per table.
+    Quick,
+    /// Paper-protocol-like: hours.
+    Full,
+}
+
+impl Scale {
+    /// Reads `STSM_SCALE` (smoke|quick|full), defaulting to `Quick`.
+    pub fn from_env() -> Scale {
+        match std::env::var("STSM_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "smoke" => Scale::Smoke,
+            "full" => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Simulated days of data per dataset.
+    pub fn days(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Quick => 8,
+            Scale::Full => 14,
+        }
+    }
+
+    /// Number of space splits averaged per dataset (the paper uses 4).
+    pub fn splits(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Quick => 1,
+            Scale::Full => 4,
+        }
+    }
+
+    /// Caps the number of sensors (smoke only) to keep runs tiny.
+    pub fn sensor_cap(&self) -> Option<usize> {
+        match self {
+            Scale::Smoke => Some(40),
+            _ => None,
+        }
+    }
+
+    /// Window length `T = T'` in steps.
+    pub fn window(&self) -> usize {
+        match self {
+            Scale::Smoke => 6,
+            Scale::Quick => 8,
+            Scale::Full => 12,
+        }
+    }
+
+    /// STSM configuration at this scale for a dataset (applies Table 3
+    /// hyper-parameters on top).
+    pub fn stsm_config(&self, dataset_name: &str, seed: u64) -> StsmConfig {
+        let t = self.window();
+        let base = match self {
+            Scale::Smoke => StsmConfig {
+                t_in: t,
+                t_out: t,
+                hidden: 8,
+                blocks: 1,
+                gcn_depth: 2,
+                epochs: 2,
+                windows_per_epoch: 6,
+                batch_windows: 3,
+                ..Default::default()
+            },
+            Scale::Quick => StsmConfig {
+                t_in: t,
+                t_out: t,
+                hidden: 16,
+                blocks: 2,
+                gcn_depth: 2,
+                epochs: 8,
+                windows_per_epoch: 24,
+                batch_windows: 4,
+                ..Default::default()
+            },
+            Scale::Full => StsmConfig {
+                t_in: t,
+                t_out: t,
+                hidden: 16,
+                blocks: 2,
+                gcn_depth: 2,
+                epochs: 10,
+                windows_per_epoch: 24,
+                batch_windows: 4,
+                ..Default::default()
+            },
+        };
+        let mut cfg = base.for_dataset(dataset_name);
+        cfg.seed = seed;
+        // Smoke runs cap top_k to the tiny sensor counts.
+        if *self == Scale::Smoke {
+            cfg.top_k = cfg.top_k.min(12);
+        }
+        cfg
+    }
+
+    /// Baseline configuration at this scale.
+    pub fn baseline_config(&self, seed: u64) -> BaselineConfig {
+        let t = self.window();
+        let mut cfg = match self {
+            Scale::Smoke => BaselineConfig {
+                t_in: t,
+                t_out: t,
+                hidden: 8,
+                epochs: 2,
+                windows_per_epoch: 6,
+                ..Default::default()
+            },
+            Scale::Quick => BaselineConfig {
+                t_in: t,
+                t_out: t,
+                hidden: 16,
+                epochs: 8,
+                windows_per_epoch: 24,
+                ..Default::default()
+            },
+            Scale::Full => BaselineConfig {
+                t_in: t,
+                t_out: t,
+                hidden: 16,
+                epochs: 10,
+                windows_per_epoch: 24,
+                ..Default::default()
+            },
+        };
+        cfg.seed = seed;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Smoke.days() < Scale::Quick.days());
+        assert!(Scale::Quick.days() < Scale::Full.days());
+        assert!(Scale::Full.splits() == 4);
+        assert!(Scale::Smoke.sensor_cap().is_some());
+        assert!(Scale::Quick.sensor_cap().is_none());
+    }
+
+    #[test]
+    fn configs_apply_table3() {
+        let c = Scale::Quick.stsm_config("PEMS-Bay", 7);
+        assert_eq!(c.lambda, 0.01);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.t_in, c.t_out);
+        c.validate();
+    }
+}

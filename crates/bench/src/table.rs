@@ -1,0 +1,150 @@
+//! Table rendering and result persistence. Every experiment binary prints a
+//! markdown table shaped like the paper's and appends a JSON record under
+//! `results/`.
+
+use crate::runner::RunResult;
+use std::io::Write;
+use std::path::Path;
+
+/// Formats one metrics row: model, RMSE, MAE, MAPE, R².
+pub fn metrics_row(r: &RunResult) -> String {
+    format!(
+        "| {:<12} | {:>8.3} | {:>8.3} | {:>7.3} | {:>8.3} |",
+        r.model, r.metrics.rmse, r.metrics.mae, r.metrics.mape, r.metrics.r2
+    )
+}
+
+/// Prints a paper-style metrics table for one dataset.
+pub fn print_metrics_table(title: &str, rows: &[RunResult]) {
+    println!("\n### {title}\n");
+    println!("| Model        |    RMSE↓ |     MAE↓ |  MAPE↓ |     R2↑  |");
+    println!("|--------------|----------|----------|--------|----------|");
+    for r in rows {
+        println!("{}", metrics_row(r));
+    }
+    // Best-of annotations like the paper's bold/underline markers.
+    if let Some(best) = rows
+        .iter()
+        .min_by(|a, b| a.metrics.rmse.partial_cmp(&b.metrics.rmse).expect("finite"))
+    {
+        println!("\nBest RMSE: **{}** ({:.3})", best.model, best.metrics.rmse);
+    }
+}
+
+/// Prints a Table 5-style timing table.
+pub fn print_timing_table(title: &str, datasets: &[(&str, Vec<RunResult>)]) {
+    println!("\n### {title}\n");
+    print!("| Model        | Time      |");
+    for (name, _) in datasets {
+        print!(" {name:>9} |");
+    }
+    println!();
+    print!("|--------------|-----------|");
+    for _ in datasets {
+        print!("-----------|");
+    }
+    println!();
+    let models: Vec<String> = datasets[0].1.iter().map(|r| r.model.clone()).collect();
+    for (mi, model) in models.iter().enumerate() {
+        print!("| {model:<12} | Train (s) |");
+        for (_, rows) in datasets {
+            print!(" {:>9.1} |", rows[mi].train_seconds);
+        }
+        println!();
+        print!("| {:<12} | Test (s)  |", "");
+        for (_, rows) in datasets {
+            print!(" {:>9.2} |", rows[mi].test_seconds);
+        }
+        println!();
+    }
+}
+
+/// Computes the paper's "Improvement" row: error reduction of the best STSM
+/// variant relative to the best baseline (positive = STSM better).
+pub fn improvement_vs_best_baseline(rows: &[RunResult]) -> Option<(f64, f64, f64, f64)> {
+    let is_stsm = |r: &RunResult| r.model.starts_with("STSM");
+    let best = |ours: bool, f: fn(&RunResult) -> f64, lower_better: bool| -> Option<f64> {
+        rows.iter()
+            .filter(|r| is_stsm(r) == ours)
+            .map(f)
+            .filter(|v| v.is_finite())
+            .reduce(|a, b| if lower_better == (a < b) { a } else { b })
+    };
+    let imp_lower = |f: fn(&RunResult) -> f64| -> Option<f64> {
+        let base = best(false, f, true)?;
+        let ours = best(true, f, true)?;
+        Some((base - ours) / base * 100.0)
+    };
+    let imp_r2 = {
+        let base = best(false, |r| r.metrics.r2, false)?;
+        let ours = best(true, |r| r.metrics.r2, false)?;
+        if base.abs() < 1e-12 || base < 0.0 {
+            f64::NAN // N/A per the paper when baselines have negative R².
+        } else {
+            (ours - base) / base * 100.0
+        }
+    };
+    Some((
+        imp_lower(|r| r.metrics.rmse)?,
+        imp_lower(|r| r.metrics.mae)?,
+        imp_lower(|r| r.metrics.mape)?,
+        imp_r2,
+    ))
+}
+
+/// Appends a JSON record of an experiment to `results/<id>.json`.
+pub fn save_results(experiment_id: &str, payload: &serde_json::Value) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create results/ directory; skipping save");
+        return;
+    }
+    let path = dir.join(format!("{experiment_id}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(payload).expect("serialize"));
+            println!("\n[saved {}]", path.display());
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsm_timeseries::Metrics;
+
+    fn r(model: &str, rmse: f64, r2: f64) -> RunResult {
+        RunResult {
+            model: model.into(),
+            metrics: Metrics { rmse, mae: rmse * 0.6, mape: 0.1, r2 },
+            train_seconds: 1.0,
+            test_seconds: 0.1,
+            masked_similarity: None,
+            random_similarity: None,
+        }
+    }
+
+    #[test]
+    fn improvement_positive_when_stsm_wins() {
+        let rows = vec![r("INCREASE", 10.0, 0.1), r("STSM", 9.0, 0.2)];
+        let (rmse, mae, _mape, r2) = improvement_vs_best_baseline(&rows).unwrap();
+        assert!((rmse - 10.0).abs() < 1e-9);
+        assert!(mae > 0.0);
+        assert!((r2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_r2_nan_when_baselines_negative() {
+        let rows = vec![r("IGNNK", 10.0, -0.5), r("STSM", 9.0, 0.2)];
+        let (_, _, _, r2) = improvement_vs_best_baseline(&rows).unwrap();
+        assert!(r2.is_nan(), "negative baseline R² must yield N/A");
+    }
+
+    #[test]
+    fn rows_render() {
+        let row = metrics_row(&r("STSM", 8.61, 0.23));
+        assert!(row.contains("STSM"));
+        assert!(row.contains("8.610"));
+    }
+}

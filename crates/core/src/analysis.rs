@@ -1,0 +1,157 @@
+//! Forecast analysis utilities on top of the trainer: per-horizon error
+//! breakdown for the unobserved region and per-location error maps, used to
+//! understand *where* and *when* a model fails (EXPERIMENTS.md's breakdowns).
+
+use crate::problem::ProblemInstance;
+use crate::pseudo::blend_series;
+use crate::temporal_adj::{pseudo_weights_for, DtwContext};
+use crate::trainer::TrainedStsm;
+use std::sync::Arc;
+use stsm_graph::{normalize_gcn, CsrLinMap};
+use stsm_timeseries::{sliding_windows, HorizonMetrics, Metrics};
+
+/// Detailed evaluation: overall metrics, per-horizon curve and per-location
+/// RMSE over the unobserved region.
+pub struct DetailedEval {
+    /// Overall metrics (same as [`crate::evaluate_stsm`]).
+    pub metrics: Metrics,
+    /// Error as a function of forecast lead time.
+    pub horizon: HorizonMetrics,
+    /// RMSE per unobserved location (parallel to `problem.unobserved`).
+    pub per_location_rmse: Vec<f64>,
+}
+
+/// Evaluates a trained model with per-horizon and per-location breakdowns.
+pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> DetailedEval {
+    let cfg = &trained.cfg;
+    let n = problem.n();
+    let all: Vec<usize> = (0..n).collect();
+    let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
+        &problem.spatial_adjacency(&all, cfg.epsilon_s),
+    )));
+    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+    let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
+    let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
+        n,
+        &problem.observed,
+        &problem.unobserved,
+        &pw,
+        cfg.q_kk,
+        cfg.q_ku,
+    ))));
+    let spd = problem.steps_per_day();
+    let windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
+    assert!(!windows.is_empty(), "test period too short");
+    let n_u = problem.unobserved.len();
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    let mut per_loc_se = vec![0.0f64; n_u];
+    let mut per_loc_n = vec![0usize; n_u];
+    for w in &windows {
+        let abs_start = problem.test_time.start + w.input_start;
+        let x = build_input(problem, &pw, abs_start, cfg.t_in, cfg.pseudo_observations);
+        let tf = crate::model::StModel::time_features(abs_start, cfg.t_in, spd);
+        let pred =
+            crate::model::predict_once(&trained.model_ref(), &trained.store, &x, &tf, &a_s, &a_dtw);
+        let target_start = abs_start + cfg.t_in;
+        for (row, &u) in problem.unobserved.iter().enumerate() {
+            for p in 0..cfg.t_out {
+                let pv = problem.scaler.inverse(pred.at(&[u, p, 0]));
+                let tv = problem.dataset.value(u, target_start + p);
+                preds.push(pv);
+                truths.push(tv);
+                per_loc_se[row] += ((pv - tv) as f64).powi(2);
+                per_loc_n[row] += 1;
+            }
+        }
+    }
+    let per_location_rmse = per_loc_se
+        .iter()
+        .zip(&per_loc_n)
+        .map(|(&se, &c)| (se / c.max(1) as f64).sqrt())
+        .collect();
+    DetailedEval {
+        metrics: Metrics::compute(&preds, &truths),
+        horizon: HorizonMetrics::compute(&preds, &truths, cfg.t_out),
+        per_location_rmse,
+    }
+}
+
+fn build_input(
+    problem: &ProblemInstance,
+    pseudo_weights: &[f32],
+    start: usize,
+    len: usize,
+    pseudo_observations: bool,
+) -> stsm_tensor::Tensor {
+    let n = problem.n();
+    let mut data = vec![0.0f32; n * len];
+    for &g in &problem.observed {
+        data[g * len..(g + 1) * len].copy_from_slice(problem.scaled_range(g, start, start + len));
+    }
+    if pseudo_observations {
+        let mut sources = Vec::with_capacity(problem.observed.len() * len);
+        for &g in &problem.observed {
+            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
+        }
+        let pseudo = blend_series(pseudo_weights, &sources, problem.observed.len(), len);
+        for (row, &u) in problem.unobserved.iter().enumerate() {
+            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
+        }
+    }
+    stsm_tensor::Tensor::from_vec([n, len, 1], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DistanceMode, StsmConfig};
+    use crate::trainer::train_stsm;
+    use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+    #[test]
+    fn detailed_eval_matches_overall() {
+        let d = DatasetConfig {
+            name: "detail".into(),
+            network: NetworkKind::Highway,
+            sensors: 20,
+            extent: 8_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 8,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 3_000.0,
+            poi_radius: 300.0,
+            seed: 71,
+        }
+        .generate();
+        let split = space_split(&d.coords, SplitAxis::Vertical, false);
+        let problem = ProblemInstance::new(d, split, DistanceMode::Euclidean);
+        let cfg = StsmConfig {
+            t_in: 6,
+            t_out: 6,
+            hidden: 8,
+            blocks: 1,
+            epochs: 3,
+            windows_per_epoch: 8,
+            top_k: 8,
+            ..Default::default()
+        };
+        let (trained, _) = train_stsm(&problem, &cfg);
+        let overall = crate::trainer::evaluate_stsm(&trained, &problem);
+        let detailed = evaluate_detailed(&trained, &problem);
+        assert!((overall.metrics.rmse - detailed.metrics.rmse).abs() < 1e-9);
+        assert_eq!(detailed.horizon.per_horizon.len(), 6);
+        assert_eq!(detailed.per_location_rmse.len(), problem.n_unobserved());
+        // Per-location RMSEs must aggregate to the overall RMSE (in MSE space).
+        let mse_from_locs: f64 = detailed
+            .per_location_rmse
+            .iter()
+            .map(|r| r * r)
+            .sum::<f64>()
+            / detailed.per_location_rmse.len() as f64;
+        assert!((mse_from_locs.sqrt() - detailed.metrics.rmse).abs() < 1e-6);
+        // Horizon RMSEs must be finite and positive.
+        assert!(detailed.horizon.rmse_curve().iter().all(|&r| r.is_finite() && r > 0.0));
+    }
+}

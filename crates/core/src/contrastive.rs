@@ -1,0 +1,148 @@
+//! Graph contrastive learning (§4.2): the NT-Xent loss of Eq. 17 between the
+//! original view `G_o` and the masked view `G_o^m`. A batch of `M` windows
+//! yields `M` positive pairs (same window, two views); the other `M − 1`
+//! masked-view representations in the batch are negatives.
+
+use stsm_tensor::{Tape, Tensor, Var};
+
+/// L2-normalizes the rows of a `(M, D)` node.
+fn normalize_rows(tape: &Tape, z: Var) -> Var {
+    let sq = tape.square(z);
+    let norms = tape.sum_axis(sq, 1, true);
+    let norms = tape.add_scalar(norms, 1e-12);
+    let norms = tape.sqrt(norms);
+    tape.div(z, norms)
+}
+
+/// NT-Xent loss (Eq. 17) between anchor representations `z_orig` (from the
+/// complete view) and `z_masked` (from the augmented view), both `(M, D)`
+/// with `M ≥ 2`. Cosine similarity with temperature `tau`; the denominator
+/// ranges over the other windows' masked views, matching the paper.
+pub fn nt_xent(tape: &Tape, z_orig: Var, z_masked: Var, tau: f32) -> Var {
+    let shape = tape.shape_of(z_orig);
+    assert_eq!(shape.rank(), 2, "contrastive inputs must be (M, D)");
+    let m = shape.dim(0);
+    assert!(m >= 2, "contrastive learning needs at least two windows per batch");
+    assert_eq!(tape.shape_of(z_masked).dims(), shape.dims(), "view shape mismatch");
+    let n1 = normalize_rows(tape, z_orig);
+    let n2 = normalize_rows(tape, z_masked);
+    let n2t = tape.permute(n2, &[1, 0]);
+    let sim = tape.matmul(n1, n2t); // (M, M) cosine similarities
+    let sim = tape.mul_scalar(sim, 1.0 / tau);
+    // Positive similarities: the diagonal.
+    let eye = tape.constant(Tensor::eye(m));
+    let pos = tape.mul(sim, eye);
+    let pos = tape.sum_axis(pos, 1, false); // (M,)
+    // Denominator: logsumexp over off-diagonal entries of each row.
+    let neg_mask = tape.constant(Tensor::eye(m).map(|v| v * -1e9));
+    let sim_masked = tape.add(sim, neg_mask);
+    let exp = tape.exp(sim_masked);
+    let denom = tape.sum_axis(exp, 1, false);
+    let log_denom = tape.ln(denom);
+    // loss = mean(log_denom - pos)
+    let diff = tape.sub(log_denom, pos);
+    tape.mean_all(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stsm_tensor::nn::randn;
+
+    #[test]
+    fn aligned_views_give_low_loss() {
+        let tape = Tape::new();
+        // Orthogonal, identical pairs: best possible alignment.
+        let z = Tensor::from_vec([3, 3], vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]);
+        let a = tape.constant(z.clone());
+        let b = tape.constant(z);
+        let loss_aligned = tape.value(nt_xent(&tape, a, b, 0.5)).item();
+        // Shuffled pairs: positives are orthogonal, negatives aligned — worst case.
+        let zs = Tensor::from_vec([3, 3], vec![0., 1., 0., 0., 0., 1., 1., 0., 0.]);
+        let tape2 = Tape::new();
+        let a2 = tape2.constant(Tensor::eye(3));
+        let b2 = tape2.constant(zs);
+        let loss_shuffled = tape2.value(nt_xent(&tape2, a2, b2, 0.5)).item();
+        assert!(
+            loss_aligned < loss_shuffled,
+            "aligned {loss_aligned} should beat shuffled {loss_shuffled}"
+        );
+    }
+
+    #[test]
+    fn loss_is_finite_and_differentiable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tape = Tape::new();
+        let a = tape.leaf(randn([4, 8], 1.0, &mut rng));
+        let b = tape.leaf(randn([4, 8], 1.0, &mut rng));
+        let loss = nt_xent(&tape, a, b, 0.5);
+        let v = tape.value(loss).item();
+        assert!(v.is_finite());
+        tape.backward(loss);
+        let ga = tape.grad(a).expect("anchor grad");
+        let gb = tape.grad(b).expect("view grad");
+        assert!(!ga.has_non_finite());
+        assert!(!gb.has_non_finite());
+        assert!(ga.sq_norm() > 0.0);
+        assert!(gb.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn optimizing_the_loss_aligns_views() {
+        use stsm_tensor::optim::{Adam, Optimizer};
+        use stsm_tensor::{ParamBinder, ParamStore};
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let z2 = randn([4, 6], 1.0, &mut rng);
+        let p = store.register("z1", randn([4, 6], 1.0, &mut rng));
+        let mut opt = Adam::new(0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let tape = Tape::new();
+            let mut binder = ParamBinder::new(&tape);
+            let z1v = binder.var(&store, p);
+            let z2v = tape.constant(z2.clone());
+            let loss = nt_xent(&tape, z1v, z2v, 0.5);
+            tape.backward(loss);
+            last = tape.value(loss).item();
+            first.get_or_insert(last);
+            let grads = binder.grads();
+            opt.step(&mut store, &grads);
+        }
+        assert!(last < first.unwrap(), "loss should decrease: {} -> {last}", first.unwrap());
+        // After optimisation each z1 row should be most similar to its
+        // positive z2 row.
+        let z1 = store.get(p);
+        for i in 0..4 {
+            let row = |z: &Tensor, r: usize| -> Vec<f32> {
+                (0..6).map(|c| z.at(&[r, c])).collect()
+            };
+            let cos = |a: &[f32], b: &[f32]| {
+                let d: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+                d / (na * nb)
+            };
+            let anchor = row(&z1, i);
+            let pos = cos(&anchor, &row(&z2, i));
+            for j in 0..4 {
+                if j != i {
+                    let neg = cos(&anchor, &row(&z2, j));
+                    assert!(pos > neg, "row {i}: positive {pos} not above negative {neg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two windows")]
+    fn rejects_single_window_batches() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::ones([1, 4]));
+        let b = tape.constant(Tensor::ones([1, 4]));
+        let _ = nt_xent(&tape, a, b, 0.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! # stsm-core
+//!
+//! Rust reproduction of **STSM** — *Spatial-temporal Forecasting for Regions
+//! without Observations* (EDBT 2024). Given a region graph whose locations
+//! split into an observed region (with sensor history) and an adjacent,
+//! contiguous unobserved region (no history at all), STSM learns to forecast
+//! the unobserved region's next `T'` steps.
+//!
+//! The model combines:
+//!
+//! * **sub-graph masking** — at training, sub-graphs of the observed region
+//!   are masked and filled with inverse-distance pseudo-observations
+//!   (Eq. 3), teaching the network to predict for data-free locations;
+//! * **selective masking** (§4.1) — masked sub-graphs are drawn with
+//!   probability proportional to their POI/road/spatial similarity to the
+//!   unobserved region (Eq. 15), so training mimics the test conditions;
+//! * **a spatial-temporal backbone** (§3.4) — dilated causal TCNs in
+//!   parallel with gated GCN stacks over a spatial adjacency (Eq. 2) and a
+//!   DTW temporal-similarity adjacency, combined residually;
+//! * **graph contrastive learning** (§4.2) — an NT-Xent loss pulls the
+//!   masked view's graph representation toward the complete view's (Eq. 17).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use stsm_core::{train_stsm, evaluate_stsm, ProblemInstance, StsmConfig, DistanceMode};
+//! use stsm_synth::{presets, space_split, SplitAxis};
+//!
+//! let dataset = presets::pems_bay(10, 42).generate();
+//! let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
+//! let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+//! let cfg = StsmConfig::default().for_dataset("PEMS-Bay");
+//! let (trained, report) = train_stsm(&problem, &cfg);
+//! let eval = evaluate_stsm(&trained, &problem);
+//! println!("RMSE {:.3} in {:.1}s", eval.metrics.rmse, report.train_seconds);
+//! ```
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod config;
+mod contrastive;
+mod masking;
+mod model;
+mod problem;
+mod pseudo;
+mod temporal_adj;
+mod trainer;
+
+pub use analysis::{evaluate_detailed, DetailedEval};
+pub use config::{DistanceMode, MaskingMode, StsmConfig, TemporalModule, Variant};
+pub use contrastive::nt_xent;
+pub use masking::{cosine, MaskingContext};
+pub use model::{predict_once, ForwardOutput, StModel};
+pub use problem::ProblemInstance;
+pub use pseudo::{blend_series, inverse_distance_weights};
+pub use temporal_adj::{pseudo_weights_for, DtwContext};
+pub use trainer::{
+    evaluate_stsm, historical_average_metrics, train_stsm, EvalReport, TrainReport, TrainedStsm,
+};

@@ -1,0 +1,360 @@
+//! Sub-graph masking: the random strategy of the base model (§3.3) and the
+//! selective strategy of the full model (§4.1).
+//!
+//! Both mask a location together with its 1-hop neighbours under `A_sg`
+//! until ~`δ_m · N_o` locations are masked. The selective strategy draws
+//! roots with probabilities proportional to a blend of (a) the cosine
+//! similarity between the sub-graph's POI/road embedding and the unobserved
+//! region's embedding and (b) spatial proximity to the unobserved region
+//! (Eq. 15), restricted to the top-K most similar sub-graphs.
+
+use crate::problem::ProblemInstance;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use stsm_graph::subgraph_of;
+use stsm_synth::LocationFeatures;
+
+/// Precomputed masking state for one problem instance.
+pub struct MaskingContext {
+    /// Sub-graph membership (local observed indices) per observed root.
+    subgraphs: Vec<Vec<usize>>,
+    /// Per-root Bernoulli probability `p_i` for selective masking (Eq. 15).
+    selective_probs: Vec<f32>,
+    /// Cosine similarity of each root's sub-graph to the unobserved region.
+    similarities: Vec<f32>,
+    /// Masking ratio δ_m.
+    mask_ratio: f32,
+    /// Number of observed locations.
+    n_observed: usize,
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Z-scores every embedding dimension across all locations so each feature
+/// (POI category counts, scale, road attributes) contributes comparably to
+/// the cosine similarity.
+fn standardized_embeddings(features: &LocationFeatures) -> Vec<Vec<f32>> {
+    let dim = LocationFeatures::embedding_dim();
+    let n = features.n;
+    let raw: Vec<Vec<f32>> = (0..n).map(|i| features.embedding(i)).collect();
+    let mut mean = vec![0.0f64; dim];
+    for e in &raw {
+        for (m, &v) in mean.iter_mut().zip(e) {
+            *m += v as f64;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= n.max(1) as f64);
+    let mut std = vec![0.0f64; dim];
+    for e in &raw {
+        for (s, (&v, &m)) in std.iter_mut().zip(e.iter().zip(&mean)) {
+            *s += (v as f64 - m).powi(2);
+        }
+    }
+    let std: Vec<f64> = std.iter().map(|s| (s / n.max(1) as f64).sqrt().max(1e-6)).collect();
+    raw.into_iter()
+        .map(|e| {
+            e.into_iter()
+                .enumerate()
+                .map(|(d, v)| ((v as f64 - mean[d]) / std[d]) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+impl MaskingContext {
+    /// Builds the masking context: sub-graphs from `A_sg` (threshold
+    /// `epsilon_sg`), embeddings, similarities and Eq. 15 probabilities.
+    pub fn new(problem: &ProblemInstance, epsilon_sg: f32, mask_ratio: f32, top_k: usize) -> Self {
+        let observed = &problem.observed;
+        let n_obs = observed.len();
+        let a_sg = problem.spatial_adjacency(observed, epsilon_sg);
+        let subgraphs: Vec<Vec<usize>> = (0..n_obs).map(|i| subgraph_of(&a_sg, i)).collect();
+        // Embedding of each sub-graph (global feature indices) and of the
+        // unobserved region. Features are standardized per dimension first:
+        // raw POI counts live on very different scales and would compress
+        // every cosine toward 1, washing out the similarity signal.
+        let features = standardized_embeddings(&problem.dataset.features);
+        let mean_of = |members: &[usize]| -> Vec<f32> {
+            let dim = features[0].len();
+            let mut e = vec![0.0f32; dim];
+            for &m in members {
+                for (acc, &v) in e.iter_mut().zip(&features[m]) {
+                    *acc += v;
+                }
+            }
+            let inv = 1.0 / members.len().max(1) as f32;
+            e.iter_mut().for_each(|v| *v *= inv);
+            e
+        };
+        let sub_embeddings: Vec<Vec<f32>> = subgraphs
+            .iter()
+            .map(|members| {
+                let globals: Vec<usize> = members.iter().map(|&l| observed[l]).collect();
+                mean_of(&globals)
+            })
+            .collect();
+        let unobs_embedding = mean_of(&problem.unobserved);
+        // Map cosine from [-1, 1] into [0, 1] — the paper normalises the
+        // similarity scores into [0, 1] before using them as probabilities.
+        let similarities: Vec<f32> = sub_embeddings
+            .iter()
+            .map(|e| (cosine(e, &unobs_embedding) + 1.0) / 2.0)
+            .collect();
+        // Spatial proximity to the unobserved region's centroid.
+        let cu = centroid(&problem.dataset.coords, &problem.unobserved);
+        let proximities: Vec<f32> = observed
+            .iter()
+            .map(|&g| {
+                let c = problem.dataset.coords[g];
+                let d = ((c[0] - cu[0]).powi(2) + (c[1] - cu[1]).powi(2)).sqrt() as f32;
+                1.0 / d.max(1.0)
+            })
+            .collect();
+        // Top-K filter: zero similarity outside the K most similar sub-graphs.
+        let mut order: Vec<usize> = (0..n_obs).collect();
+        order.sort_by(|&a, &b| similarities[b].partial_cmp(&similarities[a]).expect("finite"));
+        let keep: std::collections::HashSet<usize> =
+            order.into_iter().take(top_k.max(1)).collect();
+        let sims_kept: Vec<f32> = (0..n_obs)
+            .map(|i| if keep.contains(&i) { similarities[i] } else { 0.0 })
+            .collect();
+        let prox_kept: Vec<f32> = (0..n_obs)
+            .map(|i| if keep.contains(&i) { proximities[i] } else { 0.0 })
+            .collect();
+        // Eq. 15: δ_ms = δ_m / mean sub-graph size; normalise both signals by
+        // their means so they contribute equally.
+        let avg_size =
+            subgraphs.iter().map(|s| s.len()).sum::<usize>() as f32 / n_obs.max(1) as f32;
+        let delta_ms = mask_ratio / avg_size.max(1.0);
+        let mean_sim = sims_kept.iter().sum::<f32>() / n_obs as f32;
+        let mean_prox = prox_kept.iter().sum::<f32>() / n_obs as f32;
+        let selective_probs: Vec<f32> = (0..n_obs)
+            .map(|i| {
+                let s = if mean_sim > 0.0 { sims_kept[i] * delta_ms / mean_sim } else { 0.0 };
+                let p = if mean_prox > 0.0 { prox_kept[i] * delta_ms / mean_prox } else { 0.0 };
+                ((s + p) / 2.0).clamp(0.0, 1.0)
+            })
+            .collect();
+        MaskingContext {
+            subgraphs,
+            selective_probs,
+            similarities,
+            mask_ratio,
+            n_observed: n_obs,
+        }
+    }
+
+    /// Number of observed locations.
+    pub fn n_observed(&self) -> usize {
+        self.n_observed
+    }
+
+    /// The sub-graph (local indices) rooted at observed location `i`.
+    pub fn subgraph(&self, i: usize) -> &[usize] {
+        &self.subgraphs[i]
+    }
+
+    /// Raw similarity of root `i`'s sub-graph to the unobserved region.
+    pub fn similarity(&self, i: usize) -> f32 {
+        self.similarities[i]
+    }
+
+    /// Selective-masking probabilities (Eq. 15).
+    pub fn probabilities(&self) -> &[f32] {
+        &self.selective_probs
+    }
+
+    /// Draws a selective mask: Bernoulli per root, masking each drawn root's
+    /// sub-graph (§4.1). Guarantees at least one masked and at least one
+    /// unmasked location.
+    pub fn draw_selective(&self, rng: &mut StdRng) -> Vec<bool> {
+        let mut masked = vec![false; self.n_observed];
+        for (i, &p) in self.selective_probs.iter().enumerate() {
+            if p > 0.0 && rng.random::<f32>() < p {
+                for &m in &self.subgraphs[i] {
+                    masked[m] = true;
+                }
+            }
+        }
+        self.fixup(masked, rng)
+    }
+
+    /// Draws a random mask: repeatedly pick a root uniformly and mask its
+    /// sub-graph until `δ_m · N_o` locations are masked (§3.3).
+    pub fn draw_random(&self, rng: &mut StdRng) -> Vec<bool> {
+        let target = ((self.n_observed as f32) * self.mask_ratio).round() as usize;
+        let target = target.clamp(1, self.n_observed.saturating_sub(1));
+        let mut masked = vec![false; self.n_observed];
+        let mut count = 0usize;
+        let mut guard = 0usize;
+        while count < target && guard < 50 * self.n_observed {
+            guard += 1;
+            let root = rng.random_range(0..self.n_observed);
+            for &m in &self.subgraphs[root] {
+                if !masked[m] {
+                    masked[m] = true;
+                    count += 1;
+                }
+            }
+        }
+        self.fixup(masked, rng)
+    }
+
+    /// Mean similarity-to-unobserved-region of the masked locations — the
+    /// quantity behind Table 8's "similarity gain".
+    pub fn mean_masked_similarity(&self, masked: &[bool]) -> f32 {
+        let mut sum = 0.0f32;
+        let mut count = 0usize;
+        for (i, &m) in masked.iter().enumerate() {
+            if m {
+                sum += self.similarities[i];
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f32
+        }
+    }
+
+    /// Ensures a draw has at least one masked and one unmasked location.
+    fn fixup(&self, mut masked: Vec<bool>, rng: &mut StdRng) -> Vec<bool> {
+        if !masked.iter().any(|&m| m) {
+            let i = rng.random_range(0..self.n_observed);
+            masked[i] = true;
+        }
+        if masked.iter().all(|&m| m) {
+            let i = rng.random_range(0..self.n_observed);
+            masked[i] = false;
+        }
+        masked
+    }
+}
+
+fn centroid(coords: &[[f64; 2]], subset: &[usize]) -> [f64; 2] {
+    let mut c = [0.0f64; 2];
+    for &i in subset {
+        c[0] += coords[i][0];
+        c[1] += coords[i][1];
+    }
+    let inv = 1.0 / subset.len().max(1) as f64;
+    [c[0] * inv, c[1] * inv]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistanceMode;
+    use rand::SeedableRng;
+    use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+    fn context() -> (ProblemInstance, MaskingContext) {
+        let d = DatasetConfig {
+            name: "tiny".into(),
+            network: NetworkKind::Highway,
+            sensors: 60,
+            extent: 20_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 4,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 5_000.0,
+            poi_radius: 300.0,
+            seed: 9,
+        }
+        .generate();
+        let split = space_split(&d.coords, SplitAxis::Vertical, false);
+        let p = ProblemInstance::new(d, split, DistanceMode::Euclidean);
+        let ctx = MaskingContext::new(&p, 0.6, 0.5, 20);
+        (p, ctx)
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn probabilities_in_range_and_topk_zeroes() {
+        let (_, ctx) = context();
+        let probs = ctx.probabilities();
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // With top-K = 20 of 30 observed, some roots must have zero probability.
+        let zeros = probs.iter().filter(|&&p| p == 0.0).count();
+        assert!(zeros >= ctx.n_observed().saturating_sub(20), "zeros = {zeros}");
+    }
+
+    #[test]
+    fn random_mask_hits_target_ratio() {
+        let (_, ctx) = context();
+        let mut rng = StdRng::seed_from_u64(0);
+        let masked = ctx.draw_random(&mut rng);
+        let count = masked.iter().filter(|&&m| m).count();
+        let target = (ctx.n_observed() as f32 * 0.5).round() as usize;
+        assert!(
+            count >= target && count <= target + 8,
+            "masked {count}, target {target} (over-masking is bounded by one sub-graph)"
+        );
+    }
+
+    #[test]
+    fn selective_mask_expected_ratio_close_to_delta_m() {
+        let (_, ctx) = context();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0usize;
+        let draws = 200;
+        for _ in 0..draws {
+            let m = ctx.draw_selective(&mut rng);
+            total += m.iter().filter(|&&x| x).count();
+        }
+        let avg = total as f32 / draws as f32 / ctx.n_observed() as f32;
+        // Expected ≈ δ_m (0.5); tolerate generous slack (overlapping
+        // sub-graphs and top-K truncation bias it down).
+        assert!((0.1..=0.8).contains(&avg), "average masked fraction {avg}");
+    }
+
+    #[test]
+    fn selective_masks_are_more_similar_than_random() {
+        let (_, ctx) = context();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sel = 0.0f32;
+        let mut rnd = 0.0f32;
+        let draws = 100;
+        for _ in 0..draws {
+            sel += ctx.mean_masked_similarity(&ctx.draw_selective(&mut rng));
+            rnd += ctx.mean_masked_similarity(&ctx.draw_random(&mut rng));
+        }
+        assert!(
+            sel >= rnd,
+            "selective similarity {} should be >= random {}",
+            sel / draws as f32,
+            rnd / draws as f32
+        );
+    }
+
+    #[test]
+    fn masks_never_cover_everything_or_nothing() {
+        let (_, ctx) = context();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            for masked in [ctx.draw_selective(&mut rng), ctx.draw_random(&mut rng)] {
+                assert!(masked.iter().any(|&m| m));
+                assert!(masked.iter().any(|&m| !m));
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! A [`ProblemInstance`] binds a dataset, a space split and a temporal split
+//! into the concrete forecasting problem of §3.1: predict the unobserved
+//! region's next `T'` steps from the observed region's history.
+
+use crate::config::DistanceMode;
+use stsm_graph::{
+    all_pairs_shortest_paths, distance_sigma, gaussian_threshold_adjacency_with_sigma,
+    pairwise_euclidean, CsrMatrix,
+};
+use stsm_synth::{Dataset, SpaceSplit};
+use stsm_synth::temporal_split;
+use stsm_timeseries::Scaler;
+
+/// The fully-prepared forecasting problem: index sets, scaled values and
+/// distance matrices.
+pub struct ProblemInstance {
+    /// The underlying dataset.
+    pub dataset: Dataset,
+    /// The space split used.
+    pub split: SpaceSplit,
+    /// Observed locations (train ∪ validation), sorted ascending.
+    pub observed: Vec<usize>,
+    /// Unobserved locations (the region of interest), sorted ascending.
+    pub unobserved: Vec<usize>,
+    /// Training time range (first 70% of steps).
+    pub train_time: std::ops::Range<usize>,
+    /// Test time range (last 30%).
+    pub test_time: std::ops::Range<usize>,
+    /// Z-score scaler fitted on observed locations over the training period.
+    pub scaler: Scaler,
+    /// All values standardized by [`ProblemInstance::scaler`], sensor-major.
+    pub scaled: Vec<f32>,
+    /// N×N distance matrix used for adjacency matrices (Euclidean, or road
+    /// network for the rd variants).
+    pub dist_matrices: Vec<f32>,
+    /// N×N distance matrix used for pseudo-observation weights (Euclidean
+    /// unless [`DistanceMode::RoadAll`]).
+    pub dist_pseudo: Vec<f32>,
+    /// Kernel bandwidth σ of Eq. 2, computed once over the full region so
+    /// train-time and test-time adjacencies are consistent.
+    pub sigma: f32,
+}
+
+impl ProblemInstance {
+    /// Prepares a problem from a dataset and a space split.
+    pub fn new(dataset: Dataset, split: SpaceSplit, distance: DistanceMode) -> Self {
+        split.validate(dataset.n);
+        let observed = split.observed();
+        let mut unobserved = split.test.clone();
+        unobserved.sort_unstable();
+        let (train_time, test_time) = temporal_split(dataset.t_total, 0.7);
+        // Fit the scaler only on data the model is allowed to see.
+        let mut train_values = Vec::with_capacity(observed.len() * train_time.len());
+        for &i in &observed {
+            train_values.extend_from_slice(dataset.series_range(i, train_time.start, train_time.end));
+        }
+        let scaler = Scaler::fit(&train_values);
+        let mut scaled = dataset.values.clone();
+        scaler.transform_slice(&mut scaled);
+        let euclid = pairwise_euclidean(&dataset.coords);
+        let (dist_matrices, dist_pseudo) = match distance {
+            DistanceMode::Euclidean => (euclid.clone(), euclid),
+            DistanceMode::RoadAll => {
+                let road = all_pairs_shortest_paths(&dataset.road_graph, 2.0);
+                (road.clone(), road)
+            }
+            DistanceMode::RoadMatricesOnly => {
+                let road = all_pairs_shortest_paths(&dataset.road_graph, 2.0);
+                (road, euclid)
+            }
+        };
+        let sigma = distance_sigma(&dist_matrices, dataset.n);
+        ProblemInstance {
+            split,
+            observed,
+            unobserved,
+            train_time,
+            test_time,
+            scaler,
+            scaled,
+            dist_matrices,
+            dist_pseudo,
+            sigma,
+            dataset,
+        }
+    }
+
+    /// Total number of locations `N`.
+    pub fn n(&self) -> usize {
+        self.dataset.n
+    }
+
+    /// Number of observed locations `N_o`.
+    pub fn n_observed(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Number of unobserved locations `N_u`.
+    pub fn n_unobserved(&self) -> usize {
+        self.unobserved.len()
+    }
+
+    /// Scaled value of global location `i` at time `t`.
+    pub fn scaled_value(&self, i: usize, t: usize) -> f32 {
+        self.scaled[i * self.dataset.t_total + t]
+    }
+
+    /// Scaled series of global location `i` over `[start, end)`.
+    pub fn scaled_range(&self, i: usize, start: usize, end: usize) -> &[f32] {
+        &self.scaled[i * self.dataset.t_total + start..i * self.dataset.t_total + end]
+    }
+
+    /// Distance (matrix flavour) between global locations `i` and `j`.
+    pub fn dist(&self, i: usize, j: usize) -> f32 {
+        self.dist_matrices[i * self.n() + j]
+    }
+
+    /// The spatial adjacency `A_s` over a subset of locations (Eq. 2 with
+    /// threshold `epsilon_s`), indexed locally in the order of `subset`.
+    pub fn spatial_adjacency(&self, subset: &[usize], epsilon: f32) -> CsrMatrix {
+        let m = subset.len();
+        let mut dist = vec![0.0f32; m * m];
+        for (a, &i) in subset.iter().enumerate() {
+            for (b, &j) in subset.iter().enumerate() {
+                dist[a * m + b] = self.dist(i, j);
+            }
+        }
+        gaussian_threshold_adjacency_with_sigma(&dist, m, epsilon, self.sigma)
+    }
+
+    /// The sub-graph distance matrix for a subset (used by masking and
+    /// pseudo-observations).
+    pub fn sub_distances(&self, rows: &[usize], cols: &[usize], pseudo_flavour: bool) -> Vec<f32> {
+        let source = if pseudo_flavour { &self.dist_pseudo } else { &self.dist_matrices };
+        let n = self.n();
+        let mut out = vec![0.0f32; rows.len() * cols.len()];
+        for (a, &i) in rows.iter().enumerate() {
+            for (b, &j) in cols.iter().enumerate() {
+                out[a * cols.len() + b] = source[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Steps per day of the underlying dataset.
+    pub fn steps_per_day(&self) -> usize {
+        self.dataset.steps_per_day
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+    fn tiny_problem() -> ProblemInstance {
+        let d = DatasetConfig {
+            name: "tiny".into(),
+            network: NetworkKind::Highway,
+            sensors: 30,
+            extent: 10_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 6,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 3_000.0,
+            poi_radius: 300.0,
+            seed: 5,
+        }
+        .generate();
+        let split = space_split(&d.coords, SplitAxis::Vertical, false);
+        ProblemInstance::new(d, split, DistanceMode::Euclidean)
+    }
+
+    #[test]
+    fn partitions_and_scaling() {
+        let p = tiny_problem();
+        assert_eq!(p.n(), 30);
+        assert_eq!(p.n_observed() + p.n_unobserved(), 30);
+        assert_eq!(p.train_time.end, p.test_time.start);
+        assert_eq!(p.test_time.end, p.dataset.t_total);
+        // Scaled training data over observed locations is ~standardized.
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &i in &p.observed {
+            for t in p.train_time.clone() {
+                sum += p.scaled_value(i, t) as f64;
+                count += 1;
+            }
+        }
+        assert!((sum / count as f64).abs() < 0.05, "scaled mean {}", sum / count as f64);
+    }
+
+    #[test]
+    fn adjacency_over_subsets() {
+        let p = tiny_problem();
+        let a_obs = p.spatial_adjacency(&p.observed, 0.05);
+        assert_eq!(a_obs.rows(), p.n_observed());
+        let all: Vec<usize> = (0..p.n()).collect();
+        let a_full = p.spatial_adjacency(&all, 0.05);
+        assert_eq!(a_full.rows(), 30);
+        // Same sigma, so the observed sub-matrix agrees with the full one.
+        for (a, &i) in p.observed.iter().enumerate() {
+            for (b, &j) in p.observed.iter().enumerate() {
+                assert_eq!(a_obs.get(a, b), a_full.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn road_distance_mode_changes_matrices_only() {
+        let d = tiny_problem().dataset;
+        let split = space_split(&d.coords, SplitAxis::Vertical, false);
+        let pm = ProblemInstance::new(d.clone(), split.clone(), DistanceMode::RoadMatricesOnly);
+        assert_ne!(pm.dist_matrices, pm.dist_pseudo);
+        let pa = ProblemInstance::new(d, split, DistanceMode::RoadAll);
+        assert_eq!(pa.dist_matrices, pa.dist_pseudo);
+        // Road distances dominate Euclidean ones.
+        for (r, e) in pm.dist_matrices.iter().zip(&pm.dist_pseudo) {
+            assert!(*r >= *e * 0.99, "road {r} below euclidean {e}");
+        }
+    }
+
+    #[test]
+    fn sub_distances_match_full() {
+        let p = tiny_problem();
+        let rows = vec![0, 3];
+        let cols = vec![1, 2, 5];
+        let d = p.sub_distances(&rows, &cols, false);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[0], p.dist(0, 1));
+        assert_eq!(d[5], p.dist(3, 5));
+    }
+}

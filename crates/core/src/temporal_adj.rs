@@ -1,0 +1,300 @@
+//! Temporal-similarity adjacency `A_dtw` (§3.4.1).
+//!
+//! DTW distances between daily profiles pick, for each location, its most
+//! temporally similar peers. Links are directed: observed↔observed links are
+//! allowed, but pseudo-observed locations (masked at training, unobserved at
+//! testing) only *receive* messages from observed locations — their noisy
+//! pseudo-profiles never pollute observed embeddings.
+
+use crate::pseudo::{blend_series, inverse_distance_weights};
+use crate::problem::ProblemInstance;
+use stsm_graph::CsrMatrix;
+use stsm_timeseries::{daily_profile, dtw_banded};
+
+/// Precomputed DTW state for one problem: real observed profiles and their
+/// pairwise distances (computed once; per-epoch masked adjacencies reuse it).
+pub struct DtwContext {
+    /// Daily profiles of the observed locations (order of `problem.observed`).
+    profiles: Vec<Vec<f32>>,
+    /// Pairwise DTW distances between observed profiles (`N_o × N_o`).
+    pairwise: Vec<f32>,
+    band: usize,
+}
+
+impl DtwContext {
+    /// Builds profiles from the scaled training-period series of every
+    /// observed location and computes their pairwise DTW distances.
+    pub fn new(problem: &ProblemInstance, band: usize, downsample: usize) -> Self {
+        let spd = problem.steps_per_day();
+        let downsample = effective_downsample(spd, downsample);
+        let profiles: Vec<Vec<f32>> = problem
+            .observed
+            .iter()
+            .map(|&g| {
+                let series =
+                    problem.scaled_range(g, problem.train_time.start, problem.train_time.end);
+                daily_profile(series, spd, downsample)
+            })
+            .collect();
+        let n = profiles.len();
+        let mut pairwise = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dtw_banded(&profiles[i], &profiles[j], band);
+                pairwise[i * n + j] = d;
+                pairwise[j * n + i] = d;
+            }
+        }
+        DtwContext { profiles, pairwise, band }
+    }
+
+    /// Number of observed locations.
+    pub fn n_observed(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The DTW distance between observed locals `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f32 {
+        self.pairwise[i * self.n_observed() + j]
+    }
+
+    /// Training-time adjacency over the observed graph with a masked subset
+    /// (§3.4.1): unmasked↔unmasked top-`q_kk` links, plus incoming links to
+    /// each masked location from its `q_ku` most similar unmasked locations
+    /// (similarity of the masked location's *pseudo* profile).
+    ///
+    /// `pseudo_weights` are the inverse-distance weights (masked × unmasked)
+    /// used to blend pseudo-profiles; rows follow the order of masked locals,
+    /// columns the order of unmasked locals.
+    pub fn train_adjacency(
+        &self,
+        masked: &[bool],
+        pseudo_weights: &[f32],
+        q_kk: usize,
+        q_ku: usize,
+    ) -> CsrMatrix {
+        let n = self.n_observed();
+        assert_eq!(masked.len(), n, "mask length mismatch");
+        let unmasked: Vec<usize> = (0..n).filter(|&i| !masked[i]).collect();
+        let masked_ids: Vec<usize> = (0..n).filter(|&i| masked[i]).collect();
+        assert_eq!(
+            pseudo_weights.len(),
+            masked_ids.len() * unmasked.len(),
+            "pseudo weight shape mismatch"
+        );
+        let mut triplets = Vec::new();
+        // Unmasked -> unmasked: top q_kk most similar per node (incoming).
+        for &i in &unmasked {
+            let mut order: Vec<usize> = unmasked.iter().copied().filter(|&j| j != i).collect();
+            order.sort_by(|&a, &b| {
+                self.distance(i, a).partial_cmp(&self.distance(i, b)).expect("finite")
+            });
+            for &j in order.iter().take(q_kk) {
+                triplets.push((i, j, 1.0));
+            }
+        }
+        // Masked <- unmasked: DTW between the pseudo profile and real profiles.
+        let plen = self.profiles.first().map_or(0, Vec::len);
+        for (row, &m) in masked_ids.iter().enumerate() {
+            let pseudo = self.blend_profile(&pseudo_weights[row * unmasked.len()..(row + 1) * unmasked.len()], &unmasked, plen);
+            let mut scored: Vec<(usize, f32)> = unmasked
+                .iter()
+                .map(|&j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            for &(j, _) in scored.iter().take(q_ku) {
+                triplets.push((m, j, 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &triplets)
+    }
+
+    /// Test-time adjacency over the full graph (`N × N`, global indices
+    /// remapped to `layout`): observed↔observed top-`q_kk` links plus
+    /// incoming links to each unobserved location from its `q_ku` most
+    /// similar observed locations. `layout[i]` gives the full-graph row of
+    /// observed local `i`; `unobs_layout[u]` the row of unobserved local `u`;
+    /// `pseudo_weights` is `unobserved × observed`.
+    pub fn test_adjacency(
+        &self,
+        n_total: usize,
+        layout: &[usize],
+        unobs_layout: &[usize],
+        pseudo_weights: &[f32],
+        q_kk: usize,
+        q_ku: usize,
+    ) -> CsrMatrix {
+        let n_obs = self.n_observed();
+        assert_eq!(layout.len(), n_obs);
+        assert_eq!(pseudo_weights.len(), unobs_layout.len() * n_obs);
+        let mut triplets = Vec::new();
+        for i in 0..n_obs {
+            let mut order: Vec<usize> = (0..n_obs).filter(|&j| j != i).collect();
+            order.sort_by(|&a, &b| {
+                self.distance(i, a).partial_cmp(&self.distance(i, b)).expect("finite")
+            });
+            for &j in order.iter().take(q_kk) {
+                triplets.push((layout[i], layout[j], 1.0));
+            }
+        }
+        let plen = self.profiles.first().map_or(0, Vec::len);
+        let all_obs: Vec<usize> = (0..n_obs).collect();
+        for (u, &row) in unobs_layout.iter().enumerate() {
+            let pseudo =
+                self.blend_profile(&pseudo_weights[u * n_obs..(u + 1) * n_obs], &all_obs, plen);
+            let mut scored: Vec<(usize, f32)> = (0..n_obs)
+                .map(|j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            for &(j, _) in scored.iter().take(q_ku) {
+                triplets.push((row, layout[j], 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n_total, n_total, &triplets)
+    }
+
+    /// Pseudo-profile: the weighted blend of source profiles (daily profiling
+    /// is linear, so blending profiles equals profiling the blended series).
+    fn blend_profile(&self, weights: &[f32], sources: &[usize], plen: usize) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(sources.len() * plen);
+        for &s in sources {
+            flat.extend_from_slice(&self.profiles[s]);
+        }
+        blend_series(weights, &flat, sources.len(), plen)
+    }
+}
+
+/// Builds inverse-distance pseudo weights for DTW/adjacency purposes from a
+/// problem: rows = targets (global ids), cols = sources (global ids).
+pub fn pseudo_weights_for(
+    problem: &ProblemInstance,
+    targets: &[usize],
+    sources: &[usize],
+) -> Vec<f32> {
+    let dist = problem.sub_distances(targets, sources, true);
+    inverse_distance_weights(&dist, targets.len(), sources.len())
+}
+
+fn effective_downsample(steps_per_day: usize, requested: usize) -> usize {
+    // Choose the largest divisor of steps_per_day not exceeding `requested`.
+    let mut d = requested.min(steps_per_day).max(1);
+    while steps_per_day % d != 0 {
+        d -= 1;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistanceMode;
+    use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+    fn problem() -> ProblemInstance {
+        let d = DatasetConfig {
+            name: "tiny".into(),
+            network: NetworkKind::Highway,
+            sensors: 40,
+            extent: 15_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 6,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 4_000.0,
+            poi_radius: 300.0,
+            seed: 13,
+        }
+        .generate();
+        let split = space_split(&d.coords, SplitAxis::Horizontal, false);
+        ProblemInstance::new(d, split, DistanceMode::Euclidean)
+    }
+
+    #[test]
+    fn pairwise_symmetric_zero_diagonal() {
+        let p = problem();
+        let ctx = DtwContext::new(&p, 4, 2);
+        let n = ctx.n_observed();
+        assert_eq!(n, p.n_observed());
+        for i in 0..n {
+            assert_eq!(ctx.distance(i, i), 0.0);
+            for j in 0..n {
+                assert_eq!(ctx.distance(i, j), ctx.distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn train_adjacency_respects_direction() {
+        let p = problem();
+        let ctx = DtwContext::new(&p, 4, 2);
+        let n = ctx.n_observed();
+        let masked: Vec<bool> = (0..n).map(|i| i < n / 3).collect();
+        let masked_ids: Vec<usize> = (0..n).filter(|&i| masked[i]).collect();
+        let unmasked: Vec<usize> = (0..n).filter(|&i| !masked[i]).collect();
+        let mg: Vec<usize> = masked_ids.iter().map(|&l| p.observed[l]).collect();
+        let ug: Vec<usize> = unmasked.iter().map(|&l| p.observed[l]).collect();
+        let w = pseudo_weights_for(&p, &mg, &ug);
+        let a = ctx.train_adjacency(&masked, &w, 1, 2);
+        for (r, c, _) in a.iter() {
+            assert!(!masked[c], "masked location {c} must never send messages");
+            if !masked[r] {
+                assert!(!masked[c]);
+            }
+        }
+        // Every masked location receives exactly q_ku links.
+        for &m in &masked_ids {
+            assert_eq!(a.row(m).count(), 2, "masked {m} should have 2 in-links");
+        }
+        // Every unmasked location receives exactly q_kk links.
+        for &u in &unmasked {
+            assert_eq!(a.row(u).count(), 1);
+        }
+    }
+
+    #[test]
+    fn test_adjacency_covers_full_graph() {
+        let p = problem();
+        let ctx = DtwContext::new(&p, 4, 2);
+        let n_total = p.n();
+        let w = pseudo_weights_for(&p, &p.unobserved, &p.observed);
+        let a = ctx.test_adjacency(n_total, &p.observed, &p.unobserved, &w, 1, 1);
+        assert_eq!(a.rows(), n_total);
+        let unobs: std::collections::HashSet<usize> = p.unobserved.iter().copied().collect();
+        for (r, c, _) in a.iter() {
+            assert!(!unobs.contains(&c), "unobserved {c} must never send");
+            let _ = r;
+        }
+        for &u in &p.unobserved {
+            assert_eq!(a.row(u).count(), 1, "unobserved {u} needs exactly q_ku in-links");
+        }
+    }
+
+    #[test]
+    fn similar_locations_link() {
+        // The top-1 DTW link of a location must have minimal DTW distance.
+        let p = problem();
+        let ctx = DtwContext::new(&p, usize::MAX, 1);
+        let n = ctx.n_observed();
+        let masked = vec![false; n];
+        let a = ctx.train_adjacency(&masked, &[], 1, 1);
+        for i in 0..n {
+            let links: Vec<usize> = a.row(i).map(|(c, _)| c).collect();
+            assert_eq!(links.len(), 1);
+            let linked = links[0];
+            let best = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| ctx.distance(i, j))
+                .fold(f32::INFINITY, f32::min);
+            assert!((ctx.distance(i, linked) - best).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn downsample_adapts_to_steps_per_day() {
+        assert_eq!(effective_downsample(24, 4), 4);
+        assert_eq!(effective_downsample(24, 5), 4);
+        assert_eq!(effective_downsample(96, 7), 6);
+        assert_eq!(effective_downsample(10, 4), 2);
+        assert_eq!(effective_downsample(7, 3), 1);
+    }
+}

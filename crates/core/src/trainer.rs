@@ -1,0 +1,498 @@
+//! Training (§3.5, §4) and testing pipelines for STSM and its variants.
+//!
+//! Training masks sub-graphs of the observed region each epoch, fills the
+//! masked locations with pseudo-observations, rebuilds the DTW adjacency,
+//! and optimizes `L = L_pred + λ·L_cl` with Adam. Testing fills the
+//! unobserved region with pseudo-observations, builds the full-graph
+//! adjacencies and forecasts the next `T'` steps for the unobserved
+//! locations.
+
+use crate::config::{MaskingMode, StsmConfig};
+use crate::contrastive::nt_xent;
+use crate::masking::MaskingContext;
+use crate::model::{ForwardOutput, StModel};
+use crate::problem::ProblemInstance;
+use crate::pseudo::blend_series;
+use crate::temporal_adj::{pseudo_weights_for, DtwContext};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+use stsm_graph::{normalize_gcn, CsrLinMap};
+use stsm_tensor::nn::Fwd;
+use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use stsm_tensor::{ParamBinder, ParamStore, Tape, Tensor, Var};
+use stsm_timeseries::{sliding_windows, Metrics, WindowIndex};
+
+/// A trained STSM (or variant) ready for evaluation.
+pub struct TrainedStsm {
+    /// The configuration it was trained with.
+    pub cfg: StsmConfig,
+    /// Learned parameters.
+    pub store: ParamStore,
+    model: StModel,
+}
+
+/// Statistics recorded during training.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Mean similarity (to the unobserved region) of the masked locations
+    /// actually used across epochs — Table 8's numerator.
+    pub mean_masked_similarity: f32,
+    /// Reference mean similarity of purely random draws — Table 8's
+    /// denominator.
+    pub mean_random_similarity: f32,
+}
+
+/// Evaluation result.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Metrics over all unobserved locations and test windows.
+    pub metrics: Metrics,
+    /// Wall-clock inference time in seconds.
+    pub test_seconds: f64,
+    /// Number of test windows evaluated.
+    pub windows: usize,
+}
+
+/// Trains an STSM variant on a problem instance.
+pub fn train_stsm(problem: &ProblemInstance, cfg: &StsmConfig) -> (TrainedStsm, TrainReport) {
+    cfg.validate();
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let observed = problem.observed.clone();
+    let n_obs = observed.len();
+    assert!(n_obs >= 4, "need at least 4 observed locations");
+    let mut store = ParamStore::new();
+    let model = StModel::new(&mut store, cfg);
+    // Mild weight decay fights overfitting to the observed region (the
+    // model must transfer to locations it never sees ground truth for).
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(1e-4);
+    // Static assets.
+    let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
+        &problem.spatial_adjacency(&observed, cfg.epsilon_s),
+    )));
+    let masking = MaskingContext::new(problem, cfg.epsilon_sg, cfg.mask_ratio, cfg.top_k);
+    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+    // Training windows (input + target inside the training period).
+    let span = problem.train_time.len();
+    let windows: Vec<WindowIndex> = sliding_windows(span, cfg.t_in, cfg.t_out, 1);
+    assert!(!windows.is_empty(), "training period too short for T + T'");
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut sim_used = 0.0f32;
+    let mut sim_random = 0.0f32;
+    for epoch in 0..cfg.epochs {
+        // Geometric learning-rate decay.
+        opt.set_lr(cfg.lr * 0.92f32.powi(epoch as i32));
+        // 1. Draw this epoch's mask.
+        let masked = match cfg.masking {
+            MaskingMode::Selective => masking.draw_selective(&mut rng),
+            MaskingMode::Random => masking.draw_random(&mut rng),
+        };
+        sim_used += masking.mean_masked_similarity(&masked);
+        sim_random += masking.mean_masked_similarity(&masking.draw_random(&mut rng));
+        let masked_locals: Vec<usize> = (0..n_obs).filter(|&i| masked[i]).collect();
+        let unmasked_locals: Vec<usize> = (0..n_obs).filter(|&i| !masked[i]).collect();
+        let masked_globals: Vec<usize> = masked_locals.iter().map(|&l| observed[l]).collect();
+        let unmasked_globals: Vec<usize> = unmasked_locals.iter().map(|&l| observed[l]).collect();
+        // 2. Pseudo-observation weights for the masked locations.
+        let pw = pseudo_weights_for(problem, &masked_globals, &unmasked_globals);
+        // 3. Per-epoch DTW adjacency (Eq. links rebuilt because the masked
+        //    set changed).
+        let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.train_adjacency(
+            &masked,
+            &pw,
+            cfg.q_kk,
+            cfg.q_ku,
+        ))));
+        // 4. Sample windows and run batches.
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        order.shuffle(&mut rng);
+        order.truncate(cfg.windows_per_epoch.max(cfg.batch_windows));
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_windows) {
+            if chunk.len() < 2 && cfg.contrastive {
+                continue; // contrastive batches need at least 2 windows
+            }
+            let loss = train_batch(
+                problem, cfg, &model, &mut store, &mut opt, &masked_locals,
+                &unmasked_globals, &pw, &a_s, &a_dtw, &windows, chunk, &observed,
+            );
+            epoch_loss += loss;
+            batches += 1;
+        }
+        epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { f32::NAN });
+    }
+    let report = TrainReport {
+        epoch_losses,
+        train_seconds: start.elapsed().as_secs_f64(),
+        mean_masked_similarity: sim_used / cfg.epochs.max(1) as f32,
+        mean_random_similarity: sim_random / cfg.epochs.max(1) as f32,
+    };
+    (TrainedStsm { cfg: cfg.clone(), store, model }, report)
+}
+
+/// Runs one optimizer step over a batch of windows; returns the batch loss.
+/// The tape (and with it the immutable parameter borrow) is dropped before
+/// the optimizer mutates the store.
+#[allow(clippy::too_many_arguments)]
+fn train_batch(
+    problem: &ProblemInstance,
+    cfg: &StsmConfig,
+    model: &StModel,
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    masked_locals: &[usize],
+    unmasked_globals: &[usize],
+    pseudo_weights: &[f32],
+    a_s: &Arc<CsrLinMap>,
+    a_dtw: &Arc<CsrLinMap>,
+    windows: &[WindowIndex],
+    chunk: &[usize],
+    observed: &[usize],
+) -> f32 {
+    let (loss_v, mut grads) = {
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(store, &mut binder);
+        let spd = problem.steps_per_day();
+        let mut pred_losses: Vec<Var> = Vec::with_capacity(chunk.len());
+        let mut z_orig: Vec<Var> = Vec::with_capacity(chunk.len());
+        let mut z_masked: Vec<Var> = Vec::with_capacity(chunk.len());
+        for &wi in chunk {
+            let w = windows[wi];
+            let abs_start = problem.train_time.start + w.input_start;
+            let x_full = gather_window(problem, observed, abs_start, cfg.t_in);
+            let x_masked = mask_window(
+                &x_full, masked_locals, unmasked_globals, pseudo_weights, problem, abs_start,
+                cfg.t_in, cfg.pseudo_observations,
+            );
+            let y = gather_window(problem, observed, abs_start + cfg.t_in, cfg.t_out);
+            let tf = StModel::time_features(abs_start, cfg.t_in, spd);
+            let out_m: ForwardOutput = model.forward(&mut fwd, &x_masked, &tf, a_s, a_dtw);
+            let lp = fwd.tape().mse_loss(out_m.prediction, &y);
+            pred_losses.push(lp);
+            if cfg.contrastive {
+                let out_f = model.forward(&mut fwd, &x_full, &tf, a_s, a_dtw);
+                z_orig.push(out_f.graph_repr);
+                z_masked.push(out_m.graph_repr);
+            }
+        }
+        // Mean prediction loss over the batch.
+        let mut loss = pred_losses[0];
+        for &l in &pred_losses[1..] {
+            loss = tape.add(loss, l);
+        }
+        loss = tape.mul_scalar(loss, 1.0 / pred_losses.len() as f32);
+        if cfg.contrastive && z_orig.len() >= 2 {
+            let zo = tape.concat(&z_orig, 0);
+            let zm = tape.concat(&z_masked, 0);
+            let lcl = nt_xent(&tape, zo, zm, cfg.tau);
+            let lcl = tape.mul_scalar(lcl, cfg.lambda);
+            loss = tape.add(loss, lcl);
+        }
+        tape.backward(loss);
+        (tape.value(loss).item(), binder.grads())
+    };
+    clip_grad_norm(&mut grads, 5.0);
+    opt.step(store, &grads);
+    loss_v
+}
+
+/// Gathers a `(rows, T, 1)` window of scaled values for the given global
+/// location ids.
+fn gather_window(problem: &ProblemInstance, globals: &[usize], start: usize, len: usize) -> Tensor {
+    let mut data = Vec::with_capacity(globals.len() * len);
+    for &g in globals {
+        data.extend_from_slice(problem.scaled_range(g, start, start + len));
+    }
+    Tensor::from_vec([globals.len(), len, 1], data)
+}
+
+/// Replaces masked rows of a `(N_o, T, 1)` window with pseudo-observations
+/// blended from the unmasked locations (Eq. 3).
+fn mask_window(
+    x_full: &Tensor,
+    masked_locals: &[usize],
+    unmasked_globals: &[usize],
+    pseudo_weights: &[f32],
+    problem: &ProblemInstance,
+    start: usize,
+    len: usize,
+    pseudo_observations: bool,
+) -> Tensor {
+    if masked_locals.is_empty() {
+        return x_full.clone();
+    }
+    let pseudo = if pseudo_observations {
+        let mut sources = Vec::with_capacity(unmasked_globals.len() * len);
+        for &g in unmasked_globals {
+            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
+        }
+        blend_series(pseudo_weights, &sources, unmasked_globals.len(), len)
+    } else {
+        vec![0.0f32; masked_locals.len() * len]
+    };
+    let mut x = x_full.clone();
+    {
+        let data = x.data_mut();
+        for (row, &l) in masked_locals.iter().enumerate() {
+            data[l * len..(l + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
+        }
+    }
+    x
+}
+
+impl TrainedStsm {
+    /// The underlying spatial-temporal network.
+    pub fn model_ref(&self) -> &StModel {
+        &self.model
+    }
+
+    /// Serializes configuration + parameters to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::json!({
+            "config": self.cfg,
+            "params": serde_json::from_str::<serde_json::Value>(&self.store.to_json())
+                .expect("params serialize"),
+        })
+        .to_string()
+    }
+
+    /// Restores a trained model from [`TrainedStsm::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let v: serde_json::Value = serde_json::from_str(json)?;
+        let cfg: StsmConfig = serde_json::from_value(v["config"].clone())?;
+        let store = ParamStore::from_json(&v["params"].to_string())?;
+        // Rebuild the architecture, then overwrite with the trained weights.
+        let mut fresh = ParamStore::new();
+        let model = StModel::new(&mut fresh, &cfg);
+        fresh.load_from(&store);
+        Ok(TrainedStsm { cfg, store: fresh, model })
+    }
+}
+
+/// Evaluates a trained model on the unobserved region over the test period.
+pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalReport {
+    let cfg = &trained.cfg;
+    let start = Instant::now();
+    let n = problem.n();
+    let all: Vec<usize> = (0..n).collect();
+    let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
+        &problem.spatial_adjacency(&all, cfg.epsilon_s),
+    )));
+    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+    let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
+    let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
+        n,
+        &problem.observed,
+        &problem.unobserved,
+        &pw,
+        cfg.q_kk,
+        cfg.q_ku,
+    ))));
+    let spd = problem.steps_per_day();
+    // Non-overlapping windows across the test period.
+    let span = problem.test_time.len();
+    let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
+    assert!(!windows.is_empty(), "test period too short for T + T'");
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for w in &windows {
+        let abs_start = problem.test_time.start + w.input_start;
+        // Inputs: observed real + unobserved pseudo, in global order.
+        let x = build_full_input(problem, &pw, abs_start, cfg.t_in, cfg.pseudo_observations);
+        let tf = StModel::time_features(abs_start, cfg.t_in, spd);
+        let pred = crate::model::predict_once(&trained.model, &trained.store, &x, &tf, &a_s, &a_dtw);
+        let target_start = abs_start + cfg.t_in;
+        for &u in &problem.unobserved {
+            for p in 0..cfg.t_out {
+                preds.push(problem.scaler.inverse(pred.at(&[u, p, 0])));
+                truths.push(problem.dataset.value(u, target_start + p));
+            }
+        }
+    }
+    let metrics = Metrics::compute(&preds, &truths);
+    EvalReport { metrics, test_seconds: start.elapsed().as_secs_f64(), windows: windows.len() }
+}
+
+/// Builds a test-time `(N, T, 1)` input: real scaled values at observed rows,
+/// pseudo-observations (or zeros, per the ablation switch) at unobserved rows.
+fn build_full_input(
+    problem: &ProblemInstance,
+    pseudo_weights: &[f32],
+    start: usize,
+    len: usize,
+    pseudo_observations: bool,
+) -> Tensor {
+    let n = problem.n();
+    let mut data = vec![0.0f32; n * len];
+    for &g in &problem.observed {
+        data[g * len..(g + 1) * len]
+            .copy_from_slice(problem.scaled_range(g, start, start + len));
+    }
+    if pseudo_observations {
+        let mut sources = Vec::with_capacity(problem.observed.len() * len);
+        for &g in &problem.observed {
+            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
+        }
+        let pseudo = blend_series(pseudo_weights, &sources, problem.observed.len(), len);
+        for (row, &u) in problem.unobserved.iter().enumerate() {
+            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
+        }
+    }
+    Tensor::from_vec([n, len, 1], data)
+}
+
+/// A naive "historical average by time of day" baseline used in tests to
+/// check that trained models carry real signal: it predicts the
+/// time-of-day mean of the *observed* locations for every unobserved one.
+pub fn historical_average_metrics(problem: &ProblemInstance) -> Metrics {
+    let spd = problem.steps_per_day();
+    let mut tod_sum = vec![0.0f64; spd];
+    let mut tod_cnt = vec![0usize; spd];
+    for &g in &problem.observed {
+        for t in problem.train_time.clone() {
+            tod_sum[t % spd] += problem.dataset.value(g, t) as f64;
+            tod_cnt[t % spd] += 1;
+        }
+    }
+    let tod_mean: Vec<f32> = tod_sum
+        .iter()
+        .zip(&tod_cnt)
+        .map(|(&s, &c)| if c > 0 { (s / c as f64) as f32 } else { 0.0 })
+        .collect();
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for &u in &problem.unobserved {
+        for t in problem.test_time.clone() {
+            preds.push(tod_mean[t % spd]);
+            truths.push(problem.dataset.value(u, t));
+        }
+    }
+    Metrics::compute(&preds, &truths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+    fn tiny_problem(seed: u64) -> ProblemInstance {
+        let d = DatasetConfig {
+            name: "tiny".into(),
+            network: NetworkKind::Highway,
+            sensors: 24,
+            extent: 10_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 8,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 3_000.0,
+            poi_radius: 300.0,
+            seed,
+        }
+        .generate();
+        let split = space_split(&d.coords, SplitAxis::Vertical, false);
+        ProblemInstance::new(d, split, crate::config::DistanceMode::Euclidean)
+    }
+
+    fn tiny_cfg() -> StsmConfig {
+        StsmConfig {
+            t_in: 6,
+            t_out: 6,
+            hidden: 8,
+            blocks: 1,
+            gcn_depth: 2,
+            epochs: 4,
+            windows_per_epoch: 8,
+            batch_windows: 4,
+            top_k: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let p = tiny_problem(21);
+        let cfg = tiny_cfg();
+        let (_, report) = train_stsm(&p, &cfg);
+        assert_eq!(report.epoch_losses.len(), 4);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+        assert!(report.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn evaluation_produces_finite_metrics() {
+        let p = tiny_problem(22);
+        let cfg = tiny_cfg();
+        let (trained, _) = train_stsm(&p, &cfg);
+        let eval = evaluate_stsm(&trained, &p);
+        assert!(eval.metrics.rmse.is_finite() && eval.metrics.rmse > 0.0);
+        assert!(eval.metrics.mae <= eval.metrics.rmse);
+        assert!(eval.windows >= 1);
+    }
+
+    #[test]
+    fn all_variants_train_and_evaluate() {
+        let p = tiny_problem(23);
+        for v in [Variant::StsmRnc, Variant::StsmNc, Variant::StsmR, Variant::StsmTrans] {
+            let cfg = tiny_cfg().with_variant(v);
+            let (trained, _) = train_stsm(&p, &cfg);
+            let eval = evaluate_stsm(&trained, &p);
+            assert!(eval.metrics.rmse.is_finite(), "{} produced NaN", v.name());
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_predictions() {
+        let p = tiny_problem(24);
+        let cfg = tiny_cfg();
+        let (trained, _) = train_stsm(&p, &cfg);
+        let json = trained.to_json();
+        let restored = TrainedStsm::from_json(&json).expect("roundtrip");
+        let e1 = evaluate_stsm(&trained, &p);
+        let e2 = evaluate_stsm(&restored, &p);
+        assert!((e1.metrics.rmse - e2.metrics.rmse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let p = tiny_problem(25);
+        let cfg = tiny_cfg();
+        let (t1, r1) = train_stsm(&p, &cfg);
+        let (t2, r2) = train_stsm(&p, &cfg);
+        assert_eq!(r1.epoch_losses, r2.epoch_losses);
+        let e1 = evaluate_stsm(&t1, &p);
+        let e2 = evaluate_stsm(&t2, &p);
+        assert_eq!(e1.metrics.rmse, e2.metrics.rmse);
+    }
+
+    #[test]
+    fn beats_noise_baseline_on_r2() {
+        // The trained model should not be wildly worse than the historical
+        // time-of-day average (a sanity floor, not a benchmark).
+        let p = tiny_problem(26);
+        let mut cfg = tiny_cfg();
+        cfg.epochs = 8;
+        cfg.windows_per_epoch = 16;
+        let (trained, _) = train_stsm(&p, &cfg);
+        let eval = evaluate_stsm(&trained, &p);
+        let ha = historical_average_metrics(&p);
+        assert!(
+            eval.metrics.rmse < ha.rmse * 1.5,
+            "model rmse {} vs historical-average {}",
+            eval.metrics.rmse,
+            ha.rmse
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Adjacency-matrix construction: the paper's Gaussian-kernel threshold rule
+//! (Eq. 2), k-nearest-neighbour graphs, and the GCN normalization
+//! `D̃^{-1/2} Ã D̃^{-1/2}` with self-loops (Eq. 6).
+
+use crate::csr::CsrMatrix;
+
+/// Pairwise Euclidean distance matrix (row-major, N×N) from planar
+/// coordinates.
+pub fn pairwise_euclidean(coords: &[[f64; 2]]) -> Vec<f32> {
+    let n = coords.len();
+    let mut d = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = coords[i][0] - coords[j][0];
+            let dy = coords[i][1] - coords[j][1];
+            let dist = (dx * dx + dy * dy).sqrt() as f32;
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    d
+}
+
+/// Standard deviation of the off-diagonal entries of a distance matrix — the
+/// `σ` of Eq. 2, following the DCRNN convention.
+pub fn distance_sigma(dist: &[f32], n: usize) -> f32 {
+    assert_eq!(dist.len(), n * n);
+    if n < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += dist[i * n + j] as f64;
+                count += 1;
+            }
+        }
+    }
+    let mean = sum / count as f64;
+    let mut var = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let d = dist[i * n + j] as f64 - mean;
+                var += d * d;
+            }
+        }
+    }
+    ((var / count as f64).sqrt() as f32).max(1e-6)
+}
+
+/// Eq. 2 of the paper: `A[i,j] = 1` iff `exp(-dist(i,j)² / σ²) ≥ ε` (i ≠ j).
+///
+/// The same rule with different thresholds builds both the GCN spatial
+/// adjacency `A_s` (ε_s) and the sub-graph adjacency `A_sg` (ε_sg).
+pub fn gaussian_threshold_adjacency(dist: &[f32], n: usize, epsilon: f32) -> CsrMatrix {
+    assert_eq!(dist.len(), n * n, "distance matrix must be n*n");
+    let sigma = distance_sigma(dist, n);
+    gaussian_threshold_adjacency_with_sigma(dist, n, epsilon, sigma)
+}
+
+/// Eq. 2 with an explicit kernel bandwidth `σ`.
+pub fn gaussian_threshold_adjacency_with_sigma(
+    dist: &[f32],
+    n: usize,
+    epsilon: f32,
+    sigma: f32,
+) -> CsrMatrix {
+    let s2 = sigma * sigma;
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dist[i * n + j];
+            if (-(d * d) / s2).exp() >= epsilon {
+                triplets.push((i, j, 1.0));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Directed k-nearest-neighbour graph: each node links *from* its `k`
+/// closest other nodes (edge j→i when j is among i's nearest), as used by
+/// the INCREASE baseline's aggregation.
+pub fn knn_adjacency(dist: &[f32], n: usize, k: usize) -> CsrMatrix {
+    assert_eq!(dist.len(), n * n);
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| {
+            dist[i * n + a].partial_cmp(&dist[i * n + b]).expect("NaN distance")
+        });
+        for &j in order.iter().take(k) {
+            triplets.push((i, j, 1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// GCN normalization with self-loops: `D̃^{-1/2} (A + I) D̃^{-1/2}` where
+/// `D̃` is the diagonal of row sums of `A + I` (Eq. 6). Works for directed
+/// matrices too (uses row sums for the left factor and column sums for the
+/// right factor so mass is conserved).
+pub fn normalize_gcn(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "normalize_gcn requires a square matrix");
+    let n = a.rows();
+    // Ã = A + I
+    let mut triplets: Vec<(usize, usize, f32)> = a.iter().collect();
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+    }
+    let a_tilde = CsrMatrix::from_triplets(n, n, &triplets);
+    let row_deg = a_tilde.row_sums();
+    let col_deg = a_tilde.transpose().row_sums();
+    let normalized: Vec<(usize, usize, f32)> = a_tilde
+        .iter()
+        .map(|(r, c, v)| {
+            let dr = row_deg[r].max(1e-12).sqrt();
+            let dc = col_deg[c].max(1e-12).sqrt();
+            (r, c, v / (dr * dc))
+        })
+        .collect();
+    CsrMatrix::from_triplets(n, n, &normalized)
+}
+
+/// Row normalization: each row of `A + I` divided by its sum (random-walk
+/// normalization), useful for directed message passing.
+pub fn normalize_row(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "normalize_row requires a square matrix");
+    let n = a.rows();
+    let mut triplets: Vec<(usize, usize, f32)> = a.iter().collect();
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+    }
+    let a_tilde = CsrMatrix::from_triplets(n, n, &triplets);
+    let row_deg = a_tilde.row_sums();
+    let normalized: Vec<(usize, usize, f32)> = a_tilde
+        .iter()
+        .map(|(r, c, v)| (r, c, v / row_deg[r].max(1e-12)))
+        .collect();
+    CsrMatrix::from_triplets(n, n, &normalized)
+}
+
+/// The 1-hop neighbourhood of `node` (excluding itself) under adjacency `a`.
+pub fn one_hop_neighbors(a: &CsrMatrix, node: usize) -> Vec<usize> {
+    a.row(node).map(|(c, _)| c).filter(|&c| c != node).collect()
+}
+
+/// The sub-graph of a location per §3.3: the location plus its 1-hop
+/// neighbours under `A_sg`.
+pub fn subgraph_of(a_sg: &CsrMatrix, node: usize) -> Vec<usize> {
+    let mut nodes = vec![node];
+    nodes.extend(one_hop_neighbors(a_sg, node));
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_coords(n: usize, spacing: f64) -> Vec<[f64; 2]> {
+        (0..n).map(|i| [i as f64 * spacing, 0.0]).collect()
+    }
+
+    #[test]
+    fn euclidean_symmetric_zero_diag() {
+        let coords = vec![[0.0, 0.0], [3.0, 4.0], [6.0, 8.0]];
+        let d = pairwise_euclidean(&coords);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - 5.0).abs() < 1e-6);
+        assert!((d[3] - 5.0).abs() < 1e-6);
+        assert!((d[2] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaussian_threshold_links_near_nodes() {
+        let coords = line_coords(10, 1.0);
+        let d = pairwise_euclidean(&coords);
+        let a = gaussian_threshold_adjacency(&d, 10, 0.5);
+        // Immediate neighbours must be linked; far ends must not.
+        assert!(a.get(0, 1) > 0.0);
+        assert_eq!(a.get(0, 9), 0.0);
+        assert_eq!(a.get(0, 0), 0.0, "no self loops before normalization");
+        // Symmetric by construction.
+        for (r, c, _) in a.iter() {
+            assert!(a.get(c, r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_epsilon_gives_sparser_graph() {
+        let coords = line_coords(20, 1.0);
+        let d = pairwise_euclidean(&coords);
+        let loose = gaussian_threshold_adjacency(&d, 20, 0.1);
+        let tight = gaussian_threshold_adjacency(&d, 20, 0.9);
+        assert!(tight.nnz() < loose.nnz(), "{} !< {}", tight.nnz(), loose.nnz());
+    }
+
+    #[test]
+    fn knn_has_exactly_k_out_edges() {
+        let coords = line_coords(6, 1.0);
+        let d = pairwise_euclidean(&coords);
+        let a = knn_adjacency(&d, 6, 2);
+        for i in 0..6 {
+            assert_eq!(a.row(i).count(), 2);
+        }
+        // node 0's nearest are 1 and 2.
+        assert!(a.get(0, 1) > 0.0);
+        assert!(a.get(0, 2) > 0.0);
+    }
+
+    #[test]
+    fn gcn_normalization_rows_bounded() {
+        let coords = line_coords(8, 1.0);
+        let d = pairwise_euclidean(&coords);
+        let a = gaussian_threshold_adjacency(&d, 8, 0.5);
+        let norm = normalize_gcn(&a);
+        // Self loops are present after normalization.
+        for i in 0..8 {
+            assert!(norm.get(i, i) > 0.0);
+        }
+        // Sym normalization of a symmetric matrix stays symmetric, and each
+        // entry equals v / sqrt(deg_r * deg_c).
+        for (r, c, v) in norm.iter() {
+            assert!((norm.get(c, r) - v).abs() < 1e-6, "asymmetry at ({r},{c})");
+            assert!(v > 0.0 && v <= 1.0);
+        }
+        for s in norm.row_sums() {
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn row_normalization_rows_sum_to_one() {
+        let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let norm = normalize_row(&a);
+        for s in norm.row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn subgraph_includes_root_and_neighbors() {
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        assert_eq!(subgraph_of(&a, 1), vec![0, 1, 2]);
+        assert_eq!(subgraph_of(&a, 3), vec![3]);
+        assert_eq!(one_hop_neighbors(&a, 0), vec![1]);
+    }
+}

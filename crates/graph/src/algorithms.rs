@@ -1,0 +1,145 @@
+//! Classic graph algorithms over CSR matrices: BFS, connected components and
+//! degree statistics — used by the synthetic-network sanity checks and the
+//! analysis tooling.
+
+use crate::csr::CsrMatrix;
+use std::collections::VecDeque;
+
+/// Breadth-first distances (in hops) from `source`; unreachable nodes get
+/// `usize::MAX`.
+pub fn bfs_hops(graph: &CsrMatrix, source: usize) -> Vec<usize> {
+    assert_eq!(graph.rows(), graph.cols(), "bfs requires a square graph");
+    let n = graph.rows();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![usize::MAX; n];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in graph.row(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components (edges treated as undirected). Returns a
+/// component id per node, ids numbered from 0 in discovery order.
+pub fn connected_components(graph: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(graph.rows(), graph.cols(), "components require a square graph");
+    let n = graph.rows();
+    // Build an undirected view.
+    let undirected = {
+        let mut triplets: Vec<(usize, usize, f32)> = graph.iter().collect();
+        triplets.extend(graph.iter().map(|(r, c, v)| (c, r, v)));
+        CsrMatrix::from_triplets(n, n, &triplets)
+    };
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in undirected.row(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of weakly connected components.
+pub fn num_components(graph: &CsrMatrix) -> usize {
+    connected_components(graph).iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Degree statistics of a graph: (min, max, mean) out-degree.
+pub fn degree_stats(graph: &CsrMatrix) -> (usize, usize, f64) {
+    let n = graph.rows();
+    if n == 0 {
+        return (0, 0, 0.0);
+    }
+    let degrees: Vec<usize> = (0..n).map(|i| graph.row(i).count()).collect();
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    (min, max, mean)
+}
+
+/// The `k`-hop neighbourhood of `node` (excluding itself), sorted.
+pub fn k_hop_neighbors(graph: &CsrMatrix, node: usize, k: usize) -> Vec<usize> {
+    let hops = bfs_hops(graph, node);
+    let mut out: Vec<usize> = hops
+        .iter()
+        .enumerate()
+        .filter(|&(i, &h)| i != node && h <= k)
+        .map(|(i, _)| i)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrMatrix {
+        // 0 - 1 - 2 - 3 (undirected)
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.), (1, 0, 1.), (1, 2, 1.), (2, 1, 1.), (2, 3, 1.), (3, 2, 1.)],
+        )
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let d = bfs_hops(&path4(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let d2 = bfs_hops(&path4(), 2);
+        assert_eq!(d2, vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_nodes_flagged() {
+        let g = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let d = bfs_hops(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn components_on_directed_edges_are_weak() {
+        // Directed edge 0 -> 1 still merges them weakly.
+        let g = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps[0], comps[1]);
+        assert_ne!(comps[0], comps[2]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let (min, max, mean) = degree_stats(&path4());
+        assert_eq!(min, 1);
+        assert_eq!(max, 2);
+        assert!((mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_hop_neighborhoods() {
+        let g = path4();
+        assert_eq!(k_hop_neighbors(&g, 0, 1), vec![1]);
+        assert_eq!(k_hop_neighbors(&g, 0, 2), vec![1, 2]);
+        assert_eq!(k_hop_neighbors(&g, 1, 1), vec![0, 2]);
+        assert_eq!(k_hop_neighbors(&g, 0, 10), vec![1, 2, 3]);
+    }
+}

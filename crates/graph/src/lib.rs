@@ -1,0 +1,29 @@
+//! # stsm-graph
+//!
+//! Sparse matrices, adjacency construction and graph algorithms for the STSM
+//! reproduction (EDBT 2024). Provides:
+//!
+//! * [`CsrMatrix`] — compressed sparse row storage with sparse×dense products;
+//! * [`CsrLinMap`] — the autograd bridge so graph convolutions can run on the
+//!   `stsm-tensor` tape with correct transposed backward passes;
+//! * adjacency builders implementing the paper's Eq. 2 (Gaussian kernel with
+//!   a threshold) plus kNN graphs;
+//! * GCN normalization `D̃^{-1/2} Ã D̃^{-1/2}` (Eq. 6) and row normalization;
+//! * Dijkstra / all-pairs shortest paths for the road-network-distance model
+//!   variants (§5.2.6).
+
+#![warn(missing_docs)]
+
+mod adjacency;
+mod algorithms;
+mod csr;
+mod shortest_path;
+
+pub use adjacency::{
+    distance_sigma, gaussian_threshold_adjacency, gaussian_threshold_adjacency_with_sigma,
+    knn_adjacency, normalize_gcn, normalize_row, one_hop_neighbors, pairwise_euclidean,
+    subgraph_of,
+};
+pub use algorithms::{bfs_hops, connected_components, degree_stats, k_hop_neighbors, num_components};
+pub use csr::{CsrLinMap, CsrMatrix};
+pub use shortest_path::{all_pairs_shortest_paths, dijkstra};

@@ -1,0 +1,141 @@
+//! Dijkstra shortest paths over weighted graphs — used by the STSM-rd-a /
+//! STSM-rd-m variants (§5.2.6), which replace Euclidean distance with road
+//! network distance when building adjacency matrices and pseudo-observations.
+
+use crate::csr::CsrMatrix;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f32,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path distances over a non-negative weighted graph
+/// stored as CSR (entry value = edge length). Unreachable nodes get
+/// `f32::INFINITY`.
+pub fn dijkstra(graph: &CsrMatrix, source: usize) -> Vec<f32> {
+    assert_eq!(graph.rows(), graph.cols(), "dijkstra requires a square graph");
+    let n = graph.rows();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![f32::INFINITY; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue;
+        }
+        for (next, w) in graph.row(node) {
+            debug_assert!(w >= 0.0, "dijkstra requires non-negative weights");
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapEntry { dist: nd, node: next });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest path distances (row-major N×N) by running Dijkstra
+/// from every node. Infinite (disconnected) distances are replaced by
+/// `fallback × max_finite` so downstream kernels stay finite.
+pub fn all_pairs_shortest_paths(graph: &CsrMatrix, fallback: f32) -> Vec<f32> {
+    let n = graph.rows();
+    let mut out = vec![0.0f32; n * n];
+    let mut max_finite = 0.0f32;
+    for s in 0..n {
+        let d = dijkstra(graph, s);
+        for (t, &v) in d.iter().enumerate() {
+            out[s * n + t] = v;
+            if v.is_finite() && v > max_finite {
+                max_finite = v;
+            }
+        }
+    }
+    let replacement = fallback * max_finite.max(1.0);
+    for v in &mut out {
+        if !v.is_finite() {
+            *v = replacement;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrMatrix {
+        // 0 -1- 1 -2- 2 -4- 3, plus shortcut 0 -6- 3 (longer than the path).
+        CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 2.0),
+                (2, 1, 2.0),
+                (2, 3, 4.0),
+                (3, 2, 4.0),
+                (0, 3, 6.0),
+                (3, 0, 6.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest() {
+        let g = path_graph();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 3.0);
+        assert_eq!(d[3], 6.0); // direct edge ties path 1+2+4=7; shorter is 6.
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn apsp_symmetric_for_undirected() {
+        let g = path_graph();
+        let d = all_pairs_shortest_paths(&g, 2.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((d[i * 4 + j] - d[j * 4 + i]).abs() < 1e-6);
+            }
+            assert_eq!(d[i * 4 + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn apsp_replaces_infinities() {
+        let g = CsrMatrix::from_triplets(3, 3, &[(0, 1, 5.0), (1, 0, 5.0)]);
+        let d = all_pairs_shortest_paths(&g, 2.0);
+        // Node 2 disconnected: distance = 2 × max finite (5) = 10.
+        assert_eq!(d[2], 10.0);
+        assert_eq!(d[5], 10.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the graph crate: CSR round-trips, normalization
+//! invariants, shortest-path metric properties.
+
+use proptest::prelude::*;
+use stsm_graph::{
+    all_pairs_shortest_paths, bfs_hops, connected_components, dijkstra, normalize_gcn,
+    normalize_row, CsrMatrix,
+};
+
+fn triplet_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f32)>> {
+    proptest::collection::vec((0..n, 0..n, 0.1f32..10.0), 0..3 * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_dense_roundtrip(triplets in triplet_strategy(8)) {
+        let m = CsrMatrix::from_triplets(8, 8, &triplets);
+        let dense = m.to_dense();
+        let back = CsrMatrix::from_dense(dense.data(), 8, 8, 0.0);
+        prop_assert_eq!(m.to_dense(), back.to_dense());
+        prop_assert!(m.nnz() <= triplets.len());
+    }
+
+    #[test]
+    fn transpose_involution(triplets in triplet_strategy(8)) {
+        let m = CsrMatrix::from_triplets(8, 8, &triplets);
+        prop_assert_eq!(m.transpose().transpose().to_dense(), m.to_dense());
+        // Transposed get: m[r][c] == mT[c][r].
+        for (r, c, v) in m.iter() {
+            prop_assert!((m.transpose().get(c, r) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul(triplets in triplet_strategy(6)) {
+        let m = CsrMatrix::from_triplets(6, 6, &triplets);
+        let x = stsm_tensor::Tensor::from_vec(
+            [6, 3],
+            (0..18).map(|i| (i as f32) * 0.37 - 2.5).collect(),
+        );
+        let sparse = m.matmul_dense(&x);
+        let dense = stsm_tensor::matmul(&m.to_dense(), &x);
+        prop_assert!(sparse.allclose(&dense, 1e-3));
+    }
+
+    #[test]
+    fn row_normalization_rows_sum_to_one(triplets in triplet_strategy(8)) {
+        let m = CsrMatrix::from_triplets(8, 8, &triplets);
+        let norm = normalize_row(&m);
+        for s in norm.row_sums() {
+            prop_assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn gcn_normalization_finite_and_self_looped(triplets in triplet_strategy(8)) {
+        let m = CsrMatrix::from_triplets(8, 8, &triplets);
+        let norm = normalize_gcn(&m);
+        for i in 0..8 {
+            prop_assert!(norm.get(i, i) > 0.0, "missing self loop at {i}");
+        }
+        for (_, _, v) in norm.iter() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn dijkstra_respects_triangle_inequality(triplets in triplet_strategy(8)) {
+        // Symmetrize to make a metric-ish graph.
+        let mut sym = triplets.clone();
+        sym.extend(triplets.iter().map(|&(r, c, v)| (c, r, v)));
+        let m = CsrMatrix::from_triplets(8, 8, &sym);
+        let apsp = all_pairs_shortest_paths(&m, 2.0);
+        for i in 0..8 {
+            prop_assert_eq!(apsp[i * 8 + i], 0.0);
+            for j in 0..8 {
+                for k in 0..8 {
+                    let direct = apsp[i * 8 + j];
+                    let via = apsp[i * 8 + k] + apsp[k * 8 + j];
+                    prop_assert!(direct <= via + 1e-2, "({i},{j}) direct {direct} > via {k}: {via}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_hops_lower_bound_weighted_paths(triplets in triplet_strategy(8)) {
+        let mut sym = triplets.clone();
+        sym.extend(triplets.iter().map(|&(r, c, v)| (c, r, v)));
+        let m = CsrMatrix::from_triplets(8, 8, &sym);
+        let hops = bfs_hops(&m, 0);
+        let dist = dijkstra(&m, 0);
+        let min_w = triplets.iter().map(|t| t.2).fold(f32::INFINITY, f32::min);
+        for i in 0..8 {
+            if hops[i] != usize::MAX {
+                prop_assert!(dist[i].is_finite());
+                // Weighted distance is at least hops × min edge weight
+                // (skip unreached/zero-hop cases where the bound is vacuous).
+                if i != 0 && min_w.is_finite() {
+                    prop_assert!(dist[i] >= hops[i] as f32 * min_w - 1e-3);
+                }
+            } else {
+                prop_assert!(dist[i].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(triplets in triplet_strategy(10)) {
+        let m = CsrMatrix::from_triplets(10, 10, &triplets);
+        let comps = connected_components(&m);
+        prop_assert_eq!(comps.len(), 10);
+        // Component ids are contiguous from 0.
+        let max = comps.iter().copied().max().unwrap();
+        for id in 0..=max {
+            prop_assert!(comps.contains(&id), "gap in component ids at {id}");
+        }
+        // Every edge joins nodes of the same component.
+        for (r, c, _) in m.iter() {
+            prop_assert_eq!(comps[r], comps[c]);
+        }
+    }
+}

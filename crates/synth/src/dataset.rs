@@ -1,0 +1,371 @@
+//! The [`Dataset`] container plus presets mirroring the paper's five datasets
+//! (Table 2) at configurable simulated horizons.
+
+use crate::field::LatentField;
+use crate::network::{generate_network, NetworkKind, SensorNetwork};
+use crate::poi::{generate_features, LocationFeatures};
+use crate::signal::{simulate, SignalKind};
+use stsm_graph::CsrMatrix;
+
+/// A complete synthetic spatio-temporal dataset: sensor coordinates, the
+/// observation matrix, static location features and a road graph.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (e.g. "PEMS-Bay").
+    pub name: String,
+    /// Planar sensor coordinates in metres.
+    pub coords: Vec<[f64; 2]>,
+    /// Observations, sensor-major: `values[i * t_total + t]`.
+    pub values: Vec<f32>,
+    /// Number of sensors.
+    pub n: usize,
+    /// Total number of time steps.
+    pub t_total: usize,
+    /// Steps per day (288 = 5 min, 96 = 15 min, 24 = 1 h).
+    pub steps_per_day: usize,
+    /// Recording interval in minutes.
+    pub interval_minutes: u32,
+    /// Static features (POI counts, scale, road attributes).
+    pub features: LocationFeatures,
+    /// Road graph (edge weight = road length in metres) for the
+    /// road-network-distance variants.
+    pub road_graph: CsrMatrix,
+    /// What the values measure.
+    pub kind: SignalKind,
+}
+
+impl Dataset {
+    /// The full series of sensor `i`.
+    pub fn series(&self, i: usize) -> &[f32] {
+        &self.values[i * self.t_total..(i + 1) * self.t_total]
+    }
+
+    /// Observation of sensor `i` at time `t`.
+    pub fn value(&self, i: usize, t: usize) -> f32 {
+        self.values[i * self.t_total + t]
+    }
+
+    /// A sub-series of sensor `i` over `[start, end)`.
+    pub fn series_range(&self, i: usize, start: usize, end: usize) -> &[f32] {
+        &self.values[i * self.t_total + start..i * self.t_total + end]
+    }
+
+    /// Restricts the dataset to a subset of sensors (re-indexing them in the
+    /// given order). Used by the varying-density experiments (Tables 6–7).
+    pub fn subset(&self, sensors: &[usize]) -> Dataset {
+        let n = sensors.len();
+        let mut values = Vec::with_capacity(n * self.t_total);
+        let mut coords = Vec::with_capacity(n);
+        let mut poi = Vec::with_capacity(n * crate::poi::POI_CATEGORIES);
+        let mut scale = Vec::with_capacity(n);
+        let mut road = Vec::with_capacity(n * 4);
+        for &s in sensors {
+            assert!(s < self.n, "sensor index {s} out of range");
+            values.extend_from_slice(self.series(s));
+            coords.push(self.coords[s]);
+            poi.extend_from_slice(
+                &self.features.poi[s * crate::poi::POI_CATEGORIES..(s + 1) * crate::poi::POI_CATEGORIES],
+            );
+            scale.push(self.features.scale[s]);
+            road.extend_from_slice(&self.features.road[s * 4..(s + 1) * 4]);
+        }
+        // Rebuild the road graph restricted to the kept sensors.
+        let index_of: std::collections::HashMap<usize, usize> =
+            sensors.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let triplets: Vec<(usize, usize, f32)> = self
+            .road_graph
+            .iter()
+            .filter_map(|(r, c, v)| {
+                match (index_of.get(&r), index_of.get(&c)) {
+                    (Some(&nr), Some(&nc)) => Some((nr, nc, v)),
+                    _ => None,
+                }
+            })
+            .collect();
+        Dataset {
+            name: format!("{}[{}]", self.name, n),
+            coords,
+            values,
+            n,
+            t_total: self.t_total,
+            steps_per_day: self.steps_per_day,
+            interval_minutes: self.interval_minutes,
+            features: LocationFeatures { poi, scale, road, n },
+            road_graph: CsrMatrix::from_triplets(n, n, &triplets),
+            kind: self.kind,
+        }
+    }
+
+    /// Merges two datasets over disjoint regions into one larger region (the
+    /// Table 6 experiment merges PEMS-07 and PEMS-08). The second dataset's
+    /// coordinates are shifted to sit beside the first.
+    pub fn merge(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.t_total, other.t_total, "merge requires equal horizons");
+        assert_eq!(self.steps_per_day, other.steps_per_day, "merge requires equal intervals");
+        let (x0, _, x1, _) = bounds(&self.coords);
+        let gap = (x1 - x0) * 0.05 + 1000.0;
+        let shift = x1 + gap - bounds(&other.coords).0;
+        let mut coords = self.coords.clone();
+        coords.extend(other.coords.iter().map(|c| [c[0] + shift, c[1]]));
+        let mut values = self.values.clone();
+        values.extend_from_slice(&other.values);
+        let n = self.n + other.n;
+        let mut poi = self.features.poi.clone();
+        poi.extend_from_slice(&other.features.poi);
+        let mut scale = self.features.scale.clone();
+        scale.extend_from_slice(&other.features.scale);
+        let mut road = self.features.road.clone();
+        road.extend_from_slice(&other.features.road);
+        let mut triplets: Vec<(usize, usize, f32)> = self.road_graph.iter().collect();
+        triplets
+            .extend(other.road_graph.iter().map(|(r, c, v)| (r + self.n, c + self.n, v)));
+        Dataset {
+            name: format!("{}+{}", self.name, other.name),
+            coords,
+            values,
+            n,
+            t_total: self.t_total,
+            steps_per_day: self.steps_per_day,
+            interval_minutes: self.interval_minutes,
+            features: LocationFeatures { poi, scale, road, n },
+            road_graph: CsrMatrix::from_triplets(n, n, &triplets),
+            kind: self.kind,
+        }
+    }
+}
+
+fn bounds(coords: &[[f64; 2]]) -> (f64, f64, f64, f64) {
+    let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for c in coords {
+        b.0 = b.0.min(c[0]);
+        b.1 = b.1.min(c[1]);
+        b.2 = b.2.max(c[0]);
+        b.3 = b.3.max(c[1]);
+    }
+    b
+}
+
+/// Configuration for generating one synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Network layout.
+    pub network: NetworkKind,
+    /// Number of sensors.
+    pub sensors: usize,
+    /// Side length of the region in metres.
+    pub extent: f64,
+    /// Steps per day.
+    pub steps_per_day: usize,
+    /// Recording interval in minutes.
+    pub interval_minutes: u32,
+    /// Simulated days.
+    pub days: usize,
+    /// Signal kind.
+    pub kind: SignalKind,
+    /// Latent-field length scale in metres (how fast region character varies).
+    pub latent_scale: f64,
+    /// POI sampling radius `r_poi` in metres (Table 3).
+    pub poi_radius: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let SensorNetwork { coords, road_graph, .. } =
+            generate_network(self.network, self.sensors, self.extent, self.seed);
+        let latent = LatentField::new(self.latent_scale, self.seed ^ 0x5757);
+        let features = generate_features(&coords, &latent, self.poi_radius, self.seed ^ 0x9090);
+        let values = simulate(
+            &coords,
+            &latent,
+            &features,
+            self.kind,
+            self.steps_per_day,
+            self.days,
+            self.seed ^ 0xdead,
+        );
+        Dataset {
+            name: self.name.clone(),
+            coords,
+            n: self.sensors,
+            t_total: self.steps_per_day * self.days,
+            steps_per_day: self.steps_per_day,
+            interval_minutes: self.interval_minutes,
+            values,
+            features,
+            road_graph,
+            kind: self.kind,
+        }
+    }
+}
+
+/// Presets mirroring Table 2 of the paper. `days` is configurable because the
+/// real datasets span months; the default experiment scale uses ~2 weeks.
+pub mod presets {
+    use super::*;
+
+    /// PEMS-Bay analogue: 325 highway sensors at 5-minute resolution.
+    pub fn pems_bay(days: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            name: "PEMS-Bay".into(),
+            network: NetworkKind::Highway,
+            sensors: 325,
+            extent: 60_000.0,
+            steps_per_day: 288,
+            interval_minutes: 5,
+            days,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 15_000.0,
+            poi_radius: 200.0,
+            seed,
+        }
+    }
+
+    /// PEMS-07 analogue: 400 highway sensors (Los Angeles) at 5 minutes.
+    pub fn pems_07(days: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            name: "PEMS-07".into(),
+            network: NetworkKind::Highway,
+            sensors: 400,
+            extent: 80_000.0,
+            steps_per_day: 288,
+            interval_minutes: 5,
+            days,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 18_000.0,
+            poi_radius: 500.0,
+            seed: seed.wrapping_add(1),
+        }
+    }
+
+    /// PEMS-08 analogue: San Bernardino highways. `sensors` is configurable
+    /// up to 964 for the density experiment (Table 7); the paper's default
+    /// sample is 400.
+    pub fn pems_08(sensors: usize, days: usize, seed: u64) -> DatasetConfig {
+        assert!(sensors <= 964, "PEMS-08 has at most 964 sensors in the paper");
+        DatasetConfig {
+            name: "PEMS-08".into(),
+            network: NetworkKind::Highway,
+            sensors,
+            extent: 70_000.0,
+            steps_per_day: 288,
+            interval_minutes: 5,
+            days,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 16_000.0,
+            poi_radius: 500.0,
+            seed: seed.wrapping_add(2),
+        }
+    }
+
+    /// Melbourne analogue: 182 urban sensors at 15-minute resolution.
+    pub fn melbourne(days: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            name: "Melbourne".into(),
+            network: NetworkKind::UrbanGrid,
+            sensors: 182,
+            extent: 8_000.0,
+            steps_per_day: 96,
+            interval_minutes: 15,
+            days,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 2_000.0,
+            poi_radius: 50.0,
+            seed: seed.wrapping_add(3),
+        }
+    }
+
+    /// AirQ analogue: 63 PM2.5 sensors over two adjacent cities, hourly.
+    pub fn airq(days: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            name: "AirQ".into(),
+            network: NetworkKind::TwoCities,
+            sensors: 63,
+            extent: 140_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days,
+            kind: SignalKind::Pm25,
+            latent_scale: 30_000.0,
+            poi_radius: 500.0,
+            seed: seed.wrapping_add(4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        DatasetConfig {
+            name: "tiny".into(),
+            network: NetworkKind::Highway,
+            sensors: 24,
+            extent: 10_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 4,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 3_000.0,
+            poi_radius: 300.0,
+            seed: 77,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn generation_shapes() {
+        let d = tiny();
+        assert_eq!(d.n, 24);
+        assert_eq!(d.t_total, 96);
+        assert_eq!(d.values.len(), 24 * 96);
+        assert_eq!(d.series(3).len(), 96);
+        assert_eq!(d.series_range(3, 10, 20).len(), 10);
+        assert_eq!(d.value(3, 10), d.series(3)[10]);
+        assert_eq!(d.features.n, 24);
+    }
+
+    #[test]
+    fn subset_reindexes() {
+        let d = tiny();
+        let s = d.subset(&[5, 0, 17]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.series(0), d.series(5));
+        assert_eq!(s.series(1), d.series(0));
+        assert_eq!(s.coords[2], d.coords[17]);
+        assert_eq!(s.features.scale[0], d.features.scale[5]);
+        assert_eq!(s.road_graph.rows(), 3);
+    }
+
+    #[test]
+    fn merge_concatenates_and_shifts() {
+        let a = tiny();
+        let b = tiny();
+        let m = a.merge(&b);
+        assert_eq!(m.n, 48);
+        assert_eq!(m.series(0), a.series(0));
+        assert_eq!(m.series(24), b.series(0));
+        // All of b's coords now sit to the right of a's.
+        let a_max = a.coords.iter().map(|c| c[0]).fold(f64::NEG_INFINITY, f64::max);
+        for i in 24..48 {
+            assert!(m.coords[i][0] > a_max);
+        }
+        assert_eq!(m.road_graph.nnz(), a.road_graph.nnz() + b.road_graph.nnz());
+    }
+
+    #[test]
+    fn presets_match_table2() {
+        assert_eq!(presets::pems_bay(2, 1).sensors, 325);
+        assert_eq!(presets::pems_bay(2, 1).steps_per_day, 288);
+        assert_eq!(presets::pems_07(2, 1).sensors, 400);
+        assert_eq!(presets::pems_08(400, 2, 1).sensors, 400);
+        assert_eq!(presets::melbourne(2, 1).steps_per_day, 96);
+        assert_eq!(presets::airq(2, 1).sensors, 63);
+        assert_eq!(presets::airq(2, 1).steps_per_day, 24);
+    }
+}

@@ -1,0 +1,158 @@
+//! Smooth latent "region-type" fields.
+//!
+//! Every synthetic sensor is assigned a small latent vector drawn from a
+//! smooth spatial random field (random Fourier features). The latent vector
+//! drives *both* the location's temporal behaviour (rush-hour mixture) and
+//! its static features (POIs, roads). That coupling is the property the
+//! paper's selective-masking module exploits — locations that look alike
+//! behave alike — so the synthetic substitute preserves the mechanism under
+//! test.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A smooth scalar field over the plane built from random Fourier features:
+/// `f(x) = Σ_k a_k · cos(ω_k · x + φ_k)`, rescaled to [0, 1].
+#[derive(Clone, Debug)]
+pub struct SmoothField {
+    freqs: Vec<[f64; 2]>,
+    phases: Vec<f64>,
+    amps: Vec<f64>,
+}
+
+impl SmoothField {
+    /// Builds a field with `waves` Fourier components whose wavelengths are
+    /// on the order of `length_scale` (same unit as the coordinates).
+    pub fn new(waves: usize, length_scale: f64, seed: u64) -> Self {
+        assert!(waves >= 1, "need at least one wave");
+        assert!(length_scale > 0.0, "length scale must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut freqs = Vec::with_capacity(waves);
+        let mut phases = Vec::with_capacity(waves);
+        let mut amps = Vec::with_capacity(waves);
+        for _ in 0..waves {
+            let angle = rng.random::<f64>() * std::f64::consts::TAU;
+            // Wavelength jittered around the length scale.
+            let wl = length_scale * (0.5 + rng.random::<f64>() * 1.5);
+            let k = std::f64::consts::TAU / wl;
+            freqs.push([k * angle.cos(), k * angle.sin()]);
+            phases.push(rng.random::<f64>() * std::f64::consts::TAU);
+            amps.push(0.5 + rng.random::<f64>());
+        }
+        SmoothField { freqs, phases, amps }
+    }
+
+    /// Raw (unnormalized) field value at a point.
+    fn raw(&self, p: [f64; 2]) -> f64 {
+        self.freqs
+            .iter()
+            .zip(&self.phases)
+            .zip(&self.amps)
+            .map(|((w, &ph), &a)| a * (w[0] * p[0] + w[1] * p[1] + ph).cos())
+            .sum()
+    }
+
+    /// Field value squashed into [0, 1] with a logistic.
+    pub fn at(&self, p: [f64; 2]) -> f64 {
+        let denom: f64 = self.amps.iter().sum();
+        let v = self.raw(p) / denom.max(1e-12); // roughly in [-1, 1]
+        1.0 / (1.0 + (-3.0 * v).exp())
+    }
+}
+
+/// Per-location latent vector: mixture weights over behavioural archetypes.
+#[derive(Clone, Debug)]
+pub struct LatentField {
+    fields: Vec<SmoothField>,
+}
+
+/// Behavioural archetypes of locations. Each synthetic location is a soft
+/// mixture of these, and both its traffic profile and static features follow
+/// the mixture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Archetype {
+    /// Residential: strong outbound morning rush.
+    Residential = 0,
+    /// Commercial/CBD: strong inbound morning + outbound evening rush.
+    Commercial = 1,
+    /// Freeway through-traffic: mild twin peaks, high base speed.
+    Freeway = 2,
+    /// Industrial/logistics: flat daytime load, pollution source.
+    Industrial = 3,
+}
+
+/// The number of archetypes.
+pub const NUM_ARCHETYPES: usize = 4;
+
+impl LatentField {
+    /// Builds one smooth field per archetype.
+    pub fn new(length_scale: f64, seed: u64) -> Self {
+        let fields = (0..NUM_ARCHETYPES)
+            .map(|k| SmoothField::new(6, length_scale, seed.wrapping_add(1000 + k as u64)))
+            .collect();
+        LatentField { fields }
+    }
+
+    /// Archetype mixture weights at a point (non-negative, sum to 1).
+    pub fn mixture(&self, p: [f64; 2]) -> [f64; NUM_ARCHETYPES] {
+        let mut w = [0.0f64; NUM_ARCHETYPES];
+        let mut sum = 0.0;
+        for (k, f) in self.fields.iter().enumerate() {
+            // Sharpen so regions have a dominant character.
+            let v = f.at(p).powi(2) + 0.05;
+            w[k] = v;
+            sum += v;
+        }
+        for v in &mut w {
+            *v /= sum;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_smooth() {
+        let f = SmoothField::new(6, 1000.0, 7);
+        // Nearby points differ little, far points can differ a lot.
+        let a = f.at([0.0, 0.0]);
+        let b = f.at([10.0, 10.0]); // ~1% of the length scale away
+        assert!((a - b).abs() < 0.1, "field jumped {a} -> {b} over a short distance");
+        for p in [[0.0, 0.0], [500.0, -300.0], [12_345.0, 678.0]] {
+            let v = f.at(p);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn field_is_deterministic_per_seed() {
+        let f1 = SmoothField::new(6, 500.0, 42);
+        let f2 = SmoothField::new(6, 500.0, 42);
+        let f3 = SmoothField::new(6, 500.0, 43);
+        assert_eq!(f1.at([3.0, 4.0]), f2.at([3.0, 4.0]));
+        assert_ne!(f1.at([3.0, 4.0]), f3.at([3.0, 4.0]));
+    }
+
+    #[test]
+    fn mixture_is_a_distribution() {
+        let lf = LatentField::new(2000.0, 1);
+        for p in [[0.0, 0.0], [1500.0, 900.0], [-4000.0, 2500.0]] {
+            let w = lf.mixture(p);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn mixture_varies_across_space() {
+        let lf = LatentField::new(800.0, 9);
+        let a = lf.mixture([0.0, 0.0]);
+        let b = lf.mixture([10_000.0, 10_000.0]);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.05, "mixtures should differ across the map, diff {diff}");
+    }
+}

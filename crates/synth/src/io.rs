@@ -1,0 +1,153 @@
+//! Dataset persistence: JSON snapshots (for sharing the exact synthetic data
+//! behind a result) and CSV export (for external plotting tools).
+
+use crate::dataset::Dataset;
+use crate::poi::LocationFeatures;
+use crate::signal::SignalKind;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Serializable snapshot of a [`Dataset`].
+#[derive(Serialize, Deserialize)]
+struct DatasetSnapshot {
+    name: String,
+    coords: Vec<[f64; 2]>,
+    values: Vec<f32>,
+    n: usize,
+    t_total: usize,
+    steps_per_day: usize,
+    interval_minutes: u32,
+    poi: Vec<f32>,
+    scale: Vec<f32>,
+    road: Vec<f32>,
+    road_graph: stsm_graph::CsrMatrix,
+    kind: String,
+}
+
+/// Serializes a dataset to JSON.
+pub fn dataset_to_json(d: &Dataset) -> String {
+    let snap = DatasetSnapshot {
+        name: d.name.clone(),
+        coords: d.coords.clone(),
+        values: d.values.clone(),
+        n: d.n,
+        t_total: d.t_total,
+        steps_per_day: d.steps_per_day,
+        interval_minutes: d.interval_minutes,
+        poi: d.features.poi.clone(),
+        scale: d.features.scale.clone(),
+        road: d.features.road.clone(),
+        road_graph: d.road_graph.clone(),
+        kind: match d.kind {
+            SignalKind::TrafficSpeed => "traffic_speed".into(),
+            SignalKind::Pm25 => "pm25".into(),
+        },
+    };
+    serde_json::to_string(&snap).expect("dataset serialization cannot fail")
+}
+
+/// Restores a dataset from [`dataset_to_json`] output.
+pub fn dataset_from_json(json: &str) -> Result<Dataset, serde_json::Error> {
+    let snap: DatasetSnapshot = serde_json::from_str(json)?;
+    Ok(Dataset {
+        name: snap.name,
+        coords: snap.coords,
+        values: snap.values,
+        n: snap.n,
+        t_total: snap.t_total,
+        steps_per_day: snap.steps_per_day,
+        interval_minutes: snap.interval_minutes,
+        features: LocationFeatures {
+            poi: snap.poi,
+            scale: snap.scale,
+            road: snap.road,
+            n: snap.n,
+        },
+        road_graph: snap.road_graph,
+        kind: if snap.kind == "pm25" { SignalKind::Pm25 } else { SignalKind::TrafficSpeed },
+    })
+}
+
+/// Writes the observation matrix as CSV (`sensor_id,t0,t1,...`) to `path`.
+pub fn export_values_csv(d: &Dataset, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "sensor")?;
+    for t in 0..d.t_total {
+        write!(f, ",t{t}")?;
+    }
+    writeln!(f)?;
+    for i in 0..d.n {
+        write!(f, "{i}")?;
+        for &v in d.series(i) {
+            write!(f, ",{v}")?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::network::NetworkKind;
+
+    fn tiny() -> Dataset {
+        DatasetConfig {
+            name: "io-test".into(),
+            network: NetworkKind::UrbanGrid,
+            sensors: 9,
+            extent: 1_000.0,
+            steps_per_day: 12,
+            interval_minutes: 120,
+            days: 2,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 400.0,
+            poi_radius: 100.0,
+            seed: 55,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let d = tiny();
+        let json = dataset_to_json(&d);
+        let back = dataset_from_json(&json).expect("roundtrip");
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.values, d.values);
+        assert_eq!(back.coords, d.coords);
+        assert_eq!(back.features.poi, d.features.poi);
+        assert_eq!(back.road_graph.nnz(), d.road_graph.nnz());
+        assert_eq!(back.kind, d.kind);
+    }
+
+    #[test]
+    fn pm25_kind_survives_roundtrip() {
+        let mut d = tiny();
+        d.kind = SignalKind::Pm25;
+        let back = dataset_from_json(&dataset_to_json(&d)).unwrap();
+        assert_eq!(back.kind, SignalKind::Pm25);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let d = tiny();
+        let dir = std::env::temp_dir().join("stsm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("values.csv");
+        export_values_csv(&d, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), d.n + 1);
+        assert!(lines[0].starts_with("sensor,t0,t1"));
+        assert_eq!(lines[1].split(',').count(), d.t_total + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_json_rejected() {
+        assert!(dataset_from_json("{broken").is_err());
+    }
+}

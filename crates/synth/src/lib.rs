@@ -1,0 +1,37 @@
+//! # stsm-synth
+//!
+//! Synthetic spatio-temporal datasets substituting the paper's five real
+//! datasets (PEMS-Bay, PEMS-07, PEMS-08, Melbourne, AirQ — Table 2), which
+//! cannot be downloaded here. The generator preserves the structure the
+//! paper's mechanisms rely on:
+//!
+//! * a smooth latent *region-type* field drives both the temporal behaviour
+//!   (rush-hour mixtures, pollution sources) and the static features (POIs of
+//!   Table 1's 26 categories, building scale, road attributes), so locations
+//!   that look alike behave alike — exactly what selective masking exploits;
+//! * nearby sensors are spatially correlated (incidents diffuse over space);
+//! * signals carry diurnal and weekly periodicity plus autocorrelated noise.
+//!
+//! Space-based splits (horizontal / vertical / ring / multi-region) and the
+//! 70/30 temporal split implement the paper's evaluation protocol (§5.1.1).
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod field;
+mod io;
+mod network;
+mod poi;
+mod signal;
+mod splits;
+
+pub use dataset::{presets, Dataset, DatasetConfig};
+pub use field::{Archetype, LatentField, SmoothField, NUM_ARCHETYPES};
+pub use io::{dataset_from_json, dataset_to_json, export_values_csv};
+pub use network::{generate_network, NetworkKind, SensorNetwork};
+pub use poi::{generate_features, LocationFeatures, POI_CATEGORIES, POI_CATEGORY_NAMES};
+pub use signal::{simulate, SignalKind};
+pub use splits::{
+    four_standard_splits, multi_region_split, ring_split, space_split, space_split_ratio,
+    temporal_split, SpaceSplit, SplitAxis,
+};

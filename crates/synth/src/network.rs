@@ -1,0 +1,232 @@
+//! Synthetic sensor-network layouts mirroring the paper's five datasets
+//! (Fig. 5): highway corridors (PEMS-Bay/07/08), an urban grid (Melbourne)
+//! and a two-city cluster layout (AirQ: Beijing + Tianjin).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use stsm_graph::CsrMatrix;
+
+/// The kind of sensor network to lay out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Sensors strung along a handful of long freeway corridors.
+    Highway,
+    /// Sensors on an urban street grid.
+    UrbanGrid,
+    /// Sensors clustered around two adjacent city centres.
+    TwoCities,
+}
+
+/// A generated sensor network: planar coordinates (metres) plus a road graph
+/// whose edge weights are road lengths (for road-network-distance variants).
+#[derive(Clone, Debug)]
+pub struct SensorNetwork {
+    /// Planar coordinates of each sensor, in metres.
+    pub coords: Vec<[f64; 2]>,
+    /// Road graph between sensors; entry value = road length in metres.
+    pub road_graph: CsrMatrix,
+    /// Layout kind used.
+    pub kind: NetworkKind,
+}
+
+impl SensorNetwork {
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when the network has no sensors.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Bounding box `(min_x, min_y, max_x, max_y)`.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for c in &self.coords {
+            b.0 = b.0.min(c[0]);
+            b.1 = b.1.min(c[1]);
+            b.2 = b.2.max(c[0]);
+            b.3 = b.3.max(c[1]);
+        }
+        b
+    }
+}
+
+/// Generates a sensor network of `n` sensors with the given layout.
+/// `extent` is the approximate side length of the covered region in metres.
+pub fn generate_network(kind: NetworkKind, n: usize, extent: f64, seed: u64) -> SensorNetwork {
+    assert!(n >= 2, "need at least two sensors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords = match kind {
+        NetworkKind::Highway => highway_coords(n, extent, &mut rng),
+        NetworkKind::UrbanGrid => grid_coords(n, extent, &mut rng),
+        NetworkKind::TwoCities => two_city_coords(n, extent, &mut rng),
+    };
+    let road_graph = connect_road_graph(&coords);
+    SensorNetwork { coords, road_graph, kind }
+}
+
+fn highway_coords(n: usize, extent: f64, rng: &mut StdRng) -> Vec<[f64; 2]> {
+    // 3-6 corridors: gently curved polylines crossing the region.
+    let corridors = 3 + (n / 150).min(3);
+    let per = n.div_ceil(corridors);
+    let mut coords = Vec::with_capacity(n);
+    for c in 0..corridors {
+        // Corridor start/end on opposite sides with random offsets.
+        let vertical = c % 2 == 0;
+        let offset = extent * (0.15 + 0.7 * rng.random::<f64>());
+        let amp = extent * 0.08 * (rng.random::<f64>() - 0.5) * 2.0;
+        let phase = rng.random::<f64>() * std::f64::consts::TAU;
+        for i in 0..per {
+            if coords.len() >= n {
+                break;
+            }
+            let t = i as f64 / per.max(1) as f64;
+            let along = t * extent;
+            let across = offset + amp * (t * 4.0 + phase).sin();
+            let mut jitter = || (rng.random::<f64>() - 0.5) * extent * 0.004;
+            let (j1, j2) = (jitter(), jitter());
+            let (x, y) =
+                if vertical { (across + j1, along + j2) } else { (along + j1, across + j2) };
+            coords.push([x, y]);
+        }
+    }
+    coords.truncate(n);
+    coords
+}
+
+fn grid_coords(n: usize, extent: f64, rng: &mut StdRng) -> Vec<[f64; 2]> {
+    // Sensors sit on intersections of a jittered street grid.
+    let side = (n as f64).sqrt().ceil() as usize;
+    let spacing = extent / side as f64;
+    let mut coords = Vec::with_capacity(n);
+    'outer: for gy in 0..side {
+        for gx in 0..side {
+            if coords.len() >= n {
+                break 'outer;
+            }
+            let jx = (rng.random::<f64>() - 0.5) * spacing * 0.25;
+            let jy = (rng.random::<f64>() - 0.5) * spacing * 0.25;
+            coords.push([gx as f64 * spacing + jx, gy as f64 * spacing + jy]);
+        }
+    }
+    coords
+}
+
+fn two_city_coords(n: usize, extent: f64, rng: &mut StdRng) -> Vec<[f64; 2]> {
+    // Two Gaussian clusters (e.g. Beijing + Tianjin) ~ extent apart, with the
+    // first city holding ~2/3 of the sensors.
+    let centres = [[extent * 0.25, extent * 0.6], [extent * 0.8, extent * 0.25]];
+    let spreads = [extent * 0.12, extent * 0.08];
+    let mut coords = Vec::with_capacity(n);
+    for i in 0..n {
+        let city = if i % 3 == 2 { 1 } else { 0 };
+        let g = |rng: &mut StdRng| {
+            // Box–Muller for a standard normal.
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        coords.push([
+            centres[city][0] + g(rng) * spreads[city],
+            centres[city][1] + g(rng) * spreads[city],
+        ]);
+    }
+    coords
+}
+
+/// Connects each sensor to its nearest neighbours with road edges weighted by
+/// slightly-inflated Euclidean length (roads are never perfectly straight),
+/// keeping the graph connected.
+fn connect_road_graph(coords: &[[f64; 2]]) -> CsrMatrix {
+    let n = coords.len();
+    let k = 3.min(n - 1);
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| {
+            dist(coords[i], coords[a]).partial_cmp(&dist(coords[i], coords[b])).expect("finite")
+        });
+        for &j in order.iter().take(k) {
+            let d = (dist(coords[i], coords[j]) * 1.2) as f32;
+            triplets.push((i, j, d));
+            triplets.push((j, i, d));
+        }
+    }
+    // from_triplets sums duplicates; rebuild keeping one copy per edge.
+    let raw = CsrMatrix::from_triplets(n, n, &triplets);
+    let deduped: Vec<(usize, usize, f32)> = raw
+        .iter()
+        .map(|(r, c, v)| {
+            let base = (dist(coords[r], coords[c]) * 1.2) as f32;
+            (r, c, if v > base * 1.5 { base } else { v })
+        })
+        .collect();
+    CsrMatrix::from_triplets(n, n, &deduped)
+}
+
+fn dist(a: [f64; 2], b: [f64; 2]) -> f64 {
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        for kind in [NetworkKind::Highway, NetworkKind::UrbanGrid, NetworkKind::TwoCities] {
+            let net = generate_network(kind, 100, 10_000.0, 1);
+            assert_eq!(net.len(), 100);
+            let (x0, y0, x1, y1) = net.bounds();
+            assert!(x1 > x0 && y1 > y0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_network(NetworkKind::Highway, 50, 5000.0, 9);
+        let b = generate_network(NetworkKind::Highway, 50, 5000.0, 9);
+        assert_eq!(a.coords, b.coords);
+        let c = generate_network(NetworkKind::Highway, 50, 5000.0, 10);
+        assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn road_graph_is_symmetric_and_positive() {
+        let net = generate_network(NetworkKind::UrbanGrid, 64, 4000.0, 3);
+        for (r, c, v) in net.road_graph.iter() {
+            assert!(v > 0.0, "edge ({r},{c}) must have positive length");
+            assert!(net.road_graph.get(c, r) > 0.0, "missing reverse edge ({c},{r})");
+        }
+        // Every node has at least one road.
+        for i in 0..net.len() {
+            assert!(net.road_graph.row(i).count() >= 1);
+        }
+    }
+
+    #[test]
+    fn road_lengths_at_least_euclidean() {
+        let net = generate_network(NetworkKind::Highway, 40, 8000.0, 5);
+        for (r, c, v) in net.road_graph.iter() {
+            let e = dist(net.coords[r], net.coords[c]);
+            assert!(v as f64 >= e * 0.99, "road shorter than straight line");
+        }
+    }
+
+    #[test]
+    fn two_cities_form_two_clusters() {
+        let net = generate_network(NetworkKind::TwoCities, 63, 100_000.0, 11);
+        // k-means-free check: distances to the two design centres split 2:1.
+        let c1 = [25_000.0, 60_000.0];
+        let c2 = [80_000.0, 25_000.0];
+        let near1 = net
+            .coords
+            .iter()
+            .filter(|&&p| dist(p, c1) < dist(p, c2))
+            .count();
+        assert!(near1 > 63 / 2, "first city should hold most sensors, got {near1}");
+        assert!(near1 < 63, "second city must not be empty");
+    }
+}

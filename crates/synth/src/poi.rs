@@ -1,0 +1,262 @@
+//! Synthetic points of interest and road attributes.
+//!
+//! The paper's selective-masking module describes each location by (1) POI
+//! counts over the 26 categories of Table 1 within radius `r_poi`, (2) a
+//! "scale" value (building floors / park area) and (3) a 4-d road vector
+//! (highway_level, maxspeed, is_oneway, lanes). OpenStreetMap is not
+//! available here, so we synthesize those features from the latent
+//! archetype field — which also drives the traffic signal, preserving the
+//! feature↔behaviour correlation the module relies on.
+
+use crate::field::{LatentField, NUM_ARCHETYPES};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of POI categories (Table 1 of the paper: #1..#26).
+pub const POI_CATEGORIES: usize = 26;
+
+/// Human-readable names of the 26 POI categories from Table 1.
+pub const POI_CATEGORY_NAMES: [&str; POI_CATEGORIES] = [
+    "education",        // #1 university, school, kindergarten...
+    "office",           // #2 commercial, office, studio
+    "retail",           // #3 retail, supermarket
+    "lodging",          // #4 hotel, motel, hostel
+    "culture",          // #5 arts centre, library, museum...
+    "health",           // #6 clinic, hospital, pharmacy...
+    "bridge",           // #7 bridges
+    "cinema",           // #8 cinema
+    "park",             // #9 fountain, garden, park...
+    "nightlife",        // #10 casino, nightclub...
+    "worship",          // #11 church, mosque, temple...
+    "food",             // #12 cafe, restaurant, pub...
+    "parking",          // #13 parking facilities
+    "transit",          // #14 taxi, bus/train stations...
+    "warehouse",        // #15 warehouse
+    "industrial",       // #16 industrial
+    "residential",      // #17 residential, apartments
+    "construction",     // #18 construction
+    "market",           // #19 marketplace
+    "camping",          // #20 caravan/camp/picnic sites
+    "sports",           // #21 pitch, stadium, gym...
+    "civic",            // #22 civic, government, public
+    "vehicle_service",  // #23 fuel, car wash, repair...
+    "finance",          // #24 atm, bank...
+    "waterfront",       // #25 boat rental, ferry terminal
+    "agriculture",      // #26 barn, greenhouse, stable...
+];
+
+/// Per-location static features used by the selective-masking module.
+#[derive(Clone, Debug)]
+pub struct LocationFeatures {
+    /// POI counts, `n × POI_CATEGORIES`, row per location.
+    pub poi: Vec<f32>,
+    /// Prosperity scale (floors + park area proxy), one per location.
+    pub scale: Vec<f32>,
+    /// Road vector `n × 4`: highway_level, maxspeed (km/h), is_oneway, lanes.
+    pub road: Vec<f32>,
+    /// Number of locations.
+    pub n: usize,
+}
+
+impl LocationFeatures {
+    /// The full Γ+5 embedding `l_i = [poi || scale || road]` of §4.1.
+    pub fn embedding(&self, i: usize) -> Vec<f32> {
+        let mut e = Vec::with_capacity(POI_CATEGORIES + 5);
+        e.extend_from_slice(&self.poi[i * POI_CATEGORIES..(i + 1) * POI_CATEGORIES]);
+        e.push(self.scale[i]);
+        e.extend_from_slice(&self.road[i * 4..(i + 1) * 4]);
+        e
+    }
+
+    /// The embedding dimensionality Γ+5.
+    pub fn embedding_dim() -> usize {
+        POI_CATEGORIES + 5
+    }
+
+    /// Maximum speed (km/h) of location `i`'s nearest road.
+    pub fn maxspeed(&self, i: usize) -> f32 {
+        self.road[i * 4 + 1]
+    }
+
+    /// Highway level (0 = minor street … 5 = freeway) of location `i`.
+    pub fn highway_level(&self, i: usize) -> f32 {
+        self.road[i * 4]
+    }
+}
+
+/// Expected POI intensity per category for each archetype
+/// (rows = archetypes Residential/Commercial/Freeway/Industrial).
+fn archetype_poi_intensity() -> [[f32; POI_CATEGORIES]; NUM_ARCHETYPES] {
+    // Hand-crafted but behaviour-consistent: residential areas carry schools,
+    // parks and apartments; commercial cores carry offices, retail, food and
+    // finance; freeways carry bridges, parking and vehicle services;
+    // industrial zones carry warehouses and construction.
+    let mut m = [[0.2f32; POI_CATEGORIES]; NUM_ARCHETYPES];
+    let res = &mut m[0];
+    for (idx, v) in [(0, 3.0), (8, 2.5), (16, 6.0), (5, 1.5), (10, 1.0), (20, 1.5), (2, 1.0)] {
+        res[idx] = v;
+    }
+    let com = &mut m[1];
+    for (idx, v) in
+        [(1, 6.0), (2, 4.0), (11, 5.0), (23, 3.0), (4, 2.0), (3, 2.5), (9, 1.5), (7, 1.0), (13, 3.0), (18, 1.0), (21, 1.5)]
+    {
+        com[idx] = v;
+    }
+    let fwy = &mut m[2];
+    for (idx, v) in [(6, 2.0), (12, 3.0), (22, 2.5), (13, 1.0)] {
+        fwy[idx] = v;
+    }
+    let ind = &mut m[3];
+    for (idx, v) in [(14, 4.0), (15, 5.0), (17, 2.5), (22, 1.5), (25, 1.0), (24, 0.8)] {
+        ind[idx] = v;
+    }
+    m
+}
+
+/// Road attribute profile per archetype: (highway_level, maxspeed, oneway
+/// probability, lanes).
+fn archetype_road_profile() -> [(f32, f32, f64, f32); NUM_ARCHETYPES] {
+    [
+        (1.0, 50.0, 0.1, 2.0),  // residential streets
+        (2.0, 60.0, 0.35, 3.0), // commercial arterials
+        (5.0, 110.0, 0.5, 4.0), // freeways
+        (3.0, 80.0, 0.2, 2.0),  // industrial roads
+    ]
+}
+
+/// Generates POI counts, scale and road attributes for every location from
+/// the latent field, with Poisson-ish noise. `poi_radius` only rescales the
+/// expected counts (a larger circle sees more POIs), matching `r_poi`.
+pub fn generate_features(
+    coords: &[[f64; 2]],
+    latent: &LatentField,
+    poi_radius: f64,
+    seed: u64,
+) -> LocationFeatures {
+    let n = coords.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let intensity = archetype_poi_intensity();
+    let road_profile = archetype_road_profile();
+    // POI counts scale with the sampled area.
+    let area_scale = (poi_radius / 200.0).powi(2).clamp(0.05, 25.0) as f32;
+    let mut poi = vec![0.0f32; n * POI_CATEGORIES];
+    let mut scale = vec![0.0f32; n];
+    let mut road = vec![0.0f32; n * 4];
+    for (i, &c) in coords.iter().enumerate() {
+        let w = latent.mixture(c);
+        for cat in 0..POI_CATEGORIES {
+            let mut lambda = 0.0f32;
+            for k in 0..NUM_ARCHETYPES {
+                lambda += w[k] as f32 * intensity[k][cat];
+            }
+            poi[i * POI_CATEGORIES + cat] = sample_poisson(lambda * area_scale, &mut rng) as f32;
+        }
+        // Scale: commercial cores have tall buildings; parks add area.
+        let floors = 2.0 + 40.0 * w[1] as f32 + 4.0 * w[3] as f32;
+        let park = 3.0 * w[0] as f32;
+        scale[i] = floors + park + rng.random::<f32>() * 2.0;
+        // Road vector from the dominant archetype, blended.
+        let mut level = 0.0f32;
+        let mut speed = 0.0f32;
+        let mut oneway_p = 0.0f64;
+        let mut lanes = 0.0f32;
+        for k in 0..NUM_ARCHETYPES {
+            let (l, s, o, la) = road_profile[k];
+            level += w[k] as f32 * l;
+            speed += w[k] as f32 * s;
+            oneway_p += w[k] * o;
+            lanes += w[k] as f32 * la;
+        }
+        road[i * 4] = level.round();
+        road[i * 4 + 1] = (speed / 10.0).round() * 10.0;
+        road[i * 4 + 2] = if rng.random::<f64>() < oneway_p { 1.0 } else { 0.0 };
+        road[i * 4 + 3] = lanes.round().max(1.0);
+    }
+    LocationFeatures { poi, scale, road, n }
+}
+
+/// Knuth's Poisson sampler, adequate for small λ.
+fn sample_poisson(lambda: f32, rng: &mut StdRng) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda as f64).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<[f64; 2]>, LatentField) {
+        let coords: Vec<[f64; 2]> =
+            (0..50).map(|i| [(i % 10) as f64 * 500.0, (i / 10) as f64 * 500.0]).collect();
+        (coords, LatentField::new(2000.0, 5))
+    }
+
+    #[test]
+    fn feature_shapes() {
+        let (coords, latent) = setup();
+        let f = generate_features(&coords, &latent, 200.0, 1);
+        assert_eq!(f.n, 50);
+        assert_eq!(f.poi.len(), 50 * POI_CATEGORIES);
+        assert_eq!(f.road.len(), 50 * 4);
+        assert_eq!(f.embedding(0).len(), LocationFeatures::embedding_dim());
+        assert_eq!(LocationFeatures::embedding_dim(), 31);
+    }
+
+    #[test]
+    fn poi_counts_nonnegative_integers() {
+        let (coords, latent) = setup();
+        let f = generate_features(&coords, &latent, 500.0, 2);
+        for &v in &f.poi {
+            assert!(v >= 0.0 && v.fract() == 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_radius_sees_more_pois() {
+        let (coords, latent) = setup();
+        let small = generate_features(&coords, &latent, 100.0, 3);
+        let large = generate_features(&coords, &latent, 800.0, 3);
+        let sum_small: f32 = small.poi.iter().sum();
+        let sum_large: f32 = large.poi.iter().sum();
+        assert!(sum_large > sum_small * 2.0, "{sum_large} vs {sum_small}");
+    }
+
+    #[test]
+    fn road_attributes_in_valid_ranges() {
+        let (coords, latent) = setup();
+        let f = generate_features(&coords, &latent, 200.0, 4);
+        for i in 0..f.n {
+            let level = f.highway_level(i);
+            assert!((0.0..=5.0).contains(&level));
+            assert!(f.maxspeed(i) >= 30.0 && f.maxspeed(i) <= 120.0);
+            let oneway = f.road[i * 4 + 2];
+            assert!(oneway == 0.0 || oneway == 1.0);
+            assert!(f.road[i * 4 + 3] >= 1.0);
+        }
+    }
+
+    #[test]
+    fn nearby_locations_have_similar_features() {
+        // The latent field is smooth, so close locations must correlate.
+        let latent = LatentField::new(5000.0, 6);
+        let coords = vec![[0.0, 0.0], [50.0, 50.0], [20_000.0, 20_000.0]];
+        let f = generate_features(&coords, &latent, 300.0, 7);
+        let emb: Vec<Vec<f32>> = (0..3).map(|i| f.embedding(i)).collect();
+        let d01: f32 = emb[0].iter().zip(&emb[1]).map(|(a, b)| (a - b).abs()).sum();
+        let d02: f32 = emb[0].iter().zip(&emb[2]).map(|(a, b)| (a - b).abs()).sum();
+        // Not guaranteed pointwise because of Poisson noise, but the road +
+        // scale parts should make near < far in aggregate.
+        assert!(d01 < d02 * 1.5, "near {d01} vs far {d02}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Space-based dataset splits (§5.1.1, Fig. 6, Fig. 11).
+//!
+//! The paper splits *locations* 4:1:5 into train/validation/test by
+//! geo-coordinate, horizontally or vertically (four variants per dataset),
+//! plus a "ring" split (centre observed, outer ring unobserved). Time is
+//! split 70/30 (first 70% train, last 30% test).
+
+use serde::{Deserialize, Serialize};
+
+/// Axis along which locations are ordered before splitting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitAxis {
+    /// Order by the x coordinate (vertical cut lines).
+    Vertical,
+    /// Order by the y coordinate (horizontal cut lines).
+    Horizontal,
+}
+
+/// A partition of location indices into observed-train / observed-validation
+/// / unobserved-test sets.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpaceSplit {
+    /// Observed locations used for training.
+    pub train: Vec<usize>,
+    /// Observed locations used for validation.
+    pub val: Vec<usize>,
+    /// Unobserved locations (the region of interest) used for testing.
+    pub test: Vec<usize>,
+    /// Human-readable description (e.g. "horizontal", "ring").
+    pub label: String,
+}
+
+impl SpaceSplit {
+    /// All observed locations (train + validation), sorted.
+    pub fn observed(&self) -> Vec<usize> {
+        let mut o: Vec<usize> = self.train.iter().chain(self.val.iter()).copied().collect();
+        o.sort_unstable();
+        o
+    }
+
+    /// Sanity-checks the partition: disjoint and exhaustive over `n`.
+    pub fn validate(&self, n: usize) {
+        let mut seen = vec![false; n];
+        for &i in self.train.iter().chain(&self.val).chain(&self.test) {
+            assert!(i < n, "index {i} out of range");
+            assert!(!seen[i], "index {i} appears in two sets");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "partition does not cover all locations");
+    }
+}
+
+/// Splits locations along `axis` by the paper's 4:1:5 ratio. With
+/// `flip = true` the unobserved region sits on the opposite side, giving the
+/// paper's "four different splits" (2 axes × 2 directions).
+pub fn space_split(coords: &[[f64; 2]], axis: SplitAxis, flip: bool) -> SpaceSplit {
+    space_split_ratio(coords, axis, flip, 0.5)
+}
+
+/// Like [`space_split`] but with a configurable unobserved (test) fraction
+/// (Fig. 8 varies it from 0.2 to 0.5). The remaining observed locations keep
+/// the 4:1 train:validation ratio.
+pub fn space_split_ratio(
+    coords: &[[f64; 2]],
+    axis: SplitAxis,
+    flip: bool,
+    unobserved_ratio: f64,
+) -> SpaceSplit {
+    assert!((0.05..=0.9).contains(&unobserved_ratio), "unreasonable unobserved ratio");
+    let n = coords.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let key = |i: usize| match axis {
+        SplitAxis::Vertical => coords[i][0],
+        SplitAxis::Horizontal => coords[i][1],
+    };
+    order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("finite coordinate"));
+    if flip {
+        order.reverse();
+    }
+    let n_test = ((n as f64) * unobserved_ratio).round() as usize;
+    let n_obs = n - n_test;
+    let n_train = (n_obs as f64 * 0.8).round() as usize;
+    // Order: train closest to one edge, then validation, then the unobserved
+    // region on the far side — train and test regions are contiguous and
+    // adjacent through the validation strip, as in Fig. 6.
+    let train = order[..n_train].to_vec();
+    let val = order[n_train..n_obs].to_vec();
+    let test = order[n_obs..].to_vec();
+    let label = format!(
+        "{}{}",
+        match axis {
+            SplitAxis::Vertical => "vertical",
+            SplitAxis::Horizontal => "horizontal",
+        },
+        if flip { "-flipped" } else { "" }
+    );
+    SpaceSplit { train, val, test, label }
+}
+
+/// The paper's four standard splits: horizontal and vertical, each direction.
+pub fn four_standard_splits(coords: &[[f64; 2]]) -> Vec<SpaceSplit> {
+    vec![
+        space_split(coords, SplitAxis::Horizontal, false),
+        space_split(coords, SplitAxis::Horizontal, true),
+        space_split(coords, SplitAxis::Vertical, false),
+        space_split(coords, SplitAxis::Vertical, true),
+    ]
+}
+
+/// Ring split (Fig. 11): the centre 4/10 of locations (by distance to the
+/// centroid) train, the next 1/10 validate, and the outer half is unobserved.
+pub fn ring_split(coords: &[[f64; 2]]) -> SpaceSplit {
+    let n = coords.len();
+    let cx = coords.iter().map(|c| c[0]).sum::<f64>() / n as f64;
+    let cy = coords.iter().map(|c| c[1]).sum::<f64>() / n as f64;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let da = (coords[a][0] - cx).powi(2) + (coords[a][1] - cy).powi(2);
+        let db = (coords[b][0] - cx).powi(2) + (coords[b][1] - cy).powi(2);
+        da.partial_cmp(&db).expect("finite coordinate")
+    });
+    let n_train = (n as f64 * 0.4).round() as usize;
+    let n_val = (n as f64 * 0.1).round() as usize;
+    SpaceSplit {
+        train: order[..n_train].to_vec(),
+        val: order[n_train..n_train + n_val].to_vec(),
+        test: order[n_train + n_val..].to_vec(),
+        label: "ring".to_string(),
+    }
+}
+
+/// Extension beyond the paper (its stated future work): `k` disjoint
+/// unobserved regions. Locations are ordered along `axis` and `k` evenly
+/// spaced contiguous bands (totalling `unobserved_ratio` of the locations)
+/// become the test set; the rest splits 4:1 into train/validation.
+pub fn multi_region_split(
+    coords: &[[f64; 2]],
+    axis: SplitAxis,
+    k: usize,
+    unobserved_ratio: f64,
+) -> SpaceSplit {
+    assert!(k >= 1, "need at least one unobserved region");
+    let n = coords.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let key = |i: usize| match axis {
+        SplitAxis::Vertical => coords[i][0],
+        SplitAxis::Horizontal => coords[i][1],
+    };
+    order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("finite coordinate"));
+    let n_test_total = ((n as f64) * unobserved_ratio).round() as usize;
+    let band = (n_test_total / k).max(1);
+    // Place k bands evenly: divide the ordered list into k chunks and carve a
+    // band from the middle of each.
+    let chunk = n / k;
+    let mut is_test = vec![false; n];
+    for b in 0..k {
+        let chunk_start = b * chunk;
+        let mid = chunk_start + chunk / 2;
+        let start = mid.saturating_sub(band / 2).min(n.saturating_sub(band));
+        for &idx in order.iter().skip(start).take(band) {
+            is_test[idx] = true;
+        }
+    }
+    let observed: Vec<usize> = order.iter().copied().filter(|&i| !is_test[i]).collect();
+    let test: Vec<usize> = order.iter().copied().filter(|&i| is_test[i]).collect();
+    let n_train = (observed.len() as f64 * 0.8).round() as usize;
+    SpaceSplit {
+        train: observed[..n_train].to_vec(),
+        val: observed[n_train..].to_vec(),
+        test,
+        label: format!("multi-region-{k}"),
+    }
+}
+
+/// Temporal split: first `train_fraction` of steps for training, the rest
+/// for testing (the paper uses 70/30).
+pub fn temporal_split(total_steps: usize, train_fraction: f64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    assert!((0.1..=0.95).contains(&train_fraction));
+    let cut = ((total_steps as f64) * train_fraction).round() as usize;
+    (0..cut, cut..total_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<[f64; 2]> {
+        (0..n).map(|i| [(i % 10) as f64, (i / 10) as f64]).collect()
+    }
+
+    #[test]
+    fn ratios_are_4_1_5() {
+        let coords = grid(100);
+        let s = space_split(&coords, SplitAxis::Horizontal, false);
+        s.validate(100);
+        assert_eq!(s.train.len(), 40);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 50);
+    }
+
+    #[test]
+    fn split_is_contiguous_in_space() {
+        let coords = grid(100);
+        let s = space_split(&coords, SplitAxis::Vertical, false);
+        let max_train_x = s.train.iter().map(|&i| coords[i][0] as i64).max().unwrap();
+        let min_test_x = s.test.iter().map(|&i| coords[i][0] as i64).min().unwrap();
+        assert!(max_train_x <= min_test_x, "train must not interleave with test");
+    }
+
+    #[test]
+    fn flip_swaps_sides() {
+        let coords = grid(100);
+        let a = space_split(&coords, SplitAxis::Vertical, false);
+        let b = space_split(&coords, SplitAxis::Vertical, true);
+        // The test region of one side is (mostly) the train side of the other.
+        let a_test_mean: f64 =
+            a.test.iter().map(|&i| coords[i][0]).sum::<f64>() / a.test.len() as f64;
+        let b_test_mean: f64 =
+            b.test.iter().map(|&i| coords[i][0]).sum::<f64>() / b.test.len() as f64;
+        assert!(a_test_mean > b_test_mean);
+    }
+
+    #[test]
+    fn four_splits_all_valid() {
+        let coords = grid(60);
+        let splits = four_standard_splits(&coords);
+        assert_eq!(splits.len(), 4);
+        for s in &splits {
+            s.validate(60);
+        }
+        // All four labels distinct.
+        let labels: std::collections::HashSet<_> = splits.iter().map(|s| &s.label).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn unobserved_ratio_respected() {
+        let coords = grid(100);
+        for ratio in [0.2, 0.3, 0.4, 0.5] {
+            let s = space_split_ratio(&coords, SplitAxis::Horizontal, false, ratio);
+            s.validate(100);
+            assert_eq!(s.test.len(), (100.0 * ratio) as usize);
+        }
+    }
+
+    #[test]
+    fn ring_split_centre_is_train() {
+        let coords = grid(100);
+        let s = ring_split(&coords);
+        s.validate(100);
+        let centroid = [4.5, 4.5];
+        let mean_dist = |set: &[usize]| {
+            set.iter()
+                .map(|&i| {
+                    ((coords[i][0] - centroid[0]).powi(2) + (coords[i][1] - centroid[1]).powi(2))
+                        .sqrt()
+                })
+                .sum::<f64>()
+                / set.len() as f64
+        };
+        assert!(mean_dist(&s.train) < mean_dist(&s.val));
+        assert!(mean_dist(&s.val) < mean_dist(&s.test));
+    }
+
+    #[test]
+    fn multi_region_creates_k_bands() {
+        let coords = grid(100);
+        let s = multi_region_split(&coords, SplitAxis::Vertical, 2, 0.3);
+        s.validate(100);
+        assert!(s.test.len() >= 28 && s.test.len() <= 32, "test size {}", s.test.len());
+        // The test x-coordinates form at least two separated groups.
+        let mut xs: Vec<i64> = s.test.iter().map(|&i| coords[i][0] as i64).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        let gaps = xs.windows(2).filter(|w| w[1] - w[0] > 1).count();
+        assert!(gaps >= 1, "expected disjoint bands, xs={xs:?}");
+    }
+
+    #[test]
+    fn temporal_split_cuts_at_fraction() {
+        let (train, test) = temporal_split(100, 0.7);
+        assert_eq!(train, 0..70);
+        assert_eq!(test, 70..100);
+    }
+}

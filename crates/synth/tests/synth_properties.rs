@@ -1,0 +1,102 @@
+//! Property-based tests of the synthetic dataset generators: physical
+//! bounds, determinism and the subset/merge algebra.
+
+use proptest::prelude::*;
+use stsm_synth::{
+    dataset_from_json, dataset_to_json, DatasetConfig, NetworkKind, SignalKind,
+};
+
+fn config(kind: NetworkKind, signal: SignalKind, sensors: usize, seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        name: "prop".into(),
+        network: kind,
+        sensors,
+        extent: 10_000.0,
+        steps_per_day: 12,
+        interval_minutes: 120,
+        days: 3,
+        kind: signal,
+        latent_scale: 3_000.0,
+        poi_radius: 200.0,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_values_are_physical(
+        seed in 0u64..1000,
+        kind_ix in 0usize..3,
+        signal_ix in 0usize..2,
+        sensors in 6usize..24,
+    ) {
+        let kind = [NetworkKind::Highway, NetworkKind::UrbanGrid, NetworkKind::TwoCities][kind_ix];
+        let signal = [SignalKind::TrafficSpeed, SignalKind::Pm25][signal_ix];
+        let d = config(kind, signal, sensors, seed).generate();
+        prop_assert_eq!(d.n, sensors);
+        prop_assert_eq!(d.values.len(), sensors * d.t_total);
+        for &v in &d.values {
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= 0.0, "negative physical value {v}");
+            match signal {
+                SignalKind::TrafficSpeed => prop_assert!(v <= 130.0, "speed {v} too high"),
+                SignalKind::Pm25 => prop_assert!(v <= 5_000.0, "pm {v} absurd"),
+            }
+        }
+        // Every sensor has finite coordinates and a road connection.
+        for i in 0..d.n {
+            prop_assert!(d.coords[i][0].is_finite() && d.coords[i][1].is_finite());
+            prop_assert!(d.road_graph.row(i).count() >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500) {
+        let a = config(NetworkKind::Highway, SignalKind::TrafficSpeed, 10, seed).generate();
+        let b = config(NetworkKind::Highway, SignalKind::TrafficSpeed, 10, seed).generate();
+        prop_assert_eq!(a.values, b.values);
+        prop_assert_eq!(a.coords, b.coords);
+        prop_assert_eq!(a.features.poi, b.features.poi);
+    }
+
+    #[test]
+    fn subset_preserves_series(seed in 0u64..200, keep in 2usize..8) {
+        let d = config(NetworkKind::UrbanGrid, SignalKind::TrafficSpeed, 12, seed).generate();
+        let ids: Vec<usize> = (0..keep.min(12)).map(|i| (i * 5 + 1) % 12).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let s = d.subset(&dedup);
+        prop_assert_eq!(s.n, dedup.len());
+        for (new, &old) in dedup.iter().enumerate() {
+            prop_assert_eq!(s.series(new), d.series(old));
+            prop_assert_eq!(s.coords[new], d.coords[old]);
+        }
+    }
+
+    #[test]
+    fn merge_is_disjoint_union(seed in 0u64..200) {
+        let a = config(NetworkKind::Highway, SignalKind::TrafficSpeed, 8, seed).generate();
+        let b = config(NetworkKind::Highway, SignalKind::TrafficSpeed, 8, seed + 1).generate();
+        let m = a.merge(&b);
+        prop_assert_eq!(m.n, 16);
+        prop_assert_eq!(m.series(3), a.series(3));
+        prop_assert_eq!(m.series(11), b.series(3));
+        // No two sensors share identical coordinates after the shift.
+        for i in 0..8 {
+            for j in 8..16 {
+                prop_assert_ne!(m.coords[i], m.coords[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_any_seed(seed in 0u64..200) {
+        let d = config(NetworkKind::TwoCities, SignalKind::Pm25, 9, seed).generate();
+        let back = dataset_from_json(&dataset_to_json(&d)).expect("roundtrip");
+        prop_assert_eq!(back.values, d.values);
+        prop_assert_eq!(back.steps_per_day, d.steps_per_day);
+    }
+}

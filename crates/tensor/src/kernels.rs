@@ -1,0 +1,378 @@
+//! Raw numeric kernels: matrix multiplication, dilated 1-D convolution, and
+//! row-wise softmax. These are the hot paths of model training; everything
+//! else composes out of elementwise maps.
+//!
+//! The matmul kernel uses an i-k-j loop order (streaming through rows of `b`)
+//! which auto-vectorizes well, and splits the row range over threads with
+//! `crossbeam::scope` when the problem is large enough to amortize spawning.
+
+use crate::tensor::Tensor;
+
+/// Minimum number of multiply-adds before the matmul kernel goes parallel.
+const PAR_THRESHOLD: usize = 1 << 22; // ~4M MACs
+
+/// Number of worker threads for the parallel kernels.
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}
+
+/// Multiplies row-major `a` (m×k) by `b` (k×n) into a new m×n buffer.
+pub fn matmul_raw(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut out = vec![0.0f32; m * n];
+    let work = m * k * n;
+    let threads = num_threads();
+    if work < PAR_THRESHOLD || threads <= 1 || m < 2 * threads {
+        matmul_rows(a, b, &mut out, 0, m, k, n);
+        return out;
+    }
+    let chunk = m.div_ceil(threads);
+    let mut slices: Vec<(usize, &mut [f32])> = Vec::new();
+    {
+        let mut rest = out.as_mut_slice();
+        let mut row = 0usize;
+        while row < m {
+            let rows = chunk.min(m - row);
+            let (head, tail) = rest.split_at_mut(rows * n);
+            slices.push((row, head));
+            rest = tail;
+            row += rows;
+        }
+    }
+    crossbeam::thread::scope(|s| {
+        for (row0, out_chunk) in slices {
+            let rows = out_chunk.len() / n;
+            s.spawn(move |_| {
+                matmul_rows_into(a, b, out_chunk, row0, rows, k, n);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+    out
+}
+
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    matmul_rows_into(a, b, &mut out[row0 * n..(row0 + rows) * n], row0, rows, k, n);
+}
+
+fn matmul_rows_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// 2-D matrix product of tensors. Shapes must be (m,k) and (k,n).
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be 2-D, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    Tensor::from_vec([m, n], matmul_raw(a.data(), b.data(), m, k, n))
+}
+
+/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n).
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
+    assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
+    let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+    let (bs2, k2, n) = (b.dim(0), b.dim(1), b.dim(2));
+    assert_eq!(bs, bs2, "bmm batch mismatch");
+    assert_eq!(k, k2, "bmm inner dims mismatch");
+    let mut out = Vec::with_capacity(bs * m * n);
+    for i in 0..bs {
+        let av = &a.data()[i * m * k..(i + 1) * m * k];
+        let bv = &b.data()[i * k * n..(i + 1) * k * n];
+        out.extend(matmul_raw(av, bv, m, k, n));
+    }
+    Tensor::from_vec([bs, m, n], out)
+}
+
+/// Dilated causal-padded 1-D convolution over the last axis.
+///
+/// * `input`:  (N, C_in, T)
+/// * `weight`: (C_out, C_in, K)
+/// * `bias`:   optional (C_out)
+/// * output:   (N, C_out, T) — "same" length via left zero-padding of
+///   `(K-1) * dilation` (causal: output at t only sees inputs ≤ t).
+pub fn conv1d_dilated(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, dilation: usize) -> Tensor {
+    assert_eq!(input.rank(), 3, "conv1d input must be (N, C_in, T)");
+    assert_eq!(weight.rank(), 3, "conv1d weight must be (C_out, C_in, K)");
+    let (n, cin, t) = (input.dim(0), input.dim(1), input.dim(2));
+    let (cout, cin2, k) = (weight.dim(0), weight.dim(1), weight.dim(2));
+    assert_eq!(cin, cin2, "conv1d channel mismatch");
+    assert!(dilation >= 1, "dilation must be >= 1");
+    if let Some(b) = bias {
+        assert_eq!(b.numel(), cout, "conv1d bias size mismatch");
+    }
+    let idata = input.data();
+    let wdata = weight.data();
+    let mut out = vec![0.0f32; n * cout * t];
+    for b_i in 0..n {
+        for co in 0..cout {
+            let obase = (b_i * cout + co) * t;
+            if let Some(bias) = bias {
+                let bv = bias.data()[co];
+                for o in &mut out[obase..obase + t] {
+                    *o = bv;
+                }
+            }
+            for ci in 0..cin {
+                let ibase = (b_i * cin + ci) * t;
+                let wbase = (co * cin + ci) * k;
+                for kk in 0..k {
+                    let w = wdata[wbase + kk];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    // tap offset relative to output index: t_in = t_out - (k-1-kk)*dilation
+                    let shift = (k - 1 - kk) * dilation;
+                    for tt in shift..t {
+                        out[obase + tt] += w * idata[ibase + tt - shift];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, cout, t], out)
+}
+
+/// Backward pass of [`conv1d_dilated`]: returns (grad_input, grad_weight, grad_bias).
+pub fn conv1d_dilated_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    dilation: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, cin, t) = (input.dim(0), input.dim(1), input.dim(2));
+    let (cout, _, k) = (weight.dim(0), weight.dim(1), weight.dim(2));
+    assert_eq!(grad_out.dims(), &[n, cout, t], "conv1d grad_out shape mismatch");
+    let idata = input.data();
+    let wdata = weight.data();
+    let gdata = grad_out.data();
+    let mut gi = vec![0.0f32; n * cin * t];
+    let mut gw = vec![0.0f32; cout * cin * k];
+    let mut gb = vec![0.0f32; cout];
+    for b_i in 0..n {
+        for co in 0..cout {
+            let obase = (b_i * cout + co) * t;
+            let go = &gdata[obase..obase + t];
+            gb[co] += go.iter().sum::<f32>();
+            for ci in 0..cin {
+                let ibase = (b_i * cin + ci) * t;
+                let wbase = (co * cin + ci) * k;
+                for kk in 0..k {
+                    let shift = (k - 1 - kk) * dilation;
+                    let w = wdata[wbase + kk];
+                    let mut gw_acc = 0.0f32;
+                    for tt in shift..t {
+                        let g = go[tt];
+                        gw_acc += g * idata[ibase + tt - shift];
+                        gi[ibase + tt - shift] += g * w;
+                    }
+                    gw[wbase + kk] += gw_acc;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec([n, cin, t], gi),
+        Tensor::from_vec([cout, cin, k], gw),
+        Tensor::from_vec([cout], gb),
+    )
+}
+
+/// Numerically-stable softmax over the last axis.
+pub fn softmax_lastdim(x: &Tensor) -> Tensor {
+    let d = x.dim(x.rank() - 1);
+    let rows = x.numel() / d;
+    let mut out = vec![0.0f32; x.numel()];
+    let data = x.data();
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in &mut out[r * d..(r + 1) * d] {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), out)
+}
+
+/// Numerically-stable log-softmax over the last axis.
+pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
+    let d = x.dim(x.rank() - 1);
+    let rows = x.numel() / d;
+    let mut out = vec![0.0f32; x.numel()];
+    let data = x.data();
+    for r in 0..rows {
+        let row = &data[r * d..(r + 1) * d];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
+            *o = v - lse;
+        }
+    }
+    Tensor::from_vec(x.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec([3, 3], (0..9).map(|i| i as f32).collect());
+        let c = matmul(&a, &Tensor::eye(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        // Large enough to trigger the parallel path.
+        let m = 257;
+        let k = 129;
+        let n = 131;
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0 - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 40503usize) % 1000) as f32 / 991.0 - 0.5).collect();
+        let fast = matmul_raw(&a, &b, m, k, n);
+        // Reference triple loop.
+        let mut reference = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                reference[i * n + j] = s;
+            }
+        }
+        for (x, y) in fast.iter().zip(reference.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn bmm_batches_independent() {
+        let a = Tensor::from_vec([2, 1, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec([2, 2, 1], vec![5., 6., 7., 8.]);
+        let c = bmm(&a, &b);
+        assert_eq!(c.dims(), &[2, 1, 1]);
+        assert_eq!(c.data(), &[17., 53.]);
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        // K=1 kernel with weight 1 is the identity.
+        let x = Tensor::from_vec([1, 1, 4], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec([1, 1, 1], vec![1.0]);
+        let y = conv1d_dilated(&x, &w, None, 1);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv1d_causal_shift() {
+        // K=2 kernel [0, 1] with dilation 1: tap kk=1 has shift 0 (current),
+        // kk=0 has shift 1 (previous); weight [1, 0] picks the previous value.
+        let x = Tensor::from_vec([1, 1, 4], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec([1, 1, 2], vec![1.0, 0.0]);
+        let y = conv1d_dilated(&x, &w, None, 1);
+        assert_eq!(y.data(), &[0., 1., 2., 3.]);
+        // Dilation 2: previous-previous.
+        let y2 = conv1d_dilated(&x, &w, None, 2);
+        assert_eq!(y2.data(), &[0., 0., 1., 2.]);
+    }
+
+    #[test]
+    fn conv1d_bias_added() {
+        let x = Tensor::zeros([1, 1, 3]);
+        let w = Tensor::from_vec([2, 1, 1], vec![1., 1.]);
+        let b = Tensor::from_vec([2], vec![0.5, -0.5]);
+        let y = conv1d_dilated(&x, &w, Some(&b), 1);
+        assert_eq!(y.data(), &[0.5, 0.5, 0.5, -0.5, -0.5, -0.5]);
+    }
+
+    #[test]
+    fn conv1d_backward_finite_difference() {
+        let x = Tensor::from_vec([1, 2, 5], (0..10).map(|i| (i as f32) * 0.3 - 1.0).collect());
+        let w = Tensor::from_vec([2, 2, 2], (0..8).map(|i| (i as f32) * 0.1 - 0.3).collect());
+        let dil = 2;
+        let go = Tensor::ones([1, 2, 5]);
+        let (gi, gw, gb) = conv1d_dilated_backward(&x, &w, &go, dil);
+        let f = |x: &Tensor, w: &Tensor| conv1d_dilated(x, w, None, dil).sum();
+        let eps = 1e-3;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp, &w) - f(&xm, &w)) / (2.0 * eps);
+            assert!((num - gi.data()[i]).abs() < 1e-2, "gi[{i}]: {num} vs {}", gi.data()[i]);
+        }
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}]: {num} vs {}", gw.data()[i]);
+        }
+        // Bias gradient is just the per-channel sum of grad_out.
+        assert_eq!(gb.data(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., -1., 0., 100.]);
+        let s = softmax_lastdim(&x);
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large logit dominates without overflow.
+        assert!(s.at(&[1, 2]) > 0.999);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let x = Tensor::from_vec([1, 4], vec![0.5, -0.2, 1.5, 0.0]);
+        let s = softmax_lastdim(&x);
+        let ls = log_softmax_lastdim(&x);
+        for i in 0..4 {
+            assert!((ls.data()[i].exp() - s.data()[i]).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # stsm-tensor
+//!
+//! Dense `f32` tensors, reverse-mode automatic differentiation, neural-network
+//! layers and optimizers — the deep-learning substrate for the STSM
+//! reproduction (EDBT 2024, *Spatial-temporal Forecasting for Regions without
+//! Observations*). The Rust DL ecosystem is too thin to lean on, so this
+//! crate implements the pieces the paper's model needs from scratch:
+//!
+//! * [`Tensor`] — contiguous row-major tensors with copy-on-write storage;
+//! * [`Tape`] — a per-forward-pass autograd arena ([`Tape::backward`]);
+//! * [`nn`] — Linear / dilated causal Conv1d / GRU / LayerNorm /
+//!   multi-head attention / transformer encoder layers;
+//! * [`optim`] — SGD and Adam with gradient clipping;
+//! * [`LinMap`] — constant linear operators (e.g. sparse adjacencies) that
+//!   plug into the tape, so graph convolutions stay decoupled from graph
+//!   types.
+//!
+//! ## Example
+//!
+//! ```
+//! use stsm_tensor::{Tape, Tensor};
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec([2], vec![1.0, 2.0]));
+//! let y = tape.square(x);
+//! let loss = tape.sum_all(y);
+//! tape.backward(loss);
+//! assert_eq!(tape.grad(x).unwrap().data(), &[2.0, 4.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod kernels;
+mod linmap;
+pub mod nn;
+pub mod optim;
+mod params;
+mod shape;
+mod tape;
+mod tape_ext;
+mod tensor;
+
+pub use kernels::{bmm, conv1d_dilated, log_softmax_lastdim, matmul, softmax_lastdim};
+pub use linmap::{DenseLinMap, LinMap};
+pub use params::{ParamBinder, ParamId, ParamStore};
+pub use shape::Shape;
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

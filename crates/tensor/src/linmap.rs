@@ -1,0 +1,102 @@
+//! Constant linear maps pluggable into the autograd tape.
+//!
+//! A [`LinMap`] is a fixed (non-learned) linear operator `y = A x` applied to
+//! the *leading* axis of a tensor — exactly what a graph convolution needs
+//! for its (sparse) adjacency multiplication. The backward pass applies the
+//! transpose operator. The graph crate implements this trait for CSR
+//! matrices so `stsm-tensor` stays independent of graph types.
+
+use crate::tensor::Tensor;
+
+/// A constant linear operator with an explicit transpose, usable inside the
+/// autograd tape via [`crate::tape::Tape::linmap`].
+pub trait LinMap: Send + Sync {
+    /// Output rows produced by the map.
+    fn out_rows(&self) -> usize;
+    /// Input rows consumed by the map.
+    fn in_rows(&self) -> usize;
+    /// Computes `A x`, treating `x` as `(in_rows, feature...)`.
+    fn apply(&self, x: &Tensor) -> Tensor;
+    /// Computes `Aᵀ g`, treating `g` as `(out_rows, feature...)`.
+    fn apply_transpose(&self, g: &Tensor) -> Tensor;
+}
+
+/// Dense matrix implementation of [`LinMap`] (useful for tests and small
+/// graphs).
+pub struct DenseLinMap {
+    matrix: Tensor,
+}
+
+impl DenseLinMap {
+    /// Wraps a 2-D matrix as a linear map.
+    pub fn new(matrix: Tensor) -> Self {
+        assert_eq!(matrix.rank(), 2, "DenseLinMap requires a 2-D matrix");
+        DenseLinMap { matrix }
+    }
+}
+
+impl LinMap for DenseLinMap {
+    fn out_rows(&self) -> usize {
+        self.matrix.dim(0)
+    }
+
+    fn in_rows(&self) -> usize {
+        self.matrix.dim(1)
+    }
+
+    fn apply(&self, x: &Tensor) -> Tensor {
+        let rows = x.dim(0);
+        assert_eq!(rows, self.in_rows(), "LinMap input rows mismatch");
+        let cols = x.numel() / rows;
+        let x2 = x.reshape([rows, cols]);
+        let y = crate::kernels::matmul(&self.matrix, &x2);
+        let mut out_dims = x.dims().to_vec();
+        out_dims[0] = self.out_rows();
+        y.reshape(out_dims)
+    }
+
+    fn apply_transpose(&self, g: &Tensor) -> Tensor {
+        let rows = g.dim(0);
+        assert_eq!(rows, self.out_rows(), "LinMap transpose input rows mismatch");
+        let cols = g.numel() / rows;
+        let g2 = g.reshape([rows, cols]);
+        let y = crate::kernels::matmul(&self.matrix.t(), &g2);
+        let mut out_dims = g.dims().to_vec();
+        out_dims[0] = self.in_rows();
+        y.reshape(out_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use std::sync::Arc;
+
+    #[test]
+    fn dense_linmap_forward_and_grad() {
+        let a = Tensor::from_vec([2, 3], vec![1., 0., 2., 0., 1., 1.]);
+        let map = Arc::new(DenseLinMap::new(a.clone()));
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]));
+        let y = tape.linmap(map, x);
+        // A @ X = [[11, 14], [8, 10]]
+        assert_eq!(tape.value(y).data(), &[11., 14., 8., 10.]);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        // grad_x = A^T @ ones(2,2): columns of A summed per row.
+        let g = tape.grad(x).unwrap();
+        assert_eq!(g.data(), &[1., 1., 1., 1., 3., 3.]);
+    }
+
+    #[test]
+    fn linmap_preserves_trailing_dims() {
+        let a = Tensor::eye(3);
+        let map = Arc::new(DenseLinMap::new(a));
+        let x = Tensor::arange(12).reshape([3, 2, 2]);
+        let y = map.apply(&x);
+        assert_eq!(y, x);
+        let g = map.apply_transpose(&x);
+        assert_eq!(g, x);
+    }
+}

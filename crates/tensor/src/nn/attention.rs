@@ -1,0 +1,197 @@
+//! Multi-head self-attention and a transformer encoder layer, used by the
+//! STSM-trans variant (§5.2.5): the paper swaps the 1-D TCN for a transformer
+//! encoder to show the architecture is extensible.
+
+use super::{LayerNorm, Linear, Fwd};
+use crate::params::ParamStore;
+use crate::tape::Var;
+use rand::Rng;
+
+/// Scaled dot-product multi-head self-attention over `(B, T, D)` sequences.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers attention parameters. `dim` must be divisible by `heads`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), dim, dim, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Self-attention: queries, keys and values all derive from `x` (B, T, D).
+    pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
+        let shape = fwd.tape().shape_of(x);
+        assert_eq!(shape.rank(), 3, "attention input must be (B, T, D)");
+        let (b, t_len, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
+        assert_eq!(d, self.dim, "attention dim mismatch");
+        let dh = d / self.heads;
+        let split = |fwd: &mut Fwd, v: Var| {
+            // (B,T,D) -> (B,T,H,dh) -> (B,H,T,dh) -> (B*H,T,dh)
+            let tape = fwd.tape();
+            let r = tape.reshape(v, [b, t_len, self.heads, dh]);
+            let p = tape.permute(r, &[0, 2, 1, 3]);
+            tape.reshape(p, [b * self.heads, t_len, dh])
+        };
+        let q = self.wq.forward(fwd, x);
+        let k = self.wk.forward(fwd, x);
+        let v = self.wv.forward(fwd, x);
+        let q = split(fwd, q);
+        let k = split(fwd, k);
+        let v = split(fwd, v);
+        let tape = fwd.tape();
+        let kt = tape.permute(k, &[0, 2, 1]);
+        let scores = tape.bmm(q, kt);
+        let scores = tape.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
+        let attn = tape.softmax_lastdim(scores);
+        let ctx = tape.bmm(attn, v);
+        // (B*H,T,dh) -> (B,H,T,dh) -> (B,T,H,dh) -> (B,T,D)
+        let ctx = tape.reshape(ctx, [b, self.heads, t_len, dh]);
+        let ctx = tape.permute(ctx, &[0, 2, 1, 3]);
+        let ctx = tape.reshape(ctx, [b, t_len, d]);
+        self.wo.forward(fwd, ctx)
+    }
+}
+
+/// Pre-norm transformer encoder layer: attention + FFN, each with a residual
+/// connection and layer normalization.
+pub struct TransformerEncoderLayer {
+    attn: MultiHeadAttention,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl TransformerEncoderLayer {
+    /// Registers an encoder layer with model width `dim`, `heads` attention
+    /// heads and an FFN hidden width of `ff_dim`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        TransformerEncoderLayer {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            norm1: LayerNorm::new(store, &format!("{name}.norm1"), dim),
+            norm2: LayerNorm::new(store, &format!("{name}.norm2"), dim),
+            ff1: Linear::new(store, &format!("{name}.ff1"), dim, ff_dim, rng),
+            ff2: Linear::new(store, &format!("{name}.ff2"), ff_dim, dim, rng),
+        }
+    }
+
+    /// Applies the layer to `x` (B, T, D), returning the same shape.
+    pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
+        // Pre-norm: x + Attn(LN(x)); then x + FFN(LN(x)).
+        let n1 = self.norm1.forward(fwd, x);
+        let a = self.attn.forward(fwd, n1);
+        let x = fwd.tape().add(x, a);
+        let n2 = self.norm2.forward(fwd, x);
+        let h = self.ff1.forward(fwd, n2);
+        let h = fwd.tape().relu(h);
+        let h = self.ff2.forward(fwd, h);
+        fwd.tape().add(x, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::init;
+    use crate::optim::{Adam, Optimizer};
+    use crate::params::ParamBinder;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(&store, &mut binder);
+        let x = tape.constant(init::randn([3, 5, 8], 1.0, &mut rng));
+        let y = mha.forward(&mut fwd, x);
+        assert_eq!(tape.shape_of(y).dims(), &[3, 5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_bad_head_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let _ = MultiHeadAttention::new(&mut store, "a", 7, 2, &mut rng);
+    }
+
+    #[test]
+    fn encoder_layer_trains_on_sequence_mean() {
+        // Learn to output the sequence mean at every position — attention can
+        // do this via uniform weights.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "enc", 4, 2, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 4, 1, &mut rng);
+        let b = 4;
+        let t_len = 6;
+        let x = init::randn([b, t_len, 4], 1.0, &mut rng);
+        // target: mean over time of first feature, tiled.
+        let mut yv = Vec::with_capacity(b * t_len);
+        for bi in 0..b {
+            let mut m = 0.0;
+            for ti in 0..t_len {
+                m += x.at(&[bi, ti, 0]);
+            }
+            m /= t_len as f32;
+            for _ in 0..t_len {
+                yv.push(m);
+            }
+        }
+        let y = Tensor::from_vec([b, t_len, 1], yv);
+        let mut opt = Adam::new(0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let tape = Tape::new();
+            let mut binder = ParamBinder::new(&tape);
+            let mut fwd = Fwd::new(&store, &mut binder);
+            let xv = tape.constant(x.clone());
+            let h = layer.forward(&mut fwd, xv);
+            let p = head.forward(&mut fwd, h);
+            let loss = tape.mse_loss(p, &y);
+            tape.backward(loss);
+            last = tape.value(loss).item();
+            first.get_or_insert(last);
+            let grads = binder.grads();
+            opt.step(&mut store, &grads);
+        }
+        assert!(
+            last < 0.5 * first.unwrap(),
+            "transformer loss did not improve: {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Neural-network building blocks on top of the autograd tape.
+//!
+//! Layers own [`crate::params::ParamId`]s into a shared
+//! [`crate::params::ParamStore`] and run inside a per-pass [`Fwd`] context
+//! that pairs the store with a [`crate::params::ParamBinder`].
+
+mod attention;
+mod conv;
+mod gru;
+mod init;
+mod linear;
+mod norm;
+
+pub use attention::{MultiHeadAttention, TransformerEncoderLayer};
+pub use conv::Conv1d;
+pub use gru::GruCell;
+pub use init::{glorot_uniform, he_uniform, randn, uniform};
+pub use linear::{Activation, Linear, Mlp};
+pub use norm::LayerNorm;
+
+use crate::params::{ParamBinder, ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+
+/// Per-forward-pass context: the parameter store plus the tape binder.
+pub struct Fwd<'a, 't> {
+    /// The model's parameters.
+    pub store: &'a ParamStore,
+    /// Binds parameters to tape leaves.
+    pub binder: &'a mut ParamBinder<'t>,
+}
+
+impl<'a, 't> Fwd<'a, 't> {
+    /// Creates a forward context.
+    pub fn new(store: &'a ParamStore, binder: &'a mut ParamBinder<'t>) -> Self {
+        Fwd { store, binder }
+    }
+
+    /// Tape leaf for parameter `id`.
+    pub fn p(&mut self, id: ParamId) -> Var {
+        self.binder.var(self.store, id)
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &'t Tape {
+        self.binder.tape()
+    }
+}

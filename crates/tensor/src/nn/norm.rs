@@ -1,0 +1,87 @@
+//! Layer normalization over the last axis (used by the transformer variant
+//! STSM-trans, §5.2.5 of the paper).
+
+use super::Fwd;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::Var;
+use crate::tensor::Tensor;
+
+/// LayerNorm with learnable scale (`gamma`) and shift (`beta`).
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers a LayerNorm over the trailing `dim` features.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.register(format!("{name}.gamma"), Tensor::ones([dim]));
+        let beta = store.register(format!("{name}.beta"), Tensor::zeros([dim]));
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    /// Normalizes the last axis of `x` to zero mean and unit variance, then
+    /// applies the affine transform.
+    pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
+        let tape = fwd.tape();
+        let shape = tape.shape_of(x);
+        let r = shape.rank();
+        assert_eq!(shape.dim(r - 1), self.dim, "LayerNorm dim mismatch: {shape}");
+        let mean = tape.mean_axis(x, r - 1, true);
+        let centred = tape.sub(x, mean);
+        let sq = tape.square(centred);
+        let var = tape.mean_axis(sq, r - 1, true);
+        let var_eps = tape.add_scalar(var, self.eps);
+        let std = tape.sqrt(var_eps);
+        let normed = tape.div(centred, std);
+        let g = fwd.p(self.gamma);
+        let b = fwd.p(self.beta);
+        let tape = fwd.tape();
+        let scaled = tape.mul(normed, g);
+        tape.add(scaled, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamBinder;
+    use crate::tape::Tape;
+
+    #[test]
+    fn normalizes_rows() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(&store, &mut binder);
+        let x = tape.constant(Tensor::from_vec([2, 4], vec![1., 2., 3., 4., 10., 10., 10., 10.]));
+        let y = ln.forward(&mut fwd, x);
+        let out = tape.value(y);
+        // First row: mean 2.5, so normalized values are symmetric around 0.
+        let row0: f32 = out.data()[..4].iter().sum();
+        assert!(row0.abs() < 1e-4);
+        // Constant row maps to ~0 (variance eps keeps it finite).
+        for &v in &out.data()[4..] {
+            assert!(v.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 3);
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(&store, &mut binder);
+        let x = tape.leaf(Tensor::from_vec([1, 3], vec![0.2, -0.7, 1.1]));
+        let y = ln.forward(&mut fwd, x);
+        let loss = tape.mean_all(tape.square(y));
+        tape.backward(loss);
+        assert!(tape.grad(x).is_some());
+        let grads = binder.grads();
+        assert_eq!(grads.len(), 2, "gamma and beta must both receive gradients");
+    }
+}

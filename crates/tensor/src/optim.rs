@@ -1,0 +1,266 @@
+//! First-order optimizers: SGD (with momentum) and Adam, plus global-norm
+//! gradient clipping. The paper trains all models with Adam at lr 0.01.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Clips gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut [(ParamId, Tensor)], max_norm: f32) -> f32 {
+    let total: f32 = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for (_, g) in grads.iter_mut() {
+            for v in g.data_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    total
+}
+
+/// A gradient-based parameter updater.
+pub trait Optimizer {
+    /// Applies one update step given `(param, grad)` pairs.
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+    /// Sets the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        for (pid, grad) in grads {
+            let mut value = store.get(*pid);
+            let n = value.numel();
+            debug_assert_eq!(grad.numel(), n);
+            if self.momentum > 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(pid.0)
+                    .or_insert_with(|| Tensor::zeros(value.shape().clone()));
+                let vdata = vel.data_mut();
+                let vslice: Vec<f32> = {
+                    let pdata = value.data_mut();
+                    for i in 0..n {
+                        let g = grad.data()[i] + self.weight_decay * pdata[i];
+                        vdata[i] = self.momentum * vdata[i] + g;
+                        pdata[i] -= self.lr * vdata[i];
+                    }
+                    Vec::new()
+                };
+                let _ = vslice;
+            } else {
+                let pdata = value.data_mut();
+                for i in 0..n {
+                    let g = grad.data()[i] + self.weight_decay * pdata[i];
+                    pdata[i] -= self.lr * g;
+                }
+            }
+            store.set(*pid, value);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Adam with the given learning rate and default betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Overrides the exponential decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Adds L2 weight decay (coupled, as in the original Adam).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (pid, grad) in grads {
+            let mut value = store.get(*pid);
+            let n = value.numel();
+            debug_assert_eq!(grad.numel(), n);
+            let m = self.m.entry(pid.0).or_insert_with(|| Tensor::zeros(value.shape().clone()));
+            let v = self.v.entry(pid.0).or_insert_with(|| Tensor::zeros(value.shape().clone()));
+            let mdata = m.data_mut();
+            let vdata = v.data_mut();
+            let pdata = value.data_mut();
+            for i in 0..n {
+                let g = grad.data()[i] + self.weight_decay * pdata[i];
+                mdata[i] = self.beta1 * mdata[i] + (1.0 - self.beta1) * g;
+                vdata[i] = self.beta2 * vdata[i] + (1.0 - self.beta2) * g * g;
+                let mhat = mdata[i] / bc1;
+                let vhat = vdata[i] / bc2;
+                pdata[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            store.set(*pid, value);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamBinder;
+    use crate::tape::Tape;
+
+    /// One optimization step on f(w) = (w - 3)^2 must move w toward 3.
+    fn quadratic_step(opt: &mut dyn Optimizer, store: &mut ParamStore, w: ParamId) -> f32 {
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let wv = binder.var(store, w);
+        let c = tape.constant(Tensor::scalar(3.0));
+        let d = tape.sub(wv, c);
+        let loss = tape.square(d);
+        tape.backward(loss);
+        let grads = binder.grads();
+        opt.step(store, &grads);
+        tape.value(loss).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            last = quadratic_step(&mut opt, &mut store, w);
+        }
+        assert!(last < 1e-6, "loss {last}");
+        assert!((store.get(w).item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(10.0));
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        for _ in 0..200 {
+            quadratic_step(&mut opt, &mut store, w);
+        }
+        assert!((store.get(w).item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(-5.0));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            quadratic_step(&mut opt, &mut store, w);
+        }
+        assert!((store.get(w).item() - 3.0).abs() < 1e-2, "w = {}", store.get(w).item());
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(1.0));
+        // Zero gradient + weight decay should shrink |w|.
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let grads = vec![(w, Tensor::scalar(0.0))];
+        opt.step(&mut store, &grads);
+        assert!((store.get(w).item() - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut grads = vec![
+            (ParamId(0), Tensor::from_vec([2], vec![3.0, 0.0])),
+            (ParamId(1), Tensor::from_vec([1], vec![4.0])),
+        ];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let new_norm: f32 =
+            grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+        // Under the limit: untouched.
+        let mut small = vec![(ParamId(0), Tensor::from_vec([1], vec![0.5]))];
+        clip_grad_norm(&mut small, 1.0);
+        assert_eq!(small[0].1.data(), &[0.5]);
+    }
+}

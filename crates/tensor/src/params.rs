@@ -1,0 +1,214 @@
+//! Persistent parameter storage shared across forward passes.
+//!
+//! A [`ParamStore`] owns the learnable tensors of a model. Each forward pass
+//! registers the parameters it touches on the tape via [`ParamBinder`], which
+//! deduplicates so a parameter used twice maps to one leaf. After
+//! `tape.backward(..)` an optimizer reads the leaf gradients through the
+//! binder and updates the store in place.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a parameter within a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+#[derive(Serialize, Deserialize)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+}
+
+/// Owns all learnable tensors of a model.
+#[derive(Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a new named parameter, returning its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.entries.push(ParamEntry { name: name.into(), value });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// Current value of a parameter (cheap clone).
+    pub fn get(&self, id: ParamId) -> Tensor {
+        self.entries[id.0].value.clone()
+    }
+
+    /// Shape of a parameter.
+    pub fn shape(&self, id: ParamId) -> Shape {
+        self.entries[id.0].value.shape().clone()
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Overwrites a parameter value (shape must match).
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.entries[id.0].value.shape(),
+            value.shape(),
+            "parameter {} shape mismatch",
+            self.entries[id.0].name
+        );
+        self.entries[id.0].value = value;
+    }
+
+    /// Iterates over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), e.name.as_str(), &e.value))
+    }
+
+    /// Serializes all parameters to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self).expect("parameter serialization cannot fail")
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Copies values from another store with identical layout (names/shapes).
+    pub fn load_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.len(), other.len(), "parameter count mismatch");
+        for i in 0..self.len() {
+            assert_eq!(self.entries[i].name, other.entries[i].name, "parameter name mismatch");
+            assert_eq!(
+                self.entries[i].value.shape(),
+                other.entries[i].value.shape(),
+                "parameter shape mismatch for {}",
+                self.entries[i].name
+            );
+            self.entries[i].value = other.entries[i].value.clone();
+        }
+    }
+}
+
+/// Binds store parameters to tape leaves for one forward/backward pass.
+pub struct ParamBinder<'t> {
+    tape: &'t Tape,
+    bound: HashMap<ParamId, Var>,
+}
+
+impl<'t> ParamBinder<'t> {
+    /// Creates a binder for `tape`.
+    pub fn new(tape: &'t Tape) -> Self {
+        ParamBinder { tape, bound: HashMap::new() }
+    }
+
+    /// Returns the tape leaf for parameter `id`, registering it on first use.
+    pub fn var(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        *self.bound.entry(id).or_insert_with(|| self.tape.leaf(store.get(id)))
+    }
+
+    /// Gradients accumulated this pass, as `(param, grad)` pairs. Parameters
+    /// that never received gradient are omitted.
+    pub fn grads(&self) -> Vec<(ParamId, Tensor)> {
+        let mut out: Vec<(ParamId, Tensor)> = self
+            .bound
+            .iter()
+            .filter_map(|(&pid, &var)| self.tape.grad(var).map(|g| (pid, g)))
+            .collect();
+        out.sort_by_key(|(pid, _)| pid.0);
+        out
+    }
+
+    /// The tape this binder registers leaves on.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_set() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::zeros([2, 2]));
+        let b = store.register("b", Tensor::ones([2]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 6);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.get(b).data(), &[1.0, 1.0]);
+        store.set(w, Tensor::eye(2));
+        assert_eq!(store.get(w).at(&[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_rejects_wrong_shape() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::zeros([2, 2]));
+        store.set(w, Tensor::zeros([3]));
+    }
+
+    #[test]
+    fn binder_dedupes_and_collects_grads() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::from_vec([2], vec![2.0, 3.0]));
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let v1 = binder.var(&store, w);
+        let v2 = binder.var(&store, w);
+        assert_eq!(v1, v2, "same parameter must map to one leaf");
+        // loss = sum(w * w) -> grad = 2w
+        let y = tape.mul(v1, v2);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        let grads = binder.grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].1.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut store = ParamStore::new();
+        store.register("layer.w", Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]));
+        store.register("layer.b", Tensor::from_vec([2], vec![-1., 1.]));
+        let json = store.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(ParamId(0)).data(), &[1., 2., 3., 4.]);
+        assert_eq!(restored.name(ParamId(1)), "layer.b");
+    }
+
+    #[test]
+    fn load_from_copies_values() {
+        let mut a = ParamStore::new();
+        let w = a.register("w", Tensor::zeros([2]));
+        let mut b = ParamStore::new();
+        b.register("w", Tensor::from_vec([2], vec![5., 6.]));
+        a.load_from(&b);
+        assert_eq!(a.get(w).data(), &[5., 6.]);
+    }
+}

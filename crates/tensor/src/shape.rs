@@ -1,0 +1,213 @@
+//! Shape and index arithmetic for dense row-major tensors.
+//!
+//! A [`Shape`] is an ordered list of dimension sizes. All tensors in this crate
+//! are contiguous and row-major ("C order"): the last dimension varies fastest.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape (dimension sizes) of a dense tensor.
+///
+/// A scalar has an empty shape. Shapes are cheap to clone.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A scalar shape (zero dimensions, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of dimension `axis`. Panics if out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements (product of all dimension sizes).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides: `strides[i]` is the linear-offset step when index `i`
+    /// increases by one.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.rank()];
+        let mut acc = 1usize;
+        for i in (0..self.rank()).rev() {
+            strides[i] = acc;
+            acc *= self.0[i];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a linear offset.
+    ///
+    /// Panics (debug) if `idx` has the wrong rank or is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        let mut acc = 1usize;
+        for i in (0..self.rank()).rev() {
+            debug_assert!(idx[i] < self.0[i], "index out of bounds");
+            off += idx[i] * acc;
+            acc *= self.0[i];
+        }
+        off
+    }
+
+    /// Converts a linear offset back into a multi-dimensional index.
+    pub fn unravel(&self, mut off: usize) -> Vec<usize> {
+        let mut idx = vec![0; self.rank()];
+        for i in (0..self.rank()).rev() {
+            idx[i] = off % self.0[i];
+            off /= self.0[i];
+        }
+        idx
+    }
+
+    /// Returns the shape that results from broadcasting `self` with `other`
+    /// under NumPy rules (align trailing dimensions; a dimension of size 1
+    /// stretches), or `None` if the shapes are incompatible.
+    pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
+        let r = self.rank().max(other.rank());
+        let mut out = vec![0usize; r];
+        for i in 0..r {
+            let a = if i < r - self.rank() { 1 } else { self.0[i - (r - self.rank())] };
+            let b = if i < r - other.rank() { 1 } else { other.0[i - (r - other.rank())] };
+            if a == b {
+                out[i] = a;
+            } else if a == 1 {
+                out[i] = b;
+            } else if b == 1 {
+                out[i] = a;
+            } else {
+                return None;
+            }
+        }
+        Some(Shape(out))
+    }
+
+    /// True when `self` can broadcast to exactly `target`.
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        match self.broadcast_with(target) {
+            Some(s) => s == *target,
+            None => false,
+        }
+    }
+
+    /// Removes any leading/trailing semantics: returns the same shape with
+    /// dimension `axis` removed (used by reductions with `keepdim = false`).
+    pub fn remove_axis(&self, axis: usize) -> Shape {
+        let mut d = self.0.clone();
+        d.remove(axis);
+        Shape(d)
+    }
+
+    /// Returns the same shape with dimension `axis` set to 1.
+    pub fn keep_axis(&self, axis: usize) -> Shape {
+        let mut d = self.0.clone();
+        d[axis] = 1;
+        Shape(d)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn offset_and_unravel_roundtrip() {
+        let s = Shape::new(&[3, 5, 7]);
+        for off in 0..s.numel() {
+            let idx = s.unravel(off);
+            assert_eq!(s.offset(&idx), off);
+        }
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        let a = Shape::new(&[3, 1, 5]);
+        let b = Shape::new(&[4, 5]);
+        assert_eq!(a.broadcast_with(&b), Some(Shape::new(&[3, 4, 5])));
+        let c = Shape::new(&[2, 5]);
+        assert_eq!(a.broadcast_with(&c), Some(Shape::new(&[3, 2, 5])));
+        // Incompatible non-1 dimensions do not broadcast.
+        assert_eq!(Shape::new(&[3, 5]).broadcast_with(&Shape::new(&[2, 5])), None);
+        assert!(Shape::new(&[1, 5]).broadcasts_to(&Shape::new(&[4, 5])));
+        assert!(!Shape::new(&[4, 5]).broadcasts_to(&Shape::new(&[1, 5])));
+        // Scalars broadcast with anything.
+        assert_eq!(
+            Shape::scalar().broadcast_with(&Shape::new(&[2, 2])),
+            Some(Shape::new(&[2, 2]))
+        );
+    }
+
+    #[test]
+    fn axis_edits() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.remove_axis(1), Shape::new(&[2, 4]));
+        assert_eq!(s.keep_axis(1), Shape::new(&[2, 1, 4]));
+    }
+}

@@ -1,0 +1,222 @@
+//! Composite tape operations built from the primitive op set: extra
+//! activations, clamping, stacking and classification losses. These live in
+//! a separate `impl` block so the core tape stays a small audited kernel.
+
+use crate::shape::Shape;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+impl Tape {
+    /// Elementwise minimum of two equal-shaped nodes.
+    pub fn min2(&self, a: Var, b: Var) -> Var {
+        let na = self.neg(a);
+        let nb = self.neg(b);
+        let m = self.max2(na, nb);
+        self.neg(m)
+    }
+
+    /// Clamps every element into `[lo, hi]` (gradient is zero outside).
+    pub fn clamp(&self, x: Var, lo: f32, hi: f32) -> Var {
+        assert!(lo <= hi, "clamp bounds inverted");
+        let shape = self.shape_of(x);
+        let lo_t = self.constant(Tensor::full(shape.clone(), lo));
+        let hi_t = self.constant(Tensor::full(shape, hi));
+        let x = self.max2(x, lo_t);
+        self.min2(x, hi_t)
+    }
+
+    /// Numerically-stable softplus `ln(1 + e^x) = relu(x) + ln(1 + e^{-|x|})`.
+    pub fn softplus(&self, x: Var) -> Var {
+        let pos = self.relu(x);
+        let a = self.abs(x);
+        let na = self.neg(a);
+        let e = self.exp(na);
+        let e1 = self.add_scalar(e, 1.0);
+        let ln = self.ln(e1);
+        self.add(pos, ln)
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&self, x: Var) -> Var {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let x3 = {
+            let sq = self.square(x);
+            self.mul(sq, x)
+        };
+        let inner = {
+            let scaled = self.mul_scalar(x3, 0.044715);
+            let sum = self.add(x, scaled);
+            self.mul_scalar(sum, C)
+        };
+        let t = self.tanh(inner);
+        let one_plus = self.add_scalar(t, 1.0);
+        let half_x = self.mul_scalar(x, 0.5);
+        self.mul(half_x, one_plus)
+    }
+
+    /// Stacks equal-shaped nodes along a new leading axis: `k × shape`.
+    pub fn stack0(&self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "stack of zero nodes");
+        let shape = self.shape_of(xs[0]);
+        let mut lifted = Vec::with_capacity(xs.len());
+        for &x in xs {
+            assert_eq!(self.shape_of(x), shape, "stack0 requires equal shapes");
+            let mut dims = vec![1usize];
+            dims.extend_from_slice(shape.dims());
+            lifted.push(self.reshape(x, dims));
+        }
+        self.concat(&lifted, 0)
+    }
+
+    /// Softmax cross-entropy with integer class targets. `logits` is
+    /// `(B, C)`; `targets[b]` is the true class of row `b`. Returns the mean
+    /// negative log-likelihood.
+    pub fn cross_entropy(&self, logits: Var, targets: &[usize]) -> Var {
+        let shape = self.shape_of(logits);
+        assert_eq!(shape.rank(), 2, "cross_entropy expects (B, C) logits");
+        let (b, c) = (shape.dim(0), shape.dim(1));
+        assert_eq!(targets.len(), b, "one target per row required");
+        let mut mask = Tensor::zeros([b, c]);
+        {
+            let data = mask.data_mut();
+            for (row, &t) in targets.iter().enumerate() {
+                assert!(t < c, "target class {t} out of range {c}");
+                data[row * c + t] = 1.0;
+            }
+        }
+        let logp = self.log_softmax_lastdim(logits);
+        let m = self.constant(mask);
+        let picked = self.mul(logp, m);
+        let nll = self.sum_axis(picked, 1, false);
+        let neg = self.neg(nll);
+        self.mean_all(neg)
+    }
+
+    /// Huber (smooth-L1) loss against a constant target, with threshold
+    /// `delta` — robust alternative to MSE for heavy-tailed signals.
+    pub fn huber_loss(&self, pred: Var, target: &Tensor, delta: f32) -> Var {
+        assert!(delta > 0.0);
+        let t = self.constant(target.clone());
+        let d = self.sub(pred, t);
+        let a = self.abs(d);
+        // huber(d) = 0.5 c² + δ(|d| − c) with c = min(|d|, δ): quadratic
+        // inside the threshold, linear outside.
+        let delta_t = self.constant(Tensor::full(self.shape_of(a), delta));
+        let c = self.min2(a, delta_t);
+        let quad = {
+            let sq = self.square(c);
+            self.mul_scalar(sq, 0.5)
+        };
+        let lin = {
+            let excess = self.sub(a, c);
+            self.mul_scalar(excess, delta)
+        };
+        let h = self.add(quad, lin);
+        self.mean_all(h)
+    }
+
+    /// The shape a set of stacked nodes would produce (helper for callers
+    /// building dynamic graphs).
+    pub fn stacked_shape(&self, xs: &[Var]) -> Shape {
+        let inner = self.shape_of(xs[0]);
+        let mut dims = vec![xs.len()];
+        dims.extend_from_slice(inner.dims());
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min2_and_clamp() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec([3], vec![-2.0, 0.5, 3.0]));
+        let c = tape.clamp(a, -1.0, 1.0);
+        assert_eq!(tape.value(c).data(), &[-1.0, 0.5, 1.0]);
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        // Gradient flows only through the un-clamped element.
+        assert_eq!(tape.grad(a).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softplus_matches_reference() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec([4], vec![-30.0, -1.0, 1.0, 30.0]));
+        let y = tape.softplus(x);
+        let v = tape.value(y);
+        assert!(v.data()[0].abs() < 1e-5, "softplus(-30) ~ 0");
+        assert!((v.data()[1] - (1.0f32 + (-1.0f32).exp()).ln()).abs() < 1e-5);
+        assert!((v.data()[3] - 30.0).abs() < 1e-4, "softplus(30) ~ 30");
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        // d softplus = sigmoid
+        for (i, &xi) in [-30.0f32, -1.0, 1.0, 30.0].iter().enumerate() {
+            let sig = 1.0 / (1.0 + (-xi).exp());
+            assert!((g.data()[i] - sig).abs() < 1e-3, "at {xi}: {} vs {sig}", g.data()[i]);
+        }
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec([3], vec![-10.0, 0.0, 10.0]));
+        let y = tape.gelu(x);
+        let v = tape.value(y);
+        assert!(v.data()[0].abs() < 1e-3, "gelu(-10) ~ 0");
+        assert_eq!(v.data()[1], 0.0);
+        assert!((v.data()[2] - 10.0).abs() < 1e-3, "gelu(10) ~ 10");
+    }
+
+    #[test]
+    fn stack0_shapes_and_grad() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec([2], vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec([2], vec![3.0, 4.0]));
+        let s = tape.stack0(&[a, b]);
+        assert_eq!(tape.shape_of(s).dims(), &[2, 2]);
+        assert_eq!(tape.stacked_shape(&[a, b]).dims(), &[2, 2]);
+        assert_eq!(tape.value(s).data(), &[1.0, 2.0, 3.0, 4.0]);
+        let loss = tape.sum_all(s);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(tape.grad(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let tape = Tape::new();
+        let good = tape.constant(Tensor::from_vec([2, 3], vec![5., 0., 0., 0., 5., 0.]));
+        let bad = tape.constant(Tensor::from_vec([2, 3], vec![0., 5., 0., 5., 0., 0.]));
+        let l_good = tape.cross_entropy(good, &[0, 1]);
+        let l_bad = tape.cross_entropy(bad, &[0, 1]);
+        assert!(tape.value(l_good).item() < 0.1);
+        assert!(tape.value(l_bad).item() > 2.0);
+    }
+
+    #[test]
+    fn huber_between_mae_and_mse_behaviour() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec([2], vec![0.5, 10.0]));
+        let target = Tensor::zeros([2]);
+        let h = tape.huber_loss(pred, &target, 1.0);
+        // Element 0 is quadratic (0.125); element 1 linear (10 - 0.5 = 9.5).
+        assert!((tape.value(h).item() - (0.125 + 9.5) / 2.0).abs() < 1e-5);
+        tape.backward(h);
+        let g = tape.grad(pred).unwrap();
+        // Quadratic grad = d/2 (mean) = 0.25; linear grad = delta/2 = 0.5.
+        assert!((g.data()[0] - 0.25).abs() < 1e-5);
+        assert!((g.data()[1] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn clamp_rejects_bad_bounds() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros([1]));
+        let _ = tape.clamp(x, 1.0, 0.0);
+    }
+}

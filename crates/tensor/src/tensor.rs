@@ -1,0 +1,561 @@
+//! Dense, contiguous, row-major `f32` tensors with copy-on-write storage.
+//!
+//! Storage is an `Arc<Vec<f32>>`, so cloning a [`Tensor`] is O(1); mutation
+//! goes through [`Tensor::data_mut`], which copies only when the buffer is
+//! shared. This keeps the autograd tape cheap: saved activations are clones.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense `f32` tensor (contiguous, row-major).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// Builds a tensor from raw data. Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// A scalar tensor.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(Shape::scalar(), vec![v])
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: Arc::new(vec![0.0; n]) }
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor of the given shape.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: Arc::new(vec![v; n]) }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Tensor::from_vec([n, n], data)
+    }
+
+    /// `[0, 1, ..., n-1]` as a 1-D tensor.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_vec([n], (0..n).map(|i| i as f32).collect())
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Size of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape.dim(axis)
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (copy-on-write).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::<Vec<f32>>::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let off = self.shape.offset(idx);
+        self.data_mut()[off] = v;
+    }
+
+    /// The single value of a scalar (or one-element) tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires exactly one element, shape is {}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape from {} to {} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor { shape, data: Arc::clone(&self.data) }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+        }
+    }
+
+    /// Applies `f(self[i], other[i])` elementwise. Panics on shape mismatch
+    /// (no broadcasting; see [`Tensor::zip_broadcast`]).
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch: {} vs {}", self.shape, other.shape);
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            ),
+        }
+    }
+
+    /// Elementwise combine with NumPy-style broadcasting.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            return self.zip(other, f);
+        }
+        let out_shape = self
+            .shape
+            .broadcast_with(&other.shape)
+            .unwrap_or_else(|| panic!("cannot broadcast {} with {}", self.shape, other.shape));
+        let a = self.broadcast_to(&out_shape);
+        let b = other.broadcast_to(&out_shape);
+        a.zip(&b, f)
+    }
+
+    /// Materializes a broadcast of this tensor to `target`.
+    pub fn broadcast_to(&self, target: &Shape) -> Tensor {
+        if &self.shape == target {
+            return self.clone();
+        }
+        assert!(
+            self.shape.broadcasts_to(target),
+            "{} does not broadcast to {}",
+            self.shape,
+            target
+        );
+        let r = target.rank();
+        let pad = r - self.shape.rank();
+        let src_strides = self.shape.strides();
+        // Effective strides in the target frame: 0 where the source dim is 1 or absent.
+        let mut eff = vec![0usize; r];
+        for i in 0..r {
+            if i >= pad {
+                let sd = self.shape.dim(i - pad);
+                eff[i] = if sd == 1 { 0 } else { src_strides[i - pad] };
+            }
+        }
+        let n = target.numel();
+        let mut out = Vec::with_capacity(n);
+        let tdims = target.dims();
+        let mut idx = vec![0usize; r];
+        let mut src_off = 0usize;
+        for _ in 0..n {
+            out.push(self.data[src_off]);
+            // Increment the multi-index, updating the source offset incrementally.
+            for i in (0..r).rev() {
+                idx[i] += 1;
+                src_off += eff[i];
+                if idx[i] < tdims[i] {
+                    break;
+                }
+                src_off -= eff[i] * tdims[i];
+                idx[i] = 0;
+            }
+        }
+        Tensor { shape: target.clone(), data: Arc::new(out) }
+    }
+
+    /// Reduces a broadcasted gradient back to this tensor's original shape by
+    /// summing over broadcast dimensions. `grad` must have a shape that
+    /// `original` broadcasts to.
+    pub fn reduce_to(grad: &Tensor, original: &Shape) -> Tensor {
+        if grad.shape() == original {
+            return grad.clone();
+        }
+        let gr = grad.rank();
+        let pad = gr - original.rank();
+        let mut out = Tensor::zeros(original.clone());
+        {
+            let odata = out.data_mut();
+            let gdims = grad.dims().to_vec();
+            let ostrides = original.strides();
+            let mut idx = vec![0usize; gr];
+            let mut ooff = 0usize;
+            // Effective output strides in the grad frame (0 on broadcast dims).
+            let mut eff = vec![0usize; gr];
+            for i in 0..gr {
+                if i >= pad {
+                    let od = original.dim(i - pad);
+                    eff[i] = if od == 1 { 0 } else { ostrides[i - pad] };
+                }
+            }
+            for &g in grad.data().iter() {
+                odata[ooff] += g;
+                for i in (0..gr).rev() {
+                    idx[i] += 1;
+                    ooff += eff[i];
+                    if idx[i] < gdims[i] {
+                        break;
+                    }
+                    ooff -= eff[i] * gdims[i];
+                    idx[i] = 0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposes a 2-D tensor.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "t() requires a 2-D tensor, got {}", self.shape);
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec([n, m], out)
+    }
+
+    /// Permutes dimensions: `out[idx] = self[idx[perm]]` semantics of
+    /// `numpy.transpose` (axis `i` of the output is axis `perm[i]` of input).
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.rank(), "permute rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {:?}", perm);
+            seen[p] = true;
+        }
+        let out_dims: Vec<usize> = perm.iter().map(|&p| self.dim(p)).collect();
+        let out_shape = Shape::new(&out_dims);
+        let src_strides = self.shape.strides();
+        let n = self.numel();
+        let mut out = Vec::with_capacity(n);
+        let r = self.rank();
+        let mut idx = vec![0usize; r];
+        // Stride of output index i in the source buffer.
+        let eff: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
+        let mut src_off = 0usize;
+        for _ in 0..n {
+            out.push(self.data[src_off]);
+            for i in (0..r).rev() {
+                idx[i] += 1;
+                src_off += eff[i];
+                if idx[i] < out_dims[i] {
+                    break;
+                }
+                src_off -= eff[i] * out_dims[i];
+                idx[i] = 0;
+            }
+        }
+        Tensor { shape: out_shape, data: Arc::new(out) }
+    }
+
+    /// Slices along `axis`, keeping indices in `[start, end)`.
+    pub fn slice(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        assert!(axis < self.rank(), "slice axis out of range");
+        assert!(start <= end && end <= self.dim(axis), "slice range out of bounds");
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let d = self.dim(axis);
+        let len = end - start;
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = o * d * inner;
+            out.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+        }
+        let mut dims = self.dims().to_vec();
+        dims[axis] = len;
+        Tensor::from_vec(dims, out)
+    }
+
+    /// Selects rows (`axis = 0` entries) by index, with repetition allowed.
+    pub fn index_select0(&self, indices: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1);
+        let inner: usize = self.dims()[1..].iter().product();
+        let mut out = Vec::with_capacity(indices.len() * inner);
+        for &i in indices {
+            assert!(i < self.dim(0), "index_select0 index {} out of range {}", i, self.dim(0));
+            out.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+        }
+        let mut dims = self.dims().to_vec();
+        dims[0] = indices.len();
+        Tensor::from_vec(dims, out)
+    }
+
+    /// Concatenates tensors along `axis`. All other dimensions must match.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let r = tensors[0].rank();
+        assert!(axis < r, "concat axis out of range");
+        for t in tensors {
+            assert_eq!(t.rank(), r, "concat rank mismatch");
+            for a in 0..r {
+                if a != axis {
+                    assert_eq!(t.dim(a), tensors[0].dim(a), "concat dim {} mismatch", a);
+                }
+            }
+        }
+        let outer: usize = tensors[0].dims()[..axis].iter().product();
+        let inner: usize = tensors[0].dims()[axis + 1..].iter().product();
+        let total_axis: usize = tensors.iter().map(|t| t.dim(axis)).sum();
+        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        for o in 0..outer {
+            for t in tensors {
+                let d = t.dim(axis);
+                let base = o * d * inner;
+                out.extend_from_slice(&t.data[base..base + d * inner]);
+            }
+        }
+        let mut dims = tensors[0].dims().to_vec();
+        dims[axis] = total_axis;
+        Tensor::from_vec(dims, out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element (NaN-ignoring; `-inf` for empty tensors).
+    pub fn max_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (NaN-ignoring; `+inf` for empty tensors).
+    pub fn min_value(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum along `axis`, keeping it as size 1 when `keepdim`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        assert!(axis < self.rank());
+        let outer: usize = self.dims()[..axis].iter().product();
+        let d = self.dim(axis);
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for k in 0..d {
+                let base = (o * d + k) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out[obase + i] += self.data[base + i];
+                }
+            }
+        }
+        let shape = if keepdim { self.shape.keep_axis(axis) } else { self.shape.remove_axis(axis) };
+        Tensor::from_vec(shape, out)
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let d = self.dim(axis) as f32;
+        self.sum_axis(axis, keepdim).map(|x| x / d)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Approximate equality within `tol` (elementwise absolute difference).
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                "data=[{:.4}, {:.4}, ... {:.4}], mean={:.4})",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1],
+                self.mean()
+            )
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(Tensor::eye(3).at(&[1, 1]), 1.0);
+        assert_eq!(Tensor::eye(3).at(&[1, 0]), 0.0);
+        assert_eq!(Tensor::arange(4).data(), &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_construction_panics() {
+        let _ = Tensor::from_vec([2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn copy_on_write() {
+        let a = Tensor::zeros([2, 2]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 5.0;
+        assert_eq!(a.data()[0], 0.0);
+        assert_eq!(b.data()[0], 5.0);
+    }
+
+    #[test]
+    fn broadcast_to_materializes() {
+        let row = Tensor::from_vec([1, 3], vec![1., 2., 3.]);
+        let b = row.broadcast_to(&Shape::new(&[2, 3]));
+        assert_eq!(b.data(), &[1., 2., 3., 1., 2., 3.]);
+        let col = Tensor::from_vec([2, 1], vec![10., 20.]);
+        let c = col.broadcast_to(&Shape::new(&[2, 3]));
+        assert_eq!(c.data(), &[10., 10., 10., 20., 20., 20.]);
+        let s = Tensor::scalar(7.0).broadcast_to(&Shape::new(&[2, 2]));
+        assert_eq!(s.data(), &[7., 7., 7., 7.]);
+    }
+
+    #[test]
+    fn reduce_to_sums_broadcast_dims() {
+        let g = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = Tensor::reduce_to(&g, &Shape::new(&[1, 3]));
+        assert_eq!(r.data(), &[5., 7., 9.]);
+        let r2 = Tensor::reduce_to(&g, &Shape::new(&[2, 1]));
+        assert_eq!(r2.data(), &[6., 15.]);
+        let r3 = Tensor::reduce_to(&g, &Shape::scalar());
+        assert_eq!(r3.item(), 21.0);
+        let r4 = Tensor::reduce_to(&g, &Shape::new(&[3]));
+        assert_eq!(r4.data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn transpose_and_permute() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.t().data(), &[1., 4., 2., 5., 3., 6.]);
+        let p = t.permute(&[1, 0]);
+        assert_eq!(p, t.t());
+        let u = Tensor::arange(24).reshape([2, 3, 4]);
+        let v = u.permute(&[2, 0, 1]);
+        assert_eq!(v.dims(), &[4, 2, 3]);
+        assert_eq!(v.at(&[3, 1, 2]), u.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let t = Tensor::arange(24).reshape([2, 3, 4]);
+        let s = t.slice(1, 1, 3);
+        assert_eq!(s.dims(), &[2, 2, 4]);
+        assert_eq!(s.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        let back = Tensor::concat(&[&t.slice(1, 0, 1), &s], 1);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let t = Tensor::from_vec([3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let s = t.index_select0(&[2, 0, 2]);
+        assert_eq!(s.dims(), &[3, 2]);
+        assert_eq!(s.data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.sum(), 21.0);
+        assert!((t.mean() - 3.5).abs() < 1e-6);
+        assert_eq!(t.sum_axis(0, false).data(), &[5., 7., 9.]);
+        assert_eq!(t.sum_axis(1, false).data(), &[6., 15.]);
+        assert_eq!(t.sum_axis(1, true).dims(), &[2, 1]);
+        assert_eq!(t.mean_axis(0, false).data(), &[2.5, 3.5, 4.5]);
+        assert_eq!(t.max_value(), 6.0);
+        assert_eq!(t.min_value(), 1.0);
+    }
+
+    #[test]
+    fn zip_broadcast_combines() {
+        let a = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec([2], vec![10., 20.]);
+        let c = a.zip_broadcast(&b, |x, y| x + y);
+        assert_eq!(c.data(), &[11., 22., 13., 24.]);
+    }
+}

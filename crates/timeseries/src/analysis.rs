@@ -1,0 +1,120 @@
+//! Forecast analysis beyond scalar metrics: per-horizon error curves,
+//! grouped metrics and autocorrelation — the tooling behind the error
+//! breakdowns in EXPERIMENTS.md.
+
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// Per-horizon metrics: how error grows with the forecast lead time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HorizonMetrics {
+    /// One [`Metrics`] per horizon step `1..=T'`.
+    pub per_horizon: Vec<Metrics>,
+}
+
+impl HorizonMetrics {
+    /// Computes per-horizon metrics from flattened predictions laid out as
+    /// `sample-major` blocks of `t_out` consecutive horizon steps
+    /// (`[s0h0, s0h1, ..., s0h(T'-1), s1h0, ...]`).
+    pub fn compute(pred: &[f32], truth: &[f32], t_out: usize) -> HorizonMetrics {
+        assert_eq!(pred.len(), truth.len());
+        assert!(t_out >= 1 && pred.len() % t_out == 0, "length must be a multiple of t_out");
+        let samples = pred.len() / t_out;
+        let mut per_horizon = Vec::with_capacity(t_out);
+        for h in 0..t_out {
+            let p: Vec<f32> = (0..samples).map(|s| pred[s * t_out + h]).collect();
+            let t: Vec<f32> = (0..samples).map(|s| truth[s * t_out + h]).collect();
+            per_horizon.push(Metrics::compute(&p, &t));
+        }
+        HorizonMetrics { per_horizon }
+    }
+
+    /// RMSE sequence over horizons.
+    pub fn rmse_curve(&self) -> Vec<f64> {
+        self.per_horizon.iter().map(|m| m.rmse).collect()
+    }
+
+    /// Whether error is (weakly) non-decreasing with lead time — the usual
+    /// sanity shape of a forecaster.
+    pub fn error_grows_with_horizon(&self, tolerance: f64) -> bool {
+        self.rmse_curve().windows(2).all(|w| w[1] >= w[0] - tolerance)
+    }
+}
+
+/// Sample autocorrelation of a series at lags `0..=max_lag`.
+pub fn autocorrelation(series: &[f32], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    assert!(n > max_lag, "series too short for requested lags");
+    let mean = series.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|&v| (v as f64 - mean).powi(2)).sum();
+    if var <= 0.0 {
+        return vec![1.0; max_lag + 1];
+    }
+    (0..=max_lag)
+        .map(|lag| {
+            let cov: f64 = (0..n - lag)
+                .map(|i| (series[i] as f64 - mean) * (series[i + lag] as f64 - mean))
+                .sum();
+            cov / var
+        })
+        .collect()
+}
+
+/// The lag (within `1..=max_lag`) with the highest autocorrelation — a crude
+/// period detector used to verify simulated signals are diurnal.
+pub fn dominant_period(series: &[f32], max_lag: usize) -> usize {
+    let acf = autocorrelation(series, max_lag);
+    (1..=max_lag)
+        .max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).expect("finite"))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_metrics_split_correctly() {
+        // Two samples, three horizons; horizon h has error h+1 everywhere.
+        let truth = vec![0.0; 6];
+        let pred = vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0];
+        let hm = HorizonMetrics::compute(&pred, &truth, 3);
+        assert_eq!(hm.per_horizon.len(), 3);
+        assert!((hm.per_horizon[0].rmse - 1.0).abs() < 1e-9);
+        assert!((hm.per_horizon[1].rmse - 2.0).abs() < 1e-9);
+        assert!((hm.per_horizon[2].rmse - 3.0).abs() < 1e-9);
+        assert!(hm.error_grows_with_horizon(0.0));
+        assert_eq!(hm.rmse_curve(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn non_monotone_detected() {
+        let truth = vec![0.0; 4];
+        let pred = vec![3.0, 1.0, 3.0, 1.0];
+        let hm = HorizonMetrics::compute(&pred, &truth, 2);
+        assert!(!hm.error_grows_with_horizon(0.0));
+    }
+
+    #[test]
+    fn acf_of_periodic_signal_peaks_at_period() {
+        let series: Vec<f32> =
+            (0..200).map(|i| ((i % 20) as f32 / 20.0 * std::f32::consts::TAU).sin()).collect();
+        let acf = autocorrelation(&series, 40);
+        assert!((acf[0] - 1.0).abs() < 1e-9);
+        assert!(acf[20] > 0.9, "lag-20 ACF {} should be ~1", acf[20]);
+        assert!(acf[10] < 0.0, "half-period ACF {} should be negative", acf[10]);
+        assert_eq!(dominant_period(&series, 30), 20);
+    }
+
+    #[test]
+    fn acf_constant_series_safe() {
+        let acf = autocorrelation(&[5.0; 50], 5);
+        assert!(acf.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of t_out")]
+    fn horizon_rejects_misaligned_input() {
+        let _ = HorizonMetrics::compute(&[1.0; 5], &[1.0; 5], 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Dynamic time warping (Berndt & Clifford, 1994) — the temporal-similarity
+//! measure behind the paper's `A_dtw` adjacency (§3.4.1, following STFGNN).
+//!
+//! Both the exact O(T₁T₂) recurrence and a Sakoe–Chiba banded variant are
+//! provided; the band makes the all-pairs computation over ~1000 sensors
+//! tractable on daily profiles.
+
+/// Exact DTW distance between two series with absolute-difference local cost.
+pub fn dtw(a: &[f32], b: &[f32]) -> f32 {
+    dtw_banded(a, b, usize::MAX)
+}
+
+/// DTW restricted to a Sakoe–Chiba band of half-width `band` around the
+/// diagonal (`usize::MAX` = unconstrained). Distance is the sum of
+/// `|a[i] - b[j]|` along the optimal monotone alignment.
+pub fn dtw_banded(a: &[f32], b: &[f32], band: usize) -> f32 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == m { 0.0 } else { f32::INFINITY };
+    }
+    // Effective band must at least cover the length difference, or no
+    // complete warping path exists.
+    let band = band.max(n.abs_diff(m));
+    let inf = f32::INFINITY;
+    // Rolling rows of the DP table; row i covers j in [lo, hi).
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(inf);
+        // Sakoe–Chiba: |i - j| <= band (1-based indices on both axes).
+        let lo = i.saturating_sub(band).max(1);
+        let hi = i.saturating_add(band).min(m);
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Converts a DTW distance into a similarity in (0, 1]: `exp(-d / scale)`.
+pub fn dtw_similarity(d: f32, scale: f32) -> f32 {
+    (-d / scale.max(1e-12)).exp()
+}
+
+/// All-pairs DTW distances over `series` (each a slice of equal or varying
+/// length). Returns a row-major symmetric N×N matrix with a zero diagonal.
+pub fn dtw_all_pairs(series: &[Vec<f32>], band: usize) -> Vec<f32> {
+    let n = series.len();
+    let mut out = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dtw_banded(&series[i], &series[j], band);
+            out[i * n + j] = d;
+            out[j * n + i] = d;
+        }
+    }
+    out
+}
+
+/// DTW distances from each of `from` to each of `to` (rows = `from`).
+pub fn dtw_cross(from: &[Vec<f32>], to: &[Vec<f32>], band: usize) -> Vec<f32> {
+    let (n, m) = (from.len(), to.len());
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            out[i * m + j] = dtw_banded(&from[i], &to[j], band);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let a = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn shifted_series_align_cheaply() {
+        // DTW absorbs a pure time shift almost entirely, unlike Euclidean.
+        let a = vec![0., 0., 1., 2., 3., 2., 1., 0., 0., 0.];
+        let b = vec![0., 0., 0., 0., 1., 2., 3., 2., 1., 0.];
+        let euclid: f32 = a.iter().zip(&b).map(|(x, y): (&f32, &f32)| (x - y).abs()).sum();
+        let d = dtw(&a, &b);
+        assert!(d < euclid, "dtw {d} not below euclid {euclid}");
+        assert!(d <= 1e-6, "pure shift should align perfectly, got {d}");
+    }
+
+    #[test]
+    fn dtw_upper_bounded_by_euclidean() {
+        // For equal lengths the diagonal path is always available.
+        let a = vec![0.3, -0.5, 1.2, 0.0, 2.2];
+        let b = vec![1.0, 0.0, -0.2, 0.4, 2.0];
+        let euclid: f32 = a.iter().zip(&b).map(|(x, y): (&f32, &f32)| (x - y).abs()).sum();
+        assert!(dtw(&a, &b) <= euclid + 1e-6);
+    }
+
+    #[test]
+    fn band_zero_equals_euclidean_for_equal_lengths() {
+        let a = vec![0.3, -0.5, 1.2, 0.0];
+        let b = vec![1.0, 0.0, -0.2, 0.4];
+        let euclid: f32 = a.iter().zip(&b).map(|(x, y): (&f32, &f32)| (x - y).abs()).sum();
+        assert!((dtw_banded(&a, &b, 0) - euclid).abs() < 1e-6);
+    }
+
+    #[test]
+    fn widening_band_never_increases_distance() {
+        let a: Vec<f32> = (0..30).map(|i| ((i as f32) * 0.4).sin()).collect();
+        let b: Vec<f32> = (0..30).map(|i| ((i as f32) * 0.4 + 1.0).sin()).collect();
+        let mut last = f32::INFINITY;
+        for band in [0, 1, 2, 5, 10, usize::MAX] {
+            let d = dtw_banded(&a, &b, band);
+            assert!(d <= last + 1e-5, "band {band}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_work() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 1.5, 2.0, 2.5, 3.0];
+        let d = dtw(&a, &b);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+        // Symmetric.
+        assert!((dtw(&b, &a) - d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_series_edge_cases() {
+        assert_eq!(dtw(&[], &[]), 0.0);
+        assert!(dtw(&[1.0], &[]).is_infinite());
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let series = vec![vec![1.0, 2.0], vec![2.0, 3.0], vec![0.0, 0.0]];
+        let d = dtw_all_pairs(&series, usize::MAX);
+        for i in 0..3 {
+            assert_eq!(d[i * 3 + i], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[i * 3 + j], d[j * 3 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_matches_pairwise() {
+        let from = vec![vec![1.0, 2.0, 3.0]];
+        let to = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]];
+        let d = dtw_cross(&from, &to, usize::MAX);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] - dtw(&from[0], &to[1])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similarity_decreases_with_distance() {
+        let s0 = dtw_similarity(0.0, 1.0);
+        let s1 = dtw_similarity(1.0, 1.0);
+        let s2 = dtw_similarity(2.0, 1.0);
+        assert_eq!(s0, 1.0);
+        assert!(s0 > s1 && s1 > s2 && s2 > 0.0);
+    }
+}

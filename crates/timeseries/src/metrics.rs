@@ -1,0 +1,143 @@
+//! Forecast accuracy metrics used throughout the paper's evaluation
+//! (§5.1.3): RMSE, MAE, MAPE and R².
+
+use serde::{Deserialize, Serialize};
+
+/// The four metrics of Table 4 computed over one prediction set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Root mean squared error (lower is better).
+    pub rmse: f64,
+    /// Mean absolute error (lower is better).
+    pub mae: f64,
+    /// Mean absolute percentage error (lower is better). Targets with
+    /// magnitude below a small threshold are skipped, matching common
+    /// traffic-forecasting practice.
+    pub mape: f64,
+    /// Coefficient of determination (higher is better; can be negative when
+    /// the model is worse than predicting the mean).
+    pub r2: f64,
+}
+
+impl Metrics {
+    /// Computes all four metrics of predictions vs. ground truth.
+    ///
+    /// Panics if lengths differ or the inputs are empty.
+    pub fn compute(pred: &[f32], truth: &[f32]) -> Metrics {
+        assert_eq!(pred.len(), truth.len(), "pred/truth length mismatch");
+        assert!(!pred.is_empty(), "cannot compute metrics of empty slices");
+        let n = pred.len() as f64;
+        let mut se = 0.0f64;
+        let mut ae = 0.0f64;
+        let mut ape = 0.0f64;
+        let mut ape_count = 0usize;
+        let mut truth_sum = 0.0f64;
+        for (&p, &t) in pred.iter().zip(truth.iter()) {
+            let d = (p - t) as f64;
+            se += d * d;
+            ae += d.abs();
+            truth_sum += t as f64;
+            if t.abs() > 1e-3 {
+                ape += (d / t as f64).abs();
+                ape_count += 1;
+            }
+        }
+        let truth_mean = truth_sum / n;
+        let mut ss_tot = 0.0f64;
+        for &t in truth {
+            let d = t as f64 - truth_mean;
+            ss_tot += d * d;
+        }
+        let r2 = if ss_tot > 0.0 { 1.0 - se / ss_tot } else { f64::NAN };
+        Metrics {
+            rmse: (se / n).sqrt(),
+            mae: ae / n,
+            mape: if ape_count > 0 { ape / ape_count as f64 } else { 0.0 },
+            r2,
+        }
+    }
+
+    /// Averages a set of metric records (used for the four space splits per
+    /// dataset, §5.1.1).
+    pub fn average(all: &[Metrics]) -> Metrics {
+        assert!(!all.is_empty());
+        let n = all.len() as f64;
+        Metrics {
+            rmse: all.iter().map(|m| m.rmse).sum::<f64>() / n,
+            mae: all.iter().map(|m| m.mae).sum::<f64>() / n,
+            mape: all.iter().map(|m| m.mape).sum::<f64>() / n,
+            r2: all.iter().map(|m| m.r2).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RMSE {:.3} | MAE {:.3} | MAPE {:.3} | R2 {:.3}",
+            self.rmse, self.mae, self.mape, self.r2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = vec![1.0, 2.0, 3.0, 4.0];
+        let m = Metrics::compute(&t, &t);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.mape, 0.0);
+        assert_eq!(m.r2, 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = vec![2.0, 4.0];
+        let truth = vec![1.0, 2.0];
+        let m = Metrics::compute(&pred, &truth);
+        // errors: 1, 2 -> rmse = sqrt(2.5), mae = 1.5, mape = (1/1 + 2/2)/2 = 1
+        assert!((m.rmse - 2.5f64.sqrt()).abs() < 1e-9);
+        assert!((m.mae - 1.5).abs() < 1e-9);
+        assert!((m.mape - 1.0).abs() < 1e-9);
+        // ss_tot = (1-1.5)^2 + (2-1.5)^2 = 0.5 ; ss_res = 5 -> r2 = 1 - 10 = -9
+        assert!((m.r2 + 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_prediction_gives_zero_r2() {
+        let truth = vec![1.0, 2.0, 3.0];
+        let pred = vec![2.0, 2.0, 2.0];
+        let m = Metrics::compute(&pred, &truth);
+        assert!(m.r2.abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_near_zero_targets() {
+        let truth = vec![0.0, 2.0];
+        let pred = vec![5.0, 3.0];
+        let m = Metrics::compute(&pred, &truth);
+        assert!((m.mape - 0.5).abs() < 1e-9, "only the non-zero target counts");
+    }
+
+    #[test]
+    fn average_of_metrics() {
+        let a = Metrics { rmse: 1.0, mae: 1.0, mape: 0.1, r2: 0.5 };
+        let b = Metrics { rmse: 3.0, mae: 2.0, mape: 0.3, r2: 0.1 };
+        let avg = Metrics::average(&[a, b]);
+        assert_eq!(avg.rmse, 2.0);
+        assert_eq!(avg.mae, 1.5);
+        assert!((avg.mape - 0.2).abs() < 1e-12);
+        assert!((avg.r2 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = Metrics::compute(&[1.0], &[1.0, 2.0]);
+    }
+}

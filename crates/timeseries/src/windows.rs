@@ -1,0 +1,177 @@
+//! Sliding-window extraction, z-score scaling and daily-profile aggregation
+//! for the data pipeline (§5.1.1: past `T` steps predict the next `T'`).
+
+use serde::{Deserialize, Serialize};
+
+/// Index pair describing one training sample: the input window
+/// `[input_start, input_start + t_in)` and the target window
+/// `[input_start + t_in, input_start + t_in + t_out)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowIndex {
+    /// First time index of the input window.
+    pub input_start: usize,
+    /// Input window length `T`.
+    pub t_in: usize,
+    /// Target window length `T'`.
+    pub t_out: usize,
+}
+
+impl WindowIndex {
+    /// First time index of the target window.
+    pub fn target_start(&self) -> usize {
+        self.input_start + self.t_in
+    }
+
+    /// One-past-the-end index of the target window.
+    pub fn end(&self) -> usize {
+        self.input_start + self.t_in + self.t_out
+    }
+}
+
+/// Enumerates all complete `(input, target)` windows over `total_steps` time
+/// steps with the given stride.
+pub fn sliding_windows(total_steps: usize, t_in: usize, t_out: usize, stride: usize) -> Vec<WindowIndex> {
+    assert!(stride >= 1, "stride must be at least 1");
+    let mut out = Vec::new();
+    if total_steps < t_in + t_out {
+        return out;
+    }
+    let mut start = 0usize;
+    while start + t_in + t_out <= total_steps {
+        out.push(WindowIndex { input_start: start, t_in, t_out });
+        start += stride;
+    }
+    out
+}
+
+/// Z-score normalization fitted on training data and applied everywhere,
+/// standard practice for traffic forecasting.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Scaler {
+    /// Fitted mean.
+    pub mean: f32,
+    /// Fitted standard deviation (floored to avoid division by ~0).
+    pub std: f32,
+}
+
+impl Scaler {
+    /// Fits mean/std over the values.
+    pub fn fit(values: &[f32]) -> Scaler {
+        assert!(!values.is_empty(), "cannot fit a scaler on no data");
+        let n = values.len() as f64;
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        Scaler { mean: mean as f32, std: (var.sqrt() as f32).max(1e-6) }
+    }
+
+    /// Standardizes a single value.
+    pub fn transform(&self, v: f32) -> f32 {
+        (v - self.mean) / self.std
+    }
+
+    /// Inverts [`Scaler::transform`].
+    pub fn inverse(&self, v: f32) -> f32 {
+        v * self.std + self.mean
+    }
+
+    /// Standardizes a slice in place.
+    pub fn transform_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.transform(*v);
+        }
+    }
+
+    /// Inverse-transforms a slice in place.
+    pub fn inverse_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.inverse(*v);
+        }
+    }
+}
+
+/// Averages a per-step series into a daily profile of `steps_per_day` bins,
+/// optionally downsampled by `downsample` (each profile bin is the mean of
+/// `downsample` consecutive steps). Used to cheapen all-pairs DTW.
+pub fn daily_profile(series: &[f32], steps_per_day: usize, downsample: usize) -> Vec<f32> {
+    assert!(steps_per_day >= 1 && downsample >= 1);
+    assert!(
+        steps_per_day % downsample == 0,
+        "downsample {downsample} must divide steps_per_day {steps_per_day}"
+    );
+    let bins = steps_per_day / downsample;
+    let mut sums = vec![0.0f64; bins];
+    let mut counts = vec![0usize; bins];
+    for (t, &v) in series.iter().enumerate() {
+        let bin = (t % steps_per_day) / downsample;
+        sums[bin] += v as f64;
+        counts[bin] += 1;
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(&s, &c)| if c > 0 { (s / c as f64) as f32 } else { 0.0 })
+        .collect()
+}
+
+/// Time-of-day interval ids for a window of length `len` starting at absolute
+/// step `start`, given `steps_per_day` (the paper's `TE`, §3.4.1).
+pub fn time_of_day_ids(start: usize, len: usize, steps_per_day: usize) -> Vec<usize> {
+    (0..len).map(|i| (start + i) % steps_per_day).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_exactly() {
+        let w = sliding_windows(10, 3, 2, 1);
+        assert_eq!(w.len(), 6); // starts 0..=5
+        assert_eq!(w[0].target_start(), 3);
+        assert_eq!(w[5].end(), 10);
+        assert!(sliding_windows(4, 3, 2, 1).is_empty());
+        let strided = sliding_windows(20, 4, 4, 3);
+        assert!(strided.iter().all(|w| w.end() <= 20));
+        assert_eq!(strided[1].input_start - strided[0].input_start, 3);
+    }
+
+    #[test]
+    fn scaler_roundtrip() {
+        let data = vec![10.0, 20.0, 30.0, 40.0];
+        let s = Scaler::fit(&data);
+        assert!((s.mean - 25.0).abs() < 1e-5);
+        for &v in &data {
+            assert!((s.inverse(s.transform(v)) - v).abs() < 1e-4);
+        }
+        let mut copy = data.clone();
+        s.transform_slice(&mut copy);
+        let m: f32 = copy.iter().sum::<f32>() / 4.0;
+        assert!(m.abs() < 1e-5, "standardized mean should be ~0");
+        s.inverse_slice(&mut copy);
+        for (a, b) in copy.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scaler_constant_series_is_safe() {
+        let s = Scaler::fit(&[5.0, 5.0, 5.0]);
+        assert!(s.transform(5.0).abs() < 1e-3);
+        assert!(s.transform(6.0).is_finite());
+    }
+
+    #[test]
+    fn daily_profile_averages_days() {
+        // Two days of 4 steps: day 1 = [0,1,2,3], day 2 = [4,5,6,7].
+        let series = vec![0., 1., 2., 3., 4., 5., 6., 7.];
+        let p = daily_profile(&series, 4, 1);
+        assert_eq!(p, vec![2., 3., 4., 5.]);
+        let p2 = daily_profile(&series, 4, 2);
+        assert_eq!(p2, vec![2.5, 4.5]);
+    }
+
+    #[test]
+    fn time_of_day_wraps() {
+        assert_eq!(time_of_day_ids(2, 4, 4), vec![2, 3, 0, 1]);
+        assert_eq!(time_of_day_ids(0, 3, 24), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the timeseries crate.
+
+use proptest::prelude::*;
+use stsm_timeseries::{
+    autocorrelation, daily_profile, sliding_windows, Metrics, Scaler,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rmse_dominates_mae(
+        pred in proptest::collection::vec(-100f32..100.0, 4..64),
+        truth in proptest::collection::vec(-100f32..100.0, 4..64),
+    ) {
+        let n = pred.len().min(truth.len());
+        let m = Metrics::compute(&pred[..n], &truth[..n]);
+        // Jensen: RMSE >= MAE always.
+        prop_assert!(m.rmse + 1e-6 >= m.mae, "rmse {} < mae {}", m.rmse, m.mae);
+        prop_assert!(m.rmse >= 0.0 && m.mae >= 0.0 && m.mape >= 0.0);
+    }
+
+    #[test]
+    fn daily_profile_is_linear(
+        a in proptest::collection::vec(-10f32..10.0, 48),
+        b in proptest::collection::vec(-10f32..10.0, 48),
+        alpha in 0f32..1.0,
+    ) {
+        // profile(alpha·a + (1-alpha)·b) == alpha·profile(a) + (1-alpha)·profile(b)
+        let blend: Vec<f32> =
+            a.iter().zip(&b).map(|(&x, &y)| alpha * x + (1.0 - alpha) * y).collect();
+        let pa = daily_profile(&a, 12, 2);
+        let pb = daily_profile(&b, 12, 2);
+        let pblend = daily_profile(&blend, 12, 2);
+        for i in 0..pa.len() {
+            let expect = alpha * pa[i] + (1.0 - alpha) * pb[i];
+            prop_assert!((pblend[i] - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn windows_tile_the_series(total in 10usize..100, t_in in 1usize..6, t_out in 1usize..6) {
+        let ws = sliding_windows(total, t_in, t_out, 1);
+        // Every window fits; consecutive windows advance by exactly 1.
+        for w in &ws {
+            prop_assert!(w.end() <= total);
+            prop_assert_eq!(w.target_start(), w.input_start + t_in);
+        }
+        for pair in ws.windows(2) {
+            prop_assert_eq!(pair[1].input_start, pair[0].input_start + 1);
+        }
+        // Count is exact.
+        let expected = (total + 1).saturating_sub(t_in + t_out);
+        prop_assert_eq!(ws.len(), expected);
+    }
+
+    #[test]
+    fn scaler_standardizes(values in proptest::collection::vec(-1e3f32..1e3, 8..128)) {
+        let s = Scaler::fit(&values);
+        let mut scaled = values.clone();
+        s.transform_slice(&mut scaled);
+        let mean: f64 = scaled.iter().map(|&v| v as f64).sum::<f64>() / scaled.len() as f64;
+        prop_assert!(mean.abs() < 1e-2, "standardized mean {mean}");
+        let var: f64 =
+            scaled.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / scaled.len() as f64;
+        // Unit variance unless the input was (near-)constant.
+        if s.std > 1e-3 {
+            prop_assert!((var - 1.0).abs() < 1e-2, "standardized var {var}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_bounded(series in proptest::collection::vec(-10f32..10.0, 16..64)) {
+        let acf = autocorrelation(&series, 8);
+        prop_assert_eq!(acf.len(), 9);
+        prop_assert!((acf[0] - 1.0).abs() < 1e-9);
+        for &v in &acf {
+            prop_assert!(v.abs() <= 1.0 + 1e-6, "acf out of range: {v}");
+        }
+    }
+}

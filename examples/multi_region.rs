@@ -1,0 +1,58 @@
+//! Beyond the paper: forecasting for *multiple* disjoint unobserved regions
+//! at once — the extension named in the paper's future-work section.
+//!
+//! ```text
+//! cargo run --release --example multi_region
+//! ```
+//!
+//! Two separate districts of a highway network lack sensors. The
+//! multi-region split carves both out; STSM trains once on the remaining
+//! observed locations and forecasts both regions simultaneously.
+
+use stsm::core::{evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig};
+use stsm::synth::{multi_region_split, space_split_ratio, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+fn main() {
+    let dataset = DatasetConfig {
+        name: "multi-region".into(),
+        network: NetworkKind::Highway,
+        sensors: 90,
+        extent: 40_000.0,
+        steps_per_day: 48,
+        interval_minutes: 30,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 9_000.0,
+        poi_radius: 300.0,
+        seed: 17,
+    }
+    .generate();
+    let cfg = StsmConfig {
+        t_in: 8,
+        t_out: 8,
+        hidden: 16,
+        epochs: 6,
+        windows_per_epoch: 16,
+        top_k: 25,
+        ..Default::default()
+    };
+    // One contiguous unobserved region (the paper's setting) ...
+    let single = space_split_ratio(&dataset.coords, SplitAxis::Vertical, false, 0.3);
+    let p1 = ProblemInstance::new(dataset.clone(), single, DistanceMode::Euclidean);
+    let (m1, _) = train_stsm(&p1, &cfg);
+    let e1 = evaluate_stsm(&m1, &p1);
+    // ... vs two disjoint unobserved regions of the same total size.
+    let double = multi_region_split(&dataset.coords, SplitAxis::Vertical, 2, 0.3);
+    let p2 = ProblemInstance::new(dataset.clone(), double, DistanceMode::Euclidean);
+    let (m2, _) = train_stsm(&p2, &cfg);
+    let e2 = evaluate_stsm(&m2, &p2);
+    println!("single unobserved region : {}", e1.metrics);
+    println!("two unobserved regions   : {}", e2.metrics);
+    println!(
+        "\nThe multi-region split trains one model for both districts — the\n\
+         extension the paper leaves as future work falls out of the split\n\
+         abstraction. Two regions can be harder or easier than one of the\n\
+         same total size: more observed boundary helps the pseudo-\n\
+         observations, but the selective-masking target becomes a mixture."
+    );
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders with the measured tables from an
+`all_experiments` (+ `ablation`) log.
+
+Usage: python3 scripts/fill_experiments.py <log-file> [EXPERIMENTS.md]
+"""
+import re
+import sys
+
+
+def extract_sections(log: str) -> dict:
+    """Splits the log on the '==== running NAME ====' banners."""
+    parts = re.split(r"=+ running (\w+) \(STSM_SCALE=\w+\) =+", log)
+    sections = {}
+    # parts = [prefix, name1, body1, name2, body2, ...]
+    for i in range(1, len(parts) - 1, 2):
+        sections[parts[i]] = parts[i + 1].strip()
+    # The ablation run is appended without a banner; find its heading.
+    m = re.search(r"# Ablations beyond the paper.*", log, re.S)
+    if m:
+        sections["ablation"] = m.group(0).strip()
+    return sections
+
+
+def clean(body: str) -> str:
+    """Drops save notices and the leading title line, keeps tables."""
+    lines = []
+    for line in body.splitlines():
+        if line.startswith("[saved ") or line.startswith("# "):
+            continue
+        lines.append(line)
+    return "\n".join(lines).strip()
+
+
+PLACEHOLDERS = {
+    "<!-- TABLE4 -->": "table4",
+    "<!-- TABLE5 -->": "table5",
+    "<!-- FIG8 -->": "fig8",
+    "<!-- TABLE6 -->": "table6",
+    "<!-- TABLE7 -->": "table7",
+    "<!-- TABLE8 -->": "table8",
+    "<!-- FIG9 -->": "fig9",
+    "<!-- FIG10 -->": "fig10",
+    "<!-- TABLE9 -->": "table9",
+    "<!-- TABLE10 -->": "table10",
+    "<!-- TABLE11 -->": "table11",
+    "<!-- FIG7 -->": "fig7",
+    "<!-- FIGMAPS -->": "figmaps",
+    "<!-- ABLATION -->": "ablation",
+}
+
+
+def main() -> None:
+    log_path = sys.argv[1]
+    md_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    with open(log_path) as f:
+        sections = extract_sections(f.read())
+    with open(md_path) as f:
+        md = f.read()
+    for placeholder, name in PLACEHOLDERS.items():
+        if placeholder in md and name in sections:
+            md = md.replace(placeholder, clean(sections[name]))
+        elif placeholder in md:
+            md = md.replace(placeholder, f"*(section `{name}` missing from log)*")
+    with open(md_path, "w") as f:
+        f.write(md)
+    print(f"filled {md_path} from {log_path} ({len(sections)} sections)")
+
+
+if __name__ == "__main__":
+    main()

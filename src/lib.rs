@@ -1,0 +1,23 @@
+//! # stsm
+//!
+//! Facade crate for the STSM reproduction (*Spatial-temporal Forecasting for
+//! Regions without Observations*, EDBT 2024). Re-exports the public API of
+//! the workspace crates:
+//!
+//! * [`tensor`] — tensors, autograd, NN layers, optimizers;
+//! * [`graph`] — sparse matrices, adjacency builders, shortest paths;
+//! * [`timeseries`] — DTW, metrics, windows, scalers;
+//! * [`synth`] — synthetic dataset generators and space splits;
+//! * [`core`] — the STSM model, its variants, trainer and evaluator;
+//! * [`baselines`] — GE-GAN, IGNNK and INCREASE.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+#![warn(missing_docs)]
+
+pub use stsm_baselines as baselines;
+pub use stsm_core as core;
+pub use stsm_graph as graph;
+pub use stsm_synth as synth;
+pub use stsm_tensor as tensor;
+pub use stsm_timeseries as timeseries;

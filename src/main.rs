@@ -1,0 +1,143 @@
+//! `stsm` command-line interface: generate synthetic datasets, train STSM
+//! variants, evaluate trained models and inspect forecasts — without writing
+//! any Rust.
+//!
+//! ```text
+//! stsm generate --preset pems-bay --days 8 --out data.json
+//! stsm train    --data data.json --variant stsm --out model.json
+//! stsm evaluate --data data.json --model model.json
+//! stsm forecast --data data.json --model model.json --horizon-detail
+//! ```
+
+use stsm::core::{
+    evaluate_detailed, evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig,
+    TrainedStsm, Variant,
+};
+use stsm::synth::{
+    dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..], false),
+        Some("forecast") => cmd_evaluate(&args[1..], true),
+        _ => {
+            print_usage();
+            Ok(())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "stsm — spatial-temporal forecasting for regions without observations\n\n\
+         USAGE:\n\
+           stsm generate --preset <pems-bay|pems-07|pems-08|melbourne|airq> [--days N] [--seed N] --out FILE\n\
+           stsm train    --data FILE [--variant stsm|stsm-r|stsm-nc|stsm-rnc|stsm-trans] [--epochs N] --out FILE\n\
+           stsm evaluate --data FILE --model FILE\n\
+           stsm forecast --data FILE --model FILE   (adds per-horizon breakdown)"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let preset = flag(args, "--preset").ok_or("--preset required")?;
+    let days: usize = flag(args, "--days").map_or(Ok(8), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(42), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let out = flag(args, "--out").ok_or("--out required")?;
+    let cfg = match preset.as_str() {
+        "pems-bay" => presets::pems_bay(days, seed),
+        "pems-07" => presets::pems_07(days, seed),
+        "pems-08" => presets::pems_08(400, days, seed),
+        "melbourne" => presets::melbourne(days, seed),
+        "airq" => presets::airq(days, seed),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let dataset = cfg.generate();
+    std::fs::write(&out, dataset_to_json(&dataset)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} sensors × {} steps)", out, dataset.n, dataset.t_total);
+    Ok(())
+}
+
+fn load_problem(args: &[String]) -> Result<ProblemInstance, String> {
+    let data = flag(args, "--data").ok_or("--data required")?;
+    let json = std::fs::read_to_string(&data).map_err(|e| format!("{data}: {e}"))?;
+    let dataset: Dataset = dataset_from_json(&json).map_err(|e| e.to_string())?;
+    let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
+    Ok(ProblemInstance::new(dataset, split, DistanceMode::Euclidean))
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let problem = load_problem(args)?;
+    let out = flag(args, "--out").ok_or("--out required")?;
+    let variant = match flag(args, "--variant").as_deref() {
+        None | Some("stsm") => Variant::Stsm,
+        Some("stsm-r") => Variant::StsmR,
+        Some("stsm-nc") => Variant::StsmNc,
+        Some("stsm-rnc") => Variant::StsmRnc,
+        Some("stsm-trans") => Variant::StsmTrans,
+        Some(other) => return Err(format!("unknown variant '{other}'")),
+    };
+    let epochs: usize =
+        flag(args, "--epochs").map_or(Ok(8), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let mut cfg = StsmConfig::default().for_dataset(&problem.dataset.name).with_variant(variant);
+    cfg.epochs = epochs;
+    // Keep top-K within the observed count for small datasets.
+    cfg.top_k = cfg.top_k.min(problem.n_observed());
+    println!(
+        "training {} on {} ({} observed → {} unobserved)...",
+        variant.name(),
+        problem.dataset.name,
+        problem.n_observed(),
+        problem.n_unobserved()
+    );
+    let (trained, report) = train_stsm(&problem, &cfg);
+    println!(
+        "done in {:.1}s; final epoch loss {:.4}",
+        report.train_seconds,
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    );
+    std::fs::write(&out, trained.to_json()).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), String> {
+    let problem = load_problem(args)?;
+    let model_path = flag(args, "--model").ok_or("--model required")?;
+    let json = std::fs::read_to_string(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let trained = TrainedStsm::from_json(&json).map_err(|e| e.to_string())?;
+    if horizon_detail {
+        let detail = evaluate_detailed(&trained, &problem);
+        println!("overall: {}", detail.metrics);
+        println!("\nper-horizon RMSE:");
+        for (h, rmse) in detail.horizon.rmse_curve().iter().enumerate() {
+            println!("  t+{:<3} {:.3}", h + 1, rmse);
+        }
+        let mut worst: Vec<(usize, f64)> = problem
+            .unobserved
+            .iter()
+            .copied()
+            .zip(detail.per_location_rmse.iter().copied())
+            .collect();
+        worst.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        println!("\nhardest unobserved locations:");
+        for (loc, rmse) in worst.iter().take(5) {
+            println!("  sensor {loc:<4} RMSE {rmse:.3}");
+        }
+    } else {
+        let eval = evaluate_stsm(&trained, &problem);
+        println!("{}", eval.metrics);
+    }
+    Ok(())
+}

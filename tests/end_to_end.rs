@@ -1,0 +1,161 @@
+//! End-to-end integration tests spanning all workspace crates:
+//! synthesize → split → train → forecast → score.
+
+use stsm::baselines::{run_gegan, run_ignnk, run_increase, BaselineConfig};
+use stsm::core::{
+    evaluate_stsm, historical_average_metrics, train_stsm, DistanceMode, ProblemInstance,
+    StsmConfig, Variant,
+};
+use stsm::synth::{
+    ring_split, space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis,
+};
+
+fn tiny_dataset(seed: u64) -> stsm::synth::Dataset {
+    DatasetConfig {
+        name: "itest".into(),
+        network: NetworkKind::Highway,
+        sensors: 30,
+        extent: 12_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 4_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate()
+}
+
+fn tiny_cfg() -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 8,
+        windows_per_epoch: 16,
+        batch_windows: 4,
+        top_k: 10,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_beats_naive_baseline() {
+    let dataset = tiny_dataset(101);
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+    let (trained, report) = train_stsm(&problem, &tiny_cfg());
+    assert!(
+        report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
+        "training loss must decrease"
+    );
+    let eval = evaluate_stsm(&trained, &problem);
+    let naive = historical_average_metrics(&problem);
+    assert!(
+        eval.metrics.rmse < naive.rmse * 1.35,
+        "STSM rmse {} should be competitive with naive {}",
+        eval.metrics.rmse,
+        naive.rmse
+    );
+}
+
+#[test]
+fn every_variant_runs_end_to_end() {
+    let dataset = tiny_dataset(102);
+    let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
+    for v in Variant::all() {
+        let cfg = tiny_cfg().with_variant(v);
+        let problem = ProblemInstance::new(
+            dataset.clone(),
+            split.clone(),
+            match v {
+                Variant::StsmRdA => DistanceMode::RoadAll,
+                Variant::StsmRdM => DistanceMode::RoadMatricesOnly,
+                _ => DistanceMode::Euclidean,
+            },
+        );
+        let (trained, _) = train_stsm(&problem, &cfg);
+        let eval = evaluate_stsm(&trained, &problem);
+        assert!(
+            eval.metrics.rmse.is_finite() && eval.metrics.rmse > 0.0,
+            "{} produced invalid metrics",
+            v.name()
+        );
+    }
+}
+
+#[test]
+fn all_baselines_run_end_to_end() {
+    let dataset = tiny_dataset(103);
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+    let cfg = BaselineConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        epochs: 2,
+        windows_per_epoch: 6,
+        k_neighbors: 3,
+        ..Default::default()
+    };
+    for report in [run_gegan(&problem, &cfg), run_ignnk(&problem, &cfg), run_increase(&problem, &cfg)]
+    {
+        assert!(report.metrics.rmse.is_finite(), "{} metrics invalid", report.name);
+        assert!(report.metrics.mae <= report.metrics.rmse + 1e-9);
+        assert!(report.train_seconds > 0.0 && report.test_seconds > 0.0);
+    }
+}
+
+#[test]
+fn ring_split_pipeline_works() {
+    let dataset = tiny_dataset(104);
+    let split = ring_split(&dataset.coords);
+    let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+    let (trained, _) = train_stsm(&problem, &tiny_cfg());
+    let eval = evaluate_stsm(&trained, &problem);
+    assert!(eval.metrics.rmse.is_finite());
+}
+
+#[test]
+fn air_quality_pipeline_works() {
+    let dataset = DatasetConfig {
+        name: "itest-airq".into(),
+        network: NetworkKind::TwoCities,
+        sensors: 24,
+        extent: 60_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::Pm25,
+        latent_scale: 15_000.0,
+        poi_radius: 500.0,
+        seed: 105,
+    }
+    .generate();
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+    let (trained, _) = train_stsm(&problem, &tiny_cfg());
+    let eval = evaluate_stsm(&trained, &problem);
+    assert!(eval.metrics.rmse.is_finite() && eval.metrics.rmse > 0.0);
+    // PM2.5 predictions should be in a physically plausible band on average.
+    assert!(eval.metrics.mae < 200.0, "PM2.5 MAE implausible: {}", eval.metrics.mae);
+}
+
+#[test]
+fn determinism_across_full_pipeline() {
+    let run = || {
+        let dataset = tiny_dataset(106);
+        let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+        let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
+        let (trained, report) = train_stsm(&problem, &tiny_cfg());
+        let eval = evaluate_stsm(&trained, &problem);
+        (report.epoch_losses, eval.metrics.rmse)
+    };
+    let (l1, r1) = run();
+    let (l2, r2) = run();
+    assert_eq!(l1, l2, "training must be deterministic under a fixed seed");
+    assert_eq!(r1, r2, "evaluation must be deterministic under a fixed seed");
+}

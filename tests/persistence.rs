@@ -1,0 +1,67 @@
+//! Integration tests for model persistence and the tensor/parameter
+//! serialization stack.
+
+use stsm::core::{
+    evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig, TrainedStsm,
+};
+use stsm::synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+use stsm::tensor::{ParamStore, Tensor};
+
+fn tiny_problem() -> ProblemInstance {
+    let dataset = DatasetConfig {
+        name: "persist".into(),
+        network: NetworkKind::Highway,
+        sensors: 20,
+        extent: 8_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 6,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed: 201,
+    }
+    .generate();
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    ProblemInstance::new(dataset, split, DistanceMode::Euclidean)
+}
+
+#[test]
+fn param_store_roundtrip_through_json() {
+    let mut store = ParamStore::new();
+    store.register("a", Tensor::from_vec([2, 3], vec![1., -2., 3.5, 0., 1e-7, -9.25]));
+    store.register("b", Tensor::scalar(0.5));
+    let json = store.to_json();
+    let restored = ParamStore::from_json(&json).expect("roundtrip");
+    assert_eq!(restored.len(), 2);
+    assert_eq!(restored.get(stsm::tensor::ParamId(0)).data()[5], -9.25);
+    assert_eq!(restored.name(stsm::tensor::ParamId(1)), "b");
+}
+
+#[test]
+fn trained_model_roundtrip_preserves_forecasts() {
+    let problem = tiny_problem();
+    let cfg = StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        epochs: 3,
+        windows_per_epoch: 8,
+        top_k: 8,
+        ..Default::default()
+    };
+    let (trained, _) = train_stsm(&problem, &cfg);
+    let before = evaluate_stsm(&trained, &problem);
+    let json = trained.to_json();
+    let restored = TrainedStsm::from_json(&json).expect("valid JSON");
+    let after = evaluate_stsm(&restored, &problem);
+    assert_eq!(before.metrics.rmse, after.metrics.rmse);
+    assert_eq!(before.metrics.mae, after.metrics.mae);
+}
+
+#[test]
+fn corrupted_json_is_rejected() {
+    assert!(TrainedStsm::from_json("{not json").is_err());
+    assert!(TrainedStsm::from_json("{}").is_err());
+}

@@ -1,0 +1,126 @@
+//! Cross-crate property-based tests: invariants of the data pipeline that
+//! must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use stsm::core::{inverse_distance_weights, blend_series, cosine};
+use stsm::graph::{
+    distance_sigma, gaussian_threshold_adjacency, normalize_gcn, pairwise_euclidean,
+};
+use stsm::synth::{multi_region_split, ring_split, space_split_ratio, SplitAxis};
+use stsm::timeseries::{dtw_banded, Metrics, Scaler};
+
+fn coord_strategy(n: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    proptest::collection::vec((-1e5f64..1e5, -1e5f64..1e5).prop_map(|(x, y)| [x, y]), n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn splits_partition_for_arbitrary_coords(coords in coord_strategy(40), ratio in 0.2f64..0.5) {
+        for split in [
+            space_split_ratio(&coords, SplitAxis::Horizontal, false, ratio),
+            space_split_ratio(&coords, SplitAxis::Vertical, true, ratio),
+            ring_split(&coords),
+            multi_region_split(&coords, SplitAxis::Horizontal, 2, ratio),
+        ] {
+            split.validate(coords.len());
+            prop_assert!(!split.train.is_empty());
+            prop_assert!(!split.test.is_empty());
+        }
+    }
+
+    #[test]
+    fn pseudo_observations_are_convex_blends(
+        dists in proptest::collection::vec(0.1f32..1e4, 6),
+        values in proptest::collection::vec(-50f32..50.0, 6),
+    ) {
+        // Weights sum to one, so the blend stays inside the source range.
+        let w = inverse_distance_weights(&dists, 1, 6);
+        let sum: f32 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        let blended = blend_series(&w, &values, 6, 1)[0];
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(blended >= lo - 1e-3 && blended <= hi + 1e-3,
+            "blend {blended} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn scaler_roundtrips_arbitrary_data(values in proptest::collection::vec(-1e4f32..1e4, 2..200)) {
+        let s = Scaler::fit(&values);
+        for &v in &values {
+            let rt = s.inverse(s.transform(v));
+            prop_assert!((rt - v).abs() <= v.abs().max(1.0) * 1e-3);
+        }
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_bounded(
+        a in proptest::collection::vec(-10f32..10.0, 4..24),
+        b in proptest::collection::vec(-10f32..10.0, 4..24),
+    ) {
+        let d_ab = dtw_banded(&a, &b, usize::MAX);
+        let d_ba = dtw_banded(&b, &a, usize::MAX);
+        prop_assert!((d_ab - d_ba).abs() < 1e-3, "asymmetric: {d_ab} vs {d_ba}");
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((dtw_banded(&a, &a, usize::MAX)).abs() < 1e-6);
+        // Equal lengths: the diagonal path bounds DTW by the L1 distance.
+        if a.len() == b.len() {
+            let l1: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            prop_assert!(d_ab <= l1 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn adjacency_construction_invariants(coords in coord_strategy(24), eps in 0.05f32..0.9) {
+        let d = pairwise_euclidean(&coords);
+        let sigma = distance_sigma(&d, coords.len());
+        prop_assert!(sigma > 0.0);
+        let a = gaussian_threshold_adjacency(&d, coords.len(), eps);
+        // Symmetric, no self loops.
+        for (r, c, v) in a.iter() {
+            prop_assert!(r != c);
+            prop_assert!(v == 1.0);
+            prop_assert!(a.get(c, r) == 1.0);
+        }
+        // Normalization keeps everything finite and adds self loops.
+        let norm = normalize_gcn(&a);
+        for i in 0..coords.len() {
+            prop_assert!(norm.get(i, i) > 0.0);
+        }
+        for (_, _, v) in norm.iter() {
+            prop_assert!(v.is_finite() && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_scale_equivariance(
+        truth in proptest::collection::vec(1f32..100.0, 8..64),
+        noise in proptest::collection::vec(-5f32..5.0, 8..64),
+        scale in 0.5f32..4.0,
+    ) {
+        let n = truth.len().min(noise.len());
+        let pred: Vec<f32> = truth[..n].iter().zip(&noise[..n]).map(|(t, e)| t + e).collect();
+        let m1 = Metrics::compute(&pred, &truth[..n]);
+        // Scaling both by the same factor scales RMSE/MAE, keeps MAPE and R².
+        let spred: Vec<f32> = pred.iter().map(|v| v * scale).collect();
+        let struth: Vec<f32> = truth[..n].iter().map(|v| v * scale).collect();
+        let m2 = Metrics::compute(&spred, &struth);
+        prop_assert!((m2.rmse - m1.rmse * scale as f64).abs() < 1e-2 * m1.rmse.max(1.0));
+        prop_assert!((m2.mape - m1.mape).abs() < 1e-4);
+        if m1.r2.is_finite() {
+            prop_assert!((m2.r2 - m1.r2).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(
+        a in proptest::collection::vec(-10f32..10.0, 5),
+        b in proptest::collection::vec(-10f32..10.0, 5),
+    ) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0001..=1.0001).contains(&c));
+        prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-4 || a.iter().all(|&x| x == 0.0));
+    }
+}
