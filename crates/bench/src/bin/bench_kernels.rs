@@ -1,0 +1,127 @@
+//! Times the pool-parallelized hot-path kernels against their serial paths
+//! and writes `BENCH_kernels.json` at the repository root.
+//!
+//! The serial measurements run under `pool::with_max_threads(1)`, which
+//! forces the inline path without touching the environment, so one process
+//! measures both sides. Results are bit-identical by the pool's determinism
+//! contract; this binary only compares wall-clock.
+//!
+//! ```bash
+//! cargo run -p stsm-bench --release --bin bench_kernels
+//! ```
+
+use serde_json::json;
+use std::time::Instant;
+use stsm_tensor::{bmm, conv1d_dilated, matmul, pool, Tensor};
+use stsm_timeseries::dtw_all_pairs;
+
+/// Deterministic pseudo-random fill in [-0.5, 0.5) — no RNG state needed.
+fn fill(len: usize, mul: usize, modulo: usize) -> Vec<f32> {
+    (0..len).map(|i| ((i * mul) % modulo) as f32 / modulo as f32 - 0.5).collect()
+}
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds.
+fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn bench_case(
+    name: &str,
+    size: &str,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> serde_json::Value {
+    let serial_ms = pool::with_max_threads(1, || best_ms(reps, &mut f));
+    let parallel_ms = best_ms(reps, &mut f);
+    let speedup = serial_ms / parallel_ms;
+    println!(
+        "{name:<28} {size:<24} serial {serial_ms:>9.2} ms   pool {parallel_ms:>9.2} ms   speedup {speedup:>5.2}x"
+    );
+    json!({
+        "name": name,
+        "size": size,
+        "serial_ms": serial_ms,
+        "parallel_ms": parallel_ms,
+        "speedup": speedup,
+    })
+}
+
+fn main() {
+    let threads = pool::num_threads();
+    println!("pool threads: {threads} (STSM_NUM_THREADS overrides)\n");
+    let mut cases = Vec::new();
+
+    // matmul at two sizes, both past the parallel threshold.
+    for &dim in &[256usize, 512] {
+        let a = Tensor::from_vec([dim, dim], fill(dim * dim, 2654435761, 1000003));
+        let b = Tensor::from_vec([dim, dim], fill(dim * dim, 40503, 999983));
+        let reps = if dim >= 512 { 3 } else { 5 };
+        cases.push(bench_case("matmul", &format!("{dim}x{dim}x{dim}"), reps, || {
+            matmul(&a, &b);
+        }));
+    }
+
+    // Batched matmul: parallel over the batch axis.
+    {
+        let (bs, m, k, n) = (16usize, 96usize, 96usize, 96usize);
+        let a = Tensor::from_vec([bs, m, k], fill(bs * m * k, 97, 999979));
+        let b = Tensor::from_vec([bs, k, n], fill(bs * k * n, 89, 999961));
+        cases.push(bench_case("bmm", &format!("{bs}x{m}x{k}x{n}"), 5, || {
+            bmm(&a, &b);
+        }));
+    }
+
+    // Dilated conv over (N, C_out) rows — STSM's TCN shape at daily length.
+    {
+        let (n, cin, cout, t, k) = (64usize, 32usize, 32usize, 288usize, 3usize);
+        let x = Tensor::from_vec([n, cin, t], fill(n * cin * t, 31, 999959));
+        let w = Tensor::from_vec([cout, cin, k], fill(cout * cin * k, 7, 997));
+        cases.push(bench_case(
+            "conv1d_dilated",
+            &format!("{n}x{cin}->{cout}x{t} k{k}"),
+            5,
+            || {
+                conv1d_dilated(&x, &w, None, 2);
+            },
+        ));
+    }
+
+    // All-pairs DTW at the paper's daily-profile scale (band 16).
+    for &n_series in &[100usize, 200] {
+        let steps = 288usize;
+        let series: Vec<Vec<f32>> = (0..n_series)
+            .map(|s| {
+                (0..steps)
+                    .map(|i| ((i * (s + 3)) as f32 * 0.021).sin() + (s as f32 * 0.013).cos())
+                    .collect()
+            })
+            .collect();
+        let reps = if n_series >= 200 { 2 } else { 3 };
+        cases.push(bench_case(
+            "dtw_all_pairs",
+            &format!("{n_series}x{steps} band16"),
+            reps,
+            || {
+                dtw_all_pairs(&series, 16);
+            },
+        ));
+    }
+
+    let report = json!({
+        "threads": threads,
+        "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "note": "serial = pool::with_max_threads(1); results bit-identical, only wall-clock differs",
+        "cases": cases,
+    });
+    // crates/bench -> repo root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
+        .expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+}

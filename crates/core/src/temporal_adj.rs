@@ -9,21 +9,29 @@
 use crate::pseudo::{blend_series, inverse_distance_weights};
 use crate::problem::ProblemInstance;
 use stsm_graph::CsrMatrix;
-use stsm_timeseries::{daily_profile, dtw_banded};
+use stsm_tensor::pool;
+use stsm_timeseries::{daily_profile, dtw_all_pairs, dtw_banded};
 
-/// Precomputed DTW state for one problem: real observed profiles and their
-/// pairwise distances (computed once; per-epoch masked adjacencies reuse it).
+/// Precomputed DTW state for one problem: real observed profiles, their
+/// pairwise distances, and per-node neighbor rankings (computed once; the
+/// per-epoch masked adjacencies reuse all three).
 pub struct DtwContext {
     /// Daily profiles of the observed locations (order of `problem.observed`).
     profiles: Vec<Vec<f32>>,
     /// Pairwise DTW distances between observed profiles (`N_o × N_o`).
     pairwise: Vec<f32>,
+    /// For each observed local `i`: every other local, sorted by ascending
+    /// DTW distance to `i` (ties by index). The unmasked↔unmasked top-`q_kk`
+    /// ranking only depends on this static order, so each epoch scans the
+    /// presorted row for unmasked entries instead of re-sorting every node.
+    sorted_neighbors: Vec<Vec<u32>>,
     band: usize,
 }
 
 impl DtwContext {
     /// Builds profiles from the scaled training-period series of every
-    /// observed location and computes their pairwise DTW distances.
+    /// observed location, computes their pairwise DTW distances (in parallel
+    /// on the shared pool), and presorts each node's neighbor ranking.
     pub fn new(problem: &ProblemInstance, band: usize, downsample: usize) -> Self {
         let spd = problem.steps_per_day();
         let downsample = effective_downsample(spd, downsample);
@@ -37,15 +45,25 @@ impl DtwContext {
             })
             .collect();
         let n = profiles.len();
-        let mut pairwise = vec![0.0f32; n * n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = dtw_banded(&profiles[i], &profiles[j], band);
-                pairwise[i * n + j] = d;
-                pairwise[j * n + i] = d;
-            }
-        }
-        DtwContext { profiles, pairwise, band }
+        let pairwise = dtw_all_pairs(&profiles, band);
+        // Rows sort independently, so chunk results concatenated in order
+        // reproduce the serial row order for any thread count.
+        let sorted_neighbors: Vec<Vec<u32>> = pool::par_map_chunks(n, 16, |rows| {
+            rows.map(|i| {
+                let mut order: Vec<u32> = (0..n as u32).filter(|&j| j as usize != i).collect();
+                order.sort_by(|&a, &b| {
+                    pairwise[i * n + a as usize]
+                        .partial_cmp(&pairwise[i * n + b as usize])
+                        .expect("finite")
+                });
+                order
+            })
+            .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        DtwContext { profiles, pairwise, sorted_neighbors, band }
     }
 
     /// Number of observed locations.
@@ -84,27 +102,43 @@ impl DtwContext {
         );
         let mut triplets = Vec::new();
         // Unmasked -> unmasked: top q_kk most similar per node (incoming).
+        // Scanning the presorted row for unmasked entries is equivalent to
+        // the old per-epoch re-sort: a stable sort of a subset keeps the
+        // subset in the same relative order as the sorted full set.
         for &i in &unmasked {
-            let mut order: Vec<usize> = unmasked.iter().copied().filter(|&j| j != i).collect();
-            order.sort_by(|&a, &b| {
-                self.distance(i, a).partial_cmp(&self.distance(i, b)).expect("finite")
-            });
-            for &j in order.iter().take(q_kk) {
-                triplets.push((i, j, 1.0));
+            for &j in
+                self.sorted_neighbors[i].iter().filter(|&&j| !masked[j as usize]).take(q_kk)
+            {
+                triplets.push((i, j as usize, 1.0));
             }
         }
-        // Masked <- unmasked: DTW between the pseudo profile and real profiles.
+        // Masked <- unmasked: DTW between the pseudo profile and real
+        // profiles. Nodes score independently (blend + |unmasked| DTWs +
+        // sort each), so they fan out over the pool; chunk results
+        // concatenated in order keep the serial triplet order.
         let plen = self.profiles.first().map_or(0, Vec::len);
-        for (row, &m) in masked_ids.iter().enumerate() {
-            let pseudo = self.blend_profile(&pseudo_weights[row * unmasked.len()..(row + 1) * unmasked.len()], &unmasked, plen);
-            let mut scored: Vec<(usize, f32)> = unmasked
-                .iter()
-                .map(|&j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
-                .collect();
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-            for &(j, _) in scored.iter().take(q_ku) {
-                triplets.push((m, j, 1.0));
+        let scored_links = pool::par_map_chunks(masked_ids.len(), 1, |rows| {
+            let mut links: Vec<(usize, usize, f32)> = Vec::new();
+            for row in rows {
+                let m = masked_ids[row];
+                let pseudo = self.blend_profile(
+                    &pseudo_weights[row * unmasked.len()..(row + 1) * unmasked.len()],
+                    &unmasked,
+                    plen,
+                );
+                let mut scored: Vec<(usize, f32)> = unmasked
+                    .iter()
+                    .map(|&j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
+                    .collect();
+                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                for &(j, _) in scored.iter().take(q_ku) {
+                    links.push((m, j, 1.0));
+                }
             }
+            links
+        });
+        for links in scored_links {
+            triplets.extend(links);
         }
         CsrMatrix::from_triplets(n, n, &triplets)
     }
@@ -128,27 +162,34 @@ impl DtwContext {
         assert_eq!(layout.len(), n_obs);
         assert_eq!(pseudo_weights.len(), unobs_layout.len() * n_obs);
         let mut triplets = Vec::new();
+        // Observed -> observed: the presorted rows already rank every peer.
         for i in 0..n_obs {
-            let mut order: Vec<usize> = (0..n_obs).filter(|&j| j != i).collect();
-            order.sort_by(|&a, &b| {
-                self.distance(i, a).partial_cmp(&self.distance(i, b)).expect("finite")
-            });
-            for &j in order.iter().take(q_kk) {
-                triplets.push((layout[i], layout[j], 1.0));
+            for &j in self.sorted_neighbors[i].iter().take(q_kk) {
+                triplets.push((layout[i], layout[j as usize], 1.0));
             }
         }
+        // Unobserved <- observed: pseudo-profile scoring fans out per node,
+        // exactly like the masked loop in [`Self::train_adjacency`].
         let plen = self.profiles.first().map_or(0, Vec::len);
         let all_obs: Vec<usize> = (0..n_obs).collect();
-        for (u, &row) in unobs_layout.iter().enumerate() {
-            let pseudo =
-                self.blend_profile(&pseudo_weights[u * n_obs..(u + 1) * n_obs], &all_obs, plen);
-            let mut scored: Vec<(usize, f32)> = (0..n_obs)
-                .map(|j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
-                .collect();
-            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-            for &(j, _) in scored.iter().take(q_ku) {
-                triplets.push((row, layout[j], 1.0));
+        let scored_links = pool::par_map_chunks(unobs_layout.len(), 1, |rows| {
+            let mut links: Vec<(usize, usize, f32)> = Vec::new();
+            for u in rows {
+                let row = unobs_layout[u];
+                let pseudo =
+                    self.blend_profile(&pseudo_weights[u * n_obs..(u + 1) * n_obs], &all_obs, plen);
+                let mut scored: Vec<(usize, f32)> = (0..n_obs)
+                    .map(|j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
+                    .collect();
+                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                for &(j, _) in scored.iter().take(q_ku) {
+                    links.push((row, layout[j], 1.0));
+                }
             }
+            links
+        });
+        for links in scored_links {
+            triplets.extend(links);
         }
         CsrMatrix::from_triplets(n_total, n_total, &triplets)
     }
@@ -286,6 +327,35 @@ mod tests {
                 .map(|j| ctx.distance(i, j))
                 .fold(f32::INFINITY, f32::min);
             assert!((ctx.distance(i, linked) - best).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adjacencies_identical_across_thread_counts() {
+        let p = problem();
+        let run = |cap: usize| {
+            pool::with_max_threads(cap, || {
+                let ctx = DtwContext::new(&p, 4, 2);
+                let n = ctx.n_observed();
+                let masked: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+                let mg: Vec<usize> =
+                    (0..n).filter(|&i| masked[i]).map(|l| p.observed[l]).collect();
+                let ug: Vec<usize> =
+                    (0..n).filter(|&i| !masked[i]).map(|l| p.observed[l]).collect();
+                let w = pseudo_weights_for(&p, &mg, &ug);
+                let train: Vec<(usize, usize, f32)> =
+                    ctx.train_adjacency(&masked, &w, 2, 2).iter().collect();
+                let wt = pseudo_weights_for(&p, &p.unobserved, &p.observed);
+                let test: Vec<(usize, usize, f32)> = ctx
+                    .test_adjacency(p.n(), &p.observed, &p.unobserved, &wt, 2, 2)
+                    .iter()
+                    .collect();
+                (train, test)
+            })
+        };
+        let reference = run(1);
+        for cap in [2, 7] {
+            assert_eq!(reference, run(cap), "adjacency differs at cap {cap}");
         }
     }
 

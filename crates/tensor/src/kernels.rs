@@ -3,59 +3,56 @@
 //! else composes out of elementwise maps.
 //!
 //! The matmul kernel uses an i-k-j loop order (streaming through rows of `b`)
-//! which auto-vectorizes well, and splits the row range over threads with
-//! `crossbeam::scope` when the problem is large enough to amortize spawning.
+//! which auto-vectorizes well. All kernels split *output* ranges over the
+//! persistent worker pool ([`crate::pool`]) once the problem is large enough
+//! to amortize dispatch: every output element is computed by exactly one
+//! thread with a serial inner loop, so results are bit-identical to the
+//! serial path for any thread count.
 
+use crate::pool::{self, SliceWriter};
 use crate::tensor::Tensor;
 
-/// Minimum number of multiply-adds before the matmul kernel goes parallel.
+/// Minimum number of multiply-adds before a kernel goes parallel.
 const PAR_THRESHOLD: usize = 1 << 22; // ~4M MACs
 
-/// Number of worker threads for the parallel kernels.
-fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
-}
+/// Minimum amount of per-chunk work (in inner-loop operations) a parallel
+/// chunk should carry, so dispatch overhead stays negligible.
+const MIN_CHUNK_WORK: usize = 1 << 16;
 
 /// Multiplies row-major `a` (m×k) by `b` (k×n) into a new m×n buffer.
 pub fn matmul_raw(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     let mut out = vec![0.0f32; m * n];
-    let work = m * k * n;
-    let threads = num_threads();
-    if work < PAR_THRESHOLD || threads <= 1 || m < 2 * threads {
-        matmul_rows(a, b, &mut out, 0, m, k, n);
-        return out;
-    }
-    let chunk = m.div_ceil(threads);
-    let mut slices: Vec<(usize, &mut [f32])> = Vec::new();
-    {
-        let mut rest = out.as_mut_slice();
-        let mut row = 0usize;
-        while row < m {
-            let rows = chunk.min(m - row);
-            let (head, tail) = rest.split_at_mut(rows * n);
-            slices.push((row, head));
-            rest = tail;
-            row += rows;
-        }
-    }
-    crossbeam::thread::scope(|s| {
-        for (row0, out_chunk) in slices {
-            let rows = out_chunk.len() / n;
-            s.spawn(move |_| {
-                matmul_rows_into(a, b, out_chunk, row0, rows, k, n);
-            });
-        }
-    })
-    .expect("matmul worker panicked");
+    matmul_into(a, b, &mut out, m, k, n);
     out
 }
 
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
-    matmul_rows_into(a, b, &mut out[row0 * n..(row0 + rows) * n], row0, rows, k, n);
+/// Multiplies `a` (m×k) by `b` (k×n) into the zeroed buffer `out` (m×n),
+/// splitting the row range over the pool when the work is large enough.
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    // The zero-skip fast path below is only sound when `b` is free of
+    // non-finite values (0·NaN must stay NaN, 0·∞ likewise); one cheap scan
+    // of `b` decides for the whole product.
+    let skip_zeros = b.iter().all(|v| v.is_finite());
+    let row_work = k * n;
+    if m * row_work < PAR_THRESHOLD {
+        matmul_rows_into(a, b, out, 0, m, k, n, skip_zeros);
+        return;
+    }
+    let min_rows = MIN_CHUNK_WORK.div_ceil(row_work.max(1)).max(1);
+    let writer = SliceWriter::new(out);
+    pool::par_chunks(m, min_rows, |rows| {
+        // Safety: row ranges are disjoint, so the output slices are too.
+        let chunk = unsafe { writer.slice(rows.start * n..rows.end * n) };
+        matmul_rows_into(a, b, chunk, rows.start, rows.len(), k, n, skip_zeros);
+    });
 }
 
+/// Computes `rows` output rows starting at `row0` into `out` (relative
+/// indexing). `skip_zeros` enables the sparse fast path; it must only be set
+/// when `b` contains no NaN/Inf, or zeros in `a` would swallow them.
+#[allow(clippy::too_many_arguments)]
 fn matmul_rows_into(
     a: &[f32],
     b: &[f32],
@@ -64,12 +61,13 @@ fn matmul_rows_into(
     rows: usize,
     k: usize,
     n: usize,
+    skip_zeros: bool,
 ) {
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
+            if skip_zeros && av == 0.0 {
                 continue;
             }
             let brow = &b[kk * n..(kk + 1) * n];
@@ -90,7 +88,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec([m, n], matmul_raw(a.data(), b.data(), m, k, n))
 }
 
-/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n).
+/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n). Parallel over the
+/// batch axis; a single large batch still parallelizes inside `matmul_into`.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
@@ -98,12 +97,25 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let (bs2, k2, n) = (b.dim(0), b.dim(1), b.dim(2));
     assert_eq!(bs, bs2, "bmm batch mismatch");
     assert_eq!(k, k2, "bmm inner dims mismatch");
-    let mut out = Vec::with_capacity(bs * m * n);
-    for i in 0..bs {
-        let av = &a.data()[i * m * k..(i + 1) * m * k];
-        let bv = &b.data()[i * k * n..(i + 1) * k * n];
-        out.extend(matmul_raw(av, bv, m, k, n));
-    }
+    let (ad, bd) = (a.data(), b.data());
+    let per_batch = m * k * n;
+    let mut out = vec![0.0f32; bs * m * n];
+    let min_batches = MIN_CHUNK_WORK.div_ceil(per_batch.max(1)).max(1);
+    let writer = SliceWriter::new(&mut out);
+    pool::par_chunks(bs, min_batches, |batches| {
+        // Safety: batch ranges are disjoint, so the output blocks are too.
+        let chunk = unsafe { writer.slice(batches.start * m * n..batches.end * m * n) };
+        for (ci, i) in batches.enumerate() {
+            matmul_into(
+                &ad[i * m * k..(i + 1) * m * k],
+                &bd[i * k * n..(i + 1) * k * n],
+                &mut chunk[ci * m * n..(ci + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+    });
     Tensor::from_vec([bs, m, n], out)
 }
 
@@ -114,6 +126,8 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 /// * `bias`:   optional (C_out)
 /// * output:   (N, C_out, T) — "same" length via left zero-padding of
 ///   `(K-1) * dilation` (causal: output at t only sees inputs ≤ t).
+///
+/// Parallel over (N, C_out) output rows.
 pub fn conv1d_dilated(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, dilation: usize) -> Tensor {
     assert_eq!(input.rank(), 3, "conv1d input must be (N, C_in, T)");
     assert_eq!(weight.rank(), 3, "conv1d weight must be (C_out, C_in, K)");
@@ -126,13 +140,23 @@ pub fn conv1d_dilated(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, di
     }
     let idata = input.data();
     let wdata = weight.data();
+    let bias_data = bias.map(|b| b.data());
+    // The zero-weight skip drops `0 · input[..]` terms, which is only sound
+    // when the input carries no NaN/Inf.
+    let skip_zeros = idata.iter().all(|v| v.is_finite());
     let mut out = vec![0.0f32; n * cout * t];
-    for b_i in 0..n {
-        for co in 0..cout {
-            let obase = (b_i * cout + co) * t;
-            if let Some(bias) = bias {
-                let bv = bias.data()[co];
-                for o in &mut out[obase..obase + t] {
+    let pair_work = cin * k * t;
+    let min_pairs = MIN_CHUNK_WORK.div_ceil(pair_work.max(1)).max(1);
+    let writer = SliceWriter::new(&mut out);
+    pool::par_chunks(n * cout, min_pairs, |pairs| {
+        // Safety: (batch, channel) row ranges are disjoint output rows.
+        let chunk = unsafe { writer.slice(pairs.start * t..pairs.end * t) };
+        for (pi, p) in pairs.enumerate() {
+            let (b_i, co) = (p / cout, p % cout);
+            let orow = &mut chunk[pi * t..(pi + 1) * t];
+            if let Some(bias) = bias_data {
+                let bv = bias[co];
+                for o in orow.iter_mut() {
                     *o = bv;
                 }
             }
@@ -141,22 +165,27 @@ pub fn conv1d_dilated(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, di
                 let wbase = (co * cin + ci) * k;
                 for kk in 0..k {
                     let w = wdata[wbase + kk];
-                    if w == 0.0 {
+                    if skip_zeros && w == 0.0 {
                         continue;
                     }
                     // tap offset relative to output index: t_in = t_out - (k-1-kk)*dilation
                     let shift = (k - 1 - kk) * dilation;
                     for tt in shift..t {
-                        out[obase + tt] += w * idata[ibase + tt - shift];
+                        orow[tt] += w * idata[ibase + tt - shift];
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec([n, cout, t], out)
 }
 
 /// Backward pass of [`conv1d_dilated`]: returns (grad_input, grad_weight, grad_bias).
+///
+/// Parallel over the batch axis: each batch sample owns its `grad_input`
+/// rows, and contributes per-sample `grad_weight`/`grad_bias` partials that
+/// are merged in ascending sample order — the exact floating-point addition
+/// sequence of the serial loop, for any thread count.
 pub fn conv1d_dilated_backward(
     input: &Tensor,
     weight: &Tensor,
@@ -170,28 +199,49 @@ pub fn conv1d_dilated_backward(
     let wdata = weight.data();
     let gdata = grad_out.data();
     let mut gi = vec![0.0f32; n * cin * t];
-    let mut gw = vec![0.0f32; cout * cin * k];
-    let mut gb = vec![0.0f32; cout];
-    for b_i in 0..n {
-        for co in 0..cout {
-            let obase = (b_i * cout + co) * t;
-            let go = &gdata[obase..obase + t];
-            gb[co] += go.iter().sum::<f32>();
-            for ci in 0..cin {
-                let ibase = (b_i * cin + ci) * t;
-                let wbase = (co * cin + ci) * k;
-                for kk in 0..k {
-                    let shift = (k - 1 - kk) * dilation;
-                    let w = wdata[wbase + kk];
-                    let mut gw_acc = 0.0f32;
-                    for tt in shift..t {
-                        let g = go[tt];
-                        gw_acc += g * idata[ibase + tt - shift];
-                        gi[ibase + tt - shift] += g * w;
+    let partials = {
+        let gi_writer = SliceWriter::new(&mut gi);
+        // Chunk size 1 is fixed (thread-count independent): one partial per
+        // batch sample, merged below in sample order.
+        pool::par_map_chunks(n, 1, |batches| {
+            let mut gw = vec![0.0f32; cout * cin * k];
+            let mut gb = vec![0.0f32; cout];
+            for b_i in batches {
+                // Safety: each batch sample owns a disjoint grad_input block.
+                let gi_rows = unsafe { gi_writer.slice(b_i * cin * t..(b_i + 1) * cin * t) };
+                for co in 0..cout {
+                    let obase = (b_i * cout + co) * t;
+                    let go = &gdata[obase..obase + t];
+                    gb[co] += go.iter().sum::<f32>();
+                    for ci in 0..cin {
+                        let ibase = (b_i * cin + ci) * t;
+                        let wbase = (co * cin + ci) * k;
+                        let gibase = ci * t;
+                        for kk in 0..k {
+                            let shift = (k - 1 - kk) * dilation;
+                            let w = wdata[wbase + kk];
+                            let mut gw_acc = 0.0f32;
+                            for tt in shift..t {
+                                let g = go[tt];
+                                gw_acc += g * idata[ibase + tt - shift];
+                                gi_rows[gibase + tt - shift] += g * w;
+                            }
+                            gw[wbase + kk] += gw_acc;
+                        }
                     }
-                    gw[wbase + kk] += gw_acc;
                 }
             }
+            (gw, gb)
+        })
+    };
+    let mut gw = vec![0.0f32; cout * cin * k];
+    let mut gb = vec![0.0f32; cout];
+    for (pgw, pgb) in &partials {
+        for (o, v) in gw.iter_mut().zip(pgw) {
+            *o += v;
+        }
+        for (o, v) in gb.iter_mut().zip(pgb) {
+            *o += v;
         }
     }
     (
@@ -201,49 +251,67 @@ pub fn conv1d_dilated_backward(
     )
 }
 
-/// Numerically-stable softmax over the last axis.
+/// Numerically-stable softmax over the last axis. Parallel over rows.
 pub fn softmax_lastdim(x: &Tensor) -> Tensor {
     let d = x.dim(x.rank() - 1);
     let rows = x.numel() / d;
     let mut out = vec![0.0f32; x.numel()];
     let data = x.data();
-    for r in 0..rows {
-        let row = &data[r * d..(r + 1) * d];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
-            let e = (v - m).exp();
-            *o = e;
-            sum += e;
+    let min_rows = MIN_CHUNK_WORK.div_ceil(d.max(1)).max(1);
+    let writer = SliceWriter::new(&mut out);
+    pool::par_chunks(rows, min_rows, |rs| {
+        // Safety: row ranges are disjoint output rows.
+        let chunk = unsafe { writer.slice(rs.start * d..rs.end * d) };
+        for (ri, r) in rs.enumerate() {
+            let row = &data[r * d..(r + 1) * d];
+            let orow = &mut chunk[ri * d..(ri + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (v - m).exp();
+                *o = e;
+                sum += e;
+            }
+            let inv = 1.0 / sum;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
         }
-        let inv = 1.0 / sum;
-        for o in &mut out[r * d..(r + 1) * d] {
-            *o *= inv;
-        }
-    }
+    });
     Tensor::from_vec(x.shape().clone(), out)
 }
 
-/// Numerically-stable log-softmax over the last axis.
+/// Numerically-stable log-softmax over the last axis. Parallel over rows.
 pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
     let d = x.dim(x.rank() - 1);
     let rows = x.numel() / d;
     let mut out = vec![0.0f32; x.numel()];
     let data = x.data();
-    for r in 0..rows {
-        let row = &data[r * d..(r + 1) * d];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-        for (o, &v) in out[r * d..(r + 1) * d].iter_mut().zip(row) {
-            *o = v - lse;
+    let min_rows = MIN_CHUNK_WORK.div_ceil(d.max(1)).max(1);
+    let writer = SliceWriter::new(&mut out);
+    pool::par_chunks(rows, min_rows, |rs| {
+        // Safety: row ranges are disjoint output rows.
+        let chunk = unsafe { writer.slice(rs.start * d..rs.end * d) };
+        for (ri, r) in rs.enumerate() {
+            let row = &data[r * d..(r + 1) * d];
+            let orow = &mut chunk[ri * d..(ri + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = v - lse;
+            }
         }
-    }
+    });
     Tensor::from_vec(x.shape().clone(), out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pseudo_fill(len: usize, mul: usize, modulo: usize, div: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i * mul) % modulo) as f32 / div - 0.5).collect()
+    }
 
     #[test]
     fn matmul_small() {
@@ -266,8 +334,8 @@ mod tests {
         let m = 257;
         let k = 129;
         let n = 131;
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0 - 0.5).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 40503usize) % 1000) as f32 / 991.0 - 0.5).collect();
+        let a = pseudo_fill(m * k, 2654435761, 1000, 997.0);
+        let b = pseudo_fill(k * n, 40503, 1000, 991.0);
         let fast = matmul_raw(&a, &b, m, k, n);
         // Reference triple loop.
         let mut reference = vec![0.0f32; m * n];
@@ -282,6 +350,56 @@ mod tests {
         }
         for (x, y) in fast.iter().zip(reference.iter()) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_zero_times_nan_is_nan() {
+        // A zero in `a` must not swallow a NaN (or Inf) coming from `b`.
+        let a = Tensor::from_vec([1, 2], vec![0.0, 0.0]);
+        let b = Tensor::from_vec([2, 2], vec![f32::NAN, 1.0, 2.0, f32::INFINITY]);
+        let c = matmul(&a, &b);
+        assert!(c.data()[0].is_nan(), "0·NaN must propagate, got {}", c.data()[0]);
+        assert!(c.data()[1].is_nan(), "0·∞ must propagate, got {}", c.data()[1]);
+    }
+
+    #[test]
+    fn kernels_bit_identical_across_thread_counts() {
+        // Serial (cap 1) is the reference; every parallel cap must be
+        // bit-for-bit equal, including sizes past the parallel threshold.
+        let m = 160;
+        let k = 170;
+        let n = 160; // 160*170*160 ≈ 4.35M MACs > PAR_THRESHOLD
+        let a = pseudo_fill(m * k, 2654435761, 1000, 997.0);
+        let b = pseudo_fill(k * n, 40503, 1000, 991.0);
+        let at = Tensor::from_vec([m, k], a.clone());
+        let bt = Tensor::from_vec([k, n], b.clone());
+        let a3 = Tensor::from_vec([8, 40, 30], pseudo_fill(8 * 40 * 30, 97, 813, 811.0));
+        let b3 = Tensor::from_vec([8, 30, 20], pseudo_fill(8 * 30 * 20, 89, 411, 409.0));
+        let x = Tensor::from_vec([6, 5, 64], pseudo_fill(6 * 5 * 64, 31, 617, 613.0));
+        let w = Tensor::from_vec([4, 5, 3], pseudo_fill(4 * 5 * 3, 7, 53, 51.0));
+        let go = Tensor::from_vec([6, 4, 64], pseudo_fill(6 * 4 * 64, 13, 211, 209.0));
+        let sm = Tensor::from_vec([300, 40], pseudo_fill(300 * 40, 17, 509, 505.0));
+        let run = || {
+            let mm = matmul(&at, &bt);
+            let bm = bmm(&a3, &b3);
+            let cf = conv1d_dilated(&x, &w, None, 2);
+            let (gi, gw, gb) = conv1d_dilated_backward(&x, &w, &go, 2);
+            let s = softmax_lastdim(&sm);
+            let ls = log_softmax_lastdim(&sm);
+            (mm, bm, cf, gi, gw, gb, s, ls)
+        };
+        let reference = pool::with_max_threads(1, run);
+        for cap in [2, 7] {
+            let got = pool::with_max_threads(cap, run);
+            assert_eq!(reference.0, got.0, "matmul differs at cap {cap}");
+            assert_eq!(reference.1, got.1, "bmm differs at cap {cap}");
+            assert_eq!(reference.2, got.2, "conv1d differs at cap {cap}");
+            assert_eq!(reference.3, got.3, "conv1d gi differs at cap {cap}");
+            assert_eq!(reference.4, got.4, "conv1d gw differs at cap {cap}");
+            assert_eq!(reference.5, got.5, "conv1d gb differs at cap {cap}");
+            assert_eq!(reference.6, got.6, "softmax differs at cap {cap}");
+            assert_eq!(reference.7, got.7, "log_softmax differs at cap {cap}");
         }
     }
 

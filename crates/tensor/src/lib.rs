@@ -13,7 +13,9 @@
 //! * [`optim`] — SGD and Adam with gradient clipping;
 //! * [`LinMap`] — constant linear operators (e.g. sparse adjacencies) that
 //!   plug into the tape, so graph convolutions stay decoupled from graph
-//!   types.
+//!   types;
+//! * [`pool`] — the persistent worker pool behind every parallel kernel
+//!   (sized by `STSM_NUM_THREADS`, deterministic for any thread count).
 //!
 //! ## Example
 //!
@@ -34,6 +36,7 @@ mod kernels;
 mod linmap;
 pub mod nn;
 pub mod optim;
+pub mod pool;
 mod params;
 mod shape;
 mod tape;

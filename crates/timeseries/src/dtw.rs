@@ -3,7 +3,10 @@
 //!
 //! Both the exact O(T₁T₂) recurrence and a Sakoe–Chiba banded variant are
 //! provided; the band makes the all-pairs computation over ~1000 sensors
-//! tractable on daily profiles.
+//! tractable on daily profiles, and the all-pairs/cross products run on the
+//! shared worker pool ([`stsm_tensor::pool`]).
+
+use stsm_tensor::pool;
 
 /// Exact DTW distance between two series with absolute-difference local cost.
 pub fn dtw(a: &[f32], b: &[f32]) -> f32 {
@@ -48,28 +51,52 @@ pub fn dtw_similarity(d: f32, scale: f32) -> f32 {
 
 /// All-pairs DTW distances over `series` (each a slice of equal or varying
 /// length). Returns a row-major symmetric N×N matrix with a zero diagonal.
+///
+/// Rows are computed in parallel on the shared worker pool: the worker for
+/// row `i` computes every pair `(i, j>i)` and fills both `(i,j)` and its
+/// mirror `(j,i)`, so each cell is written by exactly one worker and the
+/// result is identical for any thread count.
 pub fn dtw_all_pairs(series: &[Vec<f32>], band: usize) -> Vec<f32> {
     let n = series.len();
     let mut out = vec![0.0f32; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = dtw_banded(&series[i], &series[j], band);
-            out[i * n + j] = d;
-            out[j * n + i] = d;
-        }
+    if n < 2 {
+        return out;
     }
+    let writer = pool::SliceWriter::new(&mut out);
+    pool::par_chunks(n, 1, |is| {
+        for i in is {
+            for j in (i + 1)..n {
+                let d = dtw_banded(&series[i], &series[j], band);
+                // Safety: cell (i,j) with j>i and its mirror (j,i) belong to
+                // row i's worker alone.
+                unsafe {
+                    writer.slice(i * n + j..i * n + j + 1)[0] = d;
+                    writer.slice(j * n + i..j * n + i + 1)[0] = d;
+                }
+            }
+        }
+    });
     out
 }
 
 /// DTW distances from each of `from` to each of `to` (rows = `from`).
+/// Parallel over the rows of `from`.
 pub fn dtw_cross(from: &[Vec<f32>], to: &[Vec<f32>], band: usize) -> Vec<f32> {
     let (n, m) = (from.len(), to.len());
     let mut out = vec![0.0f32; n * m];
-    for i in 0..n {
-        for j in 0..m {
-            out[i * m + j] = dtw_banded(&from[i], &to[j], band);
-        }
+    if n == 0 || m == 0 {
+        return out;
     }
+    let writer = pool::SliceWriter::new(&mut out);
+    pool::par_chunks(n, 1, |is| {
+        // Safety: row ranges are disjoint output rows.
+        let chunk = unsafe { writer.slice(is.start * m..is.end * m) };
+        for (ri, i) in is.enumerate() {
+            for j in 0..m {
+                chunk[ri * m + j] = dtw_banded(&from[i], &to[j], band);
+            }
+        }
+    });
     out
 }
 
@@ -160,6 +187,22 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d[0], 0.0);
         assert!((d[1] - dtw(&from[0], &to[1])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_pairs_and_cross_bit_identical_across_thread_counts() {
+        let series: Vec<Vec<f32>> = (0..24)
+            .map(|s| (0..48).map(|i| ((i * (s + 3)) as f32 * 0.17).sin() + s as f32 * 0.01).collect())
+            .collect();
+        let (head, tail) = series.split_at(9);
+        let ref_pairs = pool::with_max_threads(1, || dtw_all_pairs(&series, 6));
+        let ref_cross = pool::with_max_threads(1, || dtw_cross(head, tail, 6));
+        for cap in [2, 7] {
+            let pairs = pool::with_max_threads(cap, || dtw_all_pairs(&series, 6));
+            let cross = pool::with_max_threads(cap, || dtw_cross(head, tail, 6));
+            assert_eq!(ref_pairs, pairs, "all_pairs differs at cap {cap}");
+            assert_eq!(ref_cross, cross, "cross differs at cap {cap}");
+        }
     }
 
     #[test]
