@@ -59,10 +59,12 @@ pub fn graph_embeddings(problem: &ProblemInstance) -> Vec<Vec<f32>> {
                 // Downsampled daily profile of the scaled training series.
                 let series =
                     problem.scaled_range(i, problem.train_time.start, problem.train_time.end);
-                let profile =
-                    stsm_timeseries::daily_profile(series, spd, largest_divisor(spd, spd / PROFILE_BINS));
-                for (b, chunk) in profile.chunks(profile.len().div_ceil(PROFILE_BINS)).enumerate()
-                {
+                let profile = stsm_timeseries::daily_profile(
+                    series,
+                    spd,
+                    largest_divisor(spd, spd / PROFILE_BINS),
+                );
+                for (b, chunk) in profile.chunks(profile.len().div_ceil(PROFILE_BINS)).enumerate() {
                     if b < PROFILE_BINS {
                         data[i * dim + 2 + b] =
                             chunk.iter().sum::<f32>() / chunk.len().max(1) as f32;
@@ -97,9 +99,8 @@ fn nearest_in_embedding(
     candidates: &[usize],
     k: usize,
 ) -> Vec<usize> {
-    let dist = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let dist =
+        |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
     let mut order: Vec<usize> = candidates.iter().copied().filter(|&c| c != target).collect();
     order.sort_by(|&a, &b| {
         dist(&embeddings[target], &embeddings[a])
@@ -147,13 +148,12 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
         Activation::Relu,
         &mut rng,
     );
-    let g_params: Vec<bool> = store.iter().map(|(_, name, _)| name.starts_with("gegan.g")).collect();
+    let g_params: Vec<bool> =
+        store.iter().map(|(_, name, _)| name.starts_with("gegan.g")).collect();
     let mut opt_g = Adam::new(cfg.lr * 0.5);
     let mut opt_d = Adam::new(cfg.lr * 0.5);
-    let train_neighbors: Vec<Vec<usize>> = observed
-        .iter()
-        .map(|&g| nearest_in_embedding(&embeddings, g, &observed, k))
-        .collect();
+    let train_neighbors: Vec<Vec<usize>> =
+        observed.iter().map(|&g| nearest_in_embedding(&embeddings, g, &observed, k)).collect();
     let span = problem.train_time.len();
     let windows = sliding_windows(span, cfg.t_in, cfg.t_out, 1);
     assert!(!windows.is_empty(), "training period too short");
@@ -166,7 +166,8 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
         for &wi in &order {
             let w = windows[wi];
             let start = problem.train_time.start + w.input_start;
-            let (x, real) = build_gan_batch(problem, &observed, &train_neighbors, &embeddings, start, cfg);
+            let (x, real) =
+                build_gan_batch(problem, &observed, &train_neighbors, &embeddings, start, cfg);
             // --- Discriminator step (generated windows detached).
             let mut d_grads = {
                 let tape = Tape::new();
@@ -183,11 +184,7 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
                 let l_fake = bce_logits(tape2, d_fake, false);
                 let l_d = tape2.add(l_real, l_fake);
                 tape2.backward(l_d);
-                binder
-                    .grads()
-                    .into_iter()
-                    .filter(|(pid, _)| !g_params[pid.0])
-                    .collect::<Vec<_>>()
+                binder.grads().into_iter().filter(|(pid, _)| !g_params[pid.0]).collect::<Vec<_>>()
             };
             clip_grad_norm(&mut d_grads, 5.0);
             opt_d.step(&mut store, &d_grads);
@@ -205,11 +202,7 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
                 let l_adv_scaled = tape2.mul_scalar(l_adv, 0.1);
                 let l_g = tape2.add(l_adv_scaled, l_rec);
                 tape2.backward(l_g);
-                binder
-                    .grads()
-                    .into_iter()
-                    .filter(|(pid, _)| g_params[pid.0])
-                    .collect::<Vec<_>>()
+                binder.grads().into_iter().filter(|(pid, _)| g_params[pid.0]).collect::<Vec<_>>()
             };
             clip_grad_norm(&mut g_grads, 5.0);
             opt_g.step(&mut store, &g_grads);
@@ -227,7 +220,14 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
     let mut acc = MetricAccumulator::new();
     for w in &test_windows {
         let start = problem.test_time.start + w.input_start;
-        let x = build_gan_inputs(problem, &problem.unobserved, &test_neighbors, &embeddings, start, cfg);
+        let x = build_gan_inputs(
+            problem,
+            &problem.unobserved,
+            &test_neighbors,
+            &embeddings,
+            start,
+            cfg,
+        );
         let tape = Tape::new();
         let mut binder = ParamBinder::new(&tape);
         let mut fwd = Fwd::new(&store, &mut binder);

@@ -32,7 +32,13 @@ struct DiffusionLayer {
 }
 
 impl DiffusionLayer {
-    fn new(store: &mut ParamStore, name: &str, d_in: usize, d_out: usize, rng: &mut StdRng) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         DiffusionLayer {
             w_self: Linear::new(store, &format!("{name}.self"), d_in, d_out, rng),
             w_fwd1: Linear::new_no_bias(store, &format!("{name}.f1"), d_in, d_out, rng),
@@ -49,12 +55,9 @@ impl DiffusionLayer {
         let xb1 = t.linmap(Arc::clone(a_b) as Arc<dyn LinMap>, x);
         let xb2 = t.linmap(Arc::clone(a_b) as Arc<dyn LinMap>, xb1);
         let mut out = self.w_self.forward(fwd, x);
-        for (layer, input) in [
-            (&self.w_fwd1, xf1),
-            (&self.w_fwd2, xf2),
-            (&self.w_bwd1, xb1),
-            (&self.w_bwd2, xb2),
-        ] {
+        for (layer, input) in
+            [(&self.w_fwd1, xf1), (&self.w_fwd2, xf2), (&self.w_bwd1, xb1), (&self.w_bwd2, xb2)]
+        {
             let y = layer.forward(fwd, input);
             out = fwd.tape().add(out, y);
         }
@@ -87,7 +90,10 @@ impl IgnnkModel {
     }
 }
 
-fn diffusion_adjacencies(problem: &ProblemInstance, subset: &[usize]) -> (Arc<CsrLinMap>, Arc<CsrLinMap>) {
+fn diffusion_adjacencies(
+    problem: &ProblemInstance,
+    subset: &[usize],
+) -> (Arc<CsrLinMap>, Arc<CsrLinMap>) {
     let a: CsrMatrix = problem.spatial_adjacency(subset, 0.05);
     let fwd = normalize_row(&a);
     let bwd = normalize_row(&a.transpose());
@@ -162,8 +168,11 @@ pub fn run_ignnk(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
         {
             let data = x.data_mut();
             for &g in &problem.observed {
-                data[g * cfg.t_in..(g + 1) * cfg.t_in]
-                    .copy_from_slice(problem.scaled_range(g, start, start + cfg.t_in));
+                data[g * cfg.t_in..(g + 1) * cfg.t_in].copy_from_slice(problem.scaled_range(
+                    g,
+                    start,
+                    start + cfg.t_in,
+                ));
             }
         }
         let tape = Tape::new();

@@ -8,9 +8,7 @@ use stsm_timeseries::{dtw_all_pairs, dtw_banded};
 fn profiles(n: usize, len: usize) -> Vec<Vec<f32>> {
     (0..n)
         .map(|i| {
-            (0..len)
-                .map(|t| ((t as f32) * 0.3 + i as f32 * 0.7).sin() + 0.1 * (i as f32))
-                .collect()
+            (0..len).map(|t| ((t as f32) * 0.3 + i as f32 * 0.7).sin() + 0.1 * (i as f32)).collect()
         })
         .collect()
 }
@@ -25,9 +23,8 @@ fn bench_dtw(c: &mut Criterion) {
         });
     }
     let many = profiles(64, 48);
-    group.bench_function("all_pairs_64x48_band6", |b| {
-        b.iter(|| dtw_all_pairs(black_box(&many), 6))
-    });
+    group
+        .bench_function("all_pairs_64x48_band6", |b| b.iter(|| dtw_all_pairs(black_box(&many), 6)));
     group.finish();
 }
 

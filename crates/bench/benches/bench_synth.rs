@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use stsm_synth::{
-    four_standard_splits, generate_network, DatasetConfig, NetworkKind, SignalKind,
-};
+use stsm_synth::{four_standard_splits, generate_network, DatasetConfig, NetworkKind, SignalKind};
 
 fn bench_synth(c: &mut Criterion) {
     let mut group = c.benchmark_group("synth");

@@ -7,9 +7,7 @@
 //! 3. per-horizon error growth of the final model.
 
 use stsm_bench::{apply_sensor_cap, save_results, Scale};
-use stsm_core::{
-    evaluate_detailed, evaluate_stsm, train_stsm, DistanceMode, ProblemInstance,
-};
+use stsm_core::{evaluate_detailed, evaluate_stsm, train_stsm, DistanceMode, ProblemInstance};
 use stsm_synth::{presets, space_split, SplitAxis};
 
 fn main() {
@@ -52,10 +50,8 @@ fn main() {
         let (trained, _) = train_stsm(&problem, &cfg);
         let eval = evaluate_stsm(&trained, &problem);
         println!("| {q_ku:>4} | {:.3} | {:.3} |", eval.metrics.rmse, eval.metrics.r2);
-        payload.insert(
-            format!("q_ku_{q_ku}"),
-            serde_json::to_value(eval.metrics).expect("serialize"),
-        );
+        payload
+            .insert(format!("q_ku_{q_ku}"), serde_json::to_value(eval.metrics).expect("serialize"));
     }
 
     // 3. Error growth with forecast lead time.

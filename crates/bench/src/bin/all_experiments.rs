@@ -7,11 +7,8 @@ use std::process::Command;
 
 fn main() {
     let scale = std::env::var("STSM_SCALE").unwrap_or_else(|_| "quick".into());
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     let experiments = [
         "figmaps", "fig7", "table4", "table5", "fig8", "table6", "table7", "table8", "fig9",
         "fig10", "table9", "table10", "table11",

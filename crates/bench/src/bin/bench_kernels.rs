@@ -31,12 +31,7 @@ fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-fn bench_case(
-    name: &str,
-    size: &str,
-    reps: usize,
-    mut f: impl FnMut(),
-) -> serde_json::Value {
+fn bench_case(name: &str, size: &str, reps: usize, mut f: impl FnMut()) -> serde_json::Value {
     let serial_ms = pool::with_max_threads(1, || best_ms(reps, &mut f));
     let parallel_ms = best_ms(reps, &mut f);
     let speedup = serial_ms / parallel_ms;
@@ -82,14 +77,9 @@ fn main() {
         let (n, cin, cout, t, k) = (64usize, 32usize, 32usize, 288usize, 3usize);
         let x = Tensor::from_vec([n, cin, t], fill(n * cin * t, 31, 999959));
         let w = Tensor::from_vec([cout, cin, k], fill(cout * cin * k, 7, 997));
-        cases.push(bench_case(
-            "conv1d_dilated",
-            &format!("{n}x{cin}->{cout}x{t} k{k}"),
-            5,
-            || {
-                conv1d_dilated(&x, &w, None, 2);
-            },
-        ));
+        cases.push(bench_case("conv1d_dilated", &format!("{n}x{cin}->{cout}x{t} k{k}"), 5, || {
+            conv1d_dilated(&x, &w, None, 2);
+        }));
     }
 
     // All-pairs DTW at the paper's daily-profile scale (band 16).

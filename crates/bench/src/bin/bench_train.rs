@@ -1,0 +1,129 @@
+//! Measures training-step throughput and allocator traffic with the buffer
+//! pool / fused kernels on vs off, and writes `BENCH_train.json` at the
+//! repository root.
+//!
+//! The workload is a tensor-level GRU + Linear-head regression training loop
+//! (forward, backward, clip, Adam) — the same op mix as STSM's temporal
+//! module, without the graph machinery, so the allocation behaviour of the
+//! autograd hot path dominates. Both modes run in one process via
+//! `alloc::with_pool`, and the loss trajectories are asserted bitwise equal
+//! before the report is written. Buffer requests are counted by the
+//! `alloc-stats` feature, which this binary requires:
+//!
+//! ```bash
+//! cargo run -p stsm-bench --release --features alloc-stats --bin bench_train
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::time::Instant;
+use stsm_tensor::nn::{uniform, Fwd, GruCell, Linear};
+use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use stsm_tensor::{alloc, pool, ParamBinder, ParamStore, Tape};
+
+const BATCH: usize = 16;
+const T_IN: usize = 24;
+const HIDDEN: usize = 32;
+const T_OUT: usize = 12;
+const WARMUP: usize = 3;
+const STEPS: usize = 30;
+
+struct RunStats {
+    losses: Vec<u32>,
+    steps_per_sec: f64,
+    fresh_per_step: f64,
+    reused_per_step: f64,
+}
+
+/// Runs the full training loop with the pool forced on or off; returns the
+/// per-step loss bits, throughput and per-step buffer-request counts.
+fn run(pool_on: bool) -> RunStats {
+    alloc::with_pool(pool_on, || {
+        // Start each mode from an empty pool so "off" cannot consume
+        // buffers recycled by a previous "on" run.
+        alloc::clear();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 1, HIDDEN, &mut rng);
+        let head = Linear::new(&mut store, "head", HIDDEN, T_OUT, &mut rng);
+        let x = uniform([BATCH, T_IN, 1], -1.0, 1.0, &mut rng);
+        let y = uniform([BATCH, T_OUT], -1.0, 1.0, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let mut losses = Vec::with_capacity(WARMUP + STEPS);
+        let step = |store: &mut ParamStore, opt: &mut Adam| {
+            let (loss_v, mut grads) = {
+                let tape = Tape::new();
+                let mut binder = ParamBinder::new(&tape);
+                let mut fwd = Fwd::new(store, &mut binder);
+                let xv = tape.constant(x.clone());
+                let h = gru.forward_seq(&mut fwd, xv);
+                let p = head.forward(&mut fwd, h);
+                let loss = tape.mse_loss(p, &y);
+                tape.backward(loss);
+                (tape.value(loss).item(), binder.grads())
+            };
+            clip_grad_norm(&mut grads, 5.0);
+            opt.step(store, &grads);
+            loss_v
+        };
+        for _ in 0..WARMUP {
+            losses.push(step(&mut store, &mut opt).to_bits());
+        }
+        alloc::reset_alloc_counts();
+        let t0 = Instant::now();
+        for _ in 0..STEPS {
+            losses.push(step(&mut store, &mut opt).to_bits());
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let (fresh, reused) = alloc::alloc_counts();
+        RunStats {
+            losses,
+            steps_per_sec: STEPS as f64 / elapsed,
+            fresh_per_step: fresh as f64 / STEPS as f64,
+            reused_per_step: reused as f64 / STEPS as f64,
+        }
+    })
+}
+
+fn main() {
+    let threads = pool::num_threads();
+    println!(
+        "GRU({}->{}) + Linear({}->{}), batch {BATCH}, {STEPS} measured steps, \
+         pool threads {threads}\n",
+        1, HIDDEN, HIDDEN, T_OUT
+    );
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.losses, off.losses, "pool on/off loss trajectories must be bitwise identical");
+    for (label, r) in [("pool on ", &on), ("pool off", &off)] {
+        println!(
+            "{label}  {:>7.2} steps/s   fresh allocs/step {:>8.1}   pool reuses/step {:>8.1}",
+            r.steps_per_sec, r.fresh_per_step, r.reused_per_step
+        );
+    }
+    let report = json!({
+        "workload": format!(
+            "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, T {T_IN}, \
+             {STEPS} steps of forward/backward/clip/Adam"
+        ),
+        "threads": threads,
+        "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "note": "single-CPU container; steps/sec is indicative, allocations/step is exact. \
+                 Loss trajectories asserted bitwise identical pool on vs off before writing.",
+        "pool_on": {
+            "steps_per_sec": on.steps_per_sec,
+            "fresh_allocs_per_step": on.fresh_per_step,
+            "pool_reuses_per_step": on.reused_per_step,
+        },
+        "pool_off": {
+            "steps_per_sec": off.steps_per_sec,
+            "fresh_allocs_per_step": off.fresh_per_step,
+            "pool_reuses_per_step": off.reused_per_step,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
+        .expect("write BENCH_train.json");
+    println!("\nwrote {path}");
+}

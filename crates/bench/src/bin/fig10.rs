@@ -1,9 +1,7 @@
 //! Fig. 10: sensitivity to the sub-graph threshold ε_sg — RMSE of all four
 //! main STSM variants as ε_sg varies (larger ε_sg = smaller sub-graphs).
 
-use stsm_bench::{
-    apply_sensor_cap, distance_mode_for, save_results, ModelId, Scale,
-};
+use stsm_bench::{apply_sensor_cap, distance_mode_for, save_results, ModelId, Scale};
 use stsm_core::{ProblemInstance, Variant};
 use stsm_synth::{presets, space_split, SplitAxis};
 
@@ -27,11 +25,8 @@ fn main() {
             let mut row = Vec::new();
             for &v in &variants {
                 let model = ModelId::Stsm(v);
-                let problem = ProblemInstance::new(
-                    dataset.clone(),
-                    split.clone(),
-                    distance_mode_for(model),
-                );
+                let problem =
+                    ProblemInstance::new(dataset.clone(), split.clone(), distance_mode_for(model));
                 let mut stsm_cfg = scale.stsm_config(&dataset.name, seed).with_variant(v);
                 stsm_cfg.epsilon_sg = eps;
                 let (trained, _) = stsm_core::train_stsm(&problem, &stsm_cfg);

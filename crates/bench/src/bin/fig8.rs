@@ -33,17 +33,13 @@ fn main() {
             let mut row = Vec::new();
             for &model in &models {
                 let mut per = Vec::new();
-                for (axis, flip) in
-                    [(SplitAxis::Horizontal, false), (SplitAxis::Vertical, false)]
-                        .iter()
-                        .take(scale.splits().max(1))
+                for (axis, flip) in [(SplitAxis::Horizontal, false), (SplitAxis::Vertical, false)]
+                    .iter()
+                    .take(scale.splits().max(1))
                 {
                     let split = space_split_ratio(&dataset.coords, *axis, *flip, ratio);
-                    let problem = ProblemInstance::new(
-                        dataset.clone(),
-                        split,
-                        distance_mode_for(model),
-                    );
+                    let problem =
+                        ProblemInstance::new(dataset.clone(), split, distance_mode_for(model));
                     per.push(run_model(&problem, model, scale, seed));
                 }
                 row.push(average_results(&per));

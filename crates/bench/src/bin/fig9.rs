@@ -1,9 +1,7 @@
 //! Fig. 9: sensitivity to the top-K parameter of selective masking — RMSE of
 //! STSM and STSM-NC as K varies.
 
-use stsm_bench::{
-    apply_sensor_cap, distance_mode_for, save_results, ModelId, Scale,
-};
+use stsm_bench::{apply_sensor_cap, distance_mode_for, save_results, ModelId, Scale};
 use stsm_core::{ProblemInstance, Variant};
 use stsm_synth::{presets, space_split, SplitAxis};
 
@@ -24,22 +22,15 @@ fn main() {
         println!("## {}\n", dataset.name);
         println!("| K | STSM RMSE | STSM-NC RMSE |");
         println!("|---|-----------|--------------|");
-        let ks: Vec<usize> = if dataset.n < 60 {
-            vec![5, 10, 20]
-        } else {
-            vec![5, 15, 25, 35, 45]
-        };
+        let ks: Vec<usize> = if dataset.n < 60 { vec![5, 10, 20] } else { vec![5, 15, 25, 35, 45] };
         let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
         let mut series = Vec::new();
         for &k in &ks {
             let mut row = Vec::new();
             for &v in &variants {
                 let model = ModelId::Stsm(v);
-                let problem = ProblemInstance::new(
-                    dataset.clone(),
-                    split.clone(),
-                    distance_mode_for(model),
-                );
+                let problem =
+                    ProblemInstance::new(dataset.clone(), split.clone(), distance_mode_for(model));
                 // Override the Table 3 K with the sweep value.
                 let mut stsm_cfg = scale.stsm_config(&dataset.name, seed).with_variant(v);
                 stsm_cfg.top_k = k;

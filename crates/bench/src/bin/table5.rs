@@ -12,8 +12,7 @@ fn main() {
     let seed = 42;
     let days = scale.days();
     println!("# Table 5 — Model training/testing time (scale: {scale:?})");
-    let models =
-        [ModelId::GeGan, ModelId::Ignnk, ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
+    let models = [ModelId::GeGan, ModelId::Ignnk, ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
     let datasets = [
         presets::pems_bay(days, seed),
         presets::pems_07(days, seed),
@@ -29,9 +28,8 @@ fn main() {
     let view: Vec<(&str, Vec<stsm_bench::RunResult>)> =
         named.iter().map(|(n, r)| (n.as_str(), r.clone())).collect();
     print_timing_table("Training and testing time", &view);
-    let payload = serde_json::to_value(
-        named.iter().map(|(n, r)| (n.clone(), r.clone())).collect::<Vec<_>>(),
-    )
-    .expect("serialize");
+    let payload =
+        serde_json::to_value(named.iter().map(|(n, r)| (n.clone(), r.clone())).collect::<Vec<_>>())
+            .expect("serialize");
     save_results("table5", &payload);
 }

@@ -11,7 +11,9 @@ fn main() {
     let scale = Scale::from_env();
     let seed = 42;
     let days = scale.days();
-    println!("# Table 6 — Varying the number of sensors (PEMS-07 + PEMS-08 merged, scale: {scale:?})");
+    println!(
+        "# Table 6 — Varying the number of sensors (PEMS-07 + PEMS-08 merged, scale: {scale:?})"
+    );
     let d07 = presets::pems_07(days, seed).generate();
     let d08 = presets::pems_08(400, days, seed).generate();
     let merged = d07.merge(&d08);
@@ -19,14 +21,8 @@ fn main() {
     // partitions of the merged region.
     let mut order: Vec<usize> = (0..merged.n).collect();
     order.sort_by(|&a, &b| merged.coords[a][0].partial_cmp(&merged.coords[b][0]).expect("finite"));
-    let models = [
-        ModelId::GeGan,
-        ModelId::Ignnk,
-        ModelId::Increase,
-        ModelId::Stsm(Variant::Stsm),
-    ];
-    let counts: &[usize] =
-        if scale == Scale::Smoke { &[20, 40] } else { &[200, 400, 600, 800] };
+    let models = [ModelId::GeGan, ModelId::Ignnk, ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
+    let counts: &[usize] = if scale == Scale::Smoke { &[20, 40] } else { &[200, 400, 600, 800] };
     let mut payload = serde_json::Map::new();
     for &count in counts {
         let mut keep = order[..count.min(merged.n)].to_vec();

@@ -15,21 +15,15 @@ fn main() {
     // Generate the densest network once; sparser datasets sample from it so
     // the region (and the underlying signal field) stays identical.
     let full = presets::pems_08(964, days, seed).generate();
-    let models = [
-        ModelId::GeGan,
-        ModelId::Ignnk,
-        ModelId::Increase,
-        ModelId::Stsm(Variant::Stsm),
-    ];
+    let models = [ModelId::GeGan, ModelId::Ignnk, ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
     let counts: &[usize] =
         if scale == Scale::Smoke { &[20, 40] } else { &[200, 400, 600, 800, 964] };
     let mut payload = serde_json::Map::new();
     for &count in counts {
         // Uniform stride sample keeps the spatial extent (density sweep).
         let stride = (full.n as f64 / count as f64).max(1.0);
-        let mut keep: Vec<usize> = (0..count)
-            .map(|i| ((i as f64 * stride) as usize).min(full.n - 1))
-            .collect();
+        let mut keep: Vec<usize> =
+            (0..count).map(|i| ((i as f64 * stride) as usize).min(full.n - 1)).collect();
         keep.dedup();
         let sub = apply_sensor_cap(full.subset(&keep), scale);
         let rows = run_dataset_lineup(&sub, &models, scale, seed);

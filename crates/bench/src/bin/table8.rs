@@ -2,11 +2,11 @@
 //! much more similar (to the unobserved region) the masked sub-graphs are
 //! when the selective module picks them.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use stsm_bench::{apply_sensor_cap, save_results, Scale};
 use stsm_core::{DistanceMode, MaskingContext, ProblemInstance};
 use stsm_synth::{presets, space_split, SplitAxis};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,12 +29,8 @@ fn main() {
         let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
         let name = dataset.name.clone();
         let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
-        let ctx = MaskingContext::new(
-            &problem,
-            stsm_cfg.epsilon_sg,
-            stsm_cfg.mask_ratio,
-            stsm_cfg.top_k,
-        );
+        let ctx =
+            MaskingContext::new(&problem, stsm_cfg.epsilon_sg, stsm_cfg.mask_ratio, stsm_cfg.top_k);
         let mut rng = StdRng::seed_from_u64(seed);
         let draws = 200;
         let mut sel = 0.0f64;
@@ -47,10 +43,8 @@ fn main() {
         rnd /= draws as f64;
         let gain = (sel - rnd) / rnd.abs().max(1e-9) * 100.0;
         println!("| {name:<10} | {sel:>14.4} | {rnd:>11.4} | {gain:>8.2} |");
-        payload.insert(
-            name,
-            serde_json::json!({ "selective": sel, "random": rnd, "gain_pct": gain }),
-        );
+        payload
+            .insert(name, serde_json::json!({ "selective": sel, "random": rnd, "gain_pct": gain }));
     }
     save_results("table8", &serde_json::Value::Object(payload));
 }

@@ -14,12 +14,7 @@ fn main() {
     println!("# Table 9 — PEMS-Bay with a ring split (scale: {scale:?})");
     let dataset = apply_sensor_cap(presets::pems_bay(scale.days(), seed).generate(), scale);
     let splits = vec![ring_split(&dataset.coords)];
-    let models = [
-        ModelId::GeGan,
-        ModelId::Ignnk,
-        ModelId::Increase,
-        ModelId::Stsm(Variant::Stsm),
-    ];
+    let models = [ModelId::GeGan, ModelId::Ignnk, ModelId::Increase, ModelId::Stsm(Variant::Stsm)];
     let rows = run_dataset_lineup_with_splits(&dataset, &models, &splits, scale, seed);
     print_metrics_table("PEMS-Bay (ring split)", &rows);
     if let Some((rmse, mae, mape, r2)) = improvement_vs_best_baseline(&rows) {

@@ -17,4 +17,6 @@ pub use runner::{
     run_dataset_lineup_with_splits, run_model, ModelId, RunResult,
 };
 pub use scale::Scale;
-pub use table::{improvement_vs_best_baseline, print_metrics_table, print_timing_table, save_results};
+pub use table::{
+    improvement_vs_best_baseline, print_metrics_table, print_timing_table, save_results,
+};

@@ -223,9 +223,6 @@ mod tests {
     #[test]
     fn distance_modes() {
         assert_eq!(distance_mode_for(ModelId::Increase), DistanceMode::Euclidean);
-        assert_eq!(
-            distance_mode_for(ModelId::Stsm(Variant::StsmRdA)),
-            DistanceMode::RoadAll
-        );
+        assert_eq!(distance_mode_for(ModelId::Stsm(Variant::StsmRdA)), DistanceMode::RoadAll);
     }
 }

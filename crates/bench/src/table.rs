@@ -23,9 +23,8 @@ pub fn print_metrics_table(title: &str, rows: &[RunResult]) {
         println!("{}", metrics_row(r));
     }
     // Best-of annotations like the paper's bold/underline markers.
-    if let Some(best) = rows
-        .iter()
-        .min_by(|a, b| a.metrics.rmse.partial_cmp(&b.metrics.rmse).expect("finite"))
+    if let Some(best) =
+        rows.iter().min_by(|a, b| a.metrics.rmse.partial_cmp(&b.metrics.rmse).expect("finite"))
     {
         println!("\nBest RMSE: **{}** ({:.3})", best.model, best.metrics.rmse);
     }

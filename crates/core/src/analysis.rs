@@ -26,9 +26,8 @@ pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> De
     let cfg = &trained.cfg;
     let n = problem.n();
     let all: Vec<usize> = (0..n).collect();
-    let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
-        &problem.spatial_adjacency(&all, cfg.epsilon_s),
-    )));
+    let a_s =
+        Arc::new(CsrLinMap::new(normalize_gcn(&problem.spatial_adjacency(&all, cfg.epsilon_s))));
     let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
     let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
     let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
@@ -65,11 +64,8 @@ pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> De
             }
         }
     }
-    let per_location_rmse = per_loc_se
-        .iter()
-        .zip(&per_loc_n)
-        .map(|(&se, &c)| (se / c.max(1) as f64).sqrt())
-        .collect();
+    let per_location_rmse =
+        per_loc_se.iter().zip(&per_loc_n).map(|(&se, &c)| (se / c.max(1) as f64).sqrt()).collect();
     DetailedEval {
         metrics: Metrics::compute(&preds, &truths),
         horizon: HorizonMetrics::compute(&preds, &truths, cfg.t_out),
@@ -144,11 +140,7 @@ mod tests {
         assert_eq!(detailed.horizon.per_horizon.len(), 6);
         assert_eq!(detailed.per_location_rmse.len(), problem.n_unobserved());
         // Per-location RMSEs must aggregate to the overall RMSE (in MSE space).
-        let mse_from_locs: f64 = detailed
-            .per_location_rmse
-            .iter()
-            .map(|r| r * r)
-            .sum::<f64>()
+        let mse_from_locs: f64 = detailed.per_location_rmse.iter().map(|r| r * r).sum::<f64>()
             / detailed.per_location_rmse.len() as f64;
         assert!((mse_from_locs.sqrt() - detailed.metrics.rmse).abs() < 1e-6);
         // Horizon RMSEs must be finite and positive.

@@ -33,7 +33,7 @@ pub fn nt_xent(tape: &Tape, z_orig: Var, z_masked: Var, tau: f32) -> Var {
     let eye = tape.constant(Tensor::eye(m));
     let pos = tape.mul(sim, eye);
     let pos = tape.sum_axis(pos, 1, false); // (M,)
-    // Denominator: logsumexp over off-diagonal entries of each row.
+                                            // Denominator: logsumexp over off-diagonal entries of each row.
     let neg_mask = tape.constant(Tensor::eye(m).map(|v| v * -1e9));
     let sim_masked = tape.add(sim, neg_mask);
     let exp = tape.exp(sim_masked);
@@ -117,9 +117,8 @@ mod tests {
         // positive z2 row.
         let z1 = store.get(p);
         for i in 0..4 {
-            let row = |z: &Tensor, r: usize| -> Vec<f32> {
-                (0..6).map(|c| z.at(&[r, c])).collect()
-            };
+            let row =
+                |z: &Tensor, r: usize| -> Vec<f32> { (0..6).map(|c| z.at(&[r, c])).collect() };
             let cos = |a: &[f32], b: &[f32]| {
                 let d: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
                 let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();

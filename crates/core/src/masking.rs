@@ -63,10 +63,7 @@ fn standardized_embeddings(features: &LocationFeatures) -> Vec<Vec<f32>> {
     let std: Vec<f64> = std.iter().map(|s| (s / n.max(1) as f64).sqrt().max(1e-6)).collect();
     raw.into_iter()
         .map(|e| {
-            e.into_iter()
-                .enumerate()
-                .map(|(d, v)| ((v as f64 - mean[d]) / std[d]) as f32)
-                .collect()
+            e.into_iter().enumerate().map(|(d, v)| ((v as f64 - mean[d]) / std[d]) as f32).collect()
         })
         .collect()
 }
@@ -106,10 +103,8 @@ impl MaskingContext {
         let unobs_embedding = mean_of(&problem.unobserved);
         // Map cosine from [-1, 1] into [0, 1] — the paper normalises the
         // similarity scores into [0, 1] before using them as probabilities.
-        let similarities: Vec<f32> = sub_embeddings
-            .iter()
-            .map(|e| (cosine(e, &unobs_embedding) + 1.0) / 2.0)
-            .collect();
+        let similarities: Vec<f32> =
+            sub_embeddings.iter().map(|e| (cosine(e, &unobs_embedding) + 1.0) / 2.0).collect();
         // Spatial proximity to the unobserved region's centroid.
         let cu = centroid(&problem.dataset.coords, &problem.unobserved);
         let proximities: Vec<f32> = observed
@@ -123,14 +118,11 @@ impl MaskingContext {
         // Top-K filter: zero similarity outside the K most similar sub-graphs.
         let mut order: Vec<usize> = (0..n_obs).collect();
         order.sort_by(|&a, &b| similarities[b].partial_cmp(&similarities[a]).expect("finite"));
-        let keep: std::collections::HashSet<usize> =
-            order.into_iter().take(top_k.max(1)).collect();
-        let sims_kept: Vec<f32> = (0..n_obs)
-            .map(|i| if keep.contains(&i) { similarities[i] } else { 0.0 })
-            .collect();
-        let prox_kept: Vec<f32> = (0..n_obs)
-            .map(|i| if keep.contains(&i) { proximities[i] } else { 0.0 })
-            .collect();
+        let keep: std::collections::HashSet<usize> = order.into_iter().take(top_k.max(1)).collect();
+        let sims_kept: Vec<f32> =
+            (0..n_obs).map(|i| if keep.contains(&i) { similarities[i] } else { 0.0 }).collect();
+        let prox_kept: Vec<f32> =
+            (0..n_obs).map(|i| if keep.contains(&i) { proximities[i] } else { 0.0 }).collect();
         // Eq. 15: δ_ms = δ_m / mean sub-graph size; normalise both signals by
         // their means so they contribute equally.
         let avg_size =
@@ -145,13 +137,7 @@ impl MaskingContext {
                 ((s + p) / 2.0).clamp(0.0, 1.0)
             })
             .collect();
-        MaskingContext {
-            subgraphs,
-            selective_probs,
-            similarities,
-            mask_ratio,
-            n_observed: n_obs,
-        }
+        MaskingContext { subgraphs, selective_probs, similarities, mask_ratio, n_observed: n_obs }
     }
 
     /// Number of observed locations.

@@ -6,12 +6,12 @@
 //! encoder with gated spatial/temporal fusion.
 
 use crate::config::{StsmConfig, TemporalModule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::Arc;
 use stsm_graph::CsrLinMap;
 use stsm_tensor::nn::{Conv1d, Fwd, Linear, TransformerEncoderLayer};
 use stsm_tensor::{ParamStore, Tape, Tensor, Var};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Number of periodic time features per step (see [`StModel::time_features`]).
 pub const TIME_FEATURES: usize = 5;
@@ -257,8 +257,8 @@ impl StModel {
             }
             TemporalSub::Transformer(enc, gate_s, gate_t) => {
                 let h_trans = enc.forward(fwd, h); // (N, T, H): attention over time
-                // Gated fusion (GMAN-style): z = σ(Ws h_gcn + Wt h_trans),
-                // H = z ⊙ h_gcn + (1 - z) ⊙ h_trans.
+                                                   // Gated fusion (GMAN-style): z = σ(Ws h_gcn + Wt h_trans),
+                                                   // H = z ⊙ h_gcn + (1 - z) ⊙ h_trans.
                 let gs = gate_s.forward(fwd, h_gcn);
                 let gt = gate_t.forward(fwd, h_trans);
                 let tape = fwd.tape();
@@ -409,11 +409,7 @@ mod tests {
         let x = stsm_tensor::nn::randn([n, 6, 1], 1.0, &mut rng);
         let tf = StModel::time_features(0, 6, 24);
         let ring = adjacency(n);
-        let empty = Arc::new(CsrLinMap::new(normalize_gcn(&CsrMatrix::from_triplets(
-            n,
-            n,
-            &[],
-        ))));
+        let empty = Arc::new(CsrLinMap::new(normalize_gcn(&CsrMatrix::from_triplets(n, n, &[]))));
         let p1 = predict_once(&model, &store, &x, &tf, &ring, &ring);
         let p2 = predict_once(&model, &store, &x, &tf, &empty, &empty);
         assert!(!p1.allclose(&p2, 1e-5), "adjacency has no effect on the output");

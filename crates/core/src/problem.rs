@@ -7,8 +7,8 @@ use stsm_graph::{
     all_pairs_shortest_paths, distance_sigma, gaussian_threshold_adjacency_with_sigma,
     pairwise_euclidean, CsrMatrix,
 };
-use stsm_synth::{Dataset, SpaceSplit};
 use stsm_synth::temporal_split;
+use stsm_synth::{Dataset, SpaceSplit};
 use stsm_timeseries::Scaler;
 
 /// The fully-prepared forecasting problem: index sets, scaled values and
@@ -52,7 +52,11 @@ impl ProblemInstance {
         // Fit the scaler only on data the model is allowed to see.
         let mut train_values = Vec::with_capacity(observed.len() * train_time.len());
         for &i in &observed {
-            train_values.extend_from_slice(dataset.series_range(i, train_time.start, train_time.end));
+            train_values.extend_from_slice(dataset.series_range(
+                i,
+                train_time.start,
+                train_time.end,
+            ));
         }
         let scaler = Scaler::fit(&train_values);
         let mut scaled = dataset.values.clone();

@@ -6,8 +6,8 @@
 //! testing) only *receive* messages from observed locations — their noisy
 //! pseudo-profiles never pollute observed embeddings.
 
-use crate::pseudo::{blend_series, inverse_distance_weights};
 use crate::problem::ProblemInstance;
+use crate::pseudo::{blend_series, inverse_distance_weights};
 use stsm_graph::CsrMatrix;
 use stsm_tensor::pool;
 use stsm_timeseries::{daily_profile, dtw_all_pairs, dtw_banded};
@@ -106,9 +106,7 @@ impl DtwContext {
         // the old per-epoch re-sort: a stable sort of a subset keeps the
         // subset in the same relative order as the sorted full set.
         for &i in &unmasked {
-            for &j in
-                self.sorted_neighbors[i].iter().filter(|&&j| !masked[j as usize]).take(q_kk)
-            {
+            for &j in self.sorted_neighbors[i].iter().filter(|&&j| !masked[j as usize]).take(q_kk) {
                 triplets.push((i, j as usize, 1.0));
             }
         }
@@ -338,8 +336,7 @@ mod tests {
                 let ctx = DtwContext::new(&p, 4, 2);
                 let n = ctx.n_observed();
                 let masked: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-                let mg: Vec<usize> =
-                    (0..n).filter(|&i| masked[i]).map(|l| p.observed[l]).collect();
+                let mg: Vec<usize> = (0..n).filter(|&i| masked[i]).map(|l| p.observed[l]).collect();
                 let ug: Vec<usize> =
                     (0..n).filter(|&i| !masked[i]).map(|l| p.observed[l]).collect();
                 let w = pseudo_weights_for(&p, &mg, &ug);

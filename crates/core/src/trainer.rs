@@ -104,12 +104,9 @@ pub fn train_stsm(problem: &ProblemInstance, cfg: &StsmConfig) -> (TrainedStsm, 
         let pw = pseudo_weights_for(problem, &masked_globals, &unmasked_globals);
         // 3. Per-epoch DTW adjacency (Eq. links rebuilt because the masked
         //    set changed).
-        let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.train_adjacency(
-            &masked,
-            &pw,
-            cfg.q_kk,
-            cfg.q_ku,
-        ))));
+        let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(
+            &dtw.train_adjacency(&masked, &pw, cfg.q_kk, cfg.q_ku),
+        )));
         // 4. Sample windows and run batches.
         let mut order: Vec<usize> = (0..windows.len()).collect();
         order.shuffle(&mut rng);
@@ -121,8 +118,19 @@ pub fn train_stsm(problem: &ProblemInstance, cfg: &StsmConfig) -> (TrainedStsm, 
                 continue; // contrastive batches need at least 2 windows
             }
             let loss = train_batch(
-                problem, cfg, &model, &mut store, &mut opt, &masked_locals,
-                &unmasked_globals, &pw, &a_s, &a_dtw, &windows, chunk, &observed,
+                problem,
+                cfg,
+                &model,
+                &mut store,
+                &mut opt,
+                &masked_locals,
+                &unmasked_globals,
+                &pw,
+                &a_s,
+                &a_dtw,
+                &windows,
+                chunk,
+                &observed,
             );
             epoch_loss += loss;
             batches += 1;
@@ -170,8 +178,14 @@ fn train_batch(
             let abs_start = problem.train_time.start + w.input_start;
             let x_full = gather_window(problem, observed, abs_start, cfg.t_in);
             let x_masked = mask_window(
-                &x_full, masked_locals, unmasked_globals, pseudo_weights, problem, abs_start,
-                cfg.t_in, cfg.pseudo_observations,
+                &x_full,
+                masked_locals,
+                unmasked_globals,
+                pseudo_weights,
+                problem,
+                abs_start,
+                cfg.t_in,
+                cfg.pseudo_observations,
             );
             let y = gather_window(problem, observed, abs_start + cfg.t_in, cfg.t_out);
             let tf = StModel::time_features(abs_start, cfg.t_in, spd);
@@ -208,7 +222,7 @@ fn train_batch(
 /// Gathers a `(rows, T, 1)` window of scaled values for the given global
 /// location ids.
 fn gather_window(problem: &ProblemInstance, globals: &[usize], start: usize, len: usize) -> Tensor {
-    let mut data = Vec::with_capacity(globals.len() * len);
+    let mut data = stsm_tensor::alloc::buf_with_capacity(globals.len() * len);
     for &g in globals {
         data.extend_from_slice(problem.scaled_range(g, start, start + len));
     }
@@ -284,9 +298,8 @@ pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalRe
     let start = Instant::now();
     let n = problem.n();
     let all: Vec<usize> = (0..n).collect();
-    let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
-        &problem.spatial_adjacency(&all, cfg.epsilon_s),
-    )));
+    let a_s =
+        Arc::new(CsrLinMap::new(normalize_gcn(&problem.spatial_adjacency(&all, cfg.epsilon_s))));
     let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
     let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
     let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
@@ -309,7 +322,8 @@ pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalRe
         // Inputs: observed real + unobserved pseudo, in global order.
         let x = build_full_input(problem, &pw, abs_start, cfg.t_in, cfg.pseudo_observations);
         let tf = StModel::time_features(abs_start, cfg.t_in, spd);
-        let pred = crate::model::predict_once(&trained.model, &trained.store, &x, &tf, &a_s, &a_dtw);
+        let pred =
+            crate::model::predict_once(&trained.model, &trained.store, &x, &tf, &a_s, &a_dtw);
         let target_start = abs_start + cfg.t_in;
         for &u in &problem.unobserved {
             for p in 0..cfg.t_out {
@@ -332,10 +346,9 @@ fn build_full_input(
     pseudo_observations: bool,
 ) -> Tensor {
     let n = problem.n();
-    let mut data = vec![0.0f32; n * len];
+    let mut data = stsm_tensor::alloc::buf_zeroed(n * len);
     for &g in &problem.observed {
-        data[g * len..(g + 1) * len]
-            .copy_from_slice(problem.scaled_range(g, start, start + len));
+        data[g * len..(g + 1) * len].copy_from_slice(problem.scaled_range(g, start, start + len));
     }
     if pseudo_observations {
         let mut sources = Vec::with_capacity(problem.observed.len() * len);

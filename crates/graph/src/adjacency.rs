@@ -92,9 +92,8 @@ pub fn knn_adjacency(dist: &[f32], n: usize, k: usize) -> CsrMatrix {
     let mut triplets = Vec::new();
     for i in 0..n {
         let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        order.sort_by(|&a, &b| {
-            dist[i * n + a].partial_cmp(&dist[i * n + b]).expect("NaN distance")
-        });
+        order
+            .sort_by(|&a, &b| dist[i * n + a].partial_cmp(&dist[i * n + b]).expect("NaN distance"));
         for &j in order.iter().take(k) {
             triplets.push((i, j, 1.0));
         }
@@ -139,10 +138,8 @@ pub fn normalize_row(a: &CsrMatrix) -> CsrMatrix {
     }
     let a_tilde = CsrMatrix::from_triplets(n, n, &triplets);
     let row_deg = a_tilde.row_sums();
-    let normalized: Vec<(usize, usize, f32)> = a_tilde
-        .iter()
-        .map(|(r, c, v)| (r, c, v / row_deg[r].max(1e-12)))
-        .collect();
+    let normalized: Vec<(usize, usize, f32)> =
+        a_tilde.iter().map(|(r, c, v)| (r, c, v / row_deg[r].max(1e-12))).collect();
     CsrMatrix::from_triplets(n, n, &normalized)
 }
 
@@ -248,7 +245,8 @@ mod tests {
 
     #[test]
     fn subgraph_includes_root_and_neighbors() {
-        let a = CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        let a =
+            CsrMatrix::from_triplets(4, 4, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         assert_eq!(subgraph_of(&a, 1), vec![0, 1, 2]);
         assert_eq!(subgraph_of(&a, 3), vec![3]);
         assert_eq!(one_hop_neighbors(&a, 0), vec![1]);

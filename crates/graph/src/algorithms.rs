@@ -78,12 +78,8 @@ pub fn degree_stats(graph: &CsrMatrix) -> (usize, usize, f64) {
 /// The `k`-hop neighbourhood of `node` (excluding itself), sorted.
 pub fn k_hop_neighbors(graph: &CsrMatrix, node: usize, k: usize) -> Vec<usize> {
     let hops = bfs_hops(graph, node);
-    let mut out: Vec<usize> = hops
-        .iter()
-        .enumerate()
-        .filter(|&(i, &h)| i != node && h <= k)
-        .map(|(i, _)| i)
-        .collect();
+    let mut out: Vec<usize> =
+        hops.iter().enumerate().filter(|&(i, &h)| i != node && h <= k).map(|(i, _)| i).collect();
     out.sort_unstable();
     out
 }

@@ -137,7 +137,14 @@ impl CsrMatrix {
     /// the result is `(rows, features...)`.
     pub fn matmul_dense(&self, x: &Tensor) -> Tensor {
         assert!(x.rank() >= 1, "spmm input must have at least one dim");
-        assert_eq!(x.dim(0), self.cols, "spmm dims mismatch: {}x{} vs {}", self.rows, self.cols, x.shape());
+        assert_eq!(
+            x.dim(0),
+            self.cols,
+            "spmm dims mismatch: {}x{} vs {}",
+            self.rows,
+            self.cols,
+            x.shape()
+        );
         let feat = x.numel() / x.dim(0);
         let mut out_dims = x.dims().to_vec();
         out_dims[0] = self.rows;

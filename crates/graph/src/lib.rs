@@ -24,6 +24,8 @@ pub use adjacency::{
     knn_adjacency, normalize_gcn, normalize_row, one_hop_neighbors, pairwise_euclidean,
     subgraph_of,
 };
-pub use algorithms::{bfs_hops, connected_components, degree_stats, k_hop_neighbors, num_components};
+pub use algorithms::{
+    bfs_hops, connected_components, degree_stats, k_hop_neighbors, num_components,
+};
 pub use csr::{CsrLinMap, CsrMatrix};
 pub use shortest_path::{all_pairs_shortest_paths, dijkstra};

@@ -64,7 +64,8 @@ impl Dataset {
             values.extend_from_slice(self.series(s));
             coords.push(self.coords[s]);
             poi.extend_from_slice(
-                &self.features.poi[s * crate::poi::POI_CATEGORIES..(s + 1) * crate::poi::POI_CATEGORIES],
+                &self.features.poi
+                    [s * crate::poi::POI_CATEGORIES..(s + 1) * crate::poi::POI_CATEGORIES],
             );
             scale.push(self.features.scale[s]);
             road.extend_from_slice(&self.features.road[s * 4..(s + 1) * 4]);
@@ -75,11 +76,9 @@ impl Dataset {
         let triplets: Vec<(usize, usize, f32)> = self
             .road_graph
             .iter()
-            .filter_map(|(r, c, v)| {
-                match (index_of.get(&r), index_of.get(&c)) {
-                    (Some(&nr), Some(&nc)) => Some((nr, nc, v)),
-                    _ => None,
-                }
+            .filter_map(|(r, c, v)| match (index_of.get(&r), index_of.get(&c)) {
+                (Some(&nr), Some(&nc)) => Some((nr, nc, v)),
+                _ => None,
             })
             .collect();
         Dataset {
@@ -117,8 +116,7 @@ impl Dataset {
         let mut road = self.features.road.clone();
         road.extend_from_slice(&other.features.road);
         let mut triplets: Vec<(usize, usize, f32)> = self.road_graph.iter().collect();
-        triplets
-            .extend(other.road_graph.iter().map(|(r, c, v)| (r + self.n, c + self.n, v)));
+        triplets.extend(other.road_graph.iter().map(|(r, c, v)| (r + self.n, c + self.n, v)));
         Dataset {
             name: format!("{}+{}", self.name, other.name),
             coords,

@@ -58,12 +58,7 @@ pub fn dataset_from_json(json: &str) -> Result<Dataset, serde_json::Error> {
         t_total: snap.t_total,
         steps_per_day: snap.steps_per_day,
         interval_minutes: snap.interval_minutes,
-        features: LocationFeatures {
-            poi: snap.poi,
-            scale: snap.scale,
-            road: snap.road,
-            n: snap.n,
-        },
+        features: LocationFeatures { poi: snap.poi, scale: snap.scale, road: snap.road, n: snap.n },
         road_graph: snap.road_graph,
         kind: if snap.kind == "pm25" { SignalKind::Pm25 } else { SignalKind::TrafficSpeed },
     })

@@ -221,11 +221,7 @@ mod tests {
         // k-means-free check: distances to the two design centres split 2:1.
         let c1 = [25_000.0, 60_000.0];
         let c2 = [80_000.0, 25_000.0];
-        let near1 = net
-            .coords
-            .iter()
-            .filter(|&&p| dist(p, c1) < dist(p, c2))
-            .count();
+        let near1 = net.coords.iter().filter(|&&p| dist(p, c1) < dist(p, c2)).count();
         assert!(near1 > 63 / 2, "first city should hold most sensors, got {near1}");
         assert!(near1 < 63, "second city must not be empty");
     }

@@ -17,32 +17,32 @@ pub const POI_CATEGORIES: usize = 26;
 
 /// Human-readable names of the 26 POI categories from Table 1.
 pub const POI_CATEGORY_NAMES: [&str; POI_CATEGORIES] = [
-    "education",        // #1 university, school, kindergarten...
-    "office",           // #2 commercial, office, studio
-    "retail",           // #3 retail, supermarket
-    "lodging",          // #4 hotel, motel, hostel
-    "culture",          // #5 arts centre, library, museum...
-    "health",           // #6 clinic, hospital, pharmacy...
-    "bridge",           // #7 bridges
-    "cinema",           // #8 cinema
-    "park",             // #9 fountain, garden, park...
-    "nightlife",        // #10 casino, nightclub...
-    "worship",          // #11 church, mosque, temple...
-    "food",             // #12 cafe, restaurant, pub...
-    "parking",          // #13 parking facilities
-    "transit",          // #14 taxi, bus/train stations...
-    "warehouse",        // #15 warehouse
-    "industrial",       // #16 industrial
-    "residential",      // #17 residential, apartments
-    "construction",     // #18 construction
-    "market",           // #19 marketplace
-    "camping",          // #20 caravan/camp/picnic sites
-    "sports",           // #21 pitch, stadium, gym...
-    "civic",            // #22 civic, government, public
-    "vehicle_service",  // #23 fuel, car wash, repair...
-    "finance",          // #24 atm, bank...
-    "waterfront",       // #25 boat rental, ferry terminal
-    "agriculture",      // #26 barn, greenhouse, stable...
+    "education",       // #1 university, school, kindergarten...
+    "office",          // #2 commercial, office, studio
+    "retail",          // #3 retail, supermarket
+    "lodging",         // #4 hotel, motel, hostel
+    "culture",         // #5 arts centre, library, museum...
+    "health",          // #6 clinic, hospital, pharmacy...
+    "bridge",          // #7 bridges
+    "cinema",          // #8 cinema
+    "park",            // #9 fountain, garden, park...
+    "nightlife",       // #10 casino, nightclub...
+    "worship",         // #11 church, mosque, temple...
+    "food",            // #12 cafe, restaurant, pub...
+    "parking",         // #13 parking facilities
+    "transit",         // #14 taxi, bus/train stations...
+    "warehouse",       // #15 warehouse
+    "industrial",      // #16 industrial
+    "residential",     // #17 residential, apartments
+    "construction",    // #18 construction
+    "market",          // #19 marketplace
+    "camping",         // #20 caravan/camp/picnic sites
+    "sports",          // #21 pitch, stadium, gym...
+    "civic",           // #22 civic, government, public
+    "vehicle_service", // #23 fuel, car wash, repair...
+    "finance",         // #24 atm, bank...
+    "waterfront",      // #25 boat rental, ferry terminal
+    "agriculture",     // #26 barn, greenhouse, stable...
 ];
 
 /// Per-location static features used by the selective-masking module.
@@ -97,9 +97,19 @@ fn archetype_poi_intensity() -> [[f32; POI_CATEGORIES]; NUM_ARCHETYPES] {
         res[idx] = v;
     }
     let com = &mut m[1];
-    for (idx, v) in
-        [(1, 6.0), (2, 4.0), (11, 5.0), (23, 3.0), (4, 2.0), (3, 2.5), (9, 1.5), (7, 1.0), (13, 3.0), (18, 1.0), (21, 1.5)]
-    {
+    for (idx, v) in [
+        (1, 6.0),
+        (2, 4.0),
+        (11, 5.0),
+        (23, 3.0),
+        (4, 2.0),
+        (3, 2.5),
+        (9, 1.5),
+        (7, 1.0),
+        (13, 3.0),
+        (18, 1.0),
+        (21, 1.5),
+    ] {
         com[idx] = v;
     }
     let fwy = &mut m[2];

@@ -32,7 +32,11 @@ fn congestion_profile(archetype: usize, tod: f64) -> f64 {
     };
     match archetype {
         0 => bump(8.0 / 24.0, 0.045, 0.95) + bump(17.5 / 24.0, 0.06, 0.45),
-        1 => bump(8.5 / 24.0, 0.05, 0.7) + bump(17.5 / 24.0, 0.05, 0.9) + bump(12.5 / 24.0, 0.07, 0.3),
+        1 => {
+            bump(8.5 / 24.0, 0.05, 0.7)
+                + bump(17.5 / 24.0, 0.05, 0.9)
+                + bump(12.5 / 24.0, 0.07, 0.3)
+        }
         2 => bump(7.5 / 24.0, 0.06, 0.45) + bump(17.0 / 24.0, 0.06, 0.5),
         3 => bump(10.0 / 24.0, 0.12, 0.5) + bump(15.0 / 24.0, 0.12, 0.45),
         _ => unreachable!("unknown archetype"),
@@ -113,7 +117,8 @@ fn simulate_traffic(
         let w = &mixtures[i];
         let mut ar = 0.0f64; // autocorrelated noise state
         for t in 0..steps {
-            let tod = ((t % steps_per_day) as f64 / steps_per_day as f64 + phases[i]).rem_euclid(1.0);
+            let tod =
+                ((t % steps_per_day) as f64 / steps_per_day as f64 + phases[i]).rem_euclid(1.0);
             let dow = (t / steps_per_day) % 7;
             let weekend = dow >= 5;
             let weekday_factor = if weekend { 0.45 } else { 1.0 };
@@ -136,7 +141,8 @@ fn simulate_traffic(
                 }
             }
             ar = 0.9 * ar + 0.1 * gaussian(&mut rng);
-            let speed = maxspeed * (1.0 - 0.72 * congestion.clamp(0.0, 1.1)) + 2.5 * ar
+            let speed = maxspeed * (1.0 - 0.72 * congestion.clamp(0.0, 1.1))
+                + 2.5 * ar
                 + 0.8 * gaussian(&mut rng);
             out[i * steps + t] = speed.clamp(2.0, maxspeed * 1.05) as f32;
         }

@@ -174,7 +174,10 @@ pub fn multi_region_split(
 
 /// Temporal split: first `train_fraction` of steps for training, the rest
 /// for testing (the paper uses 70/30).
-pub fn temporal_split(total_steps: usize, train_fraction: f64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+pub fn temporal_split(
+    total_steps: usize,
+    train_fraction: f64,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
     assert!((0.1..=0.95).contains(&train_fraction));
     let cut = ((total_steps as f64) * train_fraction).round() as usize;
     (0..cut, cut..total_steps)

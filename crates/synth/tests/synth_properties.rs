@@ -2,9 +2,7 @@
 //! bounds, determinism and the subset/merge algebra.
 
 use proptest::prelude::*;
-use stsm_synth::{
-    dataset_from_json, dataset_to_json, DatasetConfig, NetworkKind, SignalKind,
-};
+use stsm_synth::{dataset_from_json, dataset_to_json, DatasetConfig, NetworkKind, SignalKind};
 
 fn config(kind: NetworkKind, signal: SignalKind, sensors: usize, seed: u64) -> DatasetConfig {
     DatasetConfig {

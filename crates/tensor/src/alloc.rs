@@ -1,0 +1,372 @@
+//! Size-classed buffer recycling for tensor storage.
+//!
+//! STSM rebuilds the whole autograd tape every training step over a freshly
+//! re-masked subgraph, so a run constructs and drops thousands of `Vec<f32>`
+//! buffers per step. This module keeps those buffers alive across steps: an
+//! allocation request is served from a thread-safe free list keyed by
+//! capacity class, and [`crate::Tensor`] returns its buffer here on drop when
+//! the storage `Arc` is uniquely owned (shared storage is never recycled —
+//! the copy-on-write contract stays intact). Dropping the tape at the end of
+//! a step therefore refills the pool for the next one.
+//!
+//! ## Size classes
+//!
+//! Buffers are binned by power-of-two capacity. A request of `n` elements is
+//! served from the smallest class whose buffers are guaranteed to hold `n`
+//! (capacity rounded *up* to the class size on a pool miss), and a returned
+//! buffer goes to the class of its capacity rounded *down*, so every pooled
+//! buffer can serve any request of its class. Buffers below
+//! [`MIN_POOLED_LEN`] elements are cheaper to malloc than to lock a free
+//! list for; buffers above [`MAX_POOLED_LEN`] are dropped to bound resident
+//! memory. Each class keeps at most [`MAX_BUFS_PER_CLASS`] buffers.
+//!
+//! ## Gating
+//!
+//! Recycling (and the fused kernels built on top of it; see
+//! [`crate::Tape::addmm`]) is ON by default and disabled by
+//! `STSM_BUFFER_POOL=off|0|false`, read once at first use. [`with_pool`]
+//! overrides the switch for the calling thread, so tests and benchmarks can
+//! A/B the two paths in one process. Pooling never changes results: pooled
+//! buffers are length-reset before reuse and every kernel writes or zeroes
+//! each output element exactly as the unpooled path does — see the
+//! equivalence tests in `tests/fused_equivalence.rs`.
+//!
+//! ## Allocation counters
+//!
+//! With the `alloc-stats` feature (used by the `bench_train` benchmark),
+//! [`alloc_counts`] reports how many buffer requests were served fresh from
+//! the system allocator vs reused from the pool.
+
+use std::cell::Cell;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Smallest buffer length (in `f32` elements) worth pooling: 64 elements.
+pub const MIN_POOLED_LEN: usize = 1 << MIN_CLASS_LOG2;
+
+/// Largest buffer length kept in the pool: 2²⁴ elements (64 MiB).
+pub const MAX_POOLED_LEN: usize = 1 << MAX_CLASS_LOG2;
+
+/// Maximum buffers retained per size class.
+pub const MAX_BUFS_PER_CLASS: usize = 64;
+
+const MIN_CLASS_LOG2: u32 = 6;
+const MAX_CLASS_LOG2: u32 = 24;
+const NUM_CLASSES: usize = (MAX_CLASS_LOG2 - MIN_CLASS_LOG2 + 1) as usize;
+
+/// Free lists, one per power-of-two capacity class. Class `i` holds buffers
+/// with capacity in `[2^(6+i), 2^(7+i))`.
+static CLASSES: [Mutex<Vec<Vec<f32>>>; NUM_CLASSES] =
+    [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
+
+thread_local! {
+    /// Per-thread override of the env switch; see [`with_pool`].
+    static POOL_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// The `STSM_BUFFER_POOL` switch, read once. Anything but `off`/`0`/`false`
+/// (case-insensitive) leaves pooling on.
+fn env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("STSM_BUFFER_POOL") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "off" || v == "0" || v == "false")
+        }
+        Err(_) => true,
+    })
+}
+
+/// True when buffer recycling (and the fused kernels gated with it) is
+/// active on the calling thread.
+pub fn enabled() -> bool {
+    POOL_OVERRIDE.with(|c| c.get()).unwrap_or_else(env_enabled)
+}
+
+/// Runs `f` with recycling forced on or off for the calling thread,
+/// restoring the previous setting on exit (including on panic). This is the
+/// in-process analogue of `STSM_BUFFER_POOL`, used by the equivalence tests
+/// and `bench_train` to A/B the pooled/fused path against the plain one.
+pub fn with_pool<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POOL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = POOL_OVERRIDE.with(|c| c.replace(Some(enabled)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Class index serving requests of `n` elements (capacity rounded up), or
+/// `None` when `n` is outside the pooled range.
+fn request_class(n: usize) -> Option<usize> {
+    if n == 0 || n > MAX_POOLED_LEN {
+        return None;
+    }
+    let c = n.next_power_of_two().trailing_zeros().max(MIN_CLASS_LOG2);
+    Some((c - MIN_CLASS_LOG2) as usize)
+}
+
+/// Class index a buffer of capacity `cap` files under (capacity rounded
+/// down), or `None` when it is outside the pooled range.
+fn capacity_class(cap: usize) -> Option<usize> {
+    if cap < MIN_POOLED_LEN {
+        return None;
+    }
+    let c = usize::BITS - 1 - cap.leading_zeros();
+    if c > MAX_CLASS_LOG2 {
+        return None;
+    }
+    Some((c - MIN_CLASS_LOG2) as usize)
+}
+
+fn lock(class: usize) -> std::sync::MutexGuard<'static, Vec<Vec<f32>>> {
+    // A panic while holding the lock leaves only plain Vecs behind, which
+    // are safe to keep using.
+    CLASSES[class].lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pops a pooled buffer able to hold `n` elements, cleared to length 0.
+/// Returns `None` when recycling is off, `n` is outside the pooled range, or
+/// the class is empty.
+fn take(n: usize) -> Option<Vec<f32>> {
+    if !enabled() {
+        return None;
+    }
+    let class = request_class(n)?;
+    let mut buf = lock(class).pop()?;
+    buf.clear();
+    Some(buf)
+}
+
+/// Returns `buf` to its capacity class. Drops it when recycling is off, the
+/// capacity is outside the pooled range, or the class is full.
+pub fn recycle(buf: Vec<f32>) {
+    if !enabled() {
+        return;
+    }
+    let Some(class) = capacity_class(buf.capacity()) else { return };
+    let mut list = lock(class);
+    if list.len() < MAX_BUFS_PER_CLASS {
+        list.push(buf);
+    }
+}
+
+/// The shared empty storage a [`crate::Tensor`] leaves behind after handing
+/// its buffer back in `Drop`.
+pub(crate) fn empty_shared() -> Arc<Vec<f32>> {
+    static EMPTY: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// Number of buffers currently pooled in the class serving `n`-element
+/// requests (0 when `n` is outside the pooled range).
+pub fn pooled_in_class_of(n: usize) -> usize {
+    request_class(n).map_or(0, |c| lock(c).len())
+}
+
+/// Empties every free list, releasing the memory to the system allocator.
+pub fn clear() {
+    for class in &CLASSES {
+        class.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(feature = "alloc-stats")]
+mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static FRESH: AtomicU64 = AtomicU64::new(0);
+    pub static REUSED: AtomicU64 = AtomicU64::new(0);
+
+    /// `(fresh, reused)` buffer-request counts since the last reset.
+    pub fn alloc_counts() -> (u64, u64) {
+        (FRESH.load(Ordering::Relaxed), REUSED.load(Ordering::Relaxed))
+    }
+
+    /// Zeroes both counters.
+    pub fn reset_alloc_counts() {
+        FRESH.store(0, Ordering::Relaxed);
+        REUSED.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "alloc-stats")]
+pub use stats::{alloc_counts, reset_alloc_counts};
+
+#[inline]
+fn count_fresh() {
+    #[cfg(feature = "alloc-stats")]
+    stats::FRESH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+#[inline]
+fn count_reused() {
+    #[cfg(feature = "alloc-stats")]
+    stats::REUSED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// A zero-filled buffer of length `n`, reusing a pooled buffer when one is
+/// available. Identical contents to `vec![0.0; n]` either way.
+pub fn buf_zeroed(n: usize) -> Vec<f32> {
+    match take(n) {
+        Some(mut buf) => {
+            count_reused();
+            buf.resize(n, 0.0);
+            buf
+        }
+        None => {
+            count_fresh();
+            // Round a poolable miss up to its class size so the buffer is
+            // reusable for any request of the class once recycled.
+            match request_class(n) {
+                Some(_) if enabled() => {
+                    let mut buf = Vec::with_capacity(n.next_power_of_two().max(MIN_POOLED_LEN));
+                    buf.resize(n, 0.0);
+                    buf
+                }
+                _ => vec![0.0; n],
+            }
+        }
+    }
+}
+
+/// A buffer of length `n` filled with `v`; pooled like [`buf_zeroed`].
+pub fn buf_filled(n: usize, v: f32) -> Vec<f32> {
+    let mut buf = buf_zeroed(n);
+    if v != 0.0 {
+        buf.iter_mut().for_each(|x| *x = v);
+    }
+    buf
+}
+
+/// An empty buffer with capacity for at least `n` elements, for callers that
+/// `push`/`extend` exactly `n` values; pooled like [`buf_zeroed`].
+pub fn buf_with_capacity(n: usize) -> Vec<f32> {
+    match take(n) {
+        Some(buf) => {
+            count_reused();
+            buf
+        }
+        None => {
+            count_fresh();
+            match request_class(n) {
+                Some(_) if enabled() => {
+                    Vec::with_capacity(n.next_power_of_two().max(MIN_POOLED_LEN))
+                }
+                _ => Vec::with_capacity(n),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    // Each test drains and reuses a size class no other test (or the rest of
+    // the suite) plausibly touches, because the pool is process-global and
+    // the default gate is ON for every test thread.
+
+    fn drain(n: usize) {
+        while take(n).is_some() {}
+    }
+
+    #[test]
+    fn request_rounds_up_capacity_rounds_down() {
+        assert_eq!(request_class(1), Some(0));
+        assert_eq!(request_class(64), Some(0));
+        assert_eq!(request_class(65), Some(1));
+        assert_eq!(request_class(128), Some(1));
+        assert_eq!(request_class(MAX_POOLED_LEN), Some(NUM_CLASSES - 1));
+        assert_eq!(request_class(MAX_POOLED_LEN + 1), None);
+        assert_eq!(request_class(0), None);
+        assert_eq!(capacity_class(63), None);
+        assert_eq!(capacity_class(64), Some(0));
+        assert_eq!(capacity_class(127), Some(0));
+        assert_eq!(capacity_class(128), Some(1));
+        assert_eq!(capacity_class(2 * MAX_POOLED_LEN), None);
+    }
+
+    #[test]
+    fn recycled_buffer_serves_its_class() {
+        // Unique class: ~2^20 elements.
+        let n = (1 << 20) + 7;
+        with_pool(true, || {
+            drain(n);
+            recycle(Vec::with_capacity(1 << 21)); // floor class == ceil class of n
+            let buf = take(n).expect("pooled buffer should serve request");
+            assert!(buf.capacity() >= n);
+            assert!(buf.is_empty());
+            // A request one class up must not see it.
+            recycle(buf);
+            drain((1 << 21) + 1);
+            assert!(take((1 << 21) + 1).is_none());
+            drain(n);
+        });
+    }
+
+    #[test]
+    fn dropping_unique_tensor_recycles_shared_does_not() {
+        let n = (1 << 22) + 3; // unique class, ~16 MiB
+        with_pool(true, || {
+            drain(n);
+            let t = Tensor::zeros([n]);
+            let t2 = t.clone();
+            drop(t); // storage still shared with t2 — must not be recycled
+            assert!(take(n).is_none(), "shared buffer was recycled");
+            drop(t2); // now uniquely owned — recycled
+            let buf = take(n).expect("unique buffer should be recycled");
+            assert!(buf.capacity() >= n);
+            drain(n);
+        });
+    }
+
+    #[test]
+    fn cross_thread_return() {
+        let n = (1 << 23) + 11; // unique class, ~32 MiB
+        with_pool(true, || drain(n));
+        std::thread::spawn(move || {
+            with_pool(true, || drop(Tensor::zeros([n])));
+        })
+        .join()
+        .unwrap();
+        with_pool(true, || {
+            assert!(take(n).is_some(), "buffer recycled on another thread not visible");
+            drain(n);
+        });
+    }
+
+    #[test]
+    fn with_pool_off_disables_take_and_recycle() {
+        let n = (1 << 21) + 5; // unique class
+        with_pool(true, || drain(n));
+        with_pool(false, || {
+            assert!(!enabled());
+            recycle(Vec::with_capacity(n.next_power_of_two()));
+            assert!(take(n).is_none());
+        });
+        // The recycle above was dropped, not pooled.
+        with_pool(true, || assert!(take(n).is_none()));
+    }
+
+    #[test]
+    fn buffers_match_plain_allocation() {
+        with_pool(true, || {
+            let n = 130;
+            // Seed the pool with a dirty buffer to prove reuse re-zeroes.
+            let mut dirty = Vec::with_capacity(256);
+            dirty.resize(256, 7.25f32);
+            recycle(dirty);
+            let z = buf_zeroed(n);
+            assert_eq!(z, vec![0.0; n]);
+            recycle(z);
+            let f = buf_filled(n, 3.5);
+            assert_eq!(f, vec![3.5; n]);
+            let c = buf_with_capacity(n);
+            assert!(c.is_empty() && c.capacity() >= n);
+        });
+    }
+}

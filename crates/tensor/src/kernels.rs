@@ -9,6 +9,7 @@
 //! thread with a serial inner loop, so results are bit-identical to the
 //! serial path for any thread count.
 
+use crate::alloc;
 use crate::pool::{self, SliceWriter};
 use crate::tensor::Tensor;
 
@@ -20,21 +21,34 @@ const PAR_THRESHOLD: usize = 1 << 22; // ~4M MACs
 const MIN_CHUNK_WORK: usize = 1 << 16;
 
 /// Multiplies row-major `a` (m×k) by `b` (k×n) into a new m×n buffer.
+/// Production entry points go through [`matmul`] for the cached finiteness
+/// verdict; this slice-level wrapper remains the test reference.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn matmul_raw(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
-    let mut out = vec![0.0f32; m * n];
-    matmul_into(a, b, &mut out, m, k, n);
+    // The zero-skip fast path is only sound when `b` is free of non-finite
+    // values (0·NaN must stay NaN, 0·∞ likewise); one cheap scan of `b`
+    // decides for the whole product. Tensor-level entry points pass the
+    // cached [`Tensor::all_finite`] verdict instead of rescanning.
+    let skip_zeros = b.iter().all(|v| v.is_finite());
+    let mut out = alloc::buf_zeroed(m * n);
+    matmul_into(a, b, &mut out, m, k, n, skip_zeros);
     out
 }
 
 /// Multiplies `a` (m×k) by `b` (k×n) into the zeroed buffer `out` (m×n),
 /// splitting the row range over the pool when the work is large enough.
-fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    // The zero-skip fast path below is only sound when `b` is free of
-    // non-finite values (0·NaN must stay NaN, 0·∞ likewise); one cheap scan
-    // of `b` decides for the whole product.
-    let skip_zeros = b.iter().all(|v| v.is_finite());
+/// `skip_zeros` must only be set when `b` is free of NaN/Inf.
+fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    skip_zeros: bool,
+) {
     let row_work = k * n;
     if m * row_work < PAR_THRESHOLD {
         matmul_rows_into(a, b, out, 0, m, k, n, skip_zeros);
@@ -85,7 +99,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", a.shape(), b.shape());
-    Tensor::from_vec([m, n], matmul_raw(a.data(), b.data(), m, k, n))
+    let mut out = alloc::buf_zeroed(m * n);
+    matmul_into(a.data(), b.data(), &mut out, m, k, n, b.all_finite());
+    Tensor::from_vec([m, n], out)
 }
 
 /// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n). Parallel over the
@@ -98,8 +114,12 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm batch mismatch");
     assert_eq!(k, k2, "bmm inner dims mismatch");
     let (ad, bd) = (a.data(), b.data());
+    // One whole-tensor verdict (cached on `b`) instead of one scan per
+    // batch: more conservative when only some batches carry NaN/Inf, but the
+    // skip path never changes values, so results are identical either way.
+    let skip_zeros = b.all_finite();
     let per_batch = m * k * n;
-    let mut out = vec![0.0f32; bs * m * n];
+    let mut out = alloc::buf_zeroed(bs * m * n);
     let min_batches = MIN_CHUNK_WORK.div_ceil(per_batch.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
     pool::par_chunks(bs, min_batches, |batches| {
@@ -113,6 +133,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
                 m,
                 k,
                 n,
+                skip_zeros,
             );
         }
     });
@@ -128,7 +149,12 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 ///   `(K-1) * dilation` (causal: output at t only sees inputs ≤ t).
 ///
 /// Parallel over (N, C_out) output rows.
-pub fn conv1d_dilated(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, dilation: usize) -> Tensor {
+pub fn conv1d_dilated(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    dilation: usize,
+) -> Tensor {
     assert_eq!(input.rank(), 3, "conv1d input must be (N, C_in, T)");
     assert_eq!(weight.rank(), 3, "conv1d weight must be (C_out, C_in, K)");
     let (n, cin, t) = (input.dim(0), input.dim(1), input.dim(2));
@@ -142,9 +168,9 @@ pub fn conv1d_dilated(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, di
     let wdata = weight.data();
     let bias_data = bias.map(|b| b.data());
     // The zero-weight skip drops `0 · input[..]` terms, which is only sound
-    // when the input carries no NaN/Inf.
-    let skip_zeros = idata.iter().all(|v| v.is_finite());
-    let mut out = vec![0.0f32; n * cout * t];
+    // when the input carries no NaN/Inf (verdict cached on the tensor).
+    let skip_zeros = input.all_finite();
+    let mut out = alloc::buf_zeroed(n * cout * t);
     let pair_work = cin * k * t;
     let min_pairs = MIN_CHUNK_WORK.div_ceil(pair_work.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
@@ -198,7 +224,7 @@ pub fn conv1d_dilated_backward(
     let idata = input.data();
     let wdata = weight.data();
     let gdata = grad_out.data();
-    let mut gi = vec![0.0f32; n * cin * t];
+    let mut gi = alloc::buf_zeroed(n * cin * t);
     let partials = {
         let gi_writer = SliceWriter::new(&mut gi);
         // Chunk size 1 is fixed (thread-count independent): one partial per
@@ -255,7 +281,7 @@ pub fn conv1d_dilated_backward(
 pub fn softmax_lastdim(x: &Tensor) -> Tensor {
     let d = x.dim(x.rank() - 1);
     let rows = x.numel() / d;
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = alloc::buf_zeroed(x.numel());
     let data = x.data();
     let min_rows = MIN_CHUNK_WORK.div_ceil(d.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
@@ -285,7 +311,7 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
 pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
     let d = x.dim(x.rank() - 1);
     let rows = x.numel() / d;
-    let mut out = vec![0.0f32; x.numel()];
+    let mut out = alloc::buf_zeroed(x.numel());
     let data = x.data();
     let min_rows = MIN_CHUNK_WORK.div_ceil(d.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
@@ -303,6 +329,167 @@ pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
         }
     });
     Tensor::from_vec(x.shape().clone(), out)
+}
+
+// --------------------------------------------------------- fused kernels
+//
+// The fused training-step kernels collapse the small-op chains that dominate
+// STSM's step time (linear bias-add, GRU gates) into single passes over the
+// data. They are used only when [`crate::alloc::enabled`] — and each one is
+// bit-identical to the composed-op path it replaces: the floating-point
+// expression evaluated per element, and the order gradient contributions are
+// accumulated in, match the composed ops exactly (verified in
+// `tests/fused_equivalence.rs`).
+
+/// Fused affine map `x·W + b` with `x` (m×k), `W` (k×n) and a broadcast bias
+/// row `b` (n). Bit-identical to `matmul(x, w)` followed by a broadcast add:
+/// every output row accumulates the matrix product from zero and adds the
+/// bias once at the end.
+pub fn addmm(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2, "addmm lhs must be 2-D, got {}", x.shape());
+    assert_eq!(w.rank(), 2, "addmm rhs must be 2-D, got {}", w.shape());
+    let (m, k) = (x.dim(0), x.dim(1));
+    let (k2, n) = (w.dim(0), w.dim(1));
+    assert_eq!(k, k2, "addmm inner dims mismatch: {} vs {}", x.shape(), w.shape());
+    assert_eq!(b.numel(), n, "addmm bias must have {} elements, got {}", n, b.shape());
+    let skip_zeros = w.all_finite();
+    let (xd, wd, bd) = (x.data(), w.data(), b.data());
+    let mut out = alloc::buf_zeroed(m * n);
+    let row_work = k * n;
+    if m * row_work < PAR_THRESHOLD {
+        addmm_rows(xd, wd, bd, &mut out, 0, m, k, n, skip_zeros);
+    } else {
+        let min_rows = MIN_CHUNK_WORK.div_ceil(row_work.max(1)).max(1);
+        let writer = SliceWriter::new(&mut out);
+        pool::par_chunks(m, min_rows, |rows| {
+            // Safety: row ranges are disjoint, so the output slices are too.
+            let chunk = unsafe { writer.slice(rows.start * n..rows.end * n) };
+            addmm_rows(xd, wd, bd, chunk, rows.start, rows.len(), k, n, skip_zeros);
+        });
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn addmm_rows(
+    x: &[f32],
+    w: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    skip_zeros: bool,
+) {
+    matmul_rows_into(x, w, out, row0, rows, k, n, skip_zeros);
+    for orow in out[..rows * n].chunks_exact_mut(n) {
+        for (o, &bv) in orow.iter_mut().zip(b) {
+            *o += bv;
+        }
+    }
+}
+
+/// Backward pass of [`addmm`]: `(grad_x, grad_w, grad_b)` for output
+/// gradient `g`. Matches the composed path: the matmul gradients are the
+/// standard `G·Wᵀ` / `Xᵀ·G` products, and the bias gradient sums `g` over
+/// rows in row-major order — the same addition sequence as
+/// `Tensor::reduce_to(g, bias_shape)`.
+pub fn addmm_backward(x: &Tensor, w: &Tensor, g: &Tensor) -> (Tensor, Tensor, Tensor) {
+    let gx = matmul(g, &w.t());
+    let gw = matmul(&x.t(), g);
+    let n = g.dim(1);
+    let mut gb = alloc::buf_zeroed(n);
+    for row in g.data().chunks_exact(n) {
+        for (o, &v) in gb.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    (gx, gw, Tensor::from_vec([n], gb))
+}
+
+/// Fused GRU reset gate: `r = sigmoid(ar)`, `rh = r ⊙ h` in one pass.
+/// Returns `(rh, r)`; `r` is saved for the backward pass. Bit-identical to
+/// `mul(sigmoid(ar), h)`.
+pub fn gru_rh(ar: &Tensor, h: &Tensor) -> (Tensor, Tensor) {
+    assert_eq!(ar.shape(), h.shape(), "gru_rh shape mismatch");
+    let len = ar.numel();
+    let mut r = alloc::buf_with_capacity(len);
+    let mut rh = alloc::buf_with_capacity(len);
+    for (&av, &hv) in ar.data().iter().zip(h.data()) {
+        let rv = 1.0 / (1.0 + (-av).exp());
+        r.push(rv);
+        rh.push(rv * hv);
+    }
+    (Tensor::from_vec(ar.shape().clone(), rh), Tensor::from_vec(ar.shape().clone(), r))
+}
+
+/// Backward pass of [`gru_rh`] given the saved gate `r`, the hidden state
+/// `h` and the output gradient `g`: `(grad_ar, grad_h)`. The per-element
+/// expressions replay the composed path exactly: the mul op's `g·h` feeds
+/// the sigmoid derivative `r·(1-r)`, and `grad_h = g·r`.
+pub fn gru_rh_backward(r: &Tensor, h: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
+    let len = g.numel();
+    let mut gar = alloc::buf_with_capacity(len);
+    let mut gh = alloc::buf_with_capacity(len);
+    for ((&rv, &hv), &gv) in r.data().iter().zip(h.data()).zip(g.data()) {
+        gar.push((gv * hv) * (rv * (1.0 - rv)));
+        gh.push(gv * rv);
+    }
+    (Tensor::from_vec(g.shape().clone(), gar), Tensor::from_vec(g.shape().clone(), gh))
+}
+
+/// Fused GRU output gate: `z = sigmoid(az)`, `n = tanh(s)`,
+/// `h' = (1-z)⊙n + z⊙h` in one pass. Returns `(h', z, n)` with the gate
+/// activations saved for the backward pass. Bit-identical to the composed
+/// chain `add(mul(sub(1, z), n), mul(z, h))`.
+pub fn gru_out(az: &Tensor, s: &Tensor, h: &Tensor) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(az.shape(), h.shape(), "gru_out shape mismatch");
+    assert_eq!(s.shape(), h.shape(), "gru_out shape mismatch");
+    let len = az.numel();
+    let mut z = alloc::buf_with_capacity(len);
+    let mut n = alloc::buf_with_capacity(len);
+    let mut out = alloc::buf_with_capacity(len);
+    for ((&av, &sv), &hv) in az.data().iter().zip(s.data()).zip(h.data()) {
+        let zv = 1.0 / (1.0 + (-av).exp());
+        let nv = sv.tanh();
+        z.push(zv);
+        n.push(nv);
+        out.push((1.0 - zv) * nv + zv * hv);
+    }
+    (
+        Tensor::from_vec(az.shape().clone(), out),
+        Tensor::from_vec(az.shape().clone(), z),
+        Tensor::from_vec(az.shape().clone(), n),
+    )
+}
+
+/// Backward pass of [`gru_out`] given the saved gates and output gradient:
+/// `(grad_az, grad_s, grad_h)`. Each expression replays the composed chain's
+/// accumulation order: the update gate receives `g·h` from `z⊙h` first, then
+/// `-(g·n)` from `1-z` (written as `x + (-y)`, which is IEEE-identical to
+/// the composed sub-then-accumulate), before the sigmoid derivative.
+pub fn gru_out_backward(
+    z: &Tensor,
+    n: &Tensor,
+    h: &Tensor,
+    g: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let len = g.numel();
+    let mut gaz = alloc::buf_with_capacity(len);
+    let mut gs = alloc::buf_with_capacity(len);
+    let mut gh = alloc::buf_with_capacity(len);
+    for (((&zv, &nv), &hv), &gv) in z.data().iter().zip(n.data()).zip(h.data()).zip(g.data()) {
+        let omz = 1.0 - zv;
+        gaz.push(((gv * hv) + (-(gv * nv))) * (zv * (1.0 - zv)));
+        gs.push((gv * omz) * (1.0 - nv * nv));
+        gh.push(gv * zv);
+    }
+    (
+        Tensor::from_vec(g.shape().clone(), gaz),
+        Tensor::from_vec(g.shape().clone(), gs),
+        Tensor::from_vec(g.shape().clone(), gh),
+    )
 }
 
 #[cfg(test)]
@@ -401,6 +588,65 @@ mod tests {
             assert_eq!(reference.6, got.6, "softmax differs at cap {cap}");
             assert_eq!(reference.7, got.7, "log_softmax differs at cap {cap}");
         }
+    }
+
+    #[test]
+    fn addmm_bitwise_matches_composed_ops() {
+        // Small (serial) and large (parallel) problems, pool on and off.
+        for (m, k, n) in [(3, 4, 5), (160, 170, 160)] {
+            let x = Tensor::from_vec([m, k], pseudo_fill(m * k, 2654435761, 1000, 997.0));
+            let w = Tensor::from_vec([k, n], pseudo_fill(k * n, 40503, 1000, 991.0));
+            let b = Tensor::from_vec([n], pseudo_fill(n, 19, 97, 93.0));
+            let composed = matmul(&x, &w).zip_broadcast(&b, |p, bv| p + bv);
+            let reference = pool::with_max_threads(1, || addmm(&x, &w, &b));
+            assert_eq!(reference, composed, "addmm differs from composed at {m}x{k}x{n}");
+            for cap in [2, 7] {
+                let got = pool::with_max_threads(cap, || addmm(&x, &w, &b));
+                assert_eq!(reference, got, "addmm differs at cap {cap}");
+            }
+            let unpooled = crate::alloc::with_pool(false, || addmm(&x, &w, &b));
+            assert_eq!(reference, unpooled, "addmm differs with pool off");
+        }
+    }
+
+    #[test]
+    fn addmm_backward_bias_matches_reduce_to() {
+        let g = Tensor::from_vec([5, 3], pseudo_fill(15, 31, 101, 97.0));
+        let x = Tensor::from_vec([5, 2], pseudo_fill(10, 7, 53, 51.0));
+        let w = Tensor::from_vec([2, 3], pseudo_fill(6, 11, 29, 23.0));
+        let (gx, gw, gb) = addmm_backward(&x, &w, &g);
+        assert_eq!(gx, matmul(&g, &w.t()));
+        assert_eq!(gw, matmul(&x.t(), &g));
+        assert_eq!(gb, Tensor::reduce_to(&g, &crate::Shape::new(&[3])));
+    }
+
+    #[test]
+    fn gru_kernels_match_pointwise_formulas() {
+        let len = 64;
+        let ar = Tensor::from_vec([8, 8], pseudo_fill(len, 13, 211, 105.0));
+        let az = Tensor::from_vec([8, 8], pseudo_fill(len, 17, 509, 253.0));
+        let s = Tensor::from_vec([8, 8], pseudo_fill(len, 19, 401, 199.0));
+        let h = Tensor::from_vec([8, 8], pseudo_fill(len, 23, 307, 151.0));
+        let g = Tensor::from_vec([8, 8], pseudo_fill(len, 29, 203, 101.0));
+        let sigmoid = |t: &Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let (rh, r) = gru_rh(&ar, &h);
+        assert_eq!(r, sigmoid(&ar));
+        assert_eq!(rh, r.zip(&h, |a, b| a * b));
+        let (gar, ghr) = gru_rh_backward(&r, &h, &g);
+        assert_eq!(gar, g.zip(&h, |a, b| a * b).zip(&r, |x, rv| x * (rv * (1.0 - rv))));
+        assert_eq!(ghr, g.zip(&r, |a, b| a * b));
+        let (out, z, n) = gru_out(&az, &s, &h);
+        assert_eq!(z, sigmoid(&az));
+        assert_eq!(n, s.map(f32::tanh));
+        let omz = z.map(|v| 1.0 - v);
+        let composed = omz.zip(&n, |a, b| a * b).zip(&z.zip(&h, |a, b| a * b), |a, b| a + b);
+        assert_eq!(out, composed);
+        let (gaz, ggs, ggh) = gru_out_backward(&z, &n, &h, &g);
+        assert_eq!(ggh, g.zip(&z, |a, b| a * b));
+        let expect_gs = g.zip(&omz, |a, b| a * b).zip(&n, |x, nv| x * (1.0 - nv * nv));
+        assert_eq!(ggs, expect_gs);
+        let acc = g.zip(&h, |a, b| a * b).zip(&g.zip(&n, |a, b| a * b), |x, y| x + (-y));
+        assert_eq!(gaz, acc.zip(&z, |x, zv| x * (zv * (1.0 - zv))));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   plug into the tape, so graph convolutions stay decoupled from graph
 //!   types;
 //! * [`pool`] — the persistent worker pool behind every parallel kernel
-//!   (sized by `STSM_NUM_THREADS`, deterministic for any thread count).
+//!   (sized by `STSM_NUM_THREADS`, deterministic for any thread count);
+//! * [`alloc`] — size-classed buffer recycling for tensor storage, plus the
+//!   `STSM_BUFFER_POOL` gate shared with the fused training-step kernels.
 //!
 //! ## Example
 //!
@@ -32,18 +34,19 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod kernels;
 mod linmap;
 pub mod nn;
 pub mod optim;
-pub mod pool;
 mod params;
+pub mod pool;
 mod shape;
 mod tape;
 mod tape_ext;
 mod tensor;
 
-pub use kernels::{bmm, conv1d_dilated, log_softmax_lastdim, matmul, softmax_lastdim};
+pub use kernels::{addmm, bmm, conv1d_dilated, log_softmax_lastdim, matmul, softmax_lastdim};
 pub use linmap::{DenseLinMap, LinMap};
 pub use params::{ParamBinder, ParamId, ParamStore};
 pub use shape::Shape;

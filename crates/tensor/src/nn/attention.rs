@@ -2,7 +2,7 @@
 //! STSM-trans variant (§5.2.5): the paper swaps the 1-D TCN for a transformer
 //! encoder to show the architecture is extensible.
 
-use super::{LayerNorm, Linear, Fwd};
+use super::{Fwd, LayerNorm, Linear};
 use crate::params::ParamStore;
 use crate::tape::Var;
 use rand::Rng;

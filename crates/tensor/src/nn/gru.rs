@@ -40,7 +40,10 @@ impl GruCell {
             cols: usize,
             rng: &mut impl Rng,
         ) -> ParamId {
-            store.register(format!("{name}.{n}"), init::glorot_uniform([rows, cols], rows, cols, rng))
+            store.register(
+                format!("{name}.{n}"),
+                init::glorot_uniform([rows, cols], rows, cols, rng),
+            )
         }
         let wxr = mat(store, name, "wxr", input_dim, hidden_dim, rng);
         let whr = mat(store, name, "whr", hidden_dim, hidden_dim, rng);
@@ -66,24 +69,42 @@ impl GruCell {
 
     /// One recurrence step. `x`: (B, input_dim), `h`: (B, hidden_dim).
     /// Returns the next hidden state (B, hidden_dim).
+    ///
+    /// When the buffer pool / fused-kernel gate is on (see [`crate::alloc`]),
+    /// the pointwise gate arithmetic runs through the fused tape ops
+    /// [`crate::Tape::gru_rh`] and [`crate::Tape::gru_out`]; the gate affines
+    /// stay composed in both paths because folding the bias into them would
+    /// change floating-point addition order. Both paths are bit-identical.
     pub fn step(&self, fwd: &mut Fwd, x: Var, h: Var) -> Var {
+        if crate::alloc::enabled() {
+            self.step_fused(fwd, x, h)
+        } else {
+            self.step_composed(fwd, x, h)
+        }
+    }
+
+    /// Pre-activation `x·Wx + h·Wh + b`. Shared verbatim by both step paths
+    /// so the fused path cannot drift from the composed one.
+    fn affine(&self, fwd: &mut Fwd, wx: ParamId, wh: ParamId, b: ParamId, x: Var, h: Var) -> Var {
+        let wxv = fwd.p(wx);
+        let whv = fwd.p(wh);
+        let bv = fwd.p(b);
+        let tape = fwd.tape();
+        let xa = tape.matmul(x, wxv);
+        let ha = tape.matmul(h, whv);
+        let s = tape.add(xa, ha);
+        tape.add(s, bv)
+    }
+
+    /// Reference step built entirely from composed tape primitives.
+    fn step_composed(&self, fwd: &mut Fwd, x: Var, h: Var) -> Var {
         let t = fwd.tape();
-        let affine = |fwd: &mut Fwd, wx: ParamId, wh: ParamId, b: ParamId, x: Var, h: Var| {
-            let wxv = fwd.p(wx);
-            let whv = fwd.p(wh);
-            let bv = fwd.p(b);
-            let tape = fwd.tape();
-            let xa = tape.matmul(x, wxv);
-            let ha = tape.matmul(h, whv);
-            let s = tape.add(xa, ha);
-            tape.add(s, bv)
-        };
         let r = {
-            let a = affine(fwd, self.wxr, self.whr, self.br, x, h);
+            let a = self.affine(fwd, self.wxr, self.whr, self.br, x, h);
             t.sigmoid(a)
         };
         let z = {
-            let a = affine(fwd, self.wxz, self.whz, self.bz, x, h);
+            let a = self.affine(fwd, self.wxz, self.whz, self.bz, x, h);
             t.sigmoid(a)
         };
         // candidate uses the reset-gated hidden state
@@ -105,6 +126,28 @@ impl GruCell {
         let a = t.mul(omz, n);
         let b = t.mul(z, h);
         t.add(a, b)
+    }
+
+    /// Step with the pointwise gate math fused into two tape nodes.
+    fn step_fused(&self, fwd: &mut Fwd, x: Var, h: Var) -> Var {
+        let t = fwd.tape();
+        let ar = self.affine(fwd, self.wxr, self.whr, self.br, x, h);
+        let az = self.affine(fwd, self.wxz, self.whz, self.bz, x, h);
+        // rh = sigmoid(ar) ⊙ h, fused
+        let rh = t.gru_rh(ar, h);
+        // candidate pre-activation stays composed (see `step` doc)
+        let s = {
+            let wxv = fwd.p(self.wxn);
+            let whv = fwd.p(self.whn);
+            let bv = fwd.p(self.bn);
+            let tape = fwd.tape();
+            let xa = tape.matmul(x, wxv);
+            let ha = tape.matmul(rh, whv);
+            let s = tape.add(xa, ha);
+            tape.add(s, bv)
+        };
+        // h' = (1 - sigmoid(az)) ⊙ tanh(s) + sigmoid(az) ⊙ h, fused
+        t.gru_out(az, s, h)
     }
 
     /// Runs the cell over a sequence `x` of shape (B, T, input_dim) starting

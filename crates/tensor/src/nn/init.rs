@@ -33,7 +33,12 @@ pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Tensor {
 
 /// Glorot/Xavier uniform init for a weight with `fan_in` inputs and
 /// `fan_out` outputs.
-pub fn glorot_uniform(shape: impl Into<Shape>, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn glorot_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(shape, -limit, limit, rng)
 }

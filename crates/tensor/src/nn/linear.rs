@@ -73,11 +73,20 @@ impl Linear {
         let rows = in_shape.numel() / self.in_dim;
         let x2 = tape.reshape(x, [rows, self.in_dim]);
         let w = fwd.p(self.w);
-        let mut y = fwd.tape().matmul(x2, w);
-        if let Some(b) = self.b {
-            let bv = fwd.p(b);
-            y = fwd.tape().add(y, bv);
-        }
+        // The fused affine is bit-identical to matmul + add; both paths are
+        // kept so `STSM_BUFFER_POOL=off` exercises the composed ops.
+        let y = match self.b {
+            Some(b) if crate::alloc::enabled() => {
+                let bv = fwd.p(b);
+                fwd.tape().addmm(x2, w, bv)
+            }
+            Some(b) => {
+                let y = fwd.tape().matmul(x2, w);
+                let bv = fwd.p(b);
+                fwd.tape().add(y, bv)
+            }
+            None => fwd.tape().matmul(x2, w),
+        };
         let mut out_dims = in_shape.dims().to_vec();
         out_dims[r - 1] = self.out_dim;
         fwd.tape().reshape(y, out_dims)

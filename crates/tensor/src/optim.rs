@@ -1,14 +1,47 @@
 //! First-order optimizers: SGD (with momentum) and Adam, plus global-norm
 //! gradient clipping. The paper trains all models with Adam at lr 0.01.
+//!
+//! Optimizer state (momentum / Adam moments) lives in dense `Vec<f32>`
+//! buffers indexed by [`ParamId`], grown lazily on first use — no hashing on
+//! the hot path — and parameters are updated in place through
+//! [`ParamStore::data_mut`] in a single fused pass per parameter. The
+//! arithmetic (expressions and evaluation order) is unchanged from the
+//! original map-based implementation, so results are bit-identical and this
+//! rewrite is deliberately *not* gated by `STSM_BUFFER_POOL` (see
+//! `DESIGN.md`, "Memory model").
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts calls to [`clip_grad_norm`] that observed a non-finite global norm
+/// (NaN or ±inf gradients) and therefore skipped scaling.
+static NON_FINITE_GRAD_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times [`clip_grad_norm`] encountered a non-finite gradient norm
+/// since process start. A monitoring hook: training loops can poll this to
+/// detect divergence instead of silently continuing with NaN weights.
+pub fn non_finite_grad_events() -> u64 {
+    NON_FINITE_GRAD_EVENTS.load(Ordering::Relaxed)
+}
 
 /// Clips gradients so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clip norm.
+///
+/// If the norm is non-finite (some gradient contains NaN or ±inf), scaling
+/// by `max_norm / norm` would either poison every parameter with NaN or
+/// zero the step entirely, so the gradients are returned **unscaled** and
+/// the event is counted (see [`non_finite_grad_events`]). Debug builds also
+/// log the event to stderr.
 pub fn clip_grad_norm(grads: &mut [(ParamId, Tensor)], max_norm: f32) -> f32 {
     let total: f32 = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+    if !total.is_finite() {
+        NON_FINITE_GRAD_EVENTS.fetch_add(1, Ordering::Relaxed);
+        if cfg!(debug_assertions) {
+            eprintln!("clip_grad_norm: non-finite gradient norm {total}; clipping skipped");
+        }
+        return total;
+    }
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for (_, g) in grads.iter_mut() {
@@ -18,6 +51,20 @@ pub fn clip_grad_norm(grads: &mut [(ParamId, Tensor)], max_norm: f32) -> f32 {
         }
     }
     total
+}
+
+/// Returns the dense state slot for `pid`, growing the table and
+/// zero-initializing the slot on first use.
+fn state_slot(state: &mut Vec<Vec<f32>>, pid: ParamId, n: usize) -> &mut [f32] {
+    if state.len() <= pid.0 {
+        state.resize_with(pid.0 + 1, Vec::new);
+    }
+    let slot = &mut state[pid.0];
+    if slot.is_empty() {
+        *slot = vec![0.0; n];
+    }
+    debug_assert_eq!(slot.len(), n);
+    slot
 }
 
 /// A gradient-based parameter updater.
@@ -35,13 +82,13 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
-    velocity: HashMap<usize, Tensor>,
+    velocity: Vec<Vec<f32>>,
 }
 
 impl Sgd {
     /// Plain SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
     }
 
     /// Adds classical momentum.
@@ -60,33 +107,22 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
         for (pid, grad) in grads {
-            let mut value = store.get(*pid);
-            let n = value.numel();
-            debug_assert_eq!(grad.numel(), n);
+            let n = grad.numel();
+            let pdata = store.data_mut(*pid);
+            debug_assert_eq!(pdata.len(), n);
             if self.momentum > 0.0 {
-                let vel = self
-                    .velocity
-                    .entry(pid.0)
-                    .or_insert_with(|| Tensor::zeros(value.shape().clone()));
-                let vdata = vel.data_mut();
-                let vslice: Vec<f32> = {
-                    let pdata = value.data_mut();
-                    for i in 0..n {
-                        let g = grad.data()[i] + self.weight_decay * pdata[i];
-                        vdata[i] = self.momentum * vdata[i] + g;
-                        pdata[i] -= self.lr * vdata[i];
-                    }
-                    Vec::new()
-                };
-                let _ = vslice;
+                let vdata = state_slot(&mut self.velocity, *pid, n);
+                for ((p, v), &gi) in pdata.iter_mut().zip(vdata.iter_mut()).zip(grad.data()) {
+                    let g = gi + self.weight_decay * *p;
+                    *v = self.momentum * *v + g;
+                    *p -= self.lr * *v;
+                }
             } else {
-                let pdata = value.data_mut();
-                for i in 0..n {
-                    let g = grad.data()[i] + self.weight_decay * pdata[i];
-                    pdata[i] -= self.lr * g;
+                for (p, &gi) in pdata.iter_mut().zip(grad.data()) {
+                    let g = gi + self.weight_decay * *p;
+                    *p -= self.lr * g;
                 }
             }
-            store.set(*pid, value);
         }
     }
 
@@ -107,8 +143,8 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     t: u64,
-    m: HashMap<usize, Tensor>,
-    v: HashMap<usize, Tensor>,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
 }
 
 impl Adam {
@@ -121,8 +157,8 @@ impl Adam {
             eps: 1e-8,
             weight_decay: 0.0,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            m: Vec::new(),
+            v: Vec::new(),
         }
     }
 
@@ -151,23 +187,21 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (pid, grad) in grads {
-            let mut value = store.get(*pid);
-            let n = value.numel();
-            debug_assert_eq!(grad.numel(), n);
-            let m = self.m.entry(pid.0).or_insert_with(|| Tensor::zeros(value.shape().clone()));
-            let v = self.v.entry(pid.0).or_insert_with(|| Tensor::zeros(value.shape().clone()));
-            let mdata = m.data_mut();
-            let vdata = v.data_mut();
-            let pdata = value.data_mut();
-            for i in 0..n {
-                let g = grad.data()[i] + self.weight_decay * pdata[i];
-                mdata[i] = self.beta1 * mdata[i] + (1.0 - self.beta1) * g;
-                vdata[i] = self.beta2 * vdata[i] + (1.0 - self.beta2) * g * g;
-                let mhat = mdata[i] / bc1;
-                let vhat = vdata[i] / bc2;
-                pdata[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            let n = grad.numel();
+            let pdata = store.data_mut(*pid);
+            debug_assert_eq!(pdata.len(), n);
+            let mdata = state_slot(&mut self.m, *pid, n);
+            let vdata = state_slot(&mut self.v, *pid, n);
+            for (((p, m), v), &gi) in
+                pdata.iter_mut().zip(mdata.iter_mut()).zip(vdata.iter_mut()).zip(grad.data())
+            {
+                let g = gi + self.weight_decay * *p;
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
-            store.set(*pid, value);
         }
     }
 
@@ -255,12 +289,30 @@ mod tests {
         ];
         let norm = clip_grad_norm(&mut grads, 1.0);
         assert!((norm - 5.0).abs() < 1e-6);
-        let new_norm: f32 =
-            grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
+        let new_norm: f32 = grads.iter().map(|(_, g)| g.sq_norm()).sum::<f32>().sqrt();
         assert!((new_norm - 1.0).abs() < 1e-5);
         // Under the limit: untouched.
         let mut small = vec![(ParamId(0), Tensor::from_vec([1], vec![0.5]))];
         clip_grad_norm(&mut small, 1.0);
         assert_eq!(small[0].1.data(), &[0.5]);
+    }
+
+    #[test]
+    fn clip_grad_norm_skips_non_finite() {
+        let before = non_finite_grad_events();
+        let mut grads = vec![
+            (ParamId(0), Tensor::from_vec([2], vec![f32::NAN, 1.0])),
+            (ParamId(1), Tensor::from_vec([1], vec![4.0])),
+        ];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!(norm.is_nan(), "norm should report the non-finite value, got {norm}");
+        // Gradients are returned unscaled — in particular the finite one.
+        assert_eq!(grads[1].1.data(), &[4.0]);
+        assert!(non_finite_grad_events() > before, "event must be counted");
+
+        let mut inf = vec![(ParamId(0), Tensor::from_vec([1], vec![f32::INFINITY]))];
+        let norm = clip_grad_norm(&mut inf, 1.0);
+        assert!(norm.is_infinite());
+        assert!(inf[0].1.data()[0].is_infinite());
     }
 }

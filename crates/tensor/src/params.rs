@@ -70,6 +70,15 @@ impl ParamStore {
         &self.entries[id.0].name
     }
 
+    /// Mutable view of a parameter's scalars for in-place updates. Tape
+    /// leaves hold cheap clones of parameter values, so copy-on-write only
+    /// copies here while such a tape is still alive; drop the tape before
+    /// the optimizer step (as `stsm-core`'s trainer does) and the update is
+    /// truly in place.
+    pub fn data_mut(&mut self, id: ParamId) -> &mut [f32] {
+        self.entries[id.0].value.data_mut()
+    }
+
     /// Overwrites a parameter value (shape must match).
     pub fn set(&mut self, id: ParamId, value: Tensor) {
         assert_eq!(

@@ -216,10 +216,9 @@ fn run_region(
     // Safety: lifetime erasure only — the CloseGuard below keeps the caller
     // (and thus the closure's borrows) alive past every dereference.
     let f_erased: *const (dyn Fn(Range<usize>) + Sync) = unsafe {
-        std::mem::transmute::<
-            &(dyn Fn(Range<usize>) + Sync),
-            &'static (dyn Fn(Range<usize>) + Sync),
-        >(f)
+        std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), &'static (dyn Fn(Range<usize>) + Sync)>(
+            f,
+        )
     };
     let region = Arc::new(Region {
         next: AtomicUsize::new(0),

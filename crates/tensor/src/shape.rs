@@ -198,10 +198,7 @@ mod tests {
         assert!(Shape::new(&[1, 5]).broadcasts_to(&Shape::new(&[4, 5])));
         assert!(!Shape::new(&[4, 5]).broadcasts_to(&Shape::new(&[1, 5])));
         // Scalars broadcast with anything.
-        assert_eq!(
-            Shape::scalar().broadcast_with(&Shape::new(&[2, 2])),
-            Some(Shape::new(&[2, 2]))
-        );
+        assert_eq!(Shape::scalar().broadcast_with(&Shape::new(&[2, 2])), Some(Shape::new(&[2, 2])));
     }
 
     #[test]

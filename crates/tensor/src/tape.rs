@@ -8,6 +8,7 @@
 //! [`crate::params::ParamStore`] and are re-registered as leaves each pass,
 //! so the tape can simply be dropped between iterations.
 
+use crate::alloc;
 use crate::kernels;
 use crate::linmap::LinMap;
 use crate::shape::Shape;
@@ -218,6 +219,53 @@ impl Tape {
         self.push(out, Some(Box::new(move |g| vec![(x.0, map.apply_transpose(g))])))
     }
 
+    /// Fused affine `x·W + b` for 2-D `x` with a broadcast bias row;
+    /// bit-identical to `add(matmul(x, w), b)` in forward and backward (see
+    /// [`kernels::addmm`]). Used by `nn::Linear` when [`crate::alloc`] is
+    /// enabled; one tape node instead of two, no broadcast intermediate.
+    pub fn addmm(&self, x: Var, w: Var, b: Var) -> Var {
+        let (tx, tw, tb) = (self.value(x), self.value(w), self.value(b));
+        let out = kernels::addmm(&tx, &tw, &tb);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let (gx, gw, gb) = kernels::addmm_backward(&tx, &tw, g);
+                vec![(x.0, gx), (w.0, gw), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// Fused GRU reset gate `rh = sigmoid(ar) ⊙ h`; bit-identical to
+    /// `mul(sigmoid(ar), h)` (see [`kernels::gru_rh`]). Used by
+    /// `nn::GruCell` when [`crate::alloc`] is enabled.
+    pub fn gru_rh(&self, ar: Var, h: Var) -> Var {
+        let (tar, th) = (self.value(ar), self.value(h));
+        let (rh, r) = kernels::gru_rh(&tar, &th);
+        self.push(
+            rh,
+            Some(Box::new(move |g| {
+                let (gar, gh) = kernels::gru_rh_backward(&r, &th, g);
+                vec![(ar.0, gar), (h.0, gh)]
+            })),
+        )
+    }
+
+    /// Fused GRU output gate
+    /// `h' = (1 - sigmoid(az)) ⊙ tanh(s) + sigmoid(az) ⊙ h`; bit-identical
+    /// to the composed five-node chain (see [`kernels::gru_out`]). Used by
+    /// `nn::GruCell` when [`crate::alloc`] is enabled.
+    pub fn gru_out(&self, az: Var, s: Var, h: Var) -> Var {
+        let (taz, ts, th) = (self.value(az), self.value(s), self.value(h));
+        let (out, z, n) = kernels::gru_out(&taz, &ts, &th);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let (gaz, gs, gh) = kernels::gru_out_backward(&z, &n, &th, g);
+                vec![(az.0, gaz), (s.0, gs), (h.0, gh)]
+            })),
+        )
+    }
+
     /// Dilated causal 1-D convolution; see [`kernels::conv1d_dilated`].
     pub fn conv1d(&self, input: Var, weight: Var, bias: Option<Var>, dilation: usize) -> Var {
         let ti = self.value(input);
@@ -246,16 +294,15 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g| {
-                let gx = Tensor::from_vec(
-                    tx.shape().clone(),
+                let mut buf = alloc::buf_with_capacity(tx.numel());
+                buf.extend(
                     tx.data()
                         .iter()
                         .zip(saved_out.data().iter())
                         .zip(g.data().iter())
-                        .map(|((&xi, &yi), &gi)| gi * df(xi, yi))
-                        .collect(),
+                        .map(|((&xi, &yi), &gi)| gi * df(xi, yi)),
                 );
-                vec![(x.0, gx)]
+                vec![(x.0, Tensor::from_vec(tx.shape().clone(), buf))]
             })),
         )
     }
@@ -374,8 +421,7 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g| {
-                let gk =
-                    if keepdim { g.clone() } else { g.reshape(in_shape.keep_axis(axis)) };
+                let gk = if keepdim { g.clone() } else { g.reshape(in_shape.keep_axis(axis)) };
                 vec![(x.0, gk.broadcast_to(&in_shape))]
             })),
         )
@@ -506,7 +552,7 @@ impl Tape {
                 // dx = y * (g - sum(g*y, lastdim))
                 let d = y.dim(y.rank() - 1);
                 let rows = y.numel() / d;
-                let mut gx = vec![0.0f32; y.numel()];
+                let mut gx = alloc::buf_zeroed(y.numel());
                 for r in 0..rows {
                     let yrow = &y.data()[r * d..(r + 1) * d];
                     let grow = &g.data()[r * d..(r + 1) * d];
@@ -531,7 +577,7 @@ impl Tape {
                 // dx = g - softmax(x) * sum(g, lastdim)
                 let d = y.dim(y.rank() - 1);
                 let rows = y.numel() / d;
-                let mut gx = vec![0.0f32; y.numel()];
+                let mut gx = alloc::buf_zeroed(y.numel());
                 for r in 0..rows {
                     let yrow = &y.data()[r * d..(r + 1) * d];
                     let grow = &g.data()[r * d..(r + 1) * d];
@@ -571,7 +617,12 @@ impl Tape {
         {
             let mut nodes = self.nodes.borrow_mut();
             let n = &mut nodes[loss.0];
-            assert_eq!(n.data.numel(), 1, "backward() requires a scalar loss, got {}", n.data.shape());
+            assert_eq!(
+                n.data.numel(),
+                1,
+                "backward() requires a scalar loss, got {}",
+                n.data.shape()
+            );
             n.grad = Some(Tensor::scalar(1.0));
         }
         let len = self.len();
@@ -601,6 +652,9 @@ impl Tape {
                 );
                 match &mut p.grad {
                     Some(acc) => {
+                        // In-place: the accumulator was adopted from the
+                        // first contribution and is uniquely owned, so the
+                        // copy-on-write `data_mut` never actually copies.
                         let accd = acc.data_mut();
                         for (a, &b) in accd.iter_mut().zip(gc.data()) {
                             *a += b;

@@ -4,16 +4,56 @@
 //! goes through [`Tensor::data_mut`], which copies only when the buffer is
 //! shared. This keeps the autograd tape cheap: saved activations are clones.
 
+use crate::alloc;
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
+/// Finiteness verdict not yet computed for this tensor.
+const FIN_UNKNOWN: u8 = 0;
+/// Every element is finite.
+const FIN_FINITE: u8 = 1;
+/// At least one element is NaN or infinite.
+const FIN_NONFINITE: u8 = 2;
+
 /// A dense `f32` tensor (contiguous, row-major).
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Arc<Vec<f32>>,
+    /// Cached [`Tensor::all_finite`] verdict (`FIN_*`), so kernels that gate
+    /// fast paths on finiteness (matmul zero-skip) scan a reused operand —
+    /// e.g. a weight matrix seen again in `addmm`'s backward — only once.
+    /// Reset to unknown by [`Tensor::data_mut`]; not serialized.
+    #[serde(skip)]
+    finite: AtomicU8,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::clone(&self.data),
+            finite: self.finite_hint(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    /// Returns the storage buffer to the recycling pool ([`crate::alloc`])
+    /// when this tensor is its unique owner; shared storage (clones, tape
+    /// leaves) is left for the last owner to recycle.
+    fn drop(&mut self) {
+        if !alloc::enabled() || Arc::strong_count(&self.data) != 1 {
+            return;
+        }
+        let data = std::mem::replace(&mut self.data, alloc::empty_shared());
+        if let Ok(buf) = Arc::try_unwrap(data) {
+            alloc::recycle(buf);
+        }
+    }
 }
 
 impl Tensor {
@@ -28,7 +68,13 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { shape, data: Arc::new(data) }
+        Tensor { shape, data: Arc::new(data), finite: AtomicU8::new(FIN_UNKNOWN) }
+    }
+
+    /// The cached finiteness verdict, packaged for a new tensor whose
+    /// elements are exactly this tensor's elements (possibly reordered).
+    fn finite_hint(&self) -> AtomicU8 {
+        AtomicU8::new(self.finite.load(Ordering::Relaxed))
     }
 
     /// A scalar tensor.
@@ -40,7 +86,7 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: Arc::new(vec![0.0; n]) }
+        Tensor::from_vec(shape, alloc::buf_zeroed(n))
     }
 
     /// All-ones tensor of the given shape.
@@ -52,12 +98,12 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: Arc::new(vec![v; n]) }
+        Tensor::from_vec(shape, alloc::buf_filled(n, v))
     }
 
     /// Identity matrix of size `n × n`.
     pub fn eye(n: usize) -> Self {
-        let mut data = vec![0.0; n * n];
+        let mut data = alloc::buf_zeroed(n * n);
         for i in 0..n {
             data[i * n + i] = 1.0;
         }
@@ -66,7 +112,9 @@ impl Tensor {
 
     /// `[0, 1, ..., n-1]` as a 1-D tensor.
     pub fn arange(n: usize) -> Self {
-        Tensor::from_vec([n], (0..n).map(|i| i as f32).collect())
+        let mut data = alloc::buf_with_capacity(n);
+        data.extend((0..n).map(|i| i as f32));
+        Tensor::from_vec([n], data)
     }
 
     /// The shape of this tensor.
@@ -101,6 +149,7 @@ impl Tensor {
 
     /// Mutable view of the underlying buffer (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.finite.store(FIN_UNKNOWN, Ordering::Relaxed);
         Arc::<Vec<f32>>::make_mut(&mut self.data).as_mut_slice()
     }
 
@@ -131,27 +180,27 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor { shape, data: Arc::clone(&self.data) }
+        Tensor { shape, data: Arc::clone(&self.data), finite: self.finite_hint() }
     }
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
-        }
+        let mut out = alloc::buf_with_capacity(self.numel());
+        out.extend(self.data.iter().map(|&x| f(x)));
+        Tensor::from_vec(self.shape.clone(), out)
     }
 
     /// Applies `f(self[i], other[i])` elementwise. Panics on shape mismatch
     /// (no broadcasting; see [`Tensor::zip_broadcast`]).
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "zip shape mismatch: {} vs {}", self.shape, other.shape);
-        Tensor {
-            shape: self.shape.clone(),
-            data: Arc::new(
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-            ),
-        }
+        assert_eq!(
+            self.shape, other.shape,
+            "zip shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = alloc::buf_with_capacity(self.numel());
+        out.extend(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)));
+        Tensor::from_vec(self.shape.clone(), out)
     }
 
     /// Elementwise combine with NumPy-style broadcasting.
@@ -191,7 +240,7 @@ impl Tensor {
             }
         }
         let n = target.numel();
-        let mut out = Vec::with_capacity(n);
+        let mut out = alloc::buf_with_capacity(n);
         let tdims = target.dims();
         let mut idx = vec![0usize; r];
         let mut src_off = 0usize;
@@ -208,7 +257,7 @@ impl Tensor {
                 idx[i] = 0;
             }
         }
-        Tensor { shape: target.clone(), data: Arc::new(out) }
+        Tensor { shape: target.clone(), data: Arc::new(out), finite: self.finite_hint() }
     }
 
     /// Reduces a broadcasted gradient back to this tensor's original shape by
@@ -255,13 +304,15 @@ impl Tensor {
     pub fn t(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "t() requires a 2-D tensor, got {}", self.shape);
         let (m, n) = (self.dim(0), self.dim(1));
-        let mut out = vec![0.0f32; m * n];
+        let mut out = alloc::buf_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor::from_vec([n, m], out)
+        let mut t = Tensor::from_vec([n, m], out);
+        t.finite = self.finite_hint();
+        t
     }
 
     /// Permutes dimensions: `out[idx] = self[idx[perm]]` semantics of
@@ -277,7 +328,7 @@ impl Tensor {
         let out_shape = Shape::new(&out_dims);
         let src_strides = self.shape.strides();
         let n = self.numel();
-        let mut out = Vec::with_capacity(n);
+        let mut out = alloc::buf_with_capacity(n);
         let r = self.rank();
         let mut idx = vec![0usize; r];
         // Stride of output index i in the source buffer.
@@ -295,7 +346,7 @@ impl Tensor {
                 idx[i] = 0;
             }
         }
-        Tensor { shape: out_shape, data: Arc::new(out) }
+        Tensor { shape: out_shape, data: Arc::new(out), finite: self.finite_hint() }
     }
 
     /// Slices along `axis`, keeping indices in `[start, end)`.
@@ -306,7 +357,7 @@ impl Tensor {
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let d = self.dim(axis);
         let len = end - start;
-        let mut out = Vec::with_capacity(outer * len * inner);
+        let mut out = alloc::buf_with_capacity(outer * len * inner);
         for o in 0..outer {
             let base = o * d * inner;
             out.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
@@ -320,7 +371,7 @@ impl Tensor {
     pub fn index_select0(&self, indices: &[usize]) -> Tensor {
         assert!(self.rank() >= 1);
         let inner: usize = self.dims()[1..].iter().product();
-        let mut out = Vec::with_capacity(indices.len() * inner);
+        let mut out = alloc::buf_with_capacity(indices.len() * inner);
         for &i in indices {
             assert!(i < self.dim(0), "index_select0 index {} out of range {}", i, self.dim(0));
             out.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
@@ -346,7 +397,7 @@ impl Tensor {
         let outer: usize = tensors[0].dims()[..axis].iter().product();
         let inner: usize = tensors[0].dims()[axis + 1..].iter().product();
         let total_axis: usize = tensors.iter().map(|t| t.dim(axis)).sum();
-        let mut out = Vec::with_capacity(outer * total_axis * inner);
+        let mut out = alloc::buf_with_capacity(outer * total_axis * inner);
         for o in 0..outer {
             for t in tensors {
                 let d = t.dim(axis);
@@ -389,7 +440,7 @@ impl Tensor {
         let outer: usize = self.dims()[..axis].iter().product();
         let d = self.dim(axis);
         let inner: usize = self.dims()[axis + 1..].iter().product();
-        let mut out = vec![0.0f32; outer * inner];
+        let mut out = alloc::buf_zeroed(outer * inner);
         for o in 0..outer {
             for k in 0..d {
                 let base = (o * d + k) * inner;
@@ -414,9 +465,26 @@ impl Tensor {
         self.data.iter().map(|&x| x * x).sum()
     }
 
+    /// True if every element is finite (no NaN/Inf). The verdict is cached
+    /// on the tensor and shared by clones taken *after* it is computed;
+    /// [`Tensor::data_mut`] invalidates it. Kernels use this to decide
+    /// whether zero-skip fast paths are sound without rescanning reused
+    /// operands (e.g. the weight matrix in `addmm` forward and backward).
+    pub fn all_finite(&self) -> bool {
+        match self.finite.load(Ordering::Relaxed) {
+            FIN_FINITE => true,
+            FIN_NONFINITE => false,
+            _ => {
+                let ok = self.data.iter().all(|x| x.is_finite());
+                self.finite.store(if ok { FIN_FINITE } else { FIN_NONFINITE }, Ordering::Relaxed);
+                ok
+            }
+        }
+    }
+
     /// True if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
+        !self.all_finite()
     }
 
     /// Approximate equality within `tol` (elementwise absolute difference).
@@ -549,6 +617,23 @@ mod tests {
         assert_eq!(t.mean_axis(0, false).data(), &[2.5, 3.5, 4.5]);
         assert_eq!(t.max_value(), 6.0);
         assert_eq!(t.min_value(), 1.0);
+    }
+
+    #[test]
+    fn finite_verdict_cached_and_invalidated() {
+        let mut t = Tensor::from_vec([2], vec![1.0, 2.0]);
+        assert!(t.all_finite());
+        let shared = t.clone(); // taken after the verdict: inherits it
+        assert!(shared.all_finite());
+        t.data_mut()[0] = f32::NAN; // copy-on-write detaches t and resets its verdict
+        assert!(t.has_non_finite());
+        assert!(shared.all_finite(), "clone must keep the pre-mutation storage and verdict");
+        // The verdict travels through element-preserving reshapes.
+        let m = Tensor::from_vec([1, 2], vec![f32::INFINITY, 0.0]);
+        assert!(m.has_non_finite());
+        assert!(m.t().has_non_finite());
+        assert!(m.reshape([2, 1]).has_non_finite());
+        assert!(m.permute(&[1, 0]).has_non_finite());
     }
 
     #[test]

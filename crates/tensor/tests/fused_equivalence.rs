@@ -1,0 +1,230 @@
+//! Bit-identity and gradient correctness for the `STSM_BUFFER_POOL` fast
+//! path (buffer recycling + fused addmm / GRU-gate tape ops).
+//!
+//! The contract under test is the one `DESIGN.md` ("Memory model") promises:
+//! pool on and pool off produce **bitwise identical** results — same forward
+//! values, same gradients, same multi-step training trajectory — for any
+//! worker-thread count. The fused tape ops are additionally checked against
+//! numeric finite-difference gradients.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stsm_tensor::nn::{uniform, Fwd, GruCell, Linear};
+use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use stsm_tensor::{alloc, pool, ParamBinder, ParamStore, Tape, Tensor};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Forward + backward through a Linear layer; returns output and grad bits.
+fn linear_pass(pool_on: bool) -> (Vec<u32>, Vec<Vec<u32>>) {
+    alloc::with_pool(pool_on, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "fc", 5, 3, &mut rng);
+        let x = uniform([4, 5], -1.0, 1.0, &mut rng);
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(&store, &mut binder);
+        let xv = tape.constant(x);
+        let y = layer.forward(&mut fwd, xv);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        let out = bits(&tape.value(y));
+        let grads = binder.grads().iter().map(|(_, g)| bits(g)).collect();
+        (out, grads)
+    })
+}
+
+#[test]
+fn linear_fused_addmm_bitwise_matches_composed() {
+    assert_eq!(linear_pass(true), linear_pass(false));
+}
+
+/// Forward + backward through a GRU over a short sequence.
+fn gru_pass(pool_on: bool) -> (Vec<u32>, Vec<Vec<u32>>) {
+    alloc::with_pool(pool_on, || {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 3, 6, &mut rng);
+        let x = uniform([4, 5, 3], -1.0, 1.0, &mut rng);
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(&store, &mut binder);
+        let xv = tape.constant(x);
+        let h = gru.forward_seq(&mut fwd, xv);
+        let loss = tape.sum_all(h);
+        tape.backward(loss);
+        let out = bits(&tape.value(h));
+        let grads = binder.grads().iter().map(|(_, g)| bits(g)).collect();
+        (out, grads)
+    })
+}
+
+#[test]
+fn gru_fused_gates_bitwise_match_composed() {
+    assert_eq!(gru_pass(true), gru_pass(false));
+}
+
+/// Central-difference gradient check for a scalar-valued function of flat
+/// input vectors. `f` maps the flattened inputs to the loss; `analytic` is
+/// the tape gradient for input `which`.
+fn gradcheck(f: &dyn Fn(&[Vec<f32>]) -> f32, inputs: &[Vec<f32>], which: usize, analytic: &Tensor) {
+    let eps = 1e-2f32;
+    for i in 0..inputs[which].len() {
+        let mut plus = inputs.to_vec();
+        plus[which][i] += eps;
+        let mut minus = inputs.to_vec();
+        minus[which][i] -= eps;
+        let numeric = (f(&plus) - f(&minus)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        assert!(
+            (a - numeric).abs() <= 1e-2 * (1.0f32).max(a.abs()),
+            "input {which} element {i}: analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+#[test]
+fn addmm_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let x = uniform([2, 3], -1.0, 1.0, &mut rng);
+    let w = uniform([3, 4], -1.0, 1.0, &mut rng);
+    let b = uniform([4], -1.0, 1.0, &mut rng);
+    let c = uniform([2, 4], -1.0, 1.0, &mut rng);
+    let inputs = vec![x.data().to_vec(), w.data().to_vec(), b.data().to_vec()];
+    let f = {
+        let c = c.clone();
+        move |ins: &[Vec<f32>]| {
+            let tape = Tape::new();
+            let xv = tape.constant(Tensor::from_vec([2, 3], ins[0].clone()));
+            let wv = tape.constant(Tensor::from_vec([3, 4], ins[1].clone()));
+            let bv = tape.constant(Tensor::from_vec([4], ins[2].clone()));
+            let y = tape.addmm(xv, wv, bv);
+            let cv = tape.constant(c.clone());
+            let p = tape.mul(y, cv);
+            tape.value(tape.sum_all(p)).item()
+        }
+    };
+    // Analytic gradients from the fused op.
+    let tape = Tape::new();
+    let xv = tape.leaf(x);
+    let wv = tape.leaf(w);
+    let bv = tape.leaf(b);
+    let y = tape.addmm(xv, wv, bv);
+    let cv = tape.constant(c);
+    let p = tape.mul(y, cv);
+    let loss = tape.sum_all(p);
+    tape.backward(loss);
+    gradcheck(&f, &inputs, 0, &tape.grad(xv).unwrap());
+    gradcheck(&f, &inputs, 1, &tape.grad(wv).unwrap());
+    gradcheck(&f, &inputs, 2, &tape.grad(bv).unwrap());
+}
+
+#[test]
+fn gru_gate_ops_gradcheck() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let shapes = [2usize, 4];
+    let ar = uniform(shapes, -1.0, 1.0, &mut rng);
+    let az = uniform(shapes, -1.0, 1.0, &mut rng);
+    let s = uniform(shapes, -1.0, 1.0, &mut rng);
+    let h = uniform(shapes, -1.0, 1.0, &mut rng);
+    let c = uniform(shapes, -1.0, 1.0, &mut rng);
+
+    // gru_rh(ar, h) = sigmoid(ar) ⊙ h
+    let inputs = vec![ar.data().to_vec(), h.data().to_vec()];
+    let f = {
+        let c = c.clone();
+        move |ins: &[Vec<f32>]| {
+            let tape = Tape::new();
+            let arv = tape.constant(Tensor::from_vec([2, 4], ins[0].clone()));
+            let hv = tape.constant(Tensor::from_vec([2, 4], ins[1].clone()));
+            let y = tape.gru_rh(arv, hv);
+            let cv = tape.constant(c.clone());
+            tape.value(tape.sum_all(tape.mul(y, cv))).item()
+        }
+    };
+    let tape = Tape::new();
+    let arv = tape.leaf(ar.clone());
+    let hv = tape.leaf(h.clone());
+    let y = tape.gru_rh(arv, hv);
+    let cv = tape.constant(c.clone());
+    let loss = tape.sum_all(tape.mul(y, cv));
+    tape.backward(loss);
+    gradcheck(&f, &inputs, 0, &tape.grad(arv).unwrap());
+    gradcheck(&f, &inputs, 1, &tape.grad(hv).unwrap());
+
+    // gru_out(az, s, h) = (1 - sigmoid(az)) ⊙ tanh(s) + sigmoid(az) ⊙ h
+    let inputs = vec![az.data().to_vec(), s.data().to_vec(), h.data().to_vec()];
+    let f = {
+        let c = c.clone();
+        move |ins: &[Vec<f32>]| {
+            let tape = Tape::new();
+            let azv = tape.constant(Tensor::from_vec([2, 4], ins[0].clone()));
+            let sv = tape.constant(Tensor::from_vec([2, 4], ins[1].clone()));
+            let hv = tape.constant(Tensor::from_vec([2, 4], ins[2].clone()));
+            let y = tape.gru_out(azv, sv, hv);
+            let cv = tape.constant(c.clone());
+            tape.value(tape.sum_all(tape.mul(y, cv))).item()
+        }
+    };
+    let tape = Tape::new();
+    let azv = tape.leaf(az);
+    let sv = tape.leaf(s);
+    let hv = tape.leaf(h);
+    let y = tape.gru_out(azv, sv, hv);
+    let cv = tape.constant(c);
+    let loss = tape.sum_all(tape.mul(y, cv));
+    tape.backward(loss);
+    gradcheck(&f, &inputs, 0, &tape.grad(azv).unwrap());
+    gradcheck(&f, &inputs, 1, &tape.grad(sv).unwrap());
+    gradcheck(&f, &inputs, 2, &tape.grad(hv).unwrap());
+}
+
+/// Six Adam steps on a GRU + Linear head regression task; returns the loss
+/// trajectory as raw f32 bit patterns.
+fn train_trajectory(pool_on: bool, threads: usize) -> Vec<u32> {
+    pool::with_max_threads(threads, || {
+        alloc::with_pool(pool_on, || {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut store = ParamStore::new();
+            let gru = GruCell::new(&mut store, "g", 2, 8, &mut rng);
+            let head = Linear::new(&mut store, "head", 8, 1, &mut rng);
+            let x = uniform([6, 4, 2], -1.0, 1.0, &mut rng);
+            let y = uniform([6, 1], -1.0, 1.0, &mut rng);
+            let mut opt = Adam::new(0.01);
+            let mut losses = Vec::with_capacity(6);
+            for _ in 0..6 {
+                let (loss_v, mut grads) = {
+                    let tape = Tape::new();
+                    let mut binder = ParamBinder::new(&tape);
+                    let mut fwd = Fwd::new(&store, &mut binder);
+                    let xv = tape.constant(x.clone());
+                    let hidden = gru.forward_seq(&mut fwd, xv);
+                    let p = head.forward(&mut fwd, hidden);
+                    let loss = tape.mse_loss(p, &y);
+                    tape.backward(loss);
+                    (tape.value(loss).item(), binder.grads())
+                };
+                clip_grad_norm(&mut grads, 5.0);
+                opt.step(&mut store, &grads);
+                losses.push(loss_v.to_bits());
+            }
+            losses
+        })
+    })
+}
+
+#[test]
+fn training_trajectory_bitwise_identical_across_pool_and_threads() {
+    let reference = train_trajectory(true, 1);
+    assert_eq!(reference.len(), 6);
+    for (pool_on, threads) in [(true, 3), (false, 1), (false, 3)] {
+        assert_eq!(
+            train_trajectory(pool_on, threads),
+            reference,
+            "trajectory diverged for pool_on={pool_on} threads={threads}"
+        );
+    }
+}

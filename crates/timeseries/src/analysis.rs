@@ -64,9 +64,7 @@ pub fn autocorrelation(series: &[f32], max_lag: usize) -> Vec<f64> {
 /// period detector used to verify simulated signals are diurnal.
 pub fn dominant_period(series: &[f32], max_lag: usize) -> usize {
     let acf = autocorrelation(series, max_lag);
-    (1..=max_lag)
-        .max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).expect("finite"))
-        .unwrap_or(1)
+    (1..=max_lag).max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).expect("finite")).unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -192,7 +192,9 @@ mod tests {
     #[test]
     fn all_pairs_and_cross_bit_identical_across_thread_counts() {
         let series: Vec<Vec<f32>> = (0..24)
-            .map(|s| (0..48).map(|i| ((i * (s + 3)) as f32 * 0.17).sin() + s as f32 * 0.01).collect())
+            .map(|s| {
+                (0..48).map(|i| ((i * (s + 3)) as f32 * 0.17).sin() + s as f32 * 0.01).collect()
+            })
             .collect();
         let (head, tail) = series.split_at(9);
         let ref_pairs = pool::with_max_threads(1, || dtw_all_pairs(&series, 6));

@@ -30,7 +30,12 @@ impl WindowIndex {
 
 /// Enumerates all complete `(input, target)` windows over `total_steps` time
 /// steps with the given stride.
-pub fn sliding_windows(total_steps: usize, t_in: usize, t_out: usize, stride: usize) -> Vec<WindowIndex> {
+pub fn sliding_windows(
+    total_steps: usize,
+    t_in: usize,
+    t_out: usize,
+    stride: usize,
+) -> Vec<WindowIndex> {
     assert!(stride >= 1, "stride must be at least 1");
     let mut out = Vec::new();
     if total_steps < t_in + t_out {

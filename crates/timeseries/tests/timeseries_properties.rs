@@ -1,9 +1,7 @@
 //! Property-based tests for the timeseries crate.
 
 use proptest::prelude::*;
-use stsm_timeseries::{
-    autocorrelation, daily_profile, sliding_windows, Metrics, Scaler,
-};
+use stsm_timeseries::{autocorrelation, daily_profile, sliding_windows, Metrics, Scaler};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

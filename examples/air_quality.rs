@@ -49,7 +49,10 @@ fn main() {
     };
     let (trained, report) = train_stsm(&problem, &cfg);
     let eval = evaluate_stsm(&trained, &problem);
-    println!("trained in {:.1}s | unmonitored-city PM2.5 forecast: {}", report.train_seconds, eval.metrics);
+    println!(
+        "trained in {:.1}s | unmonitored-city PM2.5 forecast: {}",
+        report.train_seconds, eval.metrics
+    );
 
     // Persist and restore — predictions must be identical.
     let json = trained.to_json();

@@ -10,7 +10,9 @@
 //! observed locations and forecasts both regions simultaneously.
 
 use stsm::core::{evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig};
-use stsm::synth::{multi_region_split, space_split_ratio, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+use stsm::synth::{
+    multi_region_split, space_split_ratio, DatasetConfig, NetworkKind, SignalKind, SplitAxis,
+};
 
 fn main() {
     let dataset = DatasetConfig {

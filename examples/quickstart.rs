@@ -58,11 +58,7 @@ fn main() {
     println!(
         "trained in {:.1}s; epoch losses: {:?}",
         report.train_seconds,
-        report
-            .epoch_losses
-            .iter()
-            .map(|l| (l * 1000.0).round() / 1000.0)
-            .collect::<Vec<_>>()
+        report.epoch_losses.iter().map(|l| (l * 1000.0).round() / 1000.0).collect::<Vec<_>>()
     );
 
     // 4. Forecast the unobserved region over the held-out 30% of time and
@@ -71,7 +67,14 @@ fn main() {
     let eval = evaluate_stsm(&trained, &problem);
     let increase = run_increase(
         &problem,
-        &BaselineConfig { t_in: 8, t_out: 8, hidden: 16, epochs: 16, windows_per_epoch: 32, ..Default::default() },
+        &BaselineConfig {
+            t_in: 8,
+            t_out: 8,
+            hidden: 16,
+            epochs: 16,
+            windows_per_epoch: 32,
+            ..Default::default()
+        },
     );
     let ha = historical_average_metrics(&problem);
     println!("STSM     on unobserved region: {}", eval.metrics);

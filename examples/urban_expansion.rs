@@ -11,9 +11,7 @@
 //! unobserved ratios — the Fig. 8 experiment in miniature.
 
 use stsm::baselines::{run_increase, BaselineConfig};
-use stsm::core::{
-    evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig, Variant,
-};
+use stsm::core::{evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig, Variant};
 use stsm::synth::{space_split_ratio, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
 
 fn main() {
@@ -39,7 +37,14 @@ fn main() {
         let problem = ProblemInstance::new(dataset.clone(), split, DistanceMode::Euclidean);
         let increase = run_increase(
             &problem,
-            &BaselineConfig { t_in: 8, t_out: 8, hidden: 16, epochs: 10, windows_per_epoch: 24, ..Default::default() },
+            &BaselineConfig {
+                t_in: 8,
+                t_out: 8,
+                hidden: 16,
+                epochs: 10,
+                windows_per_epoch: 24,
+                ..Default::default()
+            },
         );
         let base_cfg = StsmConfig {
             t_in: 8,

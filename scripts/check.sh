@@ -3,6 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
+# The STSM_BUFFER_POOL bit-identity contract, exercised explicitly so a
+# plain `cargo test -q` filter can never silently skip it.
+cargo test -q -p stsm-tensor --test fused_equivalence
+cargo test -q -p stsm-core --test pool_equivalence
 cargo clippy --all-targets -- -D warnings

@@ -13,9 +13,7 @@ use stsm::core::{
     evaluate_detailed, evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig,
     TrainedStsm, Variant,
 };
-use stsm::synth::{
-    dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis,
-};
+use stsm::synth::{dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,8 +50,10 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let preset = flag(args, "--preset").ok_or("--preset required")?;
-    let days: usize = flag(args, "--days").map_or(Ok(8), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let seed: u64 = flag(args, "--seed").map_or(Ok(42), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let days: usize =
+        flag(args, "--days").map_or(Ok(8), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let seed: u64 =
+        flag(args, "--seed").map_or(Ok(42), |v| v.parse().map_err(|e| format!("{e}")))?;
     let out = flag(args, "--out").ok_or("--out required")?;
     let cfg = match preset.as_str() {
         "pems-bay" => presets::pems_bay(days, seed),

@@ -6,9 +6,7 @@ use stsm::core::{
     evaluate_stsm, historical_average_metrics, train_stsm, DistanceMode, ProblemInstance,
     StsmConfig, Variant,
 };
-use stsm::synth::{
-    ring_split, space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis,
-};
+use stsm::synth::{ring_split, space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
 
 fn tiny_dataset(seed: u64) -> stsm::synth::Dataset {
     DatasetConfig {
@@ -101,7 +99,8 @@ fn all_baselines_run_end_to_end() {
         k_neighbors: 3,
         ..Default::default()
     };
-    for report in [run_gegan(&problem, &cfg), run_ignnk(&problem, &cfg), run_increase(&problem, &cfg)]
+    for report in
+        [run_gegan(&problem, &cfg), run_ignnk(&problem, &cfg), run_increase(&problem, &cfg)]
     {
         assert!(report.metrics.rmse.is_finite(), "{} metrics invalid", report.name);
         assert!(report.metrics.mae <= report.metrics.rmse + 1e-9);

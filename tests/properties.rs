@@ -2,7 +2,7 @@
 //! must hold for arbitrary inputs.
 
 use proptest::prelude::*;
-use stsm::core::{inverse_distance_weights, blend_series, cosine};
+use stsm::core::{blend_series, cosine, inverse_distance_weights};
 use stsm::graph::{
     distance_sigma, gaussian_threshold_adjacency, normalize_gcn, pairwise_euclidean,
 };
