@@ -17,7 +17,7 @@ use stsm_core::ProblemInstance;
 use stsm_graph::{normalize_row, CsrMatrix};
 use stsm_tensor::nn::{Activation, Fwd, Mlp};
 use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
-use stsm_tensor::{ParamBinder, ParamStore, Tape, Tensor, Var};
+use stsm_tensor::{InferSession, ParamBinder, ParamStore, Tape, Tensor, Var};
 use stsm_timeseries::sliding_windows;
 
 /// Embedding dimensionality: 2 coordinate features + 8 daily-profile bins.
@@ -218,6 +218,8 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
         .collect();
     let test_windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
     let mut acc = MetricAccumulator::new();
+    // Bind parameters once; every window reuses the tape-free session.
+    let mut session = InferSession::new(&store);
     for w in &test_windows {
         let start = problem.test_time.start + w.input_start;
         let x = build_gan_inputs(
@@ -228,12 +230,11 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
             start,
             cfg,
         );
-        let tape = Tape::new();
-        let mut binder = ParamBinder::new(&tape);
-        let mut fwd = Fwd::new(&store, &mut binder);
-        let xv = tape.constant(x);
+        session.reset();
+        let mut fwd = Fwd::infer(&store, &mut session);
+        let xv = fwd.constant(x);
         let gen = generator.forward(&mut fwd, xv);
-        let gv = tape.value(gen);
+        let gv = fwd.value(gen);
         for (row, &u) in problem.unobserved.iter().enumerate() {
             for p in 0..cfg.t_out {
                 acc.push(problem, u, start + cfg.t_in + p, gv.at(&[row, cfg.t_in + p]));
@@ -356,5 +357,50 @@ mod tests {
         let report = run_gegan(&p, &cfg);
         assert_eq!(report.name, "GE-GAN");
         assert!(report.metrics.rmse.is_finite() && report.metrics.rmse > 0.0);
+    }
+
+    #[test]
+    fn infer_forward_is_bitwise_identical_to_train() {
+        let p = tiny_problem();
+        let cfg =
+            BaselineConfig { t_in: 6, t_out: 6, hidden: 8, k_neighbors: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let generator = Mlp::new(
+            &mut store,
+            "gegan.g",
+            &[EMBED_DIM + 2, cfg.hidden * 2, cfg.hidden * 2, cfg.t_in + cfg.t_out],
+            Activation::Relu,
+            &mut rng,
+        );
+        let embeddings = graph_embeddings(&p);
+        let neighbors: Vec<Vec<usize>> = problem_neighbors(&p, &embeddings, cfg.k_neighbors);
+        let x =
+            build_gan_inputs(&p, &p.unobserved, &neighbors, &embeddings, p.test_time.start, &cfg);
+        let train_out = {
+            let tape = Tape::new();
+            let mut binder = ParamBinder::new(&tape);
+            let mut fwd = Fwd::new(&store, &mut binder);
+            let xv = fwd.constant(x.clone());
+            let gen = generator.forward(&mut fwd, xv);
+            tape.value(gen)
+        };
+        let mut session = InferSession::new(&store);
+        let mut fwd = Fwd::infer(&store, &mut session);
+        let xv = fwd.constant(x);
+        let gen = generator.forward(&mut fwd, xv);
+        let infer_out = fwd.value(gen);
+        assert_eq!(train_out.shape(), infer_out.shape());
+        for (a, b) in train_out.data().iter().zip(infer_out.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "Train/Infer divergence");
+        }
+    }
+
+    fn problem_neighbors(
+        p: &ProblemInstance,
+        embeddings: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        p.unobserved.iter().map(|&g| nearest_in_embedding(embeddings, g, &p.observed, k)).collect()
     }
 }

@@ -18,7 +18,7 @@ use stsm_core::ProblemInstance;
 use stsm_graph::{normalize_row, CsrLinMap, CsrMatrix};
 use stsm_tensor::nn::{Fwd, Linear};
 use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
-use stsm_tensor::{LinMap, ParamBinder, ParamStore, Tape, Tensor, Var};
+use stsm_tensor::{InferSession, LinMap, ParamBinder, ParamStore, Tape, Tensor, Var};
 use stsm_timeseries::sliding_windows;
 
 /// One diffusion GCN layer: forward + backward random-walk adjacencies,
@@ -49,17 +49,16 @@ impl DiffusionLayer {
     }
 
     fn forward(&self, fwd: &mut Fwd, a_f: &Arc<CsrLinMap>, a_b: &Arc<CsrLinMap>, x: Var) -> Var {
-        let t = fwd.tape();
-        let xf1 = t.linmap(Arc::clone(a_f) as Arc<dyn LinMap>, x);
-        let xf2 = t.linmap(Arc::clone(a_f) as Arc<dyn LinMap>, xf1);
-        let xb1 = t.linmap(Arc::clone(a_b) as Arc<dyn LinMap>, x);
-        let xb2 = t.linmap(Arc::clone(a_b) as Arc<dyn LinMap>, xb1);
+        let xf1 = fwd.linmap(Arc::clone(a_f) as Arc<dyn LinMap>, x);
+        let xf2 = fwd.linmap(Arc::clone(a_f) as Arc<dyn LinMap>, xf1);
+        let xb1 = fwd.linmap(Arc::clone(a_b) as Arc<dyn LinMap>, x);
+        let xb2 = fwd.linmap(Arc::clone(a_b) as Arc<dyn LinMap>, xb1);
         let mut out = self.w_self.forward(fwd, x);
         for (layer, input) in
             [(&self.w_fwd1, xf1), (&self.w_fwd2, xf2), (&self.w_bwd1, xb1), (&self.w_bwd2, xb2)]
         {
             let y = layer.forward(fwd, input);
-            out = fwd.tape().add(out, y);
+            out = fwd.add(out, y);
         }
         out
     }
@@ -83,9 +82,9 @@ impl IgnnkModel {
     /// `x`: (N, T) window with missing locations zeroed; returns (N, T').
     fn forward(&self, fwd: &mut Fwd, a_f: &Arc<CsrLinMap>, a_b: &Arc<CsrLinMap>, x: Var) -> Var {
         let h = self.l1.forward(fwd, a_f, a_b, x);
-        let h = fwd.tape().relu(h);
+        let h = fwd.relu(h);
         let h = self.l2.forward(fwd, a_f, a_b, h);
-        let h = fwd.tape().relu(h);
+        let h = fwd.relu(h);
         self.l3.forward(fwd, a_f, a_b, h)
     }
 }
@@ -139,7 +138,7 @@ pub fn run_ignnk(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
                         }
                     }
                     let y = gather_matrix(problem, &observed, start + cfg.t_in, cfg.t_out);
-                    let xv = fwd.tape().constant(x);
+                    let xv = fwd.constant(x);
                     let pred = model.forward(&mut fwd, &a_f, &a_b, xv);
                     losses.push(fwd.tape().mse_loss(pred, &y));
                 }
@@ -162,6 +161,8 @@ pub fn run_ignnk(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
     let (a_f_full, a_b_full) = diffusion_adjacencies(problem, &all);
     let test_windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
     let mut acc = MetricAccumulator::new();
+    // Bind parameters once; every window reuses the tape-free session.
+    let mut session = InferSession::new(&store);
     for w in &test_windows {
         let start = problem.test_time.start + w.input_start;
         let mut x = Tensor::zeros([problem.n(), cfg.t_in]);
@@ -175,12 +176,11 @@ pub fn run_ignnk(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
                 ));
             }
         }
-        let tape = Tape::new();
-        let mut binder = ParamBinder::new(&tape);
-        let mut fwd = Fwd::new(&store, &mut binder);
-        let xv = tape.constant(x);
+        session.reset();
+        let mut fwd = Fwd::infer(&store, &mut session);
+        let xv = fwd.constant(x);
         let pred = model.forward(&mut fwd, &a_f_full, &a_b_full, xv);
-        let pv = tape.value(pred);
+        let pv = fwd.value(pred);
         for &u in &problem.unobserved {
             for p in 0..cfg.t_out {
                 acc.push(problem, u, start + cfg.t_in + p, pv.at(&[u, p]));
@@ -219,6 +219,34 @@ mod tests {
         .generate();
         let split = space_split(&d.coords, SplitAxis::Vertical, false);
         ProblemInstance::new(d, split, DistanceMode::Euclidean)
+    }
+
+    #[test]
+    fn infer_forward_is_bitwise_identical_to_train() {
+        let p = tiny_problem();
+        let cfg = BaselineConfig { t_in: 6, t_out: 6, hidden: 8, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let model = IgnnkModel::new(&mut store, &cfg, &mut rng);
+        let (a_f, a_b) = diffusion_adjacencies(&p, &(0..p.n()).collect::<Vec<_>>());
+        let x = gather_matrix(&p, &(0..p.n()).collect::<Vec<_>>(), p.test_time.start, cfg.t_in);
+        let train_out = {
+            let tape = Tape::new();
+            let mut binder = ParamBinder::new(&tape);
+            let mut fwd = Fwd::new(&store, &mut binder);
+            let xv = fwd.constant(x.clone());
+            let pred = model.forward(&mut fwd, &a_f, &a_b, xv);
+            tape.value(pred)
+        };
+        let mut session = InferSession::new(&store);
+        let mut fwd = Fwd::infer(&store, &mut session);
+        let xv = fwd.constant(x);
+        let pred = model.forward(&mut fwd, &a_f, &a_b, xv);
+        let infer_out = fwd.value(pred);
+        assert_eq!(train_out.shape(), infer_out.shape());
+        for (a, b) in train_out.data().iter().zip(infer_out.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "Train/Infer divergence");
+        }
     }
 
     #[test]

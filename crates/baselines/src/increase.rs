@@ -15,7 +15,7 @@ use std::time::Instant;
 use stsm_core::ProblemInstance;
 use stsm_tensor::nn::{Fwd, GruCell, Linear};
 use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
-use stsm_tensor::{ParamBinder, ParamStore, Tape, Tensor};
+use stsm_tensor::{InferSession, ParamBinder, ParamStore, Tape, Tensor};
 use stsm_timeseries::sliding_windows;
 
 struct IncreaseModel {
@@ -133,7 +133,7 @@ pub fn run_increase(problem: &ProblemInstance, cfg: &BaselineConfig) -> Baseline
                         ));
                     }
                     let y = Tensor::from_vec([observed.len(), cfg.t_out], yv);
-                    let xv = fwd.tape().constant(x);
+                    let xv = fwd.constant(x);
                     let h = model.gru.forward_seq(&mut fwd, xv);
                     let pred = model.head.forward(&mut fwd, h);
                     losses.push(fwd.tape().mse_loss(pred, &y));
@@ -160,16 +160,17 @@ pub fn run_increase(problem: &ProblemInstance, cfg: &BaselineConfig) -> Baseline
         .collect();
     let test_windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
     let mut acc = MetricAccumulator::new();
+    // Bind parameters once; every window reuses the tape-free session.
+    let mut session = InferSession::new(&store);
     for w in &test_windows {
         let start = problem.test_time.start + w.input_start;
         let x = build_inputs(problem, &test_ctx, start, cfg.t_in, cfg.k_neighbors);
-        let tape = Tape::new();
-        let mut binder = ParamBinder::new(&tape);
-        let mut fwd = Fwd::new(&store, &mut binder);
-        let xv = tape.constant(x);
+        session.reset();
+        let mut fwd = Fwd::infer(&store, &mut session);
+        let xv = fwd.constant(x);
         let h = model.gru.forward_seq(&mut fwd, xv);
         let pred = model.head.forward(&mut fwd, h);
-        let pv = tape.value(pred);
+        let pv = fwd.value(pred);
         for (row, &u) in problem.unobserved.iter().enumerate() {
             for p in 0..model.t_out {
                 acc.push(problem, u, start + cfg.t_in + p, pv.at(&[row, p]));
@@ -243,5 +244,40 @@ mod tests {
         let report = run_increase(&p, &cfg);
         assert_eq!(report.name, "INCREASE");
         assert!(report.metrics.rmse.is_finite() && report.metrics.rmse > 0.0);
+    }
+
+    #[test]
+    fn infer_forward_is_bitwise_identical_to_train() {
+        let p = tiny_problem();
+        let cfg =
+            BaselineConfig { t_in: 6, t_out: 6, hidden: 8, k_neighbors: 3, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let model = IncreaseModel::new(&mut store, &cfg, &mut rng);
+        let ctx: Vec<NeighborContext> = p
+            .unobserved
+            .iter()
+            .map(|&g| neighbor_context(&p, g, &p.observed, cfg.k_neighbors))
+            .collect();
+        let x = build_inputs(&p, &ctx, p.test_time.start, cfg.t_in, cfg.k_neighbors);
+        let train_out = {
+            let tape = Tape::new();
+            let mut binder = ParamBinder::new(&tape);
+            let mut fwd = Fwd::new(&store, &mut binder);
+            let xv = fwd.constant(x.clone());
+            let h = model.gru.forward_seq(&mut fwd, xv);
+            let pred = model.head.forward(&mut fwd, h);
+            tape.value(pred)
+        };
+        let mut session = InferSession::new(&store);
+        let mut fwd = Fwd::infer(&store, &mut session);
+        let xv = fwd.constant(x);
+        let h = model.gru.forward_seq(&mut fwd, xv);
+        let pred = model.head.forward(&mut fwd, h);
+        let infer_out = fwd.value(pred);
+        assert_eq!(train_out.shape(), infer_out.shape());
+        for (a, b) in train_out.data().iter().zip(infer_out.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "Train/Infer divergence");
+        }
     }
 }

@@ -1,0 +1,158 @@
+//! Measures forward-only (inference) throughput and allocator traffic for
+//! the two execution modes — a fresh Train-mode tape per window vs the
+//! bind-once tape-free Infer session — and writes `BENCH_infer.json` at the
+//! repository root.
+//!
+//! The workload is a tensor-level GRU + Linear-head forward over a stream of
+//! windows — the same op mix as STSM's temporal module, without the graph
+//! machinery — so the per-window autograd overhead (node boxing, grad slots,
+//! leaf re-registration) is what the two modes differ by. The outputs of the
+//! two modes are asserted bitwise equal before the report is written. Buffer
+//! requests are counted by the `alloc-stats` feature, which this binary
+//! requires:
+//!
+//! ```bash
+//! cargo run -p stsm-bench --release --features alloc-stats --bin bench_infer
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::time::Instant;
+use stsm_tensor::nn::{uniform, Fwd, GruCell, Linear};
+use stsm_tensor::{alloc, pool, InferSession, ParamBinder, ParamStore, Tape, Tensor};
+
+const BATCH: usize = 16;
+const T_IN: usize = 24;
+const HIDDEN: usize = 32;
+const T_OUT: usize = 12;
+const WARMUP: usize = 3;
+const WINDOWS: usize = 50;
+
+struct RunStats {
+    outputs: Vec<u32>,
+    windows_per_sec: f64,
+    fresh_per_window: f64,
+    reused_per_window: f64,
+}
+
+fn window_inputs(rng: &mut StdRng) -> Vec<Tensor> {
+    (0..WARMUP + WINDOWS).map(|_| uniform([BATCH, T_IN, 1], -1.0, 1.0, rng)).collect()
+}
+
+/// Forward every window through a fresh Train-mode tape (the pre-refactor
+/// evaluation path: new tape + binder + leaf re-registration per window).
+fn run_train_mode(store: &ParamStore, gru: &GruCell, head: &Linear, xs: &[Tensor]) -> RunStats {
+    alloc::clear();
+    let mut outputs = Vec::new();
+    let forward = |x: &Tensor, outputs: &mut Vec<u32>| {
+        let tape = Tape::new();
+        let mut binder = ParamBinder::new(&tape);
+        let mut fwd = Fwd::new(store, &mut binder);
+        let xv = fwd.constant(x.clone());
+        let h = gru.forward_seq(&mut fwd, xv);
+        let p = head.forward(&mut fwd, h);
+        outputs.extend(tape.value(p).data().iter().map(|v| v.to_bits()));
+    };
+    for x in &xs[..WARMUP] {
+        forward(x, &mut outputs);
+    }
+    outputs.clear();
+    alloc::reset_alloc_counts();
+    let t0 = Instant::now();
+    for x in &xs[WARMUP..] {
+        forward(x, &mut outputs);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let (fresh, reused) = alloc::alloc_counts();
+    RunStats {
+        outputs,
+        windows_per_sec: WINDOWS as f64 / elapsed,
+        fresh_per_window: fresh as f64 / WINDOWS as f64,
+        reused_per_window: reused as f64 / WINDOWS as f64,
+    }
+}
+
+/// Forward every window through one bind-once Infer session (the tape-free
+/// evaluation path: parameters bound once, arena reset per window).
+fn run_infer_mode(store: &ParamStore, gru: &GruCell, head: &Linear, xs: &[Tensor]) -> RunStats {
+    alloc::clear();
+    let mut outputs = Vec::new();
+    let mut session = InferSession::new(store);
+    let forward = |x: &Tensor, session: &mut InferSession, outputs: &mut Vec<u32>| {
+        session.reset();
+        let mut fwd = Fwd::infer(store, session);
+        let xv = fwd.constant(x.clone());
+        let h = gru.forward_seq(&mut fwd, xv);
+        let p = head.forward(&mut fwd, h);
+        outputs.extend(fwd.value(p).data().iter().map(|v| v.to_bits()));
+    };
+    for x in &xs[..WARMUP] {
+        forward(x, &mut session, &mut outputs);
+    }
+    outputs.clear();
+    alloc::reset_alloc_counts();
+    let t0 = Instant::now();
+    for x in &xs[WARMUP..] {
+        forward(x, &mut session, &mut outputs);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let (fresh, reused) = alloc::alloc_counts();
+    RunStats {
+        outputs,
+        windows_per_sec: WINDOWS as f64 / elapsed,
+        fresh_per_window: fresh as f64 / WINDOWS as f64,
+        reused_per_window: reused as f64 / WINDOWS as f64,
+    }
+}
+
+fn main() {
+    let threads = pool::num_threads();
+    println!(
+        "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, {WINDOWS} measured \
+         forward-only windows, pool threads {threads}\n"
+    );
+    let mut rng = StdRng::seed_from_u64(2424);
+    let mut store = ParamStore::new();
+    let gru = GruCell::new(&mut store, "g", 1, HIDDEN, &mut rng);
+    let head = Linear::new(&mut store, "head", HIDDEN, T_OUT, &mut rng);
+    let xs = window_inputs(&mut rng);
+    let train = run_train_mode(&store, &gru, &head, &xs);
+    let infer = run_infer_mode(&store, &gru, &head, &xs);
+    assert_eq!(
+        train.outputs, infer.outputs,
+        "Train and Infer forward outputs must be bitwise identical"
+    );
+    for (label, r) in [("train mode", &train), ("infer mode", &infer)] {
+        println!(
+            "{label}  {:>8.2} windows/s   fresh allocs/window {:>8.1}   pool reuses/window {:>8.1}",
+            r.windows_per_sec, r.fresh_per_window, r.reused_per_window
+        );
+    }
+    let report = json!({
+        "workload": format!(
+            "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, T {T_IN}, \
+             {WINDOWS} forward-only windows"
+        ),
+        "threads": threads,
+        "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "note": "single-CPU container; windows/sec is indicative, allocations/window is exact. \
+                 Outputs asserted bitwise identical Train vs Infer before writing. Train mode \
+                 builds a fresh tape + binder per window; Infer mode binds parameters once and \
+                 resets the session arena per window.",
+        "train_mode": {
+            "windows_per_sec": train.windows_per_sec,
+            "fresh_allocs_per_window": train.fresh_per_window,
+            "pool_reuses_per_window": train.reused_per_window,
+        },
+        "infer_mode": {
+            "windows_per_sec": infer.windows_per_sec,
+            "fresh_allocs_per_window": infer.fresh_per_window,
+            "pool_reuses_per_window": infer.reused_per_window,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
+        .expect("write BENCH_infer.json");
+    println!("\nwrote {path}");
+}

@@ -2,12 +2,9 @@
 //! breakdown for the unobserved region and per-location error maps, used to
 //! understand *where* and *when* a model fails (EXPERIMENTS.md's breakdowns).
 
+use crate::predictor::Predictor;
 use crate::problem::ProblemInstance;
-use crate::pseudo::blend_series;
-use crate::temporal_adj::{pseudo_weights_for, DtwContext};
 use crate::trainer::TrainedStsm;
-use std::sync::Arc;
-use stsm_graph::{normalize_gcn, CsrLinMap};
 use stsm_timeseries::{sliding_windows, HorizonMetrics, Metrics};
 
 /// Detailed evaluation: overall metrics, per-horizon curve and per-location
@@ -24,21 +21,6 @@ pub struct DetailedEval {
 /// Evaluates a trained model with per-horizon and per-location breakdowns.
 pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> DetailedEval {
     let cfg = &trained.cfg;
-    let n = problem.n();
-    let all: Vec<usize> = (0..n).collect();
-    let a_s =
-        Arc::new(CsrLinMap::new(normalize_gcn(&problem.spatial_adjacency(&all, cfg.epsilon_s))));
-    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
-    let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
-    let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
-        n,
-        &problem.observed,
-        &problem.unobserved,
-        &pw,
-        cfg.q_kk,
-        cfg.q_ku,
-    ))));
-    let spd = problem.steps_per_day();
     let windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
     assert!(!windows.is_empty(), "test period too short");
     let n_u = problem.unobserved.len();
@@ -46,12 +28,10 @@ pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> De
     let mut truths = Vec::new();
     let mut per_loc_se = vec![0.0f64; n_u];
     let mut per_loc_n = vec![0usize; n_u];
+    let mut predictor = Predictor::new(trained, problem);
     for w in &windows {
         let abs_start = problem.test_time.start + w.input_start;
-        let x = build_input(problem, &pw, abs_start, cfg.t_in, cfg.pseudo_observations);
-        let tf = crate::model::StModel::time_features(abs_start, cfg.t_in, spd);
-        let pred =
-            crate::model::predict_once(&trained.model_ref(), &trained.store, &x, &tf, &a_s, &a_dtw);
+        let pred = predictor.predict_window(problem, abs_start);
         let target_start = abs_start + cfg.t_in;
         for (row, &u) in problem.unobserved.iter().enumerate() {
             for p in 0..cfg.t_out {
@@ -71,31 +51,6 @@ pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> De
         horizon: HorizonMetrics::compute(&preds, &truths, cfg.t_out),
         per_location_rmse,
     }
-}
-
-fn build_input(
-    problem: &ProblemInstance,
-    pseudo_weights: &[f32],
-    start: usize,
-    len: usize,
-    pseudo_observations: bool,
-) -> stsm_tensor::Tensor {
-    let n = problem.n();
-    let mut data = vec![0.0f32; n * len];
-    for &g in &problem.observed {
-        data[g * len..(g + 1) * len].copy_from_slice(problem.scaled_range(g, start, start + len));
-    }
-    if pseudo_observations {
-        let mut sources = Vec::with_capacity(problem.observed.len() * len);
-        for &g in &problem.observed {
-            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
-        }
-        let pseudo = blend_series(pseudo_weights, &sources, problem.observed.len(), len);
-        for (row, &u) in problem.unobserved.iter().enumerate() {
-            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
-        }
-    }
-    stsm_tensor::Tensor::from_vec([n, len, 1], data)
 }
 
 #[cfg(test)]

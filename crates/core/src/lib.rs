@@ -42,6 +42,7 @@ mod config;
 mod contrastive;
 mod masking;
 mod model;
+mod predictor;
 mod problem;
 mod pseudo;
 mod temporal_adj;
@@ -52,6 +53,7 @@ pub use config::{DistanceMode, MaskingMode, StsmConfig, TemporalModule, Variant}
 pub use contrastive::nt_xent;
 pub use masking::{cosine, MaskingContext};
 pub use model::{predict_once, ForwardOutput, StModel};
+pub use predictor::Predictor;
 pub use problem::ProblemInstance;
 pub use pseudo::{blend_series, inverse_distance_weights};
 pub use temporal_adj::{pseudo_weights_for, DtwContext};

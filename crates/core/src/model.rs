@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use stsm_graph::CsrLinMap;
 use stsm_tensor::nn::{Conv1d, Fwd, Linear, TransformerEncoderLayer};
-use stsm_tensor::{ParamStore, Tape, Tensor, Var};
+use stsm_tensor::{InferSession, ParamStore, Tensor, Var};
 
 /// Number of periodic time features per step (see [`StModel::time_features`]).
 pub const TIME_FEATURES: usize = 5;
@@ -33,12 +33,11 @@ struct GcnLayer {
 impl GcnLayer {
     fn forward(&self, fwd: &mut Fwd, adj: &Arc<CsrLinMap>, z: Var) -> Var {
         // Aggregate neighbours once, then two parallel feature maps.
-        let agg = fwd.tape().linmap(Arc::clone(adj) as Arc<dyn stsm_tensor::LinMap>, z);
+        let agg = fwd.linmap(Arc::clone(adj) as Arc<dyn stsm_tensor::LinMap>, z);
         let v = self.value.forward(fwd, agg);
         let g = self.gate.forward(fwd, agg);
-        let t = fwd.tape();
-        let gs = t.sigmoid(g);
-        t.mul(v, gs)
+        let gs = fwd.sigmoid(g);
+        fwd.mul(v, gs)
     }
 }
 
@@ -177,38 +176,32 @@ impl StModel {
         );
         assert_eq!(a_s.matrix().rows(), n, "A_s size mismatch");
         assert_eq!(a_dtw.matrix().rows(), n, "A_dtw size mismatch");
-        let tape = fwd.tape();
-        let xv = tape.constant(x.clone());
-        let te = tape.constant(time_feats.clone());
+        let xv = fwd.constant(x.clone());
+        let te = fwd.constant(time_feats.clone());
         // Eq. 4: H0 = φ1(X) ⊙ φ2(TE), broadcast over nodes.
         let hx = self.phi1.forward(fwd, xv); // (N, T, H)
         let ht = self.phi2.forward(fwd, te); // (T, H) -> broadcast
-        let tape = fwd.tape();
-        let ht = tape.reshape(ht, [1, t_len, self.hidden]);
-        let ht = tape.broadcast_to(ht, [n, t_len, self.hidden]);
-        let mut h = tape.mul(hx, ht);
+        let ht = fwd.reshape(ht, [1, t_len, self.hidden]);
+        let ht = fwd.broadcast_to(ht, [n, t_len, self.hidden]);
+        let mut h = fwd.mul(hx, ht);
         for block in &self.blocks {
             h = self.block_forward(fwd, block, h, n, t_len, a_s, a_dtw);
         }
         // Eq. 13 head: flatten time so each horizon sees the full window;
         // inner ReLU, linear output (scaled space can be negative, so no
         // outer squashing).
-        let tape = fwd.tape();
-        let flat = tape.reshape(h, [n, t_len * self.hidden]);
+        let flat = fwd.reshape(h, [n, t_len * self.hidden]);
         let h3 = self.phi3.forward(fwd, flat);
-        let tape = fwd.tape();
-        let h3 = tape.relu(h3);
+        let h3 = fwd.relu(h3);
         let out = self.phi4.forward(fwd, h3); // (N, T')
-        let prediction = fwd.tape().reshape(out, [n, t_len, 1]);
+        let prediction = fwd.reshape(out, [n, t_len, 1]);
         // Eq. 16 readout on the last time step.
-        let tape = fwd.tape();
-        let last = tape.slice(h, 1, t_len - 1, t_len); // (N, 1, H)
-        let last = tape.reshape(last, [n, self.hidden]);
-        let pooled = tape.sum_axis(last, 0, false); // (H,)
-        let pooled = tape.reshape(pooled, [1, self.hidden]);
+        let last = fwd.slice(h, 1, t_len - 1, t_len); // (N, 1, H)
+        let last = fwd.reshape(last, [n, self.hidden]);
+        let pooled = fwd.sum_axis(last, 0, false); // (H,)
+        let pooled = fwd.reshape(pooled, [1, self.hidden]);
         let r = self.readout1.forward(fwd, pooled);
-        let tape = fwd.tape();
-        let r = tape.relu(r);
+        let r = fwd.relu(r);
         let graph_repr = self.readout2.forward(fwd, r);
         ForwardOutput { prediction, graph_repr }
     }
@@ -233,27 +226,25 @@ impl StModel {
                 z = layer.forward(fwd, adj, z);
                 best = Some(match best {
                     None => z,
-                    Some(b) => fwd.tape().max2(b, z),
+                    Some(b) => fwd.max2(b, z),
                 });
             }
             best.expect("at least one GCN layer")
         };
         let hs = gcn_path(fwd, &block.gcn_s, a_s);
         let hd = gcn_path(fwd, &block.gcn_dtw, a_dtw);
-        let h_gcn = fwd.tape().max2(hs, hd);
+        let h_gcn = fwd.max2(hs, hd);
         // Temporal path.
         match &block.temporal {
             TemporalSub::Conv(c1, c2) => {
-                let tape = fwd.tape();
-                let hc = tape.permute(h, &[0, 2, 1]); // (N, H, T)
+                let hc = fwd.permute(h, &[0, 2, 1]); // (N, H, T)
                 let y = c1.forward(fwd, hc);
-                let y = fwd.tape().relu(y);
+                let y = fwd.relu(y);
                 let y = c2.forward(fwd, y);
-                let tape = fwd.tape();
-                let y = tape.relu(y);
-                let h_tcn = tape.permute(y, &[0, 2, 1]);
+                let y = fwd.relu(y);
+                let h_tcn = fwd.permute(y, &[0, 2, 1]);
                 // Eq. 12: residual combination.
-                tape.add(h_gcn, h_tcn)
+                fwd.add(h_gcn, h_tcn)
             }
             TemporalSub::Transformer(enc, gate_s, gate_t) => {
                 let h_trans = enc.forward(fwd, h); // (N, T, H): attention over time
@@ -261,21 +252,21 @@ impl StModel {
                                                    // H = z ⊙ h_gcn + (1 - z) ⊙ h_trans.
                 let gs = gate_s.forward(fwd, h_gcn);
                 let gt = gate_t.forward(fwd, h_trans);
-                let tape = fwd.tape();
-                let z = tape.add(gs, gt);
-                let z = tape.sigmoid(z);
-                let a = tape.mul(z, h_gcn);
-                let one = tape.constant(Tensor::ones([n, t_len, self.hidden]));
-                let omz = tape.sub(one, z);
-                let b = tape.mul(omz, h_trans);
-                tape.add(a, b)
+                let z = fwd.add(gs, gt);
+                let z = fwd.sigmoid(z);
+                let a = fwd.mul(z, h_gcn);
+                let one = fwd.constant(Tensor::ones([n, t_len, self.hidden]));
+                let omz = fwd.sub(one, z);
+                let b = fwd.mul(omz, h_trans);
+                fwd.add(a, b)
             }
         }
     }
 }
 
-/// Convenience: run a forward pass on a fresh tape without training
-/// machinery; returns the prediction tensor. Used by inference paths.
+/// Convenience: run a single tape-free (Infer-mode) forward pass; returns
+/// the prediction tensor. For repeated windows, prefer
+/// [`crate::Predictor`], which binds the session once.
 pub fn predict_once(
     model: &StModel,
     store: &ParamStore,
@@ -284,17 +275,17 @@ pub fn predict_once(
     a_s: &Arc<CsrLinMap>,
     a_dtw: &Arc<CsrLinMap>,
 ) -> Tensor {
-    let tape = Tape::new();
-    let mut binder = stsm_tensor::ParamBinder::new(&tape);
-    let mut fwd = Fwd::new(store, &mut binder);
+    let mut session = InferSession::new(store);
+    let mut fwd = Fwd::infer(store, &mut session);
     let out = model.forward(&mut fwd, x, time_feats, a_s, a_dtw);
-    tape.value(out.prediction)
+    fwd.value(out.prediction)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use stsm_graph::{normalize_gcn, CsrMatrix};
+    use stsm_tensor::Tape;
 
     fn adjacency(n: usize) -> Arc<CsrLinMap> {
         // Ring graph.

@@ -1,0 +1,101 @@
+//! Bind-once, predict-many inference workspace for a trained STSM.
+//!
+//! [`Predictor`] packages everything test-time forecasting needs — the
+//! full-graph spatial and DTW adjacencies, the pseudo-observation weights of
+//! Eq. 3, and a tape-free [`InferSession`] with all parameters bound — so
+//! evaluation loops stop rebuilding binder state per window. One `Predictor`
+//! serves any number of windows: each call resets the session arena, which
+//! recycles the previous window's intermediates straight into the next one.
+
+use crate::model::StModel;
+use crate::problem::ProblemInstance;
+use crate::pseudo::blend_series;
+use crate::temporal_adj::{pseudo_weights_for, DtwContext};
+use crate::trainer::TrainedStsm;
+use std::sync::Arc;
+use stsm_graph::{normalize_gcn, CsrLinMap};
+use stsm_tensor::nn::Fwd;
+use stsm_tensor::{InferSession, Tensor};
+
+/// Reusable inference workspace over a trained model and a problem's
+/// test-time assets; see the module docs.
+pub struct Predictor<'m> {
+    trained: &'m TrainedStsm,
+    session: InferSession,
+    a_s: Arc<CsrLinMap>,
+    a_dtw: Arc<CsrLinMap>,
+    pw: Vec<f32>,
+    spd: usize,
+}
+
+impl<'m> Predictor<'m> {
+    /// Builds the test-time assets (full-graph adjacencies, pseudo-observation
+    /// weights) and binds the model's parameters into a fresh Infer session.
+    pub fn new(trained: &'m TrainedStsm, problem: &ProblemInstance) -> Self {
+        let cfg = &trained.cfg;
+        let n = problem.n();
+        let all: Vec<usize> = (0..n).collect();
+        let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
+            &problem.spatial_adjacency(&all, cfg.epsilon_s),
+        )));
+        let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+        let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
+        let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
+            n,
+            &problem.observed,
+            &problem.unobserved,
+            &pw,
+            cfg.q_kk,
+            cfg.q_ku,
+        ))));
+        let session = InferSession::new(&trained.store);
+        Predictor { trained, session, a_s, a_dtw, pw, spd: problem.steps_per_day() }
+    }
+
+    /// Predicts one test window starting at absolute step `abs_start`:
+    /// builds the `(N, T, 1)` input (real observed rows, pseudo-observed
+    /// unobserved rows) and time features, then runs a tape-free forward.
+    /// Returns scaled predictions `(N, T', 1)`.
+    pub fn predict_window(&mut self, problem: &ProblemInstance, abs_start: usize) -> Tensor {
+        let cfg = &self.trained.cfg;
+        let x = build_full_input(problem, &self.pw, abs_start, cfg.t_in, cfg.pseudo_observations);
+        let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
+        self.predict(&x, &tf)
+    }
+
+    /// Runs one tape-free forward on an already-assembled input, reusing the
+    /// bound session. Bitwise identical to the Train-mode forward value.
+    pub fn predict(&mut self, x: &Tensor, time_feats: &Tensor) -> Tensor {
+        self.session.reset();
+        let mut fwd = Fwd::infer(&self.trained.store, &mut self.session);
+        let out = self.trained.model_ref().forward(&mut fwd, x, time_feats, &self.a_s, &self.a_dtw);
+        fwd.value(out.prediction)
+    }
+}
+
+/// Builds a test-time `(N, T, 1)` input: real scaled values at observed rows,
+/// pseudo-observations (or zeros, per the ablation switch) at unobserved rows.
+pub(crate) fn build_full_input(
+    problem: &ProblemInstance,
+    pseudo_weights: &[f32],
+    start: usize,
+    len: usize,
+    pseudo_observations: bool,
+) -> Tensor {
+    let n = problem.n();
+    let mut data = stsm_tensor::alloc::buf_zeroed(n * len);
+    for &g in &problem.observed {
+        data[g * len..(g + 1) * len].copy_from_slice(problem.scaled_range(g, start, start + len));
+    }
+    if pseudo_observations {
+        let mut sources = Vec::with_capacity(problem.observed.len() * len);
+        for &g in &problem.observed {
+            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
+        }
+        let pseudo = blend_series(pseudo_weights, &sources, problem.observed.len(), len);
+        for (row, &u) in problem.unobserved.iter().enumerate() {
+            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
+        }
+    }
+    Tensor::from_vec([n, len, 1], data)
+}

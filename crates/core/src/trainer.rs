@@ -293,24 +293,14 @@ impl TrainedStsm {
 }
 
 /// Evaluates a trained model on the unobserved region over the test period.
+///
+/// Inference runs tape-free through a bind-once [`crate::Predictor`]: the
+/// parameters are bound to the Infer session a single time and every test
+/// window reuses the same workspace.
 pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalReport {
     let cfg = &trained.cfg;
     let start = Instant::now();
-    let n = problem.n();
-    let all: Vec<usize> = (0..n).collect();
-    let a_s =
-        Arc::new(CsrLinMap::new(normalize_gcn(&problem.spatial_adjacency(&all, cfg.epsilon_s))));
-    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
-    let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
-    let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
-        n,
-        &problem.observed,
-        &problem.unobserved,
-        &pw,
-        cfg.q_kk,
-        cfg.q_ku,
-    ))));
-    let spd = problem.steps_per_day();
+    let mut predictor = crate::Predictor::new(trained, problem);
     // Non-overlapping windows across the test period.
     let span = problem.test_time.len();
     let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
@@ -319,11 +309,7 @@ pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalRe
     let mut truths = Vec::new();
     for w in &windows {
         let abs_start = problem.test_time.start + w.input_start;
-        // Inputs: observed real + unobserved pseudo, in global order.
-        let x = build_full_input(problem, &pw, abs_start, cfg.t_in, cfg.pseudo_observations);
-        let tf = StModel::time_features(abs_start, cfg.t_in, spd);
-        let pred =
-            crate::model::predict_once(&trained.model, &trained.store, &x, &tf, &a_s, &a_dtw);
+        let pred = predictor.predict_window(problem, abs_start);
         let target_start = abs_start + cfg.t_in;
         for &u in &problem.unobserved {
             for p in 0..cfg.t_out {
@@ -334,33 +320,6 @@ pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalRe
     }
     let metrics = Metrics::compute(&preds, &truths);
     EvalReport { metrics, test_seconds: start.elapsed().as_secs_f64(), windows: windows.len() }
-}
-
-/// Builds a test-time `(N, T, 1)` input: real scaled values at observed rows,
-/// pseudo-observations (or zeros, per the ablation switch) at unobserved rows.
-fn build_full_input(
-    problem: &ProblemInstance,
-    pseudo_weights: &[f32],
-    start: usize,
-    len: usize,
-    pseudo_observations: bool,
-) -> Tensor {
-    let n = problem.n();
-    let mut data = stsm_tensor::alloc::buf_zeroed(n * len);
-    for &g in &problem.observed {
-        data[g * len..(g + 1) * len].copy_from_slice(problem.scaled_range(g, start, start + len));
-    }
-    if pseudo_observations {
-        let mut sources = Vec::with_capacity(problem.observed.len() * len);
-        for &g in &problem.observed {
-            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
-        }
-        let pseudo = blend_series(pseudo_weights, &sources, problem.observed.len(), len);
-        for (row, &u) in problem.unobserved.iter().enumerate() {
-            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
-        }
-    }
-    Tensor::from_vec([n, len, 1], data)
 }
 
 /// A naive "historical average by time of day" baseline used in tests to

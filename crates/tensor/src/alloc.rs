@@ -31,13 +31,26 @@
 //! each output element exactly as the unpooled path does — see the
 //! equivalence tests in `tests/fused_equivalence.rs`.
 //!
+//! ## Session caches
+//!
+//! Inference sessions ([`crate::InferSession`]) install a *thread-local*
+//! session cache via [`session_begin`]/[`session_end`]. While installed, the
+//! cache is consulted before the global classes and absorbs recycled buffers
+//! up to a much larger per-class cap ([`MAX_SESSION_BUFS_PER_CLASS`]), so a
+//! forward pass that repeats every window (bind once, predict many) reaches
+//! steady state with essentially zero fresh allocations — the global
+//! [`MAX_BUFS_PER_CLASS`] cap never truncates the working set. On the final
+//! [`session_end`] the cached buffers drain back into the global classes (up
+//! to their caps) and the rest are released.
+//!
 //! ## Allocation counters
 //!
-//! With the `alloc-stats` feature (used by the `bench_train` benchmark),
-//! [`alloc_counts`] reports how many buffer requests were served fresh from
-//! the system allocator vs reused from the pool.
+//! With the `alloc-stats` feature (used by the `bench_train` and
+//! `bench_infer` benchmarks), [`alloc_counts`] reports how many buffer
+//! requests were served fresh from the system allocator vs reused from the
+//! pool.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Smallest buffer length (in `f32` elements) worth pooling: 64 elements.
@@ -48,6 +61,11 @@ pub const MAX_POOLED_LEN: usize = 1 << MAX_CLASS_LOG2;
 
 /// Maximum buffers retained per size class.
 pub const MAX_BUFS_PER_CLASS: usize = 64;
+
+/// Maximum buffers retained per size class in a thread-local session cache
+/// (see [`session_begin`]). Generous on purpose: a session holds exactly one
+/// window's working set, which it replays every prediction.
+pub const MAX_SESSION_BUFS_PER_CLASS: usize = 4096;
 
 const MIN_CLASS_LOG2: u32 = 6;
 const MAX_CLASS_LOG2: u32 = 24;
@@ -61,6 +79,76 @@ static CLASSES: [Mutex<Vec<Vec<f32>>>; NUM_CLASSES] =
 thread_local! {
     /// Per-thread override of the env switch; see [`with_pool`].
     static POOL_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+
+    /// The calling thread's session cache, when one is installed.
+    static SESSION: RefCell<Option<SessionCache>> = const { RefCell::new(None) };
+}
+
+/// Depth-counted thread-local free lists installed for the lifetime of an
+/// inference session (nesting shares one cache).
+struct SessionCache {
+    depth: usize,
+    classes: Vec<Vec<Vec<f32>>>,
+}
+
+/// Installs (or re-enters) the calling thread's session cache. Must be paired
+/// with [`session_end`]; [`crate::InferSession`] does this via RAII.
+pub fn session_begin() {
+    SESSION.with(|s| {
+        let mut s = s.borrow_mut();
+        match s.as_mut() {
+            Some(c) => c.depth += 1,
+            None => {
+                *s = Some(SessionCache {
+                    depth: 1,
+                    classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+                })
+            }
+        }
+    });
+}
+
+/// Leaves the session cache; the final leave drains the cached buffers back
+/// into the global classes (up to their caps) and drops the remainder.
+pub fn session_end() {
+    let drained = SESSION.with(|s| {
+        let mut s = s.borrow_mut();
+        let Some(c) = s.as_mut() else { return None };
+        c.depth -= 1;
+        if c.depth == 0 {
+            s.take()
+        } else {
+            None
+        }
+    });
+    if let Some(cache) = drained {
+        for (class, bufs) in cache.classes.into_iter().enumerate() {
+            let mut list = lock(class);
+            for buf in bufs {
+                if list.len() >= MAX_BUFS_PER_CLASS {
+                    break;
+                }
+                list.push(buf);
+            }
+        }
+    }
+}
+
+/// Pops a session-cached buffer of `class`, if a cache is installed.
+fn session_take(class: usize) -> Option<Vec<f32>> {
+    SESSION.with(|s| s.borrow_mut().as_mut().and_then(|c| c.classes[class].pop()))
+}
+
+/// Deposits `buf` into the session cache; gives it back when no cache is
+/// installed on this thread or the class is full.
+fn session_put(class: usize, buf: Vec<f32>) -> Option<Vec<f32>> {
+    SESSION.with(|s| match s.borrow_mut().as_mut() {
+        Some(c) if c.classes[class].len() < MAX_SESSION_BUFS_PER_CLASS => {
+            c.classes[class].push(buf);
+            None
+        }
+        _ => Some(buf),
+    })
 }
 
 /// The `STSM_BUFFER_POOL` switch, read once. Anything but `off`/`0`/`false`
@@ -135,18 +223,23 @@ fn take(n: usize) -> Option<Vec<f32>> {
         return None;
     }
     let class = request_class(n)?;
-    let mut buf = lock(class).pop()?;
+    let mut buf = match session_take(class) {
+        Some(buf) => buf,
+        None => lock(class).pop()?,
+    };
     buf.clear();
     Some(buf)
 }
 
-/// Returns `buf` to its capacity class. Drops it when recycling is off, the
-/// capacity is outside the pooled range, or the class is full.
+/// Returns `buf` to its capacity class — the thread's session cache when one
+/// is installed, the global free list otherwise. Drops it when recycling is
+/// off, the capacity is outside the pooled range, or the class is full.
 pub fn recycle(buf: Vec<f32>) {
     if !enabled() {
         return;
     }
     let Some(class) = capacity_class(buf.capacity()) else { return };
+    let Some(buf) = session_put(class, buf) else { return };
     let mut list = lock(class);
     if list.len() < MAX_BUFS_PER_CLASS {
         list.push(buf);
@@ -350,6 +443,48 @@ mod tests {
         });
         // The recycle above was dropped, not pooled.
         with_pool(true, || assert!(take(n).is_none()));
+    }
+
+    #[test]
+    fn session_cache_bypasses_global_cap_and_drains_on_end() {
+        let n = (1usize << 19) + 9; // unique class, ~2 MiB
+        let cap = n.next_power_of_two();
+        with_pool(true, || {
+            drain(n);
+            session_begin();
+            // More buffers than the global cap admits all fit in the session.
+            for _ in 0..(MAX_BUFS_PER_CLASS + 8) {
+                recycle(Vec::with_capacity(cap));
+            }
+            for _ in 0..(MAX_BUFS_PER_CLASS + 8) {
+                assert!(take(n).is_some(), "session-cached buffer should serve");
+            }
+            assert!(take(n).is_none());
+            // Recycle a few, then end the session: they drain globally.
+            for _ in 0..4 {
+                recycle(Vec::with_capacity(cap));
+            }
+            session_end();
+            assert_eq!(pooled_in_class_of(n), 4);
+            drain(n);
+        });
+    }
+
+    #[test]
+    fn nested_sessions_share_one_cache() {
+        let n = (1usize << 18) + 3; // unique class
+        let cap = n.next_power_of_two();
+        with_pool(true, || {
+            drain(n);
+            session_begin();
+            session_begin();
+            recycle(Vec::with_capacity(cap));
+            session_end();
+            // Still cached: the outer session is alive.
+            assert!(take(n).is_some());
+            session_end();
+            drain(n);
+        });
     }
 
     #[test]

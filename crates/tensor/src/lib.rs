@@ -8,6 +8,9 @@
 //!
 //! * [`Tensor`] — contiguous row-major tensors with copy-on-write storage;
 //! * [`Tape`] — a per-forward-pass autograd arena ([`Tape::backward`]);
+//! * [`InferSession`] — the tape-free eager executor behind [`nn::Fwd`]'s
+//!   Infer mode: parameters bound once, no backward closures, bitwise
+//!   identical outputs to the Train-mode forward;
 //! * [`nn`] — Linear / dilated causal Conv1d / GRU / LayerNorm /
 //!   multi-head attention / transformer encoder layers;
 //! * [`optim`] — SGD and Adam with gradient clipping;
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+mod infer;
 mod kernels;
 mod linmap;
 pub mod nn;
@@ -46,6 +50,7 @@ mod tape;
 mod tape_ext;
 mod tensor;
 
+pub use infer::InferSession;
 pub use kernels::{addmm, bmm, conv1d_dilated, log_softmax_lastdim, matmul, softmax_lastdim};
 pub use linmap::{DenseLinMap, LinMap};
 pub use params::{ParamBinder, ParamId, ParamStore};

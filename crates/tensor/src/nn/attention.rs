@@ -39,17 +39,16 @@ impl MultiHeadAttention {
 
     /// Self-attention: queries, keys and values all derive from `x` (B, T, D).
     pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
-        let shape = fwd.tape().shape_of(x);
+        let shape = fwd.shape_of(x);
         assert_eq!(shape.rank(), 3, "attention input must be (B, T, D)");
         let (b, t_len, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
         assert_eq!(d, self.dim, "attention dim mismatch");
         let dh = d / self.heads;
         let split = |fwd: &mut Fwd, v: Var| {
             // (B,T,D) -> (B,T,H,dh) -> (B,H,T,dh) -> (B*H,T,dh)
-            let tape = fwd.tape();
-            let r = tape.reshape(v, [b, t_len, self.heads, dh]);
-            let p = tape.permute(r, &[0, 2, 1, 3]);
-            tape.reshape(p, [b * self.heads, t_len, dh])
+            let r = fwd.reshape(v, [b, t_len, self.heads, dh]);
+            let p = fwd.permute(r, &[0, 2, 1, 3]);
+            fwd.reshape(p, [b * self.heads, t_len, dh])
         };
         let q = self.wq.forward(fwd, x);
         let k = self.wk.forward(fwd, x);
@@ -57,16 +56,15 @@ impl MultiHeadAttention {
         let q = split(fwd, q);
         let k = split(fwd, k);
         let v = split(fwd, v);
-        let tape = fwd.tape();
-        let kt = tape.permute(k, &[0, 2, 1]);
-        let scores = tape.bmm(q, kt);
-        let scores = tape.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
-        let attn = tape.softmax_lastdim(scores);
-        let ctx = tape.bmm(attn, v);
+        let kt = fwd.permute(k, &[0, 2, 1]);
+        let scores = fwd.bmm(q, kt);
+        let scores = fwd.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
+        let attn = fwd.softmax_lastdim(scores);
+        let ctx = fwd.bmm(attn, v);
         // (B*H,T,dh) -> (B,H,T,dh) -> (B,T,H,dh) -> (B,T,D)
-        let ctx = tape.reshape(ctx, [b, self.heads, t_len, dh]);
-        let ctx = tape.permute(ctx, &[0, 2, 1, 3]);
-        let ctx = tape.reshape(ctx, [b, t_len, d]);
+        let ctx = fwd.reshape(ctx, [b, self.heads, t_len, dh]);
+        let ctx = fwd.permute(ctx, &[0, 2, 1, 3]);
+        let ctx = fwd.reshape(ctx, [b, t_len, d]);
         self.wo.forward(fwd, ctx)
     }
 }
@@ -106,12 +104,12 @@ impl TransformerEncoderLayer {
         // Pre-norm: x + Attn(LN(x)); then x + FFN(LN(x)).
         let n1 = self.norm1.forward(fwd, x);
         let a = self.attn.forward(fwd, n1);
-        let x = fwd.tape().add(x, a);
+        let x = fwd.add(x, a);
         let n2 = self.norm2.forward(fwd, x);
         let h = self.ff1.forward(fwd, n2);
-        let h = fwd.tape().relu(h);
+        let h = fwd.relu(h);
         let h = self.ff2.forward(fwd, h);
-        fwd.tape().add(x, h)
+        fwd.add(x, h)
     }
 }
 

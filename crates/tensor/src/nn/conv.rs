@@ -56,12 +56,12 @@ impl Conv1d {
     /// Applies the convolution to `x` of shape `(N, C_in, T)`, producing
     /// `(N, C_out, T)` (same length, causal left padding).
     pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
-        let shape = fwd.tape().shape_of(x);
+        let shape = fwd.shape_of(x);
         assert_eq!(shape.rank(), 3, "Conv1d input must be (N, C_in, T)");
         assert_eq!(shape.dim(1), self.in_channels, "Conv1d channel mismatch: {shape}");
         let w = fwd.p(self.w);
         let b = fwd.p(self.b);
-        fwd.tape().conv1d(x, w, Some(b), self.dilation)
+        fwd.conv1d(x, w, Some(b), self.dilation)
     }
 }
 

@@ -89,79 +89,74 @@ impl GruCell {
         let wxv = fwd.p(wx);
         let whv = fwd.p(wh);
         let bv = fwd.p(b);
-        let tape = fwd.tape();
-        let xa = tape.matmul(x, wxv);
-        let ha = tape.matmul(h, whv);
-        let s = tape.add(xa, ha);
-        tape.add(s, bv)
+        let xa = fwd.matmul(x, wxv);
+        let ha = fwd.matmul(h, whv);
+        let s = fwd.add(xa, ha);
+        fwd.add(s, bv)
     }
 
-    /// Reference step built entirely from composed tape primitives.
+    /// Reference step built entirely from composed primitives.
     fn step_composed(&self, fwd: &mut Fwd, x: Var, h: Var) -> Var {
-        let t = fwd.tape();
         let r = {
             let a = self.affine(fwd, self.wxr, self.whr, self.br, x, h);
-            t.sigmoid(a)
+            fwd.sigmoid(a)
         };
         let z = {
             let a = self.affine(fwd, self.wxz, self.whz, self.bz, x, h);
-            t.sigmoid(a)
+            fwd.sigmoid(a)
         };
         // candidate uses the reset-gated hidden state
-        let rh = t.mul(r, h);
+        let rh = fwd.mul(r, h);
         let n = {
             let wxv = fwd.p(self.wxn);
             let whv = fwd.p(self.whn);
             let bv = fwd.p(self.bn);
-            let tape = fwd.tape();
-            let xa = tape.matmul(x, wxv);
-            let ha = tape.matmul(rh, whv);
-            let s = tape.add(xa, ha);
-            let s = tape.add(s, bv);
-            tape.tanh(s)
+            let xa = fwd.matmul(x, wxv);
+            let ha = fwd.matmul(rh, whv);
+            let s = fwd.add(xa, ha);
+            let s = fwd.add(s, bv);
+            fwd.tanh(s)
         };
         // h' = (1 - z) * n + z * h
-        let one = t.constant(Tensor::ones(t.shape_of(z)));
-        let omz = t.sub(one, z);
-        let a = t.mul(omz, n);
-        let b = t.mul(z, h);
-        t.add(a, b)
+        let one_t = Tensor::ones(fwd.shape_of(z));
+        let one = fwd.constant(one_t);
+        let omz = fwd.sub(one, z);
+        let a = fwd.mul(omz, n);
+        let b = fwd.mul(z, h);
+        fwd.add(a, b)
     }
 
-    /// Step with the pointwise gate math fused into two tape nodes.
+    /// Step with the pointwise gate math fused into two nodes.
     fn step_fused(&self, fwd: &mut Fwd, x: Var, h: Var) -> Var {
-        let t = fwd.tape();
         let ar = self.affine(fwd, self.wxr, self.whr, self.br, x, h);
         let az = self.affine(fwd, self.wxz, self.whz, self.bz, x, h);
         // rh = sigmoid(ar) ⊙ h, fused
-        let rh = t.gru_rh(ar, h);
+        let rh = fwd.gru_rh(ar, h);
         // candidate pre-activation stays composed (see `step` doc)
         let s = {
             let wxv = fwd.p(self.wxn);
             let whv = fwd.p(self.whn);
             let bv = fwd.p(self.bn);
-            let tape = fwd.tape();
-            let xa = tape.matmul(x, wxv);
-            let ha = tape.matmul(rh, whv);
-            let s = tape.add(xa, ha);
-            tape.add(s, bv)
+            let xa = fwd.matmul(x, wxv);
+            let ha = fwd.matmul(rh, whv);
+            let s = fwd.add(xa, ha);
+            fwd.add(s, bv)
         };
         // h' = (1 - sigmoid(az)) ⊙ tanh(s) + sigmoid(az) ⊙ h, fused
-        t.gru_out(az, s, h)
+        fwd.gru_out(az, s, h)
     }
 
     /// Runs the cell over a sequence `x` of shape (B, T, input_dim) starting
     /// from a zero hidden state; returns the final hidden state (B, hidden).
     pub fn forward_seq(&self, fwd: &mut Fwd, x: Var) -> Var {
-        let shape = fwd.tape().shape_of(x);
+        let shape = fwd.shape_of(x);
         assert_eq!(shape.rank(), 3, "GRU input must be (B, T, D)");
         let (b, t_len, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
         assert_eq!(d, self.input_dim, "GRU input dim mismatch");
-        let tape = fwd.tape();
-        let mut h = tape.constant(Tensor::zeros([b, self.hidden_dim]));
+        let mut h = fwd.constant(Tensor::zeros([b, self.hidden_dim]));
         for t_i in 0..t_len {
-            let xt = tape.slice(x, 1, t_i, t_i + 1);
-            let xt = tape.reshape(xt, [b, d]);
+            let xt = fwd.slice(x, 1, t_i, t_i + 1);
+            let xt = fwd.reshape(xt, [b, d]);
             h = self.step(fwd, xt, h);
         }
         h
@@ -170,19 +165,18 @@ impl GruCell {
     /// Like [`GruCell::forward_seq`] but returns all hidden states stacked as
     /// (B, T, hidden).
     pub fn forward_seq_all(&self, fwd: &mut Fwd, x: Var) -> Var {
-        let shape = fwd.tape().shape_of(x);
+        let shape = fwd.shape_of(x);
         let (b, t_len, d) = (shape.dim(0), shape.dim(1), shape.dim(2));
         assert_eq!(d, self.input_dim, "GRU input dim mismatch");
-        let tape = fwd.tape();
-        let mut h = tape.constant(Tensor::zeros([b, self.hidden_dim]));
+        let mut h = fwd.constant(Tensor::zeros([b, self.hidden_dim]));
         let mut outs = Vec::with_capacity(t_len);
         for t_i in 0..t_len {
-            let xt = tape.slice(x, 1, t_i, t_i + 1);
-            let xt = tape.reshape(xt, [b, d]);
+            let xt = fwd.slice(x, 1, t_i, t_i + 1);
+            let xt = fwd.reshape(xt, [b, d]);
             h = self.step(fwd, xt, h);
-            outs.push(tape.reshape(h, [b, 1, self.hidden_dim]));
+            outs.push(fwd.reshape(h, [b, 1, self.hidden_dim]));
         }
-        tape.concat(&outs, 1)
+        fwd.concat(&outs, 1)
     }
 }
 

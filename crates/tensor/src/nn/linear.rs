@@ -59,8 +59,7 @@ impl Linear {
 
     /// Applies the layer to `x` of shape `(..., in_dim)`.
     pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
-        let tape = fwd.tape();
-        let in_shape = tape.shape_of(x);
+        let in_shape = fwd.shape_of(x);
         let r = in_shape.rank();
         assert!(r >= 1, "Linear input must have at least one dim");
         assert_eq!(
@@ -71,25 +70,25 @@ impl Linear {
             in_shape
         );
         let rows = in_shape.numel() / self.in_dim;
-        let x2 = tape.reshape(x, [rows, self.in_dim]);
+        let x2 = fwd.reshape(x, [rows, self.in_dim]);
         let w = fwd.p(self.w);
         // The fused affine is bit-identical to matmul + add; both paths are
         // kept so `STSM_BUFFER_POOL=off` exercises the composed ops.
         let y = match self.b {
             Some(b) if crate::alloc::enabled() => {
                 let bv = fwd.p(b);
-                fwd.tape().addmm(x2, w, bv)
+                fwd.addmm(x2, w, bv)
             }
             Some(b) => {
-                let y = fwd.tape().matmul(x2, w);
+                let y = fwd.matmul(x2, w);
                 let bv = fwd.p(b);
-                fwd.tape().add(y, bv)
+                fwd.add(y, bv)
             }
-            None => fwd.tape().matmul(x2, w),
+            None => fwd.matmul(x2, w),
         };
         let mut out_dims = in_shape.dims().to_vec();
         out_dims[r - 1] = self.out_dim;
-        fwd.tape().reshape(y, out_dims)
+        fwd.reshape(y, out_dims)
     }
 }
 
@@ -107,12 +106,12 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Applies the activation on the tape.
-    pub fn apply(&self, fwd: &Fwd, x: Var) -> Var {
+    /// Applies the activation in the active execution mode.
+    pub fn apply(&self, fwd: &mut Fwd, x: Var) -> Var {
         match self {
-            Activation::Relu => fwd.tape().relu(x),
-            Activation::Sigmoid => fwd.tape().sigmoid(x),
-            Activation::Tanh => fwd.tape().tanh(x),
+            Activation::Relu => fwd.relu(x),
+            Activation::Sigmoid => fwd.sigmoid(x),
+            Activation::Tanh => fwd.tanh(x),
             Activation::Identity => x,
         }
     }

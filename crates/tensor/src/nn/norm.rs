@@ -25,22 +25,20 @@ impl LayerNorm {
     /// Normalizes the last axis of `x` to zero mean and unit variance, then
     /// applies the affine transform.
     pub fn forward(&self, fwd: &mut Fwd, x: Var) -> Var {
-        let tape = fwd.tape();
-        let shape = tape.shape_of(x);
+        let shape = fwd.shape_of(x);
         let r = shape.rank();
         assert_eq!(shape.dim(r - 1), self.dim, "LayerNorm dim mismatch: {shape}");
-        let mean = tape.mean_axis(x, r - 1, true);
-        let centred = tape.sub(x, mean);
-        let sq = tape.square(centred);
-        let var = tape.mean_axis(sq, r - 1, true);
-        let var_eps = tape.add_scalar(var, self.eps);
-        let std = tape.sqrt(var_eps);
-        let normed = tape.div(centred, std);
+        let mean = fwd.mean_axis(x, r - 1, true);
+        let centred = fwd.sub(x, mean);
+        let sq = fwd.square(centred);
+        let var = fwd.mean_axis(sq, r - 1, true);
+        let var_eps = fwd.add_scalar(var, self.eps);
+        let std = fwd.sqrt(var_eps);
+        let normed = fwd.div(centred, std);
         let g = fwd.p(self.gamma);
         let b = fwd.p(self.beta);
-        let tape = fwd.tape();
-        let scaled = tape.mul(normed, g);
-        tape.add(scaled, b)
+        let scaled = fwd.mul(normed, g);
+        fwd.add(scaled, b)
     }
 }
 

@@ -370,6 +370,44 @@ impl Tape {
         self.mul_scalar(x, -1.0)
     }
 
+    /// Elementwise maximum against a scalar bound. Gradient is 1 above the
+    /// bound, 0 below, 0.5 on an exact tie — the same subgradient
+    /// [`Tape::max2`] routes to `x` against a constant tensor, without
+    /// materializing that tensor.
+    pub fn max_scalar(&self, x: Var, c: f32) -> Var {
+        self.unary(
+            x,
+            move |v| v.max(c),
+            move |v, _| {
+                if v > c {
+                    1.0
+                } else if v < c {
+                    0.0
+                } else {
+                    0.5
+                }
+            },
+        )
+    }
+
+    /// Elementwise minimum against a scalar bound; mirror of
+    /// [`Tape::max_scalar`].
+    pub fn min_scalar(&self, x: Var, c: f32) -> Var {
+        self.unary(
+            x,
+            move |v| v.min(c),
+            move |v, _| {
+                if v < c {
+                    1.0
+                } else if v > c {
+                    0.0
+                } else {
+                    0.5
+                }
+            },
+        )
+    }
+
     /// Leaky ReLU with slope `alpha` on the negative side.
     pub fn leaky_relu(&self, x: Var, alpha: f32) -> Var {
         self.unary(

@@ -16,13 +16,13 @@ impl Tape {
     }
 
     /// Clamps every element into `[lo, hi]` (gradient is zero outside).
+    /// Built on the scalar-bound primitives [`Tape::max_scalar`] /
+    /// [`Tape::min_scalar`]: two nodes and no full-shape constant tensors
+    /// (the old `max2`/`min2` composition materialized one per bound).
     pub fn clamp(&self, x: Var, lo: f32, hi: f32) -> Var {
         assert!(lo <= hi, "clamp bounds inverted");
-        let shape = self.shape_of(x);
-        let lo_t = self.constant(Tensor::full(shape.clone(), lo));
-        let hi_t = self.constant(Tensor::full(shape, hi));
-        let x = self.max2(x, lo_t);
-        self.min2(x, hi_t)
+        let x = self.max_scalar(x, lo);
+        self.min_scalar(x, hi)
     }
 
     /// Numerically-stable softplus `ln(1 + e^x) = relu(x) + ln(1 + e^{-|x|})`.
@@ -139,6 +139,19 @@ mod tests {
         tape.backward(loss);
         // Gradient flows only through the un-clamped element.
         assert_eq!(tape.grad(a).unwrap().data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn clamp_is_two_nodes_with_tie_subgradients() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec([2], vec![-1.0, 1.0])); // exactly on the bounds
+        let before = tape.len();
+        let c = tape.clamp(a, -1.0, 1.0);
+        assert_eq!(tape.len() - before, 2, "clamp must add exactly two nodes");
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        // Exact ties split the subgradient, as the max2/min2 composition did.
+        assert_eq!(tape.grad(a).unwrap().data(), &[0.5, 0.5]);
     }
 
     #[test]

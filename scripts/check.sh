@@ -10,4 +10,8 @@ cargo test -q
 # plain `cargo test -q` filter can never silently skip it.
 cargo test -q -p stsm-tensor --test fused_equivalence
 cargo test -q -p stsm-core --test pool_equivalence
-cargo clippy --all-targets -- -D warnings
+# The Train/Infer execution-mode bit-identity contract (DESIGN.md,
+# "Execution modes"), likewise pinned by name.
+cargo test -q -p stsm-tensor --test infer_equivalence
+cargo test -q -p stsm-core --test infer_equivalence
+cargo clippy --all-targets -q -- -D warnings
