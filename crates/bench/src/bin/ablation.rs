@@ -28,8 +28,8 @@ fn main() {
     for (label, pseudo) in [("pseudo-observations", true), ("zeros", false)] {
         let mut cfg = base.clone();
         cfg.pseudo_observations = pseudo;
-        let (trained, _) = train_stsm(&problem, &cfg);
-        let eval = evaluate_stsm(&trained, &problem);
+        let (trained, _) = train_stsm(&problem, &cfg).expect("trains");
+        let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
         println!(
             "| {label:<13} | {:.3} | {:.3} | {:.3} |",
             eval.metrics.rmse, eval.metrics.mae, eval.metrics.r2
@@ -47,8 +47,8 @@ fn main() {
     for q_ku in [0usize, 1, 2, 3] {
         let mut cfg = base.clone();
         cfg.q_ku = q_ku;
-        let (trained, _) = train_stsm(&problem, &cfg);
-        let eval = evaluate_stsm(&trained, &problem);
+        let (trained, _) = train_stsm(&problem, &cfg).expect("trains");
+        let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
         println!("| {q_ku:>4} | {:.3} | {:.3} |", eval.metrics.rmse, eval.metrics.r2);
         payload
             .insert(format!("q_ku_{q_ku}"), serde_json::to_value(eval.metrics).expect("serialize"));
@@ -56,8 +56,8 @@ fn main() {
 
     // 3. Error growth with forecast lead time.
     println!("\n## Per-horizon RMSE of the full model\n");
-    let (trained, _) = train_stsm(&problem, &base);
-    let detail = evaluate_detailed(&trained, &problem);
+    let (trained, _) = train_stsm(&problem, &base).expect("trains");
+    let detail = evaluate_detailed(&trained, &problem).expect("evaluates");
     println!("| horizon | RMSE |");
     println!("|---------|------|");
     for (h, rmse) in detail.horizon.rmse_curve().iter().enumerate() {

@@ -29,8 +29,8 @@ fn main() {
                     ProblemInstance::new(dataset.clone(), split.clone(), distance_mode_for(model));
                 let mut stsm_cfg = scale.stsm_config(&dataset.name, seed).with_variant(v);
                 stsm_cfg.epsilon_sg = eps;
-                let (trained, _) = stsm_core::train_stsm(&problem, &stsm_cfg);
-                let eval = stsm_core::evaluate_stsm(&trained, &problem);
+                let (trained, _) = stsm_core::train_stsm(&problem, &stsm_cfg).expect("trains");
+                let eval = stsm_core::evaluate_stsm(&trained, &problem).expect("evaluates");
                 row.push(eval.metrics.rmse);
             }
             println!(

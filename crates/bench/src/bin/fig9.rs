@@ -34,8 +34,8 @@ fn main() {
                 // Override the Table 3 K with the sweep value.
                 let mut stsm_cfg = scale.stsm_config(&dataset.name, seed).with_variant(v);
                 stsm_cfg.top_k = k;
-                let (trained, _) = stsm_core::train_stsm(&problem, &stsm_cfg);
-                let eval = stsm_core::evaluate_stsm(&trained, &problem);
+                let (trained, _) = stsm_core::train_stsm(&problem, &stsm_cfg).expect("trains");
+                let eval = stsm_core::evaluate_stsm(&trained, &problem).expect("evaluates");
                 row.push(eval.metrics.rmse);
             }
             println!("| {k} | {:>9.3} | {:>12.3} |", row[0], row[1]);

@@ -80,8 +80,8 @@ pub fn run_model(problem: &ProblemInstance, model: ModelId, scale: Scale, seed: 
         }
         ModelId::Stsm(v) => {
             let cfg = scale.stsm_config(&problem.dataset.name, seed).with_variant(v);
-            let (trained, report) = train_stsm(problem, &cfg);
-            let eval = evaluate_stsm(&trained, problem);
+            let (trained, report) = train_stsm(problem, &cfg).expect("trains");
+            let eval = evaluate_stsm(&trained, problem).expect("evaluates");
             RunResult {
                 model: v.name().to_string(),
                 metrics: eval.metrics,

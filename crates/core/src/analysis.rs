@@ -2,6 +2,7 @@
 //! breakdown for the unobserved region and per-location error maps, used to
 //! understand *where* and *when* a model fails (EXPERIMENTS.md's breakdowns).
 
+use crate::error::StsmError;
 use crate::predictor::Predictor;
 use crate::problem::ProblemInstance;
 use crate::trainer::TrainedStsm;
@@ -19,10 +20,16 @@ pub struct DetailedEval {
 }
 
 /// Evaluates a trained model with per-horizon and per-location breakdowns.
-pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> DetailedEval {
+pub fn evaluate_detailed(
+    trained: &TrainedStsm,
+    problem: &ProblemInstance,
+) -> Result<DetailedEval, StsmError> {
     let cfg = &trained.cfg;
-    let windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
-    assert!(!windows.is_empty(), "test period too short");
+    let span = problem.test_time.len();
+    let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
+    if windows.is_empty() {
+        return Err(StsmError::TestPeriodTooShort { span, needed: cfg.t_in + cfg.t_out });
+    }
     let n_u = problem.unobserved.len();
     let mut preds = Vec::new();
     let mut truths = Vec::new();
@@ -46,11 +53,11 @@ pub fn evaluate_detailed(trained: &TrainedStsm, problem: &ProblemInstance) -> De
     }
     let per_location_rmse =
         per_loc_se.iter().zip(&per_loc_n).map(|(&se, &c)| (se / c.max(1) as f64).sqrt()).collect();
-    DetailedEval {
+    Ok(DetailedEval {
         metrics: Metrics::compute(&preds, &truths),
         horizon: HorizonMetrics::compute(&preds, &truths, cfg.t_out),
         per_location_rmse,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -88,9 +95,9 @@ mod tests {
             top_k: 8,
             ..Default::default()
         };
-        let (trained, _) = train_stsm(&problem, &cfg);
-        let overall = crate::trainer::evaluate_stsm(&trained, &problem);
-        let detailed = evaluate_detailed(&trained, &problem);
+        let (trained, _) = train_stsm(&problem, &cfg).expect("trains");
+        let overall = crate::trainer::evaluate_stsm(&trained, &problem).expect("evaluates");
+        let detailed = evaluate_detailed(&trained, &problem).expect("evaluates");
         assert!((overall.metrics.rmse - detailed.metrics.rmse).abs() < 1e-9);
         assert_eq!(detailed.horizon.per_horizon.len(), 6);
         assert_eq!(detailed.per_location_rmse.len(), problem.n_unobserved());

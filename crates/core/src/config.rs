@@ -80,6 +80,44 @@ impl Variant {
     }
 }
 
+/// Divergence-guard thresholds (see `DESIGN.md`, "Fault tolerance"). The
+/// guard watches every batch's loss and gradient norm; defaults are chosen
+/// so a clean run can never trip it (the spike factor is 10⁴× the running
+/// loss average), keeping guarded training bit-identical to unguarded.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Master switch; disabled restores the pre-guard behavior of stepping
+    /// on whatever loss the batch produced.
+    pub enabled: bool,
+    /// A batch is "spiking" when its loss exceeds `spike_factor` × the
+    /// exponential moving average of recent good batch losses.
+    pub spike_factor: f32,
+    /// Good batches required before spike detection arms (the EMA is
+    /// meaningless during the first steep descent).
+    pub warmup_batches: u64,
+    /// Consecutive bad batches tolerated before rolling back to the last
+    /// epoch-end snapshot.
+    pub max_consecutive_bad: u32,
+    /// Rollbacks allowed per run; beyond this the guard keeps skipping bad
+    /// batches but stops rewinding (degraded mode — training still ends).
+    pub max_rollbacks: u64,
+    /// Learning-rate multiplier applied at each rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            spike_factor: 1e4,
+            warmup_batches: 8,
+            max_consecutive_bad: 8,
+            max_rollbacks: 4,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
 /// Full STSM configuration. Defaults follow §5.1.3 / Table 3 (PEMS-Bay
 /// column) with training sizes scaled for CPU.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -136,6 +174,10 @@ pub struct StsmConfig {
     pub pseudo_observations: bool,
     /// RNG seed (weights, masking draws, window sampling).
     pub seed: u64,
+    /// Divergence-guard thresholds. `#[serde(default)]` keeps configs
+    /// serialized before this field existed loadable.
+    #[serde(default)]
+    pub guard: GuardConfig,
 }
 
 impl Default for StsmConfig {
@@ -166,6 +208,7 @@ impl Default for StsmConfig {
             distance: DistanceMode::Euclidean,
             pseudo_observations: true,
             seed: 0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -212,6 +255,11 @@ impl StsmConfig {
         assert!((0.0..1.0).contains(&self.mask_ratio), "mask ratio must be in [0,1)");
         assert!(self.tau > 0.0, "temperature must be positive");
         assert!(self.batch_windows >= 2 || !self.contrastive, "contrastive learning needs M >= 2");
+        assert!(
+            self.guard.lr_backoff > 0.0 && self.guard.lr_backoff <= 1.0,
+            "lr backoff must be in (0, 1]"
+        );
+        assert!(self.guard.spike_factor > 1.0, "spike factor must exceed 1");
     }
 }
 

@@ -1,0 +1,83 @@
+//! Typed errors for the public training / evaluation / persistence entry
+//! points. These used to be `assert!` panics and silent fall-throughs; a
+//! production serving stack needs to branch on *why* a run cannot proceed.
+
+use crate::checkpoint::CheckpointError;
+use std::fmt;
+use stsm_tensor::ParamLayoutError;
+
+/// Why a training or evaluation entry point refused to run, or a persisted
+/// model could not be restored.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StsmError {
+    /// The training period has fewer steps than one `T + T'` window.
+    TrainingPeriodTooShort {
+        /// Steps available in the training period.
+        span: usize,
+        /// Steps one window needs (`t_in + t_out`).
+        needed: usize,
+    },
+    /// The test period has fewer steps than one `T + T'` window.
+    TestPeriodTooShort {
+        /// Steps available in the test period.
+        span: usize,
+        /// Steps one window needs (`t_in + t_out`).
+        needed: usize,
+    },
+    /// Too few observed locations to mask sub-graphs and blend
+    /// pseudo-observations.
+    TooFewObserved {
+        /// Observed locations in the problem.
+        got: usize,
+        /// Minimum the pipeline supports.
+        needed: usize,
+    },
+    /// A checkpoint could not be written, read or applied.
+    Checkpoint(CheckpointError),
+    /// A persisted model's parameters do not fit the architecture declared
+    /// by its config.
+    ParamLayout(ParamLayoutError),
+    /// A persisted model could not be parsed.
+    Serde(String),
+}
+
+impl fmt::Display for StsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StsmError::TrainingPeriodTooShort { span, needed } => write!(
+                f,
+                "training period too short: {span} steps cannot fit one T + T' = {needed} window"
+            ),
+            StsmError::TestPeriodTooShort { span, needed } => write!(
+                f,
+                "test period too short: {span} steps cannot fit one T + T' = {needed} window"
+            ),
+            StsmError::TooFewObserved { got, needed } => {
+                write!(f, "need at least {needed} observed locations, got {got}")
+            }
+            StsmError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            StsmError::ParamLayout(e) => write!(f, "parameter layout mismatch: {e}"),
+            StsmError::Serde(msg) => write!(f, "model deserialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StsmError {}
+
+impl From<CheckpointError> for StsmError {
+    fn from(e: CheckpointError) -> Self {
+        StsmError::Checkpoint(e)
+    }
+}
+
+impl From<ParamLayoutError> for StsmError {
+    fn from(e: ParamLayoutError) -> Self {
+        StsmError::ParamLayout(e)
+    }
+}
+
+impl From<serde_json::Error> for StsmError {
+    fn from(e: serde_json::Error) -> Self {
+        StsmError::Serde(e.to_string())
+    }
+}

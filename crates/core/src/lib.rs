@@ -30,33 +30,51 @@
 //! let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
 //! let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
 //! let cfg = StsmConfig::default().for_dataset("PEMS-Bay");
-//! let (trained, report) = train_stsm(&problem, &cfg);
-//! let eval = evaluate_stsm(&trained, &problem);
+//! let (trained, report) = train_stsm(&problem, &cfg).expect("training runs");
+//! let eval = evaluate_stsm(&trained, &problem).expect("evaluation runs");
 //! println!("RMSE {:.3} in {:.1}s", eval.metrics.rmse, report.train_seconds);
 //! ```
+//!
+//! ## Fault tolerance
+//!
+//! Training can snapshot every epoch boundary and resume bit-identically
+//! after a crash ([`TrainOptions`], [`TrainCheckpoint`]); a divergence
+//! guard skips non-finite/spiking batches and rolls back to the last good
+//! snapshot ([`GuardConfig`](StsmConfig), reported via
+//! [`ResilienceReport`]); inference sanitizes degraded input windows and
+//! reports what it imputed ([`DataQuality`]). See `DESIGN.md`.
 
 #![warn(missing_docs)]
 
 mod analysis;
+mod checkpoint;
 mod config;
 mod contrastive;
+mod error;
 mod masking;
 mod model;
 mod predictor;
 mod problem;
 mod pseudo;
+mod resilience;
 mod temporal_adj;
 mod trainer;
 
 pub use analysis::{evaluate_detailed, DetailedEval};
-pub use config::{DistanceMode, MaskingMode, StsmConfig, TemporalModule, Variant};
+pub use checkpoint::{
+    config_fingerprint, CheckpointError, GuardSnapshot, TrainCheckpoint, CHECKPOINT_VERSION,
+};
+pub use config::{DistanceMode, GuardConfig, MaskingMode, StsmConfig, TemporalModule, Variant};
 pub use contrastive::nt_xent;
+pub use error::StsmError;
 pub use masking::{cosine, MaskingContext};
 pub use model::{predict_once, ForwardOutput, StModel};
 pub use predictor::Predictor;
 pub use problem::ProblemInstance;
 pub use pseudo::{blend_series, inverse_distance_weights};
+pub use resilience::{carry_impute, DataQuality, ResilienceReport, TrainOptions};
 pub use temporal_adj::{pseudo_weights_for, DtwContext};
 pub use trainer::{
-    evaluate_stsm, historical_average_metrics, train_stsm, EvalReport, TrainReport, TrainedStsm,
+    evaluate_stsm, historical_average_metrics, train_stsm, train_stsm_with, EvalReport,
+    TrainReport, TrainedStsm,
 };

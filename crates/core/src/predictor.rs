@@ -6,10 +6,19 @@
 //! evaluation loops stop rebuilding binder state per window. One `Predictor`
 //! serves any number of windows: each call resets the session arena, which
 //! recycles the previous window's intermediates straight into the next one.
+//!
+//! [`Predictor::predict_window_checked`] additionally scans the observed
+//! readings of the window for non-finite values (dropped or corrupted
+//! sensors) and imputes them — inverse-distance blend over the finite
+//! co-temporal readings first, last-finite carry within the window as the
+//! fallback — returning a [`DataQuality`] summary next to the forecast.
+//! Clean windows take an untouched fast path, so their output is bitwise
+//! identical to [`Predictor::predict_window`].
 
 use crate::model::StModel;
 use crate::problem::ProblemInstance;
-use crate::pseudo::blend_series;
+use crate::pseudo::{blend_series, inverse_distance_weights};
+use crate::resilience::{carry_impute, DataQuality};
 use crate::temporal_adj::{pseudo_weights_for, DtwContext};
 use crate::trainer::TrainedStsm;
 use std::sync::Arc;
@@ -25,6 +34,9 @@ pub struct Predictor<'m> {
     a_s: Arc<CsrLinMap>,
     a_dtw: Arc<CsrLinMap>,
     pw: Vec<f32>,
+    /// Observed×observed inverse-distance weights used to impute dropped
+    /// readings from finite co-temporal neighbors.
+    obs_weights: Vec<f32>,
     spd: usize,
 }
 
@@ -48,19 +60,43 @@ impl<'m> Predictor<'m> {
             cfg.q_kk,
             cfg.q_ku,
         ))));
+        let obs_dist = problem.sub_distances(&problem.observed, &problem.observed, true);
+        let obs_weights =
+            inverse_distance_weights(&obs_dist, problem.observed.len(), problem.observed.len());
         let session = InferSession::new(&trained.store);
-        Predictor { trained, session, a_s, a_dtw, pw, spd: problem.steps_per_day() }
+        Predictor { trained, session, a_s, a_dtw, pw, obs_weights, spd: problem.steps_per_day() }
     }
 
     /// Predicts one test window starting at absolute step `abs_start`:
     /// builds the `(N, T, 1)` input (real observed rows, pseudo-observed
     /// unobserved rows) and time features, then runs a tape-free forward.
-    /// Returns scaled predictions `(N, T', 1)`.
+    /// Returns scaled predictions `(N, T', 1)`. Assumes finite inputs; use
+    /// [`Predictor::predict_window_checked`] for degraded data.
     pub fn predict_window(&mut self, problem: &ProblemInstance, abs_start: usize) -> Tensor {
         let cfg = &self.trained.cfg;
         let x = build_full_input(problem, &self.pw, abs_start, cfg.t_in, cfg.pseudo_observations);
         let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
         self.predict(&x, &tf)
+    }
+
+    /// Like [`Predictor::predict_window`], but scans the window's observed
+    /// readings for non-finite values and imputes them before forecasting.
+    /// Returns the forecast plus a [`DataQuality`] summary of what was
+    /// imputed; a clean window reports zeros and produces output bitwise
+    /// identical to the unchecked path.
+    pub fn predict_window_checked(
+        &mut self,
+        problem: &ProblemInstance,
+        abs_start: usize,
+    ) -> (Tensor, DataQuality) {
+        let cfg = &self.trained.cfg;
+        let len = cfg.t_in;
+        let mut sources = gather_sources(problem, abs_start, len);
+        let mut quality = DataQuality { scanned: sources.len(), ..DataQuality::default() };
+        sanitize_sources(&mut sources, problem, len, &self.obs_weights, &mut quality);
+        let x = assemble_full_input(problem, &self.pw, &sources, len, cfg.pseudo_observations);
+        let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
+        (self.predict(&x, &tf), quality)
     }
 
     /// Runs one tape-free forward on an already-assembled input, reusing the
@@ -73,6 +109,115 @@ impl<'m> Predictor<'m> {
     }
 }
 
+/// Gathers the observed rows of a window, source-major (`N_o × len`), in
+/// `problem.observed` order.
+pub(crate) fn gather_sources(problem: &ProblemInstance, start: usize, len: usize) -> Vec<f32> {
+    let mut sources = Vec::with_capacity(problem.observed.len() * len);
+    for &g in &problem.observed {
+        sources.extend_from_slice(problem.scaled_range(g, start, start + len));
+    }
+    sources
+}
+
+/// Imputes non-finite entries of `sources` (`N_o × len`, observed-major) in
+/// place. Per time step, each bad reading is replaced by the
+/// inverse-distance blend of the *finite* co-temporal readings (weights
+/// renormalized over the finite subset, self excluded); readings with no
+/// finite co-temporal neighbor are filled afterwards by carrying the
+/// sensor's last finite value through the window (fallback fill 0.0 — the
+/// scaled mean). Updates `quality` with what happened.
+fn sanitize_sources(
+    sources: &mut [f32],
+    problem: &ProblemInstance,
+    len: usize,
+    obs_weights: &[f32],
+    quality: &mut DataQuality,
+) {
+    let n_obs = problem.observed.len();
+    let mut affected = vec![false; n_obs];
+    let mut any_bad = false;
+    for r in 0..n_obs {
+        for t in 0..len {
+            if !sources[r * len + t].is_finite() {
+                affected[r] = true;
+                any_bad = true;
+                quality.non_finite += 1;
+            }
+        }
+    }
+    if !any_bad {
+        return; // clean fast path: sources untouched
+    }
+    // Pass 1: cross-sensor blends, computed per time step from the original
+    // finite readings only (a value imputed at step `t` never feeds another
+    // imputation at the same `t`).
+    let mut writes: Vec<(usize, f32)> = Vec::new();
+    for t in 0..len {
+        writes.clear();
+        for r in 0..n_obs {
+            if sources[r * len + t].is_finite() {
+                continue;
+            }
+            let mut acc = 0.0f64;
+            let mut wsum = 0.0f64;
+            for s in 0..n_obs {
+                let v = sources[s * len + t];
+                if s == r || !v.is_finite() {
+                    continue;
+                }
+                let w = obs_weights[r * n_obs + s] as f64;
+                acc += w * v as f64;
+                wsum += w;
+            }
+            if wsum > 0.0 {
+                writes.push((r, (acc / wsum) as f32));
+            }
+        }
+        for &(r, v) in &writes {
+            sources[r * len + t] = v;
+            quality.imputed_blend += 1;
+        }
+    }
+    // Pass 2: whatever survived pass 1 (a step where *every* sensor dropped
+    // out) is carried within the sensor's own window.
+    for r in 0..n_obs {
+        let row = &mut sources[r * len..(r + 1) * len];
+        if row.iter().any(|v| !v.is_finite()) {
+            quality.imputed_carry += carry_impute(row, 0.0);
+        }
+    }
+    for (r, flag) in affected.iter().enumerate() {
+        if *flag {
+            quality.affected_sensors.push(problem.observed[r]);
+        }
+    }
+}
+
+/// Assembles the full `(N, T, 1)` input from already-gathered (and possibly
+/// sanitized) observed source rows: real values at observed rows,
+/// pseudo-observations (or zeros, per the ablation switch) at unobserved
+/// rows.
+pub(crate) fn assemble_full_input(
+    problem: &ProblemInstance,
+    pseudo_weights: &[f32],
+    sources: &[f32],
+    len: usize,
+    pseudo_observations: bool,
+) -> Tensor {
+    let n = problem.n();
+    let mut data = stsm_tensor::alloc::buf_zeroed(n * len);
+    for (row, &g) in problem.observed.iter().enumerate() {
+        data[g * len..(g + 1) * len].copy_from_slice(&sources[row * len..(row + 1) * len]);
+    }
+    if pseudo_observations {
+        let pseudo = blend_series(pseudo_weights, sources, problem.observed.len(), len);
+        for (row, &u) in problem.unobserved.iter().enumerate() {
+            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
+        }
+    }
+    Tensor::from_vec([n, len, 1], data)
+}
+
 /// Builds a test-time `(N, T, 1)` input: real scaled values at observed rows,
 /// pseudo-observations (or zeros, per the ablation switch) at unobserved rows.
 pub(crate) fn build_full_input(
@@ -82,20 +227,6 @@ pub(crate) fn build_full_input(
     len: usize,
     pseudo_observations: bool,
 ) -> Tensor {
-    let n = problem.n();
-    let mut data = stsm_tensor::alloc::buf_zeroed(n * len);
-    for &g in &problem.observed {
-        data[g * len..(g + 1) * len].copy_from_slice(problem.scaled_range(g, start, start + len));
-    }
-    if pseudo_observations {
-        let mut sources = Vec::with_capacity(problem.observed.len() * len);
-        for &g in &problem.observed {
-            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
-        }
-        let pseudo = blend_series(pseudo_weights, &sources, problem.observed.len(), len);
-        for (row, &u) in problem.unobserved.iter().enumerate() {
-            data[u * len..(u + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
-        }
-    }
-    Tensor::from_vec([n, len, 1], data)
+    let sources = gather_sources(problem, start, len);
+    assemble_full_input(problem, pseudo_weights, &sources, len, pseudo_observations)
 }

@@ -49,7 +49,11 @@ impl ProblemInstance {
         let mut unobserved = split.test.clone();
         unobserved.sort_unstable();
         let (train_time, test_time) = temporal_split(dataset.t_total, 0.7);
-        // Fit the scaler only on data the model is allowed to see.
+        // Fit the scaler only on data the model is allowed to see. Dropped
+        // or corrupted readings (NaN/±inf) are excluded from the fit so one
+        // bad sensor cannot poison the normalization of every location;
+        // they stay non-finite in `scaled` for the divergence guard and
+        // input sanitization to handle downstream.
         let mut train_values = Vec::with_capacity(observed.len() * train_time.len());
         for &i in &observed {
             train_values.extend_from_slice(dataset.series_range(
@@ -58,6 +62,7 @@ impl ProblemInstance {
                 train_time.end,
             ));
         }
+        train_values.retain(|v| v.is_finite());
         let scaler = Scaler::fit(&train_values);
         let mut scaled = dataset.values.clone();
         scaler.transform_slice(&mut scaled);

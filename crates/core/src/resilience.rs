@@ -1,0 +1,196 @@
+//! Run-control options and degraded-operation reporting for fault-tolerant
+//! training and inference.
+//!
+//! [`TrainOptions`] tells `train_stsm_with` where (and how often) to write
+//! epoch-boundary checkpoints and whether to resume from one;
+//! [`ResilienceReport`] surfaces what the divergence guard actually did
+//! (skips, rollbacks, skipped epochs) instead of letting NaN batches pass
+//! silently; [`DataQuality`] summarizes what inference had to impute in a
+//! degraded input window.
+
+use std::path::PathBuf;
+
+/// Checkpoint/resume controls for one training run. The defaults disable
+/// checkpointing entirely; [`TrainOptions::from_env`] reads the documented
+/// `STSM_*` environment variables instead.
+#[derive(Clone, Debug, Default)]
+pub struct TrainOptions {
+    /// Where to write epoch-boundary snapshots (`None` = no checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Snapshot every `k` epochs (0 is treated as 1).
+    pub checkpoint_every: usize,
+    /// Resume from `checkpoint_path` if a valid snapshot exists there.
+    pub resume: bool,
+    /// Stop after this many *total* epochs even if the config wants more —
+    /// the hook the kill-and-resume tests use to interrupt a run at an exact
+    /// epoch boundary (`None` = run to `cfg.epochs`).
+    pub stop_after_epoch: Option<usize>,
+}
+
+impl TrainOptions {
+    /// Checkpoint to `path` every epoch.
+    pub fn checkpoint_to(path: impl Into<PathBuf>) -> Self {
+        TrainOptions {
+            checkpoint_path: Some(path.into()),
+            checkpoint_every: 1,
+            ..TrainOptions::default()
+        }
+    }
+
+    /// Same as [`TrainOptions::checkpoint_to`], but resuming from an
+    /// existing snapshot at `path` when one is present.
+    pub fn resume_from(path: impl Into<PathBuf>) -> Self {
+        TrainOptions { resume: true, ..TrainOptions::checkpoint_to(path) }
+    }
+
+    /// Reads options from the environment: `STSM_CHECKPOINT_PATH` (enables
+    /// checkpointing), `STSM_CHECKPOINT_EVERY` (epochs between snapshots,
+    /// default 1) and `STSM_RESUME` (`1`/`true` resumes from the path).
+    pub fn from_env() -> Self {
+        let checkpoint_path = std::env::var("STSM_CHECKPOINT_PATH").ok().map(PathBuf::from);
+        let checkpoint_every =
+            std::env::var("STSM_CHECKPOINT_EVERY").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+        let resume = std::env::var("STSM_RESUME")
+            .map(|v| matches!(v.as_str(), "1" | "true" | "on"))
+            .unwrap_or(false);
+        TrainOptions { checkpoint_path, checkpoint_every, resume, stop_after_epoch: None }
+    }
+}
+
+/// What the resilience machinery did during one training run. Returned as
+/// part of `TrainReport`; a clean run reports all zeros.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Batches whose loss or gradients were unusable; their optimizer step
+    /// was skipped.
+    pub skipped_batches: u64,
+    /// Times the trainer rolled parameters and optimizer state back to the
+    /// last epoch-end snapshot (with a halved learning rate).
+    pub rollbacks: u64,
+    /// Epochs that produced zero usable batches (their loss entry repeats
+    /// the last finite epoch loss instead of recording NaN).
+    pub skipped_epochs: Vec<usize>,
+    /// Final learning-rate backoff scale (1.0 = never rolled back).
+    pub lr_scale: f32,
+    /// Snapshots written this run.
+    pub checkpoints_written: usize,
+    /// Epoch the run resumed from (`None` = fresh start).
+    pub resumed_from_epoch: Option<usize>,
+}
+
+impl ResilienceReport {
+    /// True when training never had to skip, roll back or resume.
+    pub fn is_clean(&self) -> bool {
+        self.skipped_batches == 0 && self.rollbacks == 0 && self.skipped_epochs.is_empty()
+    }
+}
+
+/// Summary of the sanitization applied to one (or many, via
+/// [`DataQuality::merge`]) inference input windows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataQuality {
+    /// Observed readings scanned.
+    pub scanned: usize,
+    /// Readings found non-finite (NaN/±inf — dropped or corrupted).
+    pub non_finite: usize,
+    /// Readings imputed from neighboring sensors (inverse-distance blend).
+    pub imputed_blend: usize,
+    /// Readings imputed by carrying the sensor's last finite value (no
+    /// finite neighbor was available at that time step).
+    pub imputed_carry: usize,
+    /// Sorted global ids of observed sensors that needed imputation.
+    pub affected_sensors: Vec<usize>,
+}
+
+impl DataQuality {
+    /// True when the window needed no imputation at all.
+    pub fn is_clean(&self) -> bool {
+        self.non_finite == 0
+    }
+
+    /// Folds another window's summary into this one.
+    pub fn merge(&mut self, other: &DataQuality) {
+        self.scanned += other.scanned;
+        self.non_finite += other.non_finite;
+        self.imputed_blend += other.imputed_blend;
+        self.imputed_carry += other.imputed_carry;
+        for &s in &other.affected_sensors {
+            if let Err(pos) = self.affected_sensors.binary_search(&s) {
+                self.affected_sensors.insert(pos, s);
+            }
+        }
+    }
+}
+
+/// Replaces non-finite entries of `series` in place by carrying the last
+/// finite value forward (leading gaps borrow the first finite value that
+/// follows; an all-bad series falls back to `fill`). Returns the number of
+/// entries replaced.
+pub fn carry_impute(series: &mut [f32], fill: f32) -> usize {
+    let mut replaced = 0usize;
+    let first_finite = series.iter().copied().find(|v| v.is_finite());
+    let mut last = first_finite.unwrap_or(fill);
+    for v in series.iter_mut() {
+        if v.is_finite() {
+            last = *v;
+        } else {
+            *v = last;
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_impute_fills_gaps() {
+        let mut s = vec![f32::NAN, 1.0, f32::NAN, f32::NAN, 2.0, f32::INFINITY];
+        let n = carry_impute(&mut s, 0.0);
+        assert_eq!(n, 4);
+        assert_eq!(s, vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
+        let mut all_bad = vec![f32::NAN; 3];
+        assert_eq!(carry_impute(&mut all_bad, 0.5), 3);
+        assert_eq!(all_bad, vec![0.5, 0.5, 0.5]);
+        let mut clean = vec![1.0, 2.0];
+        assert_eq!(carry_impute(&mut clean, 0.0), 0);
+        assert_eq!(clean, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn quality_merge_accumulates_and_dedupes() {
+        let mut a = DataQuality {
+            scanned: 10,
+            non_finite: 2,
+            imputed_blend: 2,
+            imputed_carry: 0,
+            affected_sensors: vec![1, 5],
+        };
+        let b = DataQuality {
+            scanned: 10,
+            non_finite: 1,
+            imputed_blend: 0,
+            imputed_carry: 1,
+            affected_sensors: vec![3, 5],
+        };
+        a.merge(&b);
+        assert_eq!(a.scanned, 20);
+        assert_eq!(a.non_finite, 3);
+        assert_eq!(a.imputed_blend, 2);
+        assert_eq!(a.imputed_carry, 1);
+        assert_eq!(a.affected_sensors, vec![1, 3, 5]);
+        assert!(!a.is_clean());
+        assert!(DataQuality::default().is_clean());
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = TrainOptions::checkpoint_to("/tmp/x.ckpt");
+        assert!(o.checkpoint_path.is_some() && !o.resume && o.checkpoint_every == 1);
+        let r = TrainOptions::resume_from("/tmp/x.ckpt");
+        assert!(r.resume);
+        assert!(TrainOptions::default().checkpoint_path.is_none());
+    }
+}

@@ -41,7 +41,16 @@ impl DtwContext {
             .map(|&g| {
                 let series =
                     problem.scaled_range(g, problem.train_time.start, problem.train_time.end);
-                daily_profile(series, spd, downsample)
+                if series.iter().all(|v| v.is_finite()) {
+                    daily_profile(series, spd, downsample)
+                } else {
+                    // Dropped/corrupted readings would poison the profile
+                    // (and every DTW distance touching it); carry the last
+                    // finite value through the gaps first.
+                    let mut owned = series.to_vec();
+                    crate::resilience::carry_impute(&mut owned, 0.0);
+                    daily_profile(&owned, spd, downsample)
+                }
             })
             .collect();
         let n = profiles.len();
@@ -51,10 +60,10 @@ impl DtwContext {
         let sorted_neighbors: Vec<Vec<u32>> = pool::par_map_chunks(n, 16, |rows| {
             rows.map(|i| {
                 let mut order: Vec<u32> = (0..n as u32).filter(|&j| j as usize != i).collect();
+                // total_cmp: identical order for the finite, non-negative
+                // DTW distances, but never panics if one slips through.
                 order.sort_by(|&a, &b| {
-                    pairwise[i * n + a as usize]
-                        .partial_cmp(&pairwise[i * n + b as usize])
-                        .expect("finite")
+                    pairwise[i * n + a as usize].total_cmp(&pairwise[i * n + b as usize])
                 });
                 order
             })
@@ -128,7 +137,7 @@ impl DtwContext {
                     .iter()
                     .map(|&j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
                     .collect();
-                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 for &(j, _) in scored.iter().take(q_ku) {
                     links.push((m, j, 1.0));
                 }
@@ -179,7 +188,7 @@ impl DtwContext {
                 let mut scored: Vec<(usize, f32)> = (0..n_obs)
                     .map(|j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
                     .collect();
-                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 for &(j, _) in scored.iter().take(q_ku) {
                     links.push((row, layout[j], 1.0));
                 }

@@ -6,13 +6,26 @@
 //! unobserved region with pseudo-observations, builds the full-graph
 //! adjacencies and forecasts the next `T'` steps for the unobserved
 //! locations.
+//!
+//! ## Fault tolerance
+//!
+//! Each epoch's RNG is derived from `(cfg.seed, epoch)` rather than one
+//! long-lived stream, so epoch boundaries are replay points: a run resumed
+//! from a [`TrainCheckpoint`] is bit-identical to an uninterrupted one. A
+//! divergence guard watches every batch — non-finite losses or gradients
+//! (and, after warmup, loss spikes) skip the optimizer step; a streak of bad
+//! batches rolls parameters and optimizer state back to the last epoch
+//! boundary with a backed-off learning rate. See `DESIGN.md`.
 
-use crate::config::{MaskingMode, StsmConfig};
+use crate::checkpoint::{config_fingerprint, CheckpointError, GuardSnapshot, TrainCheckpoint};
+use crate::config::{GuardConfig, MaskingMode, StsmConfig};
 use crate::contrastive::nt_xent;
+use crate::error::StsmError;
 use crate::masking::MaskingContext;
 use crate::model::{ForwardOutput, StModel};
 use crate::problem::ProblemInstance;
 use crate::pseudo::blend_series;
+use crate::resilience::{DataQuality, ResilienceReport, TrainOptions};
 use crate::temporal_adj::{pseudo_weights_for, DtwContext};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -37,7 +50,8 @@ pub struct TrainedStsm {
 /// Statistics recorded during training.
 #[derive(Clone, Debug)]
 pub struct TrainReport {
-    /// Mean total loss per epoch.
+    /// Mean total loss per epoch (always finite; see
+    /// [`ResilienceReport::skipped_epochs`]).
     pub epoch_losses: Vec<f32>,
     /// Wall-clock training time in seconds.
     pub train_seconds: f64,
@@ -47,6 +61,8 @@ pub struct TrainReport {
     /// Reference mean similarity of purely random draws — Table 8's
     /// denominator.
     pub mean_random_similarity: f32,
+    /// What the divergence guard and checkpointing machinery did.
+    pub resilience: ResilienceReport,
 }
 
 /// Evaluation result.
@@ -58,37 +74,147 @@ pub struct EvalReport {
     pub test_seconds: f64,
     /// Number of test windows evaluated.
     pub windows: usize,
+    /// Aggregated input sanitization summary over all test windows (clean
+    /// inputs report zeros).
+    pub quality: DataQuality,
 }
 
-/// Trains an STSM variant on a problem instance.
-pub fn train_stsm(problem: &ProblemInstance, cfg: &StsmConfig) -> (TrainedStsm, TrainReport) {
+/// Derives epoch `epoch`'s RNG from the config seed. SplitMix64-style
+/// mixing keeps distinct epochs decorrelated while making each epoch's
+/// stream a pure function of `(seed, epoch)` — the foundation of
+/// checkpoint-resume bit-identity.
+fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+    let mut z = seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Divergence-guard running state (the part that crosses epoch boundaries).
+struct GuardState {
+    ema: f32,
+    ema_count: u64,
+}
+
+impl GuardState {
+    fn new() -> Self {
+        GuardState { ema: 0.0, ema_count: 0 }
+    }
+
+    fn restore(&mut self, snap: &GuardSnapshot) {
+        self.ema = snap.ema;
+        self.ema_count = snap.ema_count;
+    }
+
+    /// True when `loss` is a spike relative to the warmed-up EMA.
+    fn is_spike(&self, loss: f32, guard: &GuardConfig) -> bool {
+        self.ema_count >= guard.warmup_batches
+            && self.ema > 0.0
+            && loss > guard.spike_factor * self.ema
+    }
+
+    /// Folds a good batch's loss into the EMA.
+    fn observe(&mut self, loss: f32) {
+        self.ema = if self.ema_count == 0 { loss } else { 0.9 * self.ema + 0.1 * loss };
+        self.ema_count += 1;
+    }
+
+    fn snapshot(&self, resilience: &ResilienceReport) -> GuardSnapshot {
+        GuardSnapshot {
+            ema: self.ema,
+            ema_count: self.ema_count,
+            skipped_batches: resilience.skipped_batches,
+            rollbacks: resilience.rollbacks,
+            skipped_epochs: resilience.skipped_epochs.clone(),
+        }
+    }
+}
+
+/// Trains an STSM variant on a problem instance (no checkpointing).
+pub fn train_stsm(
+    problem: &ProblemInstance,
+    cfg: &StsmConfig,
+) -> Result<(TrainedStsm, TrainReport), StsmError> {
+    train_stsm_with(problem, cfg, &TrainOptions::default())
+}
+
+/// Trains an STSM variant with checkpoint/resume control. See
+/// [`TrainOptions`]; `train_stsm` is the no-checkpointing shorthand.
+pub fn train_stsm_with(
+    problem: &ProblemInstance,
+    cfg: &StsmConfig,
+    opts: &TrainOptions,
+) -> Result<(TrainedStsm, TrainReport), StsmError> {
     cfg.validate();
     let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let observed = problem.observed.clone();
     let n_obs = observed.len();
-    assert!(n_obs >= 4, "need at least 4 observed locations");
+    if n_obs < 4 {
+        return Err(StsmError::TooFewObserved { got: n_obs, needed: 4 });
+    }
+    // Training windows (input + target inside the training period).
+    let span = problem.train_time.len();
+    let windows: Vec<WindowIndex> = sliding_windows(span, cfg.t_in, cfg.t_out, 1);
+    if windows.is_empty() {
+        return Err(StsmError::TrainingPeriodTooShort { span, needed: cfg.t_in + cfg.t_out });
+    }
     let mut store = ParamStore::new();
     let model = StModel::new(&mut store, cfg);
     // Mild weight decay fights overfitting to the observed region (the
     // model must transfer to locations it never sees ground truth for).
     let mut opt = Adam::new(cfg.lr).with_weight_decay(1e-4);
+
+    // Resume state (or fresh defaults).
+    let fingerprint =
+        config_fingerprint(&serde_json::to_string(cfg).expect("config serialization cannot fail"));
+    let mut start_epoch = 0usize;
+    let mut lr_scale = 1.0f32;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut sim_used = 0.0f32;
+    let mut sim_random = 0.0f32;
+    let mut guard_state = GuardState::new();
+    let mut resilience = ResilienceReport { lr_scale: 1.0, ..ResilienceReport::default() };
+    if opts.resume {
+        if let Some(path) = &opts.checkpoint_path {
+            if path.exists() {
+                let ck = TrainCheckpoint::load(path)?;
+                if ck.config_fingerprint != fingerprint {
+                    return Err(CheckpointError::ConfigMismatch.into());
+                }
+                store.load_from(&ck.params)?;
+                opt.load_state(ck.adam, &store)
+                    .map_err(|e| StsmError::Checkpoint(CheckpointError::Malformed(e)))?;
+                start_epoch = ck.epochs_done;
+                lr_scale = ck.lr_scale;
+                epoch_losses = ck.epoch_losses;
+                sim_used = ck.sim_used;
+                sim_random = ck.sim_random;
+                guard_state.restore(&ck.guard);
+                resilience.skipped_batches = ck.guard.skipped_batches;
+                resilience.rollbacks = ck.guard.rollbacks;
+                resilience.skipped_epochs = ck.guard.skipped_epochs;
+                resilience.resumed_from_epoch = Some(start_epoch);
+            }
+        }
+    }
+
     // Static assets.
     let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
         &problem.spatial_adjacency(&observed, cfg.epsilon_s),
     )));
     let masking = MaskingContext::new(problem, cfg.epsilon_sg, cfg.mask_ratio, cfg.top_k);
     let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
-    // Training windows (input + target inside the training period).
-    let span = problem.train_time.len();
-    let windows: Vec<WindowIndex> = sliding_windows(span, cfg.t_in, cfg.t_out, 1);
-    assert!(!windows.is_empty(), "training period too short for T + T'");
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut sim_used = 0.0f32;
-    let mut sim_random = 0.0f32;
-    for epoch in 0..cfg.epochs {
-        // Geometric learning-rate decay.
-        opt.set_lr(cfg.lr * 0.92f32.powi(epoch as i32));
+
+    // Rollback target: parameters + optimizer state at the last epoch
+    // boundary (initially the freshly-initialized or resumed state).
+    let mut snap_params = store.clone();
+    let mut snap_adam = opt.state();
+
+    let end_epoch = opts.stop_after_epoch.map_or(cfg.epochs, |m| m.min(cfg.epochs));
+    for epoch in start_epoch..end_epoch {
+        let mut rng = epoch_rng(cfg.seed, epoch);
+        // Geometric learning-rate decay, scaled by any guard backoff.
+        opt.set_lr(cfg.lr * 0.92f32.powi(epoch as i32) * lr_scale);
         // 1. Draw this epoch's mask.
         let masked = match cfg.masking {
             MaskingMode::Selective => masking.draw_selective(&mut rng),
@@ -113,16 +239,16 @@ pub fn train_stsm(problem: &ProblemInstance, cfg: &StsmConfig) -> (TrainedStsm, 
         order.truncate(cfg.windows_per_epoch.max(cfg.batch_windows));
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
+        let mut consecutive_bad = 0u32;
         for chunk in order.chunks(cfg.batch_windows) {
             if chunk.len() < 2 && cfg.contrastive {
                 continue; // contrastive batches need at least 2 windows
             }
-            let loss = train_batch(
+            let (loss_v, mut grads) = batch_loss_and_grads(
                 problem,
                 cfg,
                 &model,
-                &mut store,
-                &mut opt,
+                &store,
                 &masked_locals,
                 &unmasked_globals,
                 &pw,
@@ -132,30 +258,89 @@ pub fn train_stsm(problem: &ProblemInstance, cfg: &StsmConfig) -> (TrainedStsm, 
                 chunk,
                 &observed,
             );
-            epoch_loss += loss;
+            let norm = clip_grad_norm(&mut grads, 5.0);
+            let bad = cfg.guard.enabled
+                && (!loss_v.is_finite()
+                    || !norm.is_finite()
+                    || guard_state.is_spike(loss_v, &cfg.guard));
+            if bad {
+                resilience.skipped_batches += 1;
+                consecutive_bad += 1;
+                if consecutive_bad >= cfg.guard.max_consecutive_bad {
+                    consecutive_bad = 0;
+                    if resilience.rollbacks < cfg.guard.max_rollbacks {
+                        // Roll back to the last epoch boundary with a
+                        // backed-off learning rate. Stepped gradients are
+                        // norm-bounded, so the snapshot state is always
+                        // finite and loadable.
+                        store.load_from(&snap_params).expect("snapshot layout matches");
+                        opt.load_state(snap_adam.clone(), &store).expect("snapshot state valid");
+                        lr_scale *= cfg.guard.lr_backoff;
+                        opt.set_lr(cfg.lr * 0.92f32.powi(epoch as i32) * lr_scale);
+                        resilience.rollbacks += 1;
+                    }
+                }
+                continue;
+            }
+            consecutive_bad = 0;
+            guard_state.observe(loss_v);
+            opt.step(&mut store, &grads);
+            epoch_loss += loss_v;
             batches += 1;
         }
-        epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { f32::NAN });
+        if batches > 0 {
+            epoch_losses.push(epoch_loss / batches as f32);
+        } else {
+            // No usable batch this epoch: keep the loss series finite by
+            // repeating the last finite loss and record the skip explicitly
+            // (this also covers the old zero-batch NaN case).
+            let prev = epoch_losses.iter().rev().copied().find(|l| l.is_finite()).unwrap_or(0.0);
+            epoch_losses.push(prev);
+            resilience.skipped_epochs.push(epoch);
+        }
+        // Refresh the rollback target at the epoch boundary.
+        snap_params = store.clone();
+        snap_adam = opt.state();
+        // Persist the boundary if checkpointing is on.
+        if let Some(path) = &opts.checkpoint_path {
+            let every = opts.checkpoint_every.max(1);
+            if (epoch + 1) % every == 0 || epoch + 1 == end_epoch {
+                let ck = TrainCheckpoint {
+                    config_fingerprint: fingerprint,
+                    epochs_done: epoch + 1,
+                    lr_scale,
+                    sim_used,
+                    sim_random,
+                    epoch_losses: epoch_losses.clone(),
+                    guard: guard_state.snapshot(&resilience),
+                    params: snap_params.clone(),
+                    adam: snap_adam.clone(),
+                };
+                ck.save_atomic(path)?;
+                resilience.checkpoints_written += 1;
+            }
+        }
     }
+    resilience.lr_scale = lr_scale;
     let report = TrainReport {
         epoch_losses,
         train_seconds: start.elapsed().as_secs_f64(),
         mean_masked_similarity: sim_used / cfg.epochs.max(1) as f32,
         mean_random_similarity: sim_random / cfg.epochs.max(1) as f32,
+        resilience,
     };
-    (TrainedStsm { cfg: cfg.clone(), store, model }, report)
+    Ok((TrainedStsm { cfg: cfg.clone(), store, model }, report))
 }
 
-/// Runs one optimizer step over a batch of windows; returns the batch loss.
-/// The tape (and with it the immutable parameter borrow) is dropped before
-/// the optimizer mutates the store.
+/// Computes the batch loss and raw parameter gradients *without* stepping —
+/// the divergence guard decides whether the step happens. The tape (and
+/// with it the immutable parameter borrow) is dropped before returning.
 #[allow(clippy::too_many_arguments)]
-fn train_batch(
+fn batch_loss_and_grads(
     problem: &ProblemInstance,
     cfg: &StsmConfig,
     model: &StModel,
-    store: &mut ParamStore,
-    opt: &mut Adam,
+    store: &ParamStore,
     masked_locals: &[usize],
     unmasked_globals: &[usize],
     pseudo_weights: &[f32],
@@ -164,59 +349,54 @@ fn train_batch(
     windows: &[WindowIndex],
     chunk: &[usize],
     observed: &[usize],
-) -> f32 {
-    let (loss_v, mut grads) = {
-        let tape = Tape::new();
-        let mut binder = ParamBinder::new(&tape);
-        let mut fwd = Fwd::new(store, &mut binder);
-        let spd = problem.steps_per_day();
-        let mut pred_losses: Vec<Var> = Vec::with_capacity(chunk.len());
-        let mut z_orig: Vec<Var> = Vec::with_capacity(chunk.len());
-        let mut z_masked: Vec<Var> = Vec::with_capacity(chunk.len());
-        for &wi in chunk {
-            let w = windows[wi];
-            let abs_start = problem.train_time.start + w.input_start;
-            let x_full = gather_window(problem, observed, abs_start, cfg.t_in);
-            let x_masked = mask_window(
-                &x_full,
-                masked_locals,
-                unmasked_globals,
-                pseudo_weights,
-                problem,
-                abs_start,
-                cfg.t_in,
-                cfg.pseudo_observations,
-            );
-            let y = gather_window(problem, observed, abs_start + cfg.t_in, cfg.t_out);
-            let tf = StModel::time_features(abs_start, cfg.t_in, spd);
-            let out_m: ForwardOutput = model.forward(&mut fwd, &x_masked, &tf, a_s, a_dtw);
-            let lp = fwd.tape().mse_loss(out_m.prediction, &y);
-            pred_losses.push(lp);
-            if cfg.contrastive {
-                let out_f = model.forward(&mut fwd, &x_full, &tf, a_s, a_dtw);
-                z_orig.push(out_f.graph_repr);
-                z_masked.push(out_m.graph_repr);
-            }
+) -> (f32, Vec<(stsm_tensor::ParamId, Tensor)>) {
+    let tape = Tape::new();
+    let mut binder = ParamBinder::new(&tape);
+    let mut fwd = Fwd::new(store, &mut binder);
+    let spd = problem.steps_per_day();
+    let mut pred_losses: Vec<Var> = Vec::with_capacity(chunk.len());
+    let mut z_orig: Vec<Var> = Vec::with_capacity(chunk.len());
+    let mut z_masked: Vec<Var> = Vec::with_capacity(chunk.len());
+    for &wi in chunk {
+        let w = windows[wi];
+        let abs_start = problem.train_time.start + w.input_start;
+        let x_full = gather_window(problem, observed, abs_start, cfg.t_in);
+        let x_masked = mask_window(
+            &x_full,
+            masked_locals,
+            unmasked_globals,
+            pseudo_weights,
+            problem,
+            abs_start,
+            cfg.t_in,
+            cfg.pseudo_observations,
+        );
+        let y = gather_window(problem, observed, abs_start + cfg.t_in, cfg.t_out);
+        let tf = StModel::time_features(abs_start, cfg.t_in, spd);
+        let out_m: ForwardOutput = model.forward(&mut fwd, &x_masked, &tf, a_s, a_dtw);
+        let lp = fwd.tape().mse_loss(out_m.prediction, &y);
+        pred_losses.push(lp);
+        if cfg.contrastive {
+            let out_f = model.forward(&mut fwd, &x_full, &tf, a_s, a_dtw);
+            z_orig.push(out_f.graph_repr);
+            z_masked.push(out_m.graph_repr);
         }
-        // Mean prediction loss over the batch.
-        let mut loss = pred_losses[0];
-        for &l in &pred_losses[1..] {
-            loss = tape.add(loss, l);
-        }
-        loss = tape.mul_scalar(loss, 1.0 / pred_losses.len() as f32);
-        if cfg.contrastive && z_orig.len() >= 2 {
-            let zo = tape.concat(&z_orig, 0);
-            let zm = tape.concat(&z_masked, 0);
-            let lcl = nt_xent(&tape, zo, zm, cfg.tau);
-            let lcl = tape.mul_scalar(lcl, cfg.lambda);
-            loss = tape.add(loss, lcl);
-        }
-        tape.backward(loss);
-        (tape.value(loss).item(), binder.grads())
-    };
-    clip_grad_norm(&mut grads, 5.0);
-    opt.step(store, &grads);
-    loss_v
+    }
+    // Mean prediction loss over the batch.
+    let mut loss = pred_losses[0];
+    for &l in &pred_losses[1..] {
+        loss = tape.add(loss, l);
+    }
+    loss = tape.mul_scalar(loss, 1.0 / pred_losses.len() as f32);
+    if cfg.contrastive && z_orig.len() >= 2 {
+        let zo = tape.concat(&z_orig, 0);
+        let zm = tape.concat(&z_masked, 0);
+        let lcl = nt_xent(&tape, zo, zm, cfg.tau);
+        let lcl = tape.mul_scalar(lcl, cfg.lambda);
+        loss = tape.add(loss, lcl);
+    }
+    tape.backward(loss);
+    (tape.value(loss).item(), binder.grads())
 }
 
 /// Gathers a `(rows, T, 1)` window of scaled values for the given global
@@ -231,6 +411,7 @@ fn gather_window(problem: &ProblemInstance, globals: &[usize], start: usize, len
 
 /// Replaces masked rows of a `(N_o, T, 1)` window with pseudo-observations
 /// blended from the unmasked locations (Eq. 3).
+#[allow(clippy::too_many_arguments)]
 fn mask_window(
     x_full: &Tensor,
     masked_locals: &[usize],
@@ -280,14 +461,19 @@ impl TrainedStsm {
     }
 
     /// Restores a trained model from [`TrainedStsm::to_json`] output.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+    ///
+    /// The persisted parameters are validated against the architecture the
+    /// persisted config declares: mismatched parameter counts, names or
+    /// shapes are rejected with [`StsmError::ParamLayout`] instead of
+    /// silently copying or panicking.
+    pub fn from_json(json: &str) -> Result<Self, StsmError> {
         let v: serde_json::Value = serde_json::from_str(json)?;
         let cfg: StsmConfig = serde_json::from_value(v["config"].clone())?;
         let store = ParamStore::from_json(&v["params"].to_string())?;
         // Rebuild the architecture, then overwrite with the trained weights.
         let mut fresh = ParamStore::new();
         let model = StModel::new(&mut fresh, &cfg);
-        fresh.load_from(&store);
+        fresh.load_from(&store)?;
         Ok(TrainedStsm { cfg, store: fresh, model })
     }
 }
@@ -296,20 +482,30 @@ impl TrainedStsm {
 ///
 /// Inference runs tape-free through a bind-once [`crate::Predictor`]: the
 /// parameters are bound to the Infer session a single time and every test
-/// window reuses the same workspace.
-pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalReport {
+/// window reuses the same workspace. Each window's input is scanned for
+/// non-finite readings and sanitized if needed; the aggregated
+/// [`DataQuality`] lands in the report (all zeros for clean data, in which
+/// case the forecasts are bitwise identical to unsanitized evaluation).
+pub fn evaluate_stsm(
+    trained: &TrainedStsm,
+    problem: &ProblemInstance,
+) -> Result<EvalReport, StsmError> {
     let cfg = &trained.cfg;
     let start = Instant::now();
     let mut predictor = crate::Predictor::new(trained, problem);
     // Non-overlapping windows across the test period.
     let span = problem.test_time.len();
     let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
-    assert!(!windows.is_empty(), "test period too short for T + T'");
+    if windows.is_empty() {
+        return Err(StsmError::TestPeriodTooShort { span, needed: cfg.t_in + cfg.t_out });
+    }
     let mut preds = Vec::new();
     let mut truths = Vec::new();
+    let mut quality = DataQuality::default();
     for w in &windows {
         let abs_start = problem.test_time.start + w.input_start;
-        let pred = predictor.predict_window(problem, abs_start);
+        let (pred, wq) = predictor.predict_window_checked(problem, abs_start);
+        quality.merge(&wq);
         let target_start = abs_start + cfg.t_in;
         for &u in &problem.unobserved {
             for p in 0..cfg.t_out {
@@ -319,7 +515,12 @@ pub fn evaluate_stsm(trained: &TrainedStsm, problem: &ProblemInstance) -> EvalRe
         }
     }
     let metrics = Metrics::compute(&preds, &truths);
-    EvalReport { metrics, test_seconds: start.elapsed().as_secs_f64(), windows: windows.len() }
+    Ok(EvalReport {
+        metrics,
+        test_seconds: start.elapsed().as_secs_f64(),
+        windows: windows.len(),
+        quality,
+    })
 }
 
 /// A naive "historical average by time of day" baseline used in tests to
@@ -331,8 +532,11 @@ pub fn historical_average_metrics(problem: &ProblemInstance) -> Metrics {
     let mut tod_cnt = vec![0usize; spd];
     for &g in &problem.observed {
         for t in problem.train_time.clone() {
-            tod_sum[t % spd] += problem.dataset.value(g, t) as f64;
-            tod_cnt[t % spd] += 1;
+            let v = problem.dataset.value(g, t);
+            if v.is_finite() {
+                tod_sum[t % spd] += v as f64;
+                tod_cnt[t % spd] += 1;
+            }
         }
     }
     let tod_mean: Vec<f32> = tod_sum
@@ -395,23 +599,25 @@ mod tests {
     fn training_reduces_loss() {
         let p = tiny_problem(21);
         let cfg = tiny_cfg();
-        let (_, report) = train_stsm(&p, &cfg);
+        let (_, report) = train_stsm(&p, &cfg).expect("trains");
         assert_eq!(report.epoch_losses.len(), 4);
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < first, "loss should drop: {first} -> {last}");
         assert!(report.train_seconds > 0.0);
+        assert!(report.resilience.is_clean(), "clean data must not trip the guard");
     }
 
     #[test]
     fn evaluation_produces_finite_metrics() {
         let p = tiny_problem(22);
         let cfg = tiny_cfg();
-        let (trained, _) = train_stsm(&p, &cfg);
-        let eval = evaluate_stsm(&trained, &p);
+        let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+        let eval = evaluate_stsm(&trained, &p).expect("evaluates");
         assert!(eval.metrics.rmse.is_finite() && eval.metrics.rmse > 0.0);
         assert!(eval.metrics.mae <= eval.metrics.rmse);
         assert!(eval.windows >= 1);
+        assert!(eval.quality.is_clean(), "synthetic data is clean");
     }
 
     #[test]
@@ -419,8 +625,8 @@ mod tests {
         let p = tiny_problem(23);
         for v in [Variant::StsmRnc, Variant::StsmNc, Variant::StsmR, Variant::StsmTrans] {
             let cfg = tiny_cfg().with_variant(v);
-            let (trained, _) = train_stsm(&p, &cfg);
-            let eval = evaluate_stsm(&trained, &p);
+            let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+            let eval = evaluate_stsm(&trained, &p).expect("evaluates");
             assert!(eval.metrics.rmse.is_finite(), "{} produced NaN", v.name());
         }
     }
@@ -429,23 +635,58 @@ mod tests {
     fn serialization_roundtrip_preserves_predictions() {
         let p = tiny_problem(24);
         let cfg = tiny_cfg();
-        let (trained, _) = train_stsm(&p, &cfg);
+        let (trained, _) = train_stsm(&p, &cfg).expect("trains");
         let json = trained.to_json();
         let restored = TrainedStsm::from_json(&json).expect("roundtrip");
-        let e1 = evaluate_stsm(&trained, &p);
-        let e2 = evaluate_stsm(&restored, &p);
+        let e1 = evaluate_stsm(&trained, &p).expect("evaluates");
+        let e2 = evaluate_stsm(&restored, &p).expect("evaluates");
         assert!((e1.metrics.rmse - e2.metrics.rmse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_rejects_mismatched_architectures() {
+        let p = tiny_problem(27);
+        let cfg = tiny_cfg();
+        let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+        // Rewrite the persisted config to declare a wider model than the
+        // persisted parameters actually are.
+        let json = trained.to_json().replace("\"hidden\":8", "\"hidden\":16");
+        match TrainedStsm::from_json(&json) {
+            Err(StsmError::ParamLayout(e)) => {
+                assert!(!e.to_string().is_empty());
+            }
+            other => panic!("expected ParamLayout error, got {:?}", other.err()),
+        }
+        // Garbage is a serde error, not a panic.
+        assert!(matches!(TrainedStsm::from_json("{not json"), Err(StsmError::Serde(_))));
+    }
+
+    #[test]
+    fn short_periods_and_few_sensors_are_typed_errors() {
+        let p = tiny_problem(28);
+        let mut cfg = tiny_cfg();
+        cfg.t_in = 200;
+        cfg.t_out = 200;
+        match train_stsm(&p, &cfg) {
+            Err(StsmError::TrainingPeriodTooShort { needed, .. }) => assert_eq!(needed, 400),
+            other => panic!("expected TrainingPeriodTooShort, got {:?}", other.err()),
+        }
+        let (trained, _) = train_stsm(&p, &tiny_cfg()).expect("trains");
+        let mut wide = trained;
+        wide.cfg.t_in = 100;
+        wide.cfg.t_out = 100;
+        assert!(matches!(evaluate_stsm(&wide, &p), Err(StsmError::TestPeriodTooShort { .. })));
     }
 
     #[test]
     fn determinism_under_fixed_seed() {
         let p = tiny_problem(25);
         let cfg = tiny_cfg();
-        let (t1, r1) = train_stsm(&p, &cfg);
-        let (t2, r2) = train_stsm(&p, &cfg);
+        let (t1, r1) = train_stsm(&p, &cfg).expect("trains");
+        let (t2, r2) = train_stsm(&p, &cfg).expect("trains");
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
-        let e1 = evaluate_stsm(&t1, &p);
-        let e2 = evaluate_stsm(&t2, &p);
+        let e1 = evaluate_stsm(&t1, &p).expect("evaluates");
+        let e2 = evaluate_stsm(&t2, &p).expect("evaluates");
         assert_eq!(e1.metrics.rmse, e2.metrics.rmse);
     }
 
@@ -457,8 +698,8 @@ mod tests {
         let mut cfg = tiny_cfg();
         cfg.epochs = 8;
         cfg.windows_per_epoch = 16;
-        let (trained, _) = train_stsm(&p, &cfg);
-        let eval = evaluate_stsm(&trained, &p);
+        let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+        let eval = evaluate_stsm(&trained, &p).expect("evaluates");
         let ha = historical_average_metrics(&p);
         assert!(
             eval.metrics.rmse < ha.rmse * 1.5,

@@ -119,7 +119,7 @@ fn predictor_matches_predict_once_across_windows() {
     // fresh per-window `predict_once` calls over the whole test period.
     let problem = tiny_problem(56);
     let cfg = tiny_cfg();
-    let (trained, _) = stsm_core::train_stsm(&problem, &cfg);
+    let (trained, _) = stsm_core::train_stsm(&problem, &cfg).expect("trains");
     let (a_s, a_dtw, _) = test_assets(&problem, &trained.cfg);
     let mut predictor = Predictor::new(&trained, &problem);
     let windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);

@@ -46,7 +46,7 @@ fn epoch_loss_bits(pool_on: bool, threads: usize) -> Vec<u32> {
         alloc::with_pool(pool_on, || {
             let p = tiny_problem(77);
             let cfg = tiny_cfg();
-            let (_, report) = train_stsm(&p, &cfg);
+            let (_, report) = train_stsm(&p, &cfg).expect("trains");
             report.epoch_losses.iter().map(|l| l.to_bits()).collect()
         })
     })

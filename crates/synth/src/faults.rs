@@ -1,0 +1,199 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Real deployments of the paper's setting (sensing-poor regions) see
+//! corruption *inside* the observed region too: sensors report NaN, drop out
+//! for whole windows, or spike to physically impossible values. A
+//! [`FaultPlan`] applies exactly those three fault kinds to a [`Dataset`]
+//! copy, seeded so the corruption is bit-reproducible — the resilience test
+//! suites in `stsm-core` rely on replaying identical corruption across runs.
+//!
+//! Faults are applied in three deterministic phases (point NaNs, dropout
+//! windows, spikes), each driven by its own RNG derived from the plan seed,
+//! so enabling one fault kind never shifts the corruption pattern of another.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// A seeded description of sensor faults to inject into a [`Dataset`].
+///
+/// All rates are per-reading probabilities in `[0, 1]`. The plan only
+/// touches sensors in `sensors` (all sensors when `None`) and time steps in
+/// `time_range` (the full horizon when `None`); everything outside stays
+/// bitwise untouched, which lets tests corrupt the training period while
+/// keeping evaluation targets clean.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; identical plans produce identical corruption.
+    pub seed: u64,
+    /// Probability that a reading is replaced by NaN.
+    pub nan_rate: f64,
+    /// Number of contiguous dropout windows (sensor goes silent).
+    pub dropout_windows: usize,
+    /// Length of each dropout window in time steps.
+    pub dropout_len: usize,
+    /// Probability that a reading is multiplied into a spike.
+    pub spike_rate: f64,
+    /// Spike magnitude: a spiked reading `v` becomes `v * s + s`.
+    pub spike_scale: f32,
+    /// Restrict faults to these sensor indices (`None` = all).
+    pub sensors: Option<Vec<usize>>,
+    /// Restrict faults to this time range (`None` = full horizon).
+    pub time_range: Option<Range<usize>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            nan_rate: 0.0,
+            dropout_windows: 0,
+            dropout_len: 0,
+            spike_rate: 0.0,
+            spike_scale: 1e4,
+            sensors: None,
+            time_range: None,
+        }
+    }
+}
+
+/// What a [`FaultPlan::apply`] call actually corrupted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Readings replaced by NaN in the point-NaN phase.
+    pub nan_readings: usize,
+    /// Readings silenced (set to NaN) by dropout windows.
+    pub dropped_readings: usize,
+    /// Readings turned into value spikes.
+    pub spiked_readings: usize,
+    /// Sorted, de-duplicated indices of sensors that received any fault.
+    pub affected_sensors: Vec<usize>,
+}
+
+impl FaultLog {
+    /// Total number of corrupted readings.
+    pub fn total(&self) -> usize {
+        self.nan_readings + self.dropped_readings + self.spiked_readings
+    }
+}
+
+impl FaultPlan {
+    /// Applies the plan to a copy of `data`, returning the corrupted dataset
+    /// and a log of what was injected. The input is never modified.
+    pub fn apply(&self, data: &Dataset) -> (Dataset, FaultLog) {
+        let mut out = data.clone();
+        let log = self.apply_in_place(&mut out);
+        (out, log)
+    }
+
+    fn apply_in_place(&self, data: &mut Dataset) -> FaultLog {
+        let t_total = data.t_total;
+        let targets: Vec<usize> = match &self.sensors {
+            Some(s) => {
+                for &i in s {
+                    assert!(i < data.n, "fault plan targets sensor {i} but dataset has {}", data.n);
+                }
+                s.clone()
+            }
+            None => (0..data.n).collect(),
+        };
+        let range = match &self.time_range {
+            Some(r) => r.start.min(t_total)..r.end.min(t_total),
+            None => 0..t_total,
+        };
+        let mut log = FaultLog::default();
+        let mut touched = vec![false; data.n];
+        if targets.is_empty() || range.is_empty() {
+            return log;
+        }
+
+        // Phase 1: point NaNs.
+        if self.nan_rate > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4e61_4e21);
+            for &s in &targets {
+                for t in range.clone() {
+                    if (rng.random::<f64>()) < self.nan_rate {
+                        data.values[s * t_total + t] = f32::NAN;
+                        log.nan_readings += 1;
+                        touched[s] = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: dropout windows (sensor silent for `dropout_len` steps).
+        if self.dropout_windows > 0 && self.dropout_len > 0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xd20b_0066);
+            let len = self.dropout_len.min(range.len());
+            for _ in 0..self.dropout_windows {
+                let s = targets[rng.random_range(0..targets.len())];
+                let start = range.start + rng.random_range(0..range.len() - len + 1);
+                for t in start..start + len {
+                    let v = &mut data.values[s * t_total + t];
+                    if !v.is_nan() {
+                        log.dropped_readings += 1;
+                    }
+                    *v = f32::NAN;
+                }
+                touched[s] = true;
+            }
+        }
+
+        // Phase 3: value spikes (kept finite, but far outside signal range).
+        if self.spike_rate > 0.0 {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5717_4b35);
+            for &s in &targets {
+                for t in range.clone() {
+                    if (rng.random::<f64>()) < self.spike_rate {
+                        let v = &mut data.values[s * t_total + t];
+                        if v.is_finite() {
+                            *v = *v * self.spike_scale + self.spike_scale;
+                            log.spiked_readings += 1;
+                            touched[s] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        log.affected_sensors = touched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &hit)| if hit { Some(i) } else { None })
+            .collect();
+        data.name = format!("{}~faults", data.name);
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::network::NetworkKind;
+    use crate::signal::SignalKind;
+
+    #[test]
+    fn empty_plan_is_identity_on_values() {
+        let d = DatasetConfig {
+            name: "tiny".into(),
+            network: NetworkKind::Highway,
+            sensors: 8,
+            extent: 8_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 2,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 3_000.0,
+            poi_radius: 300.0,
+            seed: 5,
+        }
+        .generate();
+        let (f, log) = FaultPlan::default().apply(&d);
+        assert_eq!(log, FaultLog::default());
+        for (x, y) in f.values.iter().zip(&d.values) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -14,10 +14,13 @@
 //!
 //! Space-based splits (horizontal / vertical / ring / multi-region) and the
 //! 70/30 temporal split implement the paper's evaluation protocol (§5.1.1).
+//! Seeded fault injection ([`FaultPlan`]) corrupts a dataset copy with NaN
+//! readings, dropout windows and value spikes for the robustness suites.
 
 #![warn(missing_docs)]
 
 mod dataset;
+mod faults;
 mod field;
 mod io;
 mod network;
@@ -26,6 +29,7 @@ mod signal;
 mod splits;
 
 pub use dataset::{presets, Dataset, DatasetConfig};
+pub use faults::{FaultLog, FaultPlan};
 pub use field::{Archetype, LatentField, SmoothField, NUM_ARCHETYPES};
 pub use io::{dataset_from_json, dataset_to_json, export_values_csv};
 pub use network::{generate_network, NetworkKind, SensorNetwork};

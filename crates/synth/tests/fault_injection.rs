@@ -1,0 +1,133 @@
+//! Deterministic fault injection: same plan → bitwise-identical corruption,
+//! log counts that match the corrupted dataset, and scoping that never leaks
+//! outside the targeted sensors / time range. The resilience suites in
+//! `stsm-core` build on these guarantees.
+
+use stsm_synth::{Dataset, DatasetConfig, FaultPlan, NetworkKind, SignalKind};
+
+fn tiny() -> Dataset {
+    DatasetConfig {
+        name: "tiny".into(),
+        network: NetworkKind::Highway,
+        sensors: 12,
+        extent: 8_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 3,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed: 5,
+    }
+    .generate()
+}
+
+#[test]
+fn apply_is_deterministic_and_leaves_input_untouched() {
+    let d = tiny();
+    let before = d.values.clone();
+    let plan = FaultPlan {
+        seed: 9,
+        nan_rate: 0.05,
+        dropout_windows: 3,
+        dropout_len: 6,
+        spike_rate: 0.02,
+        ..FaultPlan::default()
+    };
+    let (a, la) = plan.apply(&d);
+    let (b, lb) = plan.apply(&d);
+    assert_eq!(d.values, before, "apply must not mutate its input");
+    assert_eq!(la, lb);
+    assert_eq!(a.values.len(), b.values.len());
+    for (x, y) in a.values.iter().zip(&b.values) {
+        assert_eq!(x.to_bits(), y.to_bits(), "same plan must corrupt identically");
+    }
+    assert!(la.total() > 0);
+}
+
+#[test]
+fn log_counts_match_dataset_contents() {
+    let d = tiny();
+    let plan = FaultPlan { seed: 3, nan_rate: 0.1, spike_rate: 0.05, ..FaultPlan::default() };
+    let (f, log) = plan.apply(&d);
+    let non_finite = f.values.iter().filter(|v| !v.is_finite()).count();
+    assert_eq!(non_finite, log.nan_readings + log.dropped_readings);
+    let spikes =
+        f.values.iter().filter(|v| v.is_finite() && v.abs() >= plan.spike_scale * 0.5).count();
+    assert_eq!(spikes, log.spiked_readings);
+    assert!(!log.affected_sensors.is_empty());
+    assert!(log.affected_sensors.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+}
+
+#[test]
+fn scoping_restricts_faults() {
+    let d = tiny();
+    let plan = FaultPlan {
+        seed: 7,
+        nan_rate: 0.3,
+        dropout_windows: 2,
+        dropout_len: 4,
+        spike_rate: 0.2,
+        sensors: Some(vec![1, 4]),
+        time_range: Some(10..30),
+        ..FaultPlan::default()
+    };
+    let (f, log) = plan.apply(&d);
+    assert!(log.affected_sensors.iter().all(|s| [1usize, 4].contains(s)));
+    for s in 0..d.n {
+        for t in 0..d.t_total {
+            if f.value(s, t).to_bits() != d.value(s, t).to_bits() {
+                assert!([1usize, 4].contains(&s), "sensor {s} outside scope changed");
+                assert!((10..30).contains(&t), "time {t} outside scope changed");
+            }
+        }
+    }
+}
+
+#[test]
+fn each_fault_kind_behaves_as_documented() {
+    let d = tiny();
+
+    // Point NaNs only.
+    let (f, log) = FaultPlan { seed: 11, nan_rate: 0.2, ..FaultPlan::default() }.apply(&d);
+    assert!(log.nan_readings > 0);
+    assert_eq!(log.dropped_readings + log.spiked_readings, 0);
+    assert_eq!(f.values.iter().filter(|v| v.is_nan()).count(), log.nan_readings);
+
+    // Dropout windows only: contiguous NaN runs of the requested length.
+    let (f, log) =
+        FaultPlan { seed: 11, dropout_windows: 2, dropout_len: 5, ..FaultPlan::default() }
+            .apply(&d);
+    assert!(log.dropped_readings > 0 && log.dropped_readings <= 2 * 5);
+    for &s in &log.affected_sensors {
+        let series = f.series(s);
+        let runs: Vec<usize> = nan_run_lengths(series);
+        assert!(runs.iter().all(|&r| r >= 1), "dropout must produce NaN runs");
+    }
+
+    // Spikes only: everything stays finite but the max blows up.
+    let (f, log) =
+        FaultPlan { seed: 11, spike_rate: 0.05, spike_scale: 1e4, ..FaultPlan::default() }
+            .apply(&d);
+    assert!(log.spiked_readings > 0);
+    assert!(f.values.iter().all(|v| v.is_finite()));
+    let max = f.values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    assert!(max >= 1e4 * 0.5, "spikes must leave the physical signal range, max={max}");
+}
+
+fn nan_run_lengths(series: &[f32]) -> Vec<usize> {
+    let mut runs = Vec::new();
+    let mut run = 0usize;
+    for v in series {
+        if v.is_nan() {
+            run += 1;
+        } else if run > 0 {
+            runs.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        runs.push(run);
+    }
+    runs
+}

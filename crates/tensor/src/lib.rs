@@ -53,7 +53,7 @@ mod tensor;
 pub use infer::InferSession;
 pub use kernels::{addmm, bmm, conv1d_dilated, log_softmax_lastdim, matmul, softmax_lastdim};
 pub use linmap::{DenseLinMap, LinMap};
-pub use params::{ParamBinder, ParamId, ParamStore};
+pub use params::{ParamBinder, ParamId, ParamLayoutError, ParamStore};
 pub use shape::Shape;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -12,6 +12,7 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts calls to [`clip_grad_norm`] that observed a non-finite global norm
@@ -179,6 +180,70 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Snapshot of the optimizer's mutable state (moments + step count) for
+    /// checkpointing. Hyper-parameters (lr, betas, eps, weight decay) are
+    /// configuration, not state — the restoring side re-creates them.
+    pub fn state(&self) -> AdamState {
+        AdamState { t: self.t, m: self.m.clone(), v: self.v.clone() }
+    }
+
+    /// Restores state captured by [`Adam::state`], after validating it
+    /// against the parameter store it will update. A subsequent training
+    /// step continues bit-identically to the run that took the snapshot.
+    pub fn load_state(&mut self, state: AdamState, store: &ParamStore) -> Result<(), String> {
+        state.validate(store)?;
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+        Ok(())
+    }
+}
+
+/// Serializable Adam state: first/second moments (dense, [`ParamId`]-indexed;
+/// empty slots mean "not yet touched") plus the bias-correction step count.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates per parameter.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment estimates per parameter.
+    pub v: Vec<Vec<f32>>,
+}
+
+impl AdamState {
+    /// Checks that the moment tables are consistent with `store`: no slot
+    /// beyond the store's parameter count, every non-empty slot sized like
+    /// its parameter, and all values finite.
+    pub fn validate(&self, store: &ParamStore) -> Result<(), String> {
+        for (label, table) in [("m", &self.m), ("v", &self.v)] {
+            if table.len() > store.len() {
+                return Err(format!(
+                    "adam {label}-table covers {} parameters but the store has {}",
+                    table.len(),
+                    store.len()
+                ));
+            }
+            for (i, slot) in table.iter().enumerate() {
+                if slot.is_empty() {
+                    continue;
+                }
+                let expected = store.get(crate::params::ParamId(i)).numel();
+                if slot.len() != expected {
+                    return Err(format!(
+                        "adam {label}[{i}] has {} scalars, parameter '{}' has {expected}",
+                        slot.len(),
+                        store.name(crate::params::ParamId(i))
+                    ));
+                }
+                if slot.iter().any(|x| !x.is_finite()) {
+                    return Err(format!("adam {label}[{i}] contains non-finite values"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {
@@ -295,6 +360,51 @@ mod tests {
         let mut small = vec![(ParamId(0), Tensor::from_vec([1], vec![0.5]))];
         clip_grad_norm(&mut small, 1.0);
         assert_eq!(small[0].1.data(), &[0.5]);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_identically() {
+        // Train A for 10 steps. Train B for 5 steps, snapshot, restore into a
+        // fresh optimizer, run 5 more — parameters must match A bit-for-bit.
+        let run = |split: Option<usize>| {
+            let mut store = ParamStore::new();
+            let w = store.register("w", Tensor::scalar(-5.0));
+            let mut opt = Adam::new(0.1);
+            for step in 0..10 {
+                if split == Some(step) {
+                    let state = opt.state();
+                    let mut fresh = Adam::new(0.1);
+                    fresh.load_state(state, &store).expect("valid state");
+                    opt = fresh;
+                }
+                quadratic_step(&mut opt, &mut store, w);
+            }
+            store.get(w).item()
+        };
+        let uninterrupted = run(None);
+        let resumed = run(Some(5));
+        assert_eq!(uninterrupted.to_bits(), resumed.to_bits());
+    }
+
+    #[test]
+    fn adam_state_validation_rejects_garbage() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::from_vec([2], vec![0.0, 0.0]));
+        let mut opt = Adam::new(0.1);
+
+        // Too many slots.
+        let bad = AdamState { t: 1, m: vec![vec![0.0; 2], vec![0.0; 2]], v: Vec::new() };
+        assert!(opt.load_state(bad, &store).is_err());
+        // Wrong slot size.
+        let bad = AdamState { t: 1, m: vec![vec![0.0; 3]], v: Vec::new() };
+        assert!(opt.load_state(bad, &store).is_err());
+        // Non-finite moments.
+        let bad = AdamState { t: 1, m: vec![vec![0.0, f32::NAN]], v: Vec::new() };
+        assert!(opt.load_state(bad, &store).is_err());
+        // A valid state loads.
+        let ok = AdamState { t: 3, m: vec![vec![0.1, 0.2]], v: vec![vec![0.3, 0.4]] };
+        opt.load_state(ok, &store).expect("consistent state");
+        assert_eq!(opt.steps(), 3);
     }
 
     #[test]

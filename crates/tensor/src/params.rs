@@ -11,19 +11,74 @@ use crate::tape::{Tape, Var};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Identifier of a parameter within a [`ParamStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ParamId(pub usize);
 
-#[derive(Serialize, Deserialize)]
+/// Why a parameter snapshot cannot be loaded into a store: the layouts
+/// (count, names or shapes) disagree. Produced by [`ParamStore::load_from`]
+/// and surfaced by checkpoint/restore paths instead of a panic, so a
+/// corrupted or mismatched snapshot is rejected cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamLayoutError {
+    /// The two stores hold different numbers of parameters.
+    CountMismatch {
+        /// Parameters in the destination store.
+        expected: usize,
+        /// Parameters in the snapshot.
+        got: usize,
+    },
+    /// Parameter `index` is named differently in the two stores.
+    NameMismatch {
+        /// Position of the conflicting parameter.
+        index: usize,
+        /// Name in the destination store.
+        expected: String,
+        /// Name in the snapshot.
+        got: String,
+    },
+    /// Parameter `name` has different shapes in the two stores.
+    ShapeMismatch {
+        /// Name of the conflicting parameter.
+        name: String,
+        /// Shape in the destination store.
+        expected: Vec<usize>,
+        /// Shape in the snapshot.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ParamLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamLayoutError::CountMismatch { expected, got } => {
+                write!(f, "parameter count mismatch: store has {expected}, snapshot has {got}")
+            }
+            ParamLayoutError::NameMismatch { index, expected, got } => {
+                write!(
+                    f,
+                    "parameter {index} name mismatch: store has '{expected}', snapshot has '{got}'"
+                )
+            }
+            ParamLayoutError::ShapeMismatch { name, expected, got } => {
+                write!(f, "parameter '{name}' shape mismatch: store has {expected:?}, snapshot has {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamLayoutError {}
+
+#[derive(Clone, Serialize, Deserialize)]
 struct ParamEntry {
     name: String,
     value: Tensor,
 }
 
 /// Owns all learnable tensors of a model.
-#[derive(Default, Serialize, Deserialize)]
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct ParamStore {
     entries: Vec<ParamEntry>,
 }
@@ -106,18 +161,33 @@ impl ParamStore {
     }
 
     /// Copies values from another store with identical layout (names/shapes).
-    pub fn load_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.len(), other.len(), "parameter count mismatch");
+    ///
+    /// The layout is validated in full *before* any value is copied, so a
+    /// mismatched snapshot leaves the destination store untouched.
+    pub fn load_from(&mut self, other: &ParamStore) -> Result<(), ParamLayoutError> {
+        if self.len() != other.len() {
+            return Err(ParamLayoutError::CountMismatch { expected: self.len(), got: other.len() });
+        }
         for i in 0..self.len() {
-            assert_eq!(self.entries[i].name, other.entries[i].name, "parameter name mismatch");
-            assert_eq!(
-                self.entries[i].value.shape(),
-                other.entries[i].value.shape(),
-                "parameter shape mismatch for {}",
-                self.entries[i].name
-            );
+            if self.entries[i].name != other.entries[i].name {
+                return Err(ParamLayoutError::NameMismatch {
+                    index: i,
+                    expected: self.entries[i].name.clone(),
+                    got: other.entries[i].name.clone(),
+                });
+            }
+            if self.entries[i].value.shape() != other.entries[i].value.shape() {
+                return Err(ParamLayoutError::ShapeMismatch {
+                    name: self.entries[i].name.clone(),
+                    expected: self.entries[i].value.shape().dims().to_vec(),
+                    got: other.entries[i].value.shape().dims().to_vec(),
+                });
+            }
+        }
+        for i in 0..self.len() {
             self.entries[i].value = other.entries[i].value.clone();
         }
+        Ok(())
     }
 }
 
@@ -217,7 +287,42 @@ mod tests {
         let w = a.register("w", Tensor::zeros([2]));
         let mut b = ParamStore::new();
         b.register("w", Tensor::from_vec([2], vec![5., 6.]));
-        a.load_from(&b);
+        a.load_from(&b).expect("identical layout");
         assert_eq!(a.get(w).data(), &[5., 6.]);
+    }
+
+    #[test]
+    fn load_from_rejects_mismatched_layouts() {
+        let mut a = ParamStore::new();
+        let w = a.register("w", Tensor::from_vec([2], vec![1., 2.]));
+        a.register("b", Tensor::zeros([3]));
+
+        // Count mismatch.
+        let mut short = ParamStore::new();
+        short.register("w", Tensor::zeros([2]));
+        assert_eq!(
+            a.clone().load_from(&short),
+            Err(ParamLayoutError::CountMismatch { expected: 2, got: 1 })
+        );
+
+        // Name mismatch.
+        let mut renamed = ParamStore::new();
+        renamed.register("w", Tensor::zeros([2]));
+        renamed.register("bias", Tensor::zeros([3]));
+        assert!(matches!(
+            a.clone().load_from(&renamed),
+            Err(ParamLayoutError::NameMismatch { index: 1, .. })
+        ));
+
+        // Shape mismatch — and the destination must be left untouched even
+        // though the first parameter matched.
+        let mut reshaped = ParamStore::new();
+        reshaped.register("w", Tensor::from_vec([2], vec![9., 9.]));
+        reshaped.register("b", Tensor::zeros([4]));
+        let mut target = a.clone();
+        let err = target.load_from(&reshaped).unwrap_err();
+        assert!(matches!(err, ParamLayoutError::ShapeMismatch { .. }));
+        assert!(err.to_string().contains('b'), "error should name the parameter: {err}");
+        assert_eq!(target.get(w).data(), &[1., 2.], "failed load must not copy anything");
     }
 }

@@ -47,8 +47,8 @@ fn main() {
         windows_per_epoch: 24,
         ..StsmConfig::default().for_dataset("AirQ")
     };
-    let (trained, report) = train_stsm(&problem, &cfg);
-    let eval = evaluate_stsm(&trained, &problem);
+    let (trained, report) = train_stsm(&problem, &cfg).expect("trains");
+    let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
     println!(
         "trained in {:.1}s | unmonitored-city PM2.5 forecast: {}",
         report.train_seconds, eval.metrics
@@ -58,7 +58,7 @@ fn main() {
     let json = trained.to_json();
     println!("serialized model: {:.1} KiB", json.len() as f64 / 1024.0);
     let restored = TrainedStsm::from_json(&json).expect("valid model JSON");
-    let eval2 = evaluate_stsm(&restored, &problem);
+    let eval2 = evaluate_stsm(&restored, &problem).expect("evaluates");
     assert_eq!(eval.metrics.rmse, eval2.metrics.rmse, "restore must preserve predictions");
     println!("restored model reproduces the forecast exactly (RMSE {:.3})", eval2.metrics.rmse);
 }

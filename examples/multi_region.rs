@@ -41,13 +41,13 @@ fn main() {
     // One contiguous unobserved region (the paper's setting) ...
     let single = space_split_ratio(&dataset.coords, SplitAxis::Vertical, false, 0.3);
     let p1 = ProblemInstance::new(dataset.clone(), single, DistanceMode::Euclidean);
-    let (m1, _) = train_stsm(&p1, &cfg);
-    let e1 = evaluate_stsm(&m1, &p1);
+    let (m1, _) = train_stsm(&p1, &cfg).expect("trains");
+    let e1 = evaluate_stsm(&m1, &p1).expect("evaluates");
     // ... vs two disjoint unobserved regions of the same total size.
     let double = multi_region_split(&dataset.coords, SplitAxis::Vertical, 2, 0.3);
     let p2 = ProblemInstance::new(dataset.clone(), double, DistanceMode::Euclidean);
-    let (m2, _) = train_stsm(&p2, &cfg);
-    let e2 = evaluate_stsm(&m2, &p2);
+    let (m2, _) = train_stsm(&p2, &cfg).expect("trains");
+    let e2 = evaluate_stsm(&m2, &p2).expect("evaluates");
     println!("single unobserved region : {}", e1.metrics);
     println!("two unobserved regions   : {}", e2.metrics);
     println!(

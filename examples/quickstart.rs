@@ -54,7 +54,7 @@ fn main() {
         top_k: 20,
         ..Default::default()
     };
-    let (trained, report) = train_stsm(&problem, &cfg);
+    let (trained, report) = train_stsm(&problem, &cfg).expect("trains");
     println!(
         "trained in {:.1}s; epoch losses: {:?}",
         report.train_seconds,
@@ -64,7 +64,7 @@ fn main() {
     // 4. Forecast the unobserved region over the held-out 30% of time and
     //    compare against the paper's strongest baseline (INCREASE) and the
     //    time-of-day climatology reference.
-    let eval = evaluate_stsm(&trained, &problem);
+    let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
     let increase = run_increase(
         &problem,
         &BaselineConfig {

@@ -55,10 +55,11 @@ fn main() {
             top_k: 25,
             ..Default::default()
         };
-        let (stsm, _) = train_stsm(&problem, &base_cfg);
-        let stsm_eval = evaluate_stsm(&stsm, &problem);
-        let (rnc, _) = train_stsm(&problem, &base_cfg.clone().with_variant(Variant::StsmRnc));
-        let rnc_eval = evaluate_stsm(&rnc, &problem);
+        let (stsm, _) = train_stsm(&problem, &base_cfg).expect("trains");
+        let stsm_eval = evaluate_stsm(&stsm, &problem).expect("evaluates");
+        let (rnc, _) =
+            train_stsm(&problem, &base_cfg.clone().with_variant(Variant::StsmRnc)).expect("trains");
+        let rnc_eval = evaluate_stsm(&rnc, &problem).expect("evaluates");
         println!(
             "| {:>10.2} | {:>13.3} | {:>9.3} | {:>13.3} |",
             ratio, increase.metrics.rmse, stsm_eval.metrics.rmse, rnc_eval.metrics.rmse

@@ -14,4 +14,9 @@ cargo test -q -p stsm-core --test pool_equivalence
 # "Execution modes"), likewise pinned by name.
 cargo test -q -p stsm-tensor --test infer_equivalence
 cargo test -q -p stsm-core --test infer_equivalence
+# Fault-tolerance contracts (DESIGN.md, "Fault tolerance"): kill-and-resume
+# bit-identity, checkpoint rejection, guard survival under injected faults,
+# degraded-input sanitization — pinned by name.
+cargo test -q -p stsm-synth --test fault_injection
+cargo test -q -p stsm-core --test resilience
 cargo clippy --all-targets -q -- -D warnings

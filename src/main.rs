@@ -10,8 +10,8 @@
 //! ```
 
 use stsm::core::{
-    evaluate_detailed, evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig,
-    TrainedStsm, Variant,
+    evaluate_detailed, evaluate_stsm, train_stsm_with, DistanceMode, ProblemInstance, StsmConfig,
+    TrainOptions, TrainedStsm, Variant,
 };
 use stsm::synth::{dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis};
 
@@ -101,12 +101,27 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         problem.n_observed(),
         problem.n_unobserved()
     );
-    let (trained, report) = train_stsm(&problem, &cfg);
+    // STSM_CHECKPOINT_PATH / STSM_CHECKPOINT_EVERY / STSM_RESUME control
+    // epoch-boundary snapshots and crash recovery.
+    let opts = TrainOptions::from_env();
+    let (trained, report) = train_stsm_with(&problem, &cfg, &opts).map_err(|e| e.to_string())?;
     println!(
         "done in {:.1}s; final epoch loss {:.4}",
         report.train_seconds,
         report.epoch_losses.last().copied().unwrap_or(f32::NAN)
     );
+    if let Some(epoch) = report.resilience.resumed_from_epoch {
+        println!("resumed from checkpoint at epoch {epoch}");
+    }
+    if !report.resilience.is_clean() {
+        println!(
+            "divergence guard: {} skipped batches, {} rollbacks, {} skipped epochs (lr scale {:.3})",
+            report.resilience.skipped_batches,
+            report.resilience.rollbacks,
+            report.resilience.skipped_epochs.len(),
+            report.resilience.lr_scale
+        );
+    }
     std::fs::write(&out, trained.to_json()).map_err(|e| e.to_string())?;
     println!("wrote {out}");
     Ok(())
@@ -118,7 +133,7 @@ fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), String> {
     let json = std::fs::read_to_string(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
     let trained = TrainedStsm::from_json(&json).map_err(|e| e.to_string())?;
     if horizon_detail {
-        let detail = evaluate_detailed(&trained, &problem);
+        let detail = evaluate_detailed(&trained, &problem).map_err(|e| e.to_string())?;
         println!("overall: {}", detail.metrics);
         println!("\nper-horizon RMSE:");
         for (h, rmse) in detail.horizon.rmse_curve().iter().enumerate() {
@@ -136,8 +151,18 @@ fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), String> {
             println!("  sensor {loc:<4} RMSE {rmse:.3}");
         }
     } else {
-        let eval = evaluate_stsm(&trained, &problem);
+        let eval = evaluate_stsm(&trained, &problem).map_err(|e| e.to_string())?;
         println!("{}", eval.metrics);
+        if !eval.quality.is_clean() {
+            println!(
+                "input quality: {}/{} readings non-finite ({} blended, {} carried) across {} sensors",
+                eval.quality.non_finite,
+                eval.quality.scanned,
+                eval.quality.imputed_blend,
+                eval.quality.imputed_carry,
+                eval.quality.affected_sensors.len()
+            );
+        }
     }
     Ok(())
 }

@@ -45,12 +45,12 @@ fn full_pipeline_beats_naive_baseline() {
     let dataset = tiny_dataset(101);
     let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
     let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
-    let (trained, report) = train_stsm(&problem, &tiny_cfg());
+    let (trained, report) = train_stsm(&problem, &tiny_cfg()).expect("trains");
     assert!(
         report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
         "training loss must decrease"
     );
-    let eval = evaluate_stsm(&trained, &problem);
+    let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
     let naive = historical_average_metrics(&problem);
     assert!(
         eval.metrics.rmse < naive.rmse * 1.35,
@@ -75,8 +75,8 @@ fn every_variant_runs_end_to_end() {
                 _ => DistanceMode::Euclidean,
             },
         );
-        let (trained, _) = train_stsm(&problem, &cfg);
-        let eval = evaluate_stsm(&trained, &problem);
+        let (trained, _) = train_stsm(&problem, &cfg).expect("trains");
+        let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
         assert!(
             eval.metrics.rmse.is_finite() && eval.metrics.rmse > 0.0,
             "{} produced invalid metrics",
@@ -113,8 +113,8 @@ fn ring_split_pipeline_works() {
     let dataset = tiny_dataset(104);
     let split = ring_split(&dataset.coords);
     let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
-    let (trained, _) = train_stsm(&problem, &tiny_cfg());
-    let eval = evaluate_stsm(&trained, &problem);
+    let (trained, _) = train_stsm(&problem, &tiny_cfg()).expect("trains");
+    let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
     assert!(eval.metrics.rmse.is_finite());
 }
 
@@ -136,8 +136,8 @@ fn air_quality_pipeline_works() {
     .generate();
     let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
     let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
-    let (trained, _) = train_stsm(&problem, &tiny_cfg());
-    let eval = evaluate_stsm(&trained, &problem);
+    let (trained, _) = train_stsm(&problem, &tiny_cfg()).expect("trains");
+    let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
     assert!(eval.metrics.rmse.is_finite() && eval.metrics.rmse > 0.0);
     // PM2.5 predictions should be in a physically plausible band on average.
     assert!(eval.metrics.mae < 200.0, "PM2.5 MAE implausible: {}", eval.metrics.mae);
@@ -149,8 +149,8 @@ fn determinism_across_full_pipeline() {
         let dataset = tiny_dataset(106);
         let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
         let problem = ProblemInstance::new(dataset, split, DistanceMode::Euclidean);
-        let (trained, report) = train_stsm(&problem, &tiny_cfg());
-        let eval = evaluate_stsm(&trained, &problem);
+        let (trained, report) = train_stsm(&problem, &tiny_cfg()).expect("trains");
+        let eval = evaluate_stsm(&trained, &problem).expect("evaluates");
         (report.epoch_losses, eval.metrics.rmse)
     };
     let (l1, r1) = run();

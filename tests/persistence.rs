@@ -51,11 +51,11 @@ fn trained_model_roundtrip_preserves_forecasts() {
         top_k: 8,
         ..Default::default()
     };
-    let (trained, _) = train_stsm(&problem, &cfg);
-    let before = evaluate_stsm(&trained, &problem);
+    let (trained, _) = train_stsm(&problem, &cfg).expect("trains");
+    let before = evaluate_stsm(&trained, &problem).expect("evaluates");
     let json = trained.to_json();
     let restored = TrainedStsm::from_json(&json).expect("valid JSON");
-    let after = evaluate_stsm(&restored, &problem);
+    let after = evaluate_stsm(&restored, &problem).expect("evaluates");
     assert_eq!(before.metrics.rmse, after.metrics.rmse);
     assert_eq!(before.metrics.mae, after.metrics.mae);
 }
