@@ -57,6 +57,9 @@ pub struct BaselineReport {
     pub train_seconds: f64,
     /// Wall-clock inference seconds.
     pub test_seconds: f64,
+    /// Mean training loss per epoch (the generator loss for GE-GAN). Seeded
+    /// runs are deterministic, so equal configs give equal trajectories.
+    pub epoch_losses: Vec<f32>,
 }
 
 /// Gathers a `(rows, len)` matrix of scaled values for global ids.

@@ -159,10 +159,13 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
     assert!(!windows.is_empty(), "training period too short");
     // GE-GAN "requires more training epochs to converge" (§5.2.1).
     let epochs = cfg.epochs * 2;
+    let mut epoch_losses = Vec::with_capacity(epochs);
     for _epoch in 0..epochs {
         let mut order: Vec<usize> = (0..windows.len()).collect();
         order.shuffle(&mut rng);
         order.truncate(cfg.windows_per_epoch);
+        let mut epoch_loss = 0.0f32;
+        let mut steps = 0usize;
         for &wi in &order {
             let w = windows[wi];
             let start = problem.train_time.start + w.input_start;
@@ -189,7 +192,7 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
             clip_grad_norm(&mut d_grads, 5.0);
             opt_d.step(&mut store, &d_grads);
             // --- Generator step: fool the discriminator + reconstruction.
-            let mut g_grads = {
+            let (g_loss_v, mut g_grads) = {
                 let tape = Tape::new();
                 let mut binder = ParamBinder::new(&tape);
                 let mut fwd = Fwd::new(&store, &mut binder);
@@ -202,11 +205,16 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
                 let l_adv_scaled = tape2.mul_scalar(l_adv, 0.1);
                 let l_g = tape2.add(l_adv_scaled, l_rec);
                 tape2.backward(l_g);
-                binder.grads().into_iter().filter(|(pid, _)| g_params[pid.0]).collect::<Vec<_>>()
+                let grads: Vec<_> =
+                    binder.grads().into_iter().filter(|(pid, _)| g_params[pid.0]).collect();
+                (tape2.value(l_g).item(), grads)
             };
             clip_grad_norm(&mut g_grads, 5.0);
             opt_g.step(&mut store, &g_grads);
+            epoch_loss += g_loss_v;
+            steps += 1;
         }
+        epoch_losses.push(epoch_loss / steps.max(1) as f32);
     }
     let train_seconds = t0.elapsed().as_secs_f64();
     // Evaluation: transductive lookup of embedding-nearest observed nodes.
@@ -247,6 +255,7 @@ pub fn run_gegan(problem: &ProblemInstance, cfg: &BaselineConfig) -> BaselineRep
         metrics: acc.metrics(),
         train_seconds,
         test_seconds: t1.elapsed().as_secs_f64(),
+        epoch_losses,
     }
 }
 

@@ -110,12 +110,15 @@ pub fn run_increase(problem: &ProblemInstance, cfg: &BaselineConfig) -> Baseline
     let span = problem.train_time.len();
     let windows = sliding_windows(span, cfg.t_in, cfg.t_out, 1);
     assert!(!windows.is_empty(), "training period too short");
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _epoch in 0..cfg.epochs {
         let mut order: Vec<usize> = (0..windows.len()).collect();
         order.shuffle(&mut rng);
         order.truncate(cfg.windows_per_epoch);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_windows.max(1)) {
-            let (_, mut grads) = {
+            let (loss_v, mut grads) = {
                 let tape = Tape::new();
                 let mut binder = ParamBinder::new(&tape);
                 let mut fwd = Fwd::new(&store, &mut binder);
@@ -148,7 +151,10 @@ pub fn run_increase(problem: &ProblemInstance, cfg: &BaselineConfig) -> Baseline
             };
             clip_grad_norm(&mut grads, 5.0);
             opt.step(&mut store, &grads);
+            epoch_loss += loss_v;
+            batches += 1;
         }
+        epoch_losses.push(epoch_loss / batches.max(1) as f32);
     }
     let train_seconds = t0.elapsed().as_secs_f64();
     // Evaluation: unobserved locations aggregate their k nearest observed.
@@ -184,6 +190,7 @@ pub fn run_increase(problem: &ProblemInstance, cfg: &BaselineConfig) -> Baseline
         metrics: acc.metrics(),
         train_seconds,
         test_seconds: t1.elapsed().as_secs_f64(),
+        epoch_losses,
     }
 }
 

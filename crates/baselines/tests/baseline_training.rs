@@ -1,0 +1,121 @@
+//! Training smoke tests for the three adapted baselines (§5.1.2): each one
+//! must actually learn on a tiny seeded problem (finite, decreasing epoch
+//! losses), produce finite metrics, and be bit-for-bit deterministic across
+//! runs with equal configs.
+
+use stsm_baselines::{run_gegan, run_ignnk, run_increase, BaselineConfig, BaselineReport};
+use stsm_core::{DistanceMode, ProblemInstance};
+use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+
+fn tiny_problem(seed: u64) -> ProblemInstance {
+    let dataset = DatasetConfig {
+        name: "base".into(),
+        network: NetworkKind::Highway,
+        sensors: 24,
+        extent: 10_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate();
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    ProblemInstance::new(dataset, split, DistanceMode::Euclidean)
+}
+
+fn tiny_cfg(seed: u64) -> BaselineConfig {
+    BaselineConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        epochs: 2,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        lr: 0.01,
+        k_neighbors: 4,
+        seed,
+    }
+}
+
+fn loss_bits(r: &BaselineReport) -> Vec<u32> {
+    r.epoch_losses.iter().map(|l| l.to_bits()).collect()
+}
+
+/// Shared smoke assertions: the loss trajectory has one entry per epoch,
+/// every entry is finite, training made progress (the last epoch beats the
+/// first), and the evaluation metrics are finite.
+fn assert_learns(r: &BaselineReport, epochs: usize) {
+    assert_eq!(r.epoch_losses.len(), epochs, "{}: one loss entry per epoch", r.name);
+    assert!(
+        r.epoch_losses.iter().all(|l| l.is_finite()),
+        "{}: non-finite epoch loss in {:?}",
+        r.name,
+        r.epoch_losses
+    );
+    let (first, last) = (r.epoch_losses[0], *r.epoch_losses.last().unwrap());
+    assert!(
+        last < first,
+        "{}: loss did not decrease over training: {:?}",
+        r.name,
+        r.epoch_losses
+    );
+    assert!(r.metrics.rmse.is_finite() && r.metrics.mae.is_finite(), "{}: metrics", r.name);
+    assert!(r.metrics.rmse > 0.0, "{}: rmse must be positive on held-out data", r.name);
+}
+
+/// Equal configs must give bitwise-equal loss trajectories and metrics.
+fn assert_deterministic(a: &BaselineReport, b: &BaselineReport) {
+    assert_eq!(loss_bits(a), loss_bits(b), "{}: loss trajectory not reproducible", a.name);
+    assert_eq!(
+        a.metrics.rmse.to_bits(),
+        b.metrics.rmse.to_bits(),
+        "{}: metrics not reproducible",
+        a.name
+    );
+    assert_eq!(a.metrics.mae.to_bits(), b.metrics.mae.to_bits());
+}
+
+#[test]
+fn ignnk_learns_and_is_deterministic() {
+    let p = tiny_problem(41);
+    let cfg = tiny_cfg(41);
+    let a = run_ignnk(&p, &cfg);
+    assert_learns(&a, cfg.epochs);
+    let b = run_ignnk(&p, &cfg);
+    assert_deterministic(&a, &b);
+}
+
+#[test]
+fn increase_learns_and_is_deterministic() {
+    let p = tiny_problem(43);
+    let cfg = tiny_cfg(43);
+    let a = run_increase(&p, &cfg);
+    assert_learns(&a, cfg.epochs);
+    let b = run_increase(&p, &cfg);
+    assert_deterministic(&a, &b);
+}
+
+#[test]
+fn gegan_learns_and_is_deterministic() {
+    let p = tiny_problem(44);
+    let cfg = tiny_cfg(44);
+    let a = run_gegan(&p, &cfg);
+    // GE-GAN doubles the epoch count internally (§5.2.1: "requires more
+    // training epochs to converge").
+    assert_learns(&a, cfg.epochs * 2);
+    let b = run_gegan(&p, &cfg);
+    assert_deterministic(&a, &b);
+}
+
+#[test]
+fn different_seeds_give_different_trajectories() {
+    // The determinism above must come from the seed, not from the losses
+    // being insensitive to it.
+    let p = tiny_problem(44);
+    let a = run_ignnk(&p, &tiny_cfg(44));
+    let b = run_ignnk(&p, &tiny_cfg(45));
+    assert_ne!(loss_bits(&a), loss_bits(&b), "seed must steer the trajectory");
+}

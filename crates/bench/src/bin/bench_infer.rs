@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use serde_json::json;
 use std::time::Instant;
 use stsm_tensor::nn::{uniform, Fwd, GruCell, Linear};
-use stsm_tensor::{alloc, pool, InferSession, ParamBinder, ParamStore, Tape, Tensor};
+use stsm_tensor::{alloc, pool, telemetry, InferSession, ParamBinder, ParamStore, Tape, Tensor};
 
 const BATCH: usize = 16;
 const T_IN: usize = 24;
@@ -155,4 +155,16 @@ fn main() {
     std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
         .expect("write BENCH_infer.json");
     println!("\nwrote {path}");
+
+    // One more instrumented Infer-mode pass: the session counters and kernel
+    // span totals land in the telemetry table (stderr).
+    telemetry::with_telemetry(true, || {
+        telemetry::reset();
+        run_infer_mode(&store, &gru, &head, &xs);
+        assert!(
+            telemetry::counter_value("infer.session.new") >= 1,
+            "instrumented run must register the Infer session"
+        );
+        eprint!("\n{}", telemetry::snapshot().render_table());
+    });
 }

@@ -20,7 +20,7 @@ use serde_json::json;
 use std::time::Instant;
 use stsm_tensor::nn::{uniform, Fwd, GruCell, Linear};
 use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
-use stsm_tensor::{alloc, pool, ParamBinder, ParamStore, Tape};
+use stsm_tensor::{alloc, pool, telemetry, ParamBinder, ParamStore, Tape};
 
 const BATCH: usize = 16;
 const T_IN: usize = 24;
@@ -126,4 +126,18 @@ fn main() {
     std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
         .expect("write BENCH_train.json");
     println!("\nwrote {path}");
+
+    // Cross-check the telemetry registry against the alloc-stats counters on
+    // one more instrumented run, and show the kernel/phase span table.
+    telemetry::with_telemetry(true, || {
+        telemetry::reset();
+        run(true);
+        let (fresh, reused) = alloc::alloc_counts();
+        assert!(
+            telemetry::counter_value("alloc.fresh") >= fresh
+                && telemetry::counter_value("alloc.reused") >= reused,
+            "telemetry alloc counters must see at least the alloc-stats traffic"
+        );
+        eprint!("\n{}", telemetry::snapshot().render_table());
+    });
 }

@@ -6,6 +6,7 @@ use crate::error::StsmError;
 use crate::predictor::Predictor;
 use crate::problem::ProblemInstance;
 use crate::trainer::TrainedStsm;
+use stsm_tensor::telemetry;
 use stsm_timeseries::{sliding_windows, HorizonMetrics, Metrics};
 
 /// Detailed evaluation: overall metrics, per-horizon curve and per-location
@@ -24,12 +25,14 @@ pub fn evaluate_detailed(
     trained: &TrainedStsm,
     problem: &ProblemInstance,
 ) -> Result<DetailedEval, StsmError> {
+    let _t = telemetry::span("eval.detailed");
     let cfg = &trained.cfg;
     let span = problem.test_time.len();
     let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
     if windows.is_empty() {
         return Err(StsmError::TestPeriodTooShort { span, needed: cfg.t_in + cfg.t_out });
     }
+    telemetry::count("eval.windows", windows.len() as u64);
     let n_u = problem.unobserved.len();
     let mut preds = Vec::new();
     let mut truths = Vec::new();

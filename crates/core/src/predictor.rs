@@ -22,9 +22,10 @@ use crate::resilience::{carry_impute, DataQuality};
 use crate::temporal_adj::{pseudo_weights_for, DtwContext};
 use crate::trainer::TrainedStsm;
 use std::sync::Arc;
+use std::time::Instant;
 use stsm_graph::{normalize_gcn, CsrLinMap};
 use stsm_tensor::nn::Fwd;
-use stsm_tensor::{InferSession, Tensor};
+use stsm_tensor::{telemetry, InferSession, Tensor};
 
 /// Reusable inference workspace over a trained model and a problem's
 /// test-time assets; see the module docs.
@@ -94,6 +95,9 @@ impl<'m> Predictor<'m> {
         let mut sources = gather_sources(problem, abs_start, len);
         let mut quality = DataQuality { scanned: sources.len(), ..DataQuality::default() };
         sanitize_sources(&mut sources, problem, len, &self.obs_weights, &mut quality);
+        telemetry::count("infer.imputed.blend", quality.imputed_blend as u64);
+        telemetry::count("infer.imputed.carry", quality.imputed_carry as u64);
+        telemetry::count("infer.non_finite_inputs", quality.non_finite as u64);
         let x = assemble_full_input(problem, &self.pw, &sources, len, cfg.pseudo_observations);
         let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
         (self.predict(&x, &tf), quality)
@@ -102,10 +106,15 @@ impl<'m> Predictor<'m> {
     /// Runs one tape-free forward on an already-assembled input, reusing the
     /// bound session. Bitwise identical to the Train-mode forward value.
     pub fn predict(&mut self, x: &Tensor, time_feats: &Tensor) -> Tensor {
+        let t0 = telemetry::enabled().then(Instant::now);
         self.session.reset();
         let mut fwd = Fwd::infer(&self.trained.store, &mut self.session);
         let out = self.trained.model_ref().forward(&mut fwd, x, time_feats, &self.a_s, &self.a_dtw);
-        fwd.value(out.prediction)
+        let pred = fwd.value(out.prediction);
+        if let Some(t0) = t0 {
+            telemetry::record_duration("infer.window", t0.elapsed());
+        }
+        pred
     }
 }
 

@@ -35,6 +35,7 @@ use std::time::Instant;
 use stsm_graph::{normalize_gcn, CsrLinMap};
 use stsm_tensor::nn::Fwd;
 use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use stsm_tensor::telemetry;
 use stsm_tensor::{ParamBinder, ParamStore, Tape, Tensor, Var};
 use stsm_timeseries::{sliding_windows, Metrics, WindowIndex};
 
@@ -63,6 +64,10 @@ pub struct TrainReport {
     pub mean_random_similarity: f32,
     /// What the divergence guard and checkpointing machinery did.
     pub resilience: ResilienceReport,
+    /// Telemetry snapshot taken when training finished (`None` when
+    /// `STSM_TELEMETRY` is off). Includes the per-epoch phase histograms
+    /// `train.epoch.{gather,forward,backward,step}` and the guard counters.
+    pub telemetry: Option<telemetry::TelemetryReport>,
 }
 
 /// Evaluation result.
@@ -77,6 +82,10 @@ pub struct EvalReport {
     /// Aggregated input sanitization summary over all test windows (clean
     /// inputs report zeros).
     pub quality: DataQuality,
+    /// Telemetry snapshot taken when evaluation finished (`None` when
+    /// `STSM_TELEMETRY` is off). Includes the `infer.window` latency
+    /// histogram and the `infer.imputed.*` counters.
+    pub telemetry: Option<telemetry::TelemetryReport>,
 }
 
 /// Derives epoch `epoch`'s RNG from the config seed. SplitMix64-style
@@ -212,6 +221,8 @@ pub fn train_stsm_with(
 
     let end_epoch = opts.stop_after_epoch.map_or(cfg.epochs, |m| m.min(cfg.epochs));
     for epoch in start_epoch..end_epoch {
+        let epoch_t0 = Instant::now();
+        let phases_before = epoch_phase_totals();
         let mut rng = epoch_rng(cfg.seed, epoch);
         // Geometric learning-rate decay, scaled by any guard backoff.
         opt.set_lr(cfg.lr * 0.92f32.powi(epoch as i32) * lr_scale);
@@ -264,6 +275,7 @@ pub fn train_stsm_with(
                     || !norm.is_finite()
                     || guard_state.is_spike(loss_v, &cfg.guard));
             if bad {
+                telemetry::count("train.guard.skipped_batches", 1);
                 resilience.skipped_batches += 1;
                 consecutive_bad += 1;
                 if consecutive_bad >= cfg.guard.max_consecutive_bad {
@@ -278,13 +290,17 @@ pub fn train_stsm_with(
                         lr_scale *= cfg.guard.lr_backoff;
                         opt.set_lr(cfg.lr * 0.92f32.powi(epoch as i32) * lr_scale);
                         resilience.rollbacks += 1;
+                        telemetry::count("train.guard.rollbacks", 1);
                     }
                 }
                 continue;
             }
             consecutive_bad = 0;
             guard_state.observe(loss_v);
-            opt.step(&mut store, &grads);
+            {
+                let _t = telemetry::span("train.step");
+                opt.step(&mut store, &grads);
+            }
             epoch_loss += loss_v;
             batches += 1;
         }
@@ -297,6 +313,7 @@ pub fn train_stsm_with(
             let prev = epoch_losses.iter().rev().copied().find(|l| l.is_finite()).unwrap_or(0.0);
             epoch_losses.push(prev);
             resilience.skipped_epochs.push(epoch);
+            telemetry::count("train.guard.skipped_epochs", 1);
         }
         // Refresh the rollback target at the epoch boundary.
         snap_params = store.clone();
@@ -318,8 +335,11 @@ pub fn train_stsm_with(
                 };
                 ck.save_atomic(path)?;
                 resilience.checkpoints_written += 1;
+                telemetry::count("train.checkpoint.written", 1);
             }
         }
+        record_epoch_phases(&phases_before);
+        telemetry::record_duration("train.epoch", epoch_t0.elapsed());
     }
     resilience.lr_scale = lr_scale;
     let report = TrainReport {
@@ -328,8 +348,34 @@ pub fn train_stsm_with(
         mean_masked_similarity: sim_used / cfg.epochs.max(1) as f32,
         mean_random_similarity: sim_random / cfg.epochs.max(1) as f32,
         resilience,
+        telemetry: telemetry::enabled().then(telemetry::snapshot),
     };
     Ok((TrainedStsm { cfg: cfg.clone(), store, model }, report))
+}
+
+/// Span names of the four training phases timed inside every batch, in the
+/// order they appear in `batch_loss_and_grads` / the step site.
+const EPOCH_PHASES: [&str; 4] = ["train.gather", "train.forward", "train.backward", "train.step"];
+
+/// Per-phase `total_nanos` so far, used to turn cumulative span totals into
+/// per-epoch deltas.
+fn epoch_phase_totals() -> [u64; 4] {
+    EPOCH_PHASES.map(|name| telemetry::span_totals(name).1)
+}
+
+/// Records one histogram sample per phase for the epoch that just finished
+/// (`train.epoch.gather` etc.) from the span-total deltas. No-op when
+/// telemetry is off.
+fn record_epoch_phases(before: &[u64; 4]) {
+    if !telemetry::enabled() {
+        return;
+    }
+    const EPOCH_HISTS: [&str; 4] =
+        ["train.epoch.gather", "train.epoch.forward", "train.epoch.backward", "train.epoch.step"];
+    let after = epoch_phase_totals();
+    for i in 0..4 {
+        telemetry::record_nanos(EPOCH_HISTS[i], after[i].saturating_sub(before[i]));
+    }
 }
 
 /// Computes the batch loss and raw parameter gradients *without* stepping —
@@ -360,6 +406,7 @@ fn batch_loss_and_grads(
     for &wi in chunk {
         let w = windows[wi];
         let abs_start = problem.train_time.start + w.input_start;
+        let gather_t = telemetry::span("train.gather");
         let x_full = gather_window(problem, observed, abs_start, cfg.t_in);
         let x_masked = mask_window(
             &x_full,
@@ -373,6 +420,8 @@ fn batch_loss_and_grads(
         );
         let y = gather_window(problem, observed, abs_start + cfg.t_in, cfg.t_out);
         let tf = StModel::time_features(abs_start, cfg.t_in, spd);
+        drop(gather_t);
+        let _fwd_t = telemetry::span("train.forward");
         let out_m: ForwardOutput = model.forward(&mut fwd, &x_masked, &tf, a_s, a_dtw);
         let lp = fwd.tape().mse_loss(out_m.prediction, &y);
         pred_losses.push(lp);
@@ -395,6 +444,7 @@ fn batch_loss_and_grads(
         let lcl = tape.mul_scalar(lcl, cfg.lambda);
         loss = tape.add(loss, lcl);
     }
+    let _bwd_t = telemetry::span("train.backward");
     tape.backward(loss);
     (tape.value(loss).item(), binder.grads())
 }
@@ -520,6 +570,7 @@ pub fn evaluate_stsm(
         test_seconds: start.elapsed().as_secs_f64(),
         windows: windows.len(),
         quality,
+        telemetry: telemetry::enabled().then(telemetry::snapshot),
     })
 }
 

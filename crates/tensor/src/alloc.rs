@@ -48,7 +48,9 @@
 //! With the `alloc-stats` feature (used by the `bench_train` and
 //! `bench_infer` benchmarks), [`alloc_counts`] reports how many buffer
 //! requests were served fresh from the system allocator vs reused from the
-//! pool.
+//! pool. The same events also feed the [`crate::telemetry`] registry as the
+//! `alloc.fresh` / `alloc.reused` counters whenever `STSM_TELEMETRY` is on,
+//! with no feature flag required.
 
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -292,12 +294,14 @@ pub use stats::{alloc_counts, reset_alloc_counts};
 fn count_fresh() {
     #[cfg(feature = "alloc-stats")]
     stats::FRESH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    crate::telemetry::count("alloc.fresh", 1);
 }
 
 #[inline]
 fn count_reused() {
     #[cfg(feature = "alloc-stats")]
     stats::REUSED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    crate::telemetry::count("alloc.reused", 1);
 }
 
 /// A zero-filled buffer of length `n`, reusing a pooled buffer when one is

@@ -30,6 +30,7 @@ use crate::linmap::LinMap;
 use crate::params::{ParamId, ParamStore};
 use crate::shape::Shape;
 use crate::tape::Var;
+use crate::telemetry;
 use crate::tensor::Tensor;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -47,6 +48,7 @@ impl InferSession {
     /// Creates a session with every parameter of `store` bound eagerly, and
     /// installs the thread-local session allocation cache.
     pub fn new(store: &ParamStore) -> Self {
+        telemetry::count("infer.session.new", 1);
         alloc::session_begin();
         let vals: Vec<Tensor> = (0..store.len()).map(|i| store.get(ParamId(i))).collect();
         let n_params = vals.len();
@@ -56,6 +58,7 @@ impl InferSession {
     /// Drops all intermediates, keeping the parameter bindings. Their buffers
     /// land in the session allocation cache, ready for the next prediction.
     pub fn reset(&mut self) {
+        telemetry::count("infer.session.reset", 1);
         self.vals.truncate(self.n_params);
     }
 
@@ -63,6 +66,7 @@ impl InferSession {
     /// construction) after an optimizer update, and resets the session.
     pub fn rebind(&mut self, store: &ParamStore) {
         assert_eq!(store.len(), self.n_params, "parameter store layout changed");
+        telemetry::count("infer.session.rebind", 1);
         self.reset();
         for i in 0..self.n_params {
             self.vals[i] = store.get(ParamId(i));

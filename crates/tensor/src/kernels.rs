@@ -11,6 +11,7 @@
 
 use crate::alloc;
 use crate::pool::{self, SliceWriter};
+use crate::telemetry;
 use crate::tensor::Tensor;
 
 /// Minimum number of multiply-adds before a kernel goes parallel.
@@ -94,6 +95,7 @@ fn matmul_rows_into(
 
 /// 2-D matrix product of tensors. Shapes must be (m,k) and (k,n).
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.matmul");
     assert_eq!(a.rank(), 2, "matmul lhs must be 2-D, got {}", a.shape());
     assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
@@ -107,6 +109,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n). Parallel over the
 /// batch axis; a single large batch still parallelizes inside `matmul_into`.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.bmm");
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
     let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
@@ -155,6 +158,7 @@ pub fn conv1d_dilated(
     bias: Option<&Tensor>,
     dilation: usize,
 ) -> Tensor {
+    let _t = telemetry::span("kernel.conv1d");
     assert_eq!(input.rank(), 3, "conv1d input must be (N, C_in, T)");
     assert_eq!(weight.rank(), 3, "conv1d weight must be (C_out, C_in, K)");
     let (n, cin, t) = (input.dim(0), input.dim(1), input.dim(2));
@@ -218,6 +222,7 @@ pub fn conv1d_dilated_backward(
     grad_out: &Tensor,
     dilation: usize,
 ) -> (Tensor, Tensor, Tensor) {
+    let _t = telemetry::span("kernel.conv1d_bwd");
     let (n, cin, t) = (input.dim(0), input.dim(1), input.dim(2));
     let (cout, _, k) = (weight.dim(0), weight.dim(1), weight.dim(2));
     assert_eq!(grad_out.dims(), &[n, cout, t], "conv1d grad_out shape mismatch");
@@ -279,6 +284,7 @@ pub fn conv1d_dilated_backward(
 
 /// Numerically-stable softmax over the last axis. Parallel over rows.
 pub fn softmax_lastdim(x: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.softmax");
     let d = x.dim(x.rank() - 1);
     let rows = x.numel() / d;
     let mut out = alloc::buf_zeroed(x.numel());
@@ -309,6 +315,7 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
 
 /// Numerically-stable log-softmax over the last axis. Parallel over rows.
 pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.log_softmax");
     let d = x.dim(x.rank() - 1);
     let rows = x.numel() / d;
     let mut out = alloc::buf_zeroed(x.numel());
@@ -346,6 +353,7 @@ pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
 /// every output row accumulates the matrix product from zero and adds the
 /// bias once at the end.
 pub fn addmm(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.addmm");
     assert_eq!(x.rank(), 2, "addmm lhs must be 2-D, got {}", x.shape());
     assert_eq!(w.rank(), 2, "addmm rhs must be 2-D, got {}", w.shape());
     let (m, k) = (x.dim(0), x.dim(1));

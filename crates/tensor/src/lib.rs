@@ -20,7 +20,11 @@
 //! * [`pool`] — the persistent worker pool behind every parallel kernel
 //!   (sized by `STSM_NUM_THREADS`, deterministic for any thread count);
 //! * [`alloc`] — size-classed buffer recycling for tensor storage, plus the
-//!   `STSM_BUFFER_POOL` gate shared with the fused training-step kernels.
+//!   `STSM_BUFFER_POOL` gate shared with the fused training-step kernels;
+//! * [`telemetry`] — the always-compiled, default-off instrumentation
+//!   registry (spans, counters, latency histograms) behind `STSM_TELEMETRY`;
+//!   disabled it costs one relaxed atomic load per probe and never changes
+//!   numeric results.
 //!
 //! ## Example
 //!
@@ -48,6 +52,7 @@ pub mod pool;
 mod shape;
 mod tape;
 mod tape_ext;
+pub mod telemetry;
 mod tensor;
 
 pub use infer::InferSession;

@@ -34,6 +34,7 @@
 //! any chunk is caught, the region drains, and the panic is re-raised on the
 //! calling thread.
 
+use crate::telemetry;
 use crossbeam::channel::{unbounded, Sender};
 use std::cell::Cell;
 use std::marker::PhantomData;
@@ -132,6 +133,7 @@ where
     let min_chunk = min_chunk.max(1);
     let threads = effective_threads();
     if threads <= 1 || n_items <= min_chunk {
+        telemetry::count("pool.region.inline", 1);
         f(0..n_items);
         return;
     }
@@ -140,10 +142,13 @@ where
     let chunk = min_chunk.max(n_items.div_ceil(threads * 4));
     let n_chunks = n_items.div_ceil(chunk);
     if n_chunks <= 1 {
+        telemetry::count("pool.region.inline", 1);
         f(0..n_items);
         return;
     }
     let helpers = (threads - 1).min(n_chunks - 1);
+    telemetry::count("pool.region.parallel", 1);
+    telemetry::count("pool.helper_dispatch", helpers as u64);
     run_region(n_items, chunk, n_chunks, helpers, &f);
 }
 

@@ -12,6 +12,7 @@ use crate::alloc;
 use crate::kernels;
 use crate::linmap::LinMap;
 use crate::shape::Shape;
+use crate::telemetry;
 use crate::tensor::Tensor;
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -652,6 +653,7 @@ impl Tape {
     /// Runs reverse-mode differentiation from scalar node `loss`, seeding its
     /// gradient with 1. Panics if `loss` is not a scalar.
     pub fn backward(&self, loss: Var) {
+        let _t = telemetry::span("tape.backward");
         {
             let mut nodes = self.nodes.borrow_mut();
             let n = &mut nodes[loss.0];

@@ -1,0 +1,87 @@
+//! Property-based checks for the Sakoe–Chiba banded DTW (§3.4.1).
+//!
+//! Two contracts: a band wide enough to cover the whole DP table makes
+//! `dtw_banded` exactly the full `dtw` (the band is an optimisation, never
+//! an approximation once the radius reaches the series length), and the
+//! banded cost is monotonically non-increasing in the radius (a wider band
+//! only ever admits more warping paths).
+
+use proptest::prelude::*;
+use stsm_timeseries::{dtw, dtw_banded};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn band_covering_the_table_equals_full_dtw(
+        a in proptest::collection::vec(-50f32..50.0, 1..32),
+        b in proptest::collection::vec(-50f32..50.0, 1..32),
+    ) {
+        let full = dtw(&a, &b);
+        // Any radius >= max(len) leaves no cell outside the band, so the DP
+        // fill is identical cell for cell: the results must be bitwise
+        // equal, not merely close.
+        for band in [a.len().max(b.len()), a.len() + b.len(), usize::MAX - 1] {
+            let banded = dtw_banded(&a, &b, band);
+            prop_assert_eq!(
+                full.to_bits(),
+                banded.to_bits(),
+                "band {} diverged: full {} vs banded {}",
+                band,
+                full,
+                banded
+            );
+        }
+    }
+
+    #[test]
+    fn band_cost_is_monotone_non_increasing_in_radius(
+        a in proptest::collection::vec(-50f32..50.0, 1..24),
+        b in proptest::collection::vec(-50f32..50.0, 1..24),
+    ) {
+        // Radius r admits a subset of the paths radius r+1 admits, so the
+        // optimal cost can only drop (or stay) as the band widens. Radius 0
+        // still clamps to the length difference, so every cost is finite.
+        let max_band = a.len().max(b.len());
+        let mut prev = f32::INFINITY;
+        for band in 0..=max_band {
+            let d = dtw_banded(&a, &b, band);
+            prop_assert!(d.is_finite(), "band {} produced non-finite cost {}", band, d);
+            prop_assert!(
+                d <= prev,
+                "cost increased when widening the band to {}: {} -> {}",
+                band,
+                prev,
+                d
+            );
+            prev = d;
+        }
+        // ... and the widest band has converged to the exact distance.
+        prop_assert_eq!(prev.to_bits(), dtw(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn dtw_is_a_pseudometric_on_equal_series(
+        a in proptest::collection::vec(-50f32..50.0, 1..24),
+        band in 0usize..8,
+    ) {
+        // d(a, a) = 0 at any radius: the diagonal is always inside the band.
+        prop_assert_eq!(dtw_banded(&a, &a, band), 0.0);
+    }
+}
+
+#[test]
+fn empty_series_edge_cases() {
+    assert_eq!(dtw(&[], &[]), 0.0);
+    assert_eq!(dtw_banded(&[], &[], 0), 0.0);
+    assert_eq!(dtw(&[], &[1.0]), f32::INFINITY);
+    assert_eq!(dtw_banded(&[1.0, 2.0], &[], 3), f32::INFINITY);
+}
+
+#[test]
+fn zero_band_is_the_diagonal_cost() {
+    // Equal lengths + radius 0 degenerate to the pointwise L1 distance.
+    let a = [1.0f32, 4.0, 2.0];
+    let b = [2.0f32, 2.0, 5.0];
+    assert_eq!(dtw_banded(&a, &b, 0), 1.0 + 2.0 + 3.0);
+}

@@ -1,0 +1,95 @@
+//! Closed-form checks for the §5.1.3 accuracy metrics: every value is
+//! compared against a hand-computed number, including the degenerate cases
+//! (constant targets, near-zero MAPE targets, empty inputs) that the
+//! in-crate unit tests leave uncovered.
+
+use stsm_timeseries::Metrics;
+
+#[test]
+fn four_point_example_matches_hand_computation() {
+    let pred = vec![1.0f32, 2.0, 3.0, 5.0];
+    let truth = vec![2.0f32, 2.0, 4.0, 1.0];
+    let m = Metrics::compute(&pred, &truth);
+    // errors: -1, 0, -1, 4  ->  se = 1 + 0 + 1 + 16 = 18
+    assert!((m.rmse - (18.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    assert!((m.mae - 6.0 / 4.0).abs() < 1e-12);
+    // |d/t|: 1/2, 0/2, 1/4, 4/1 -> mean = (0.5 + 0.0 + 0.25 + 4.0) / 4
+    assert!((m.mape - 4.75 / 4.0).abs() < 1e-12);
+    // truth mean 2.25; ss_tot = 0.0625 + 0.0625 + 3.0625 + 1.5625 = 4.75
+    assert!((m.r2 - (1.0 - 18.0 / 4.75)).abs() < 1e-12);
+}
+
+#[test]
+fn negative_targets_use_absolute_percentage_error() {
+    let m = Metrics::compute(&[-1.0, -6.0], &[-2.0, -4.0]);
+    // |d/t|: |1 / -2| = 0.5, |-2 / -4| = 0.5
+    assert!((m.mape - 0.5).abs() < 1e-12);
+    assert!((m.mae - 1.5).abs() < 1e-12);
+    assert!((m.rmse - (2.5f64).sqrt()).abs() < 1e-12);
+}
+
+#[test]
+fn constant_target_makes_r2_undefined_not_infinite() {
+    // ss_tot = 0: R² has no meaning. The contract is NaN, never ±inf or a
+    // division panic, and the other three metrics stay valid.
+    let m = Metrics::compute(&[2.0, 3.0, 4.0], &[3.0, 3.0, 3.0]);
+    assert!(m.r2.is_nan(), "constant target must give NaN R², got {}", m.r2);
+    assert!((m.rmse - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    assert!((m.mae - 2.0 / 3.0).abs() < 1e-12);
+    assert!((m.mape - (1.0 / 3.0 + 0.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn single_sample_is_a_constant_target() {
+    let m = Metrics::compute(&[5.0], &[3.0]);
+    assert_eq!(m.rmse, 2.0);
+    assert_eq!(m.mae, 2.0);
+    assert!((m.mape - 2.0 / 3.0).abs() < 1e-12);
+    assert!(m.r2.is_nan());
+}
+
+#[test]
+fn all_near_zero_targets_give_zero_mape() {
+    // Every target is under the 1e-3 skip threshold: no term qualifies, and
+    // the convention is 0.0 rather than NaN from 0/0.
+    let m = Metrics::compute(&[1.0, -1.0, 2.0], &[0.0, 1e-4, -1e-4]);
+    assert_eq!(m.mape, 0.0);
+    assert!(m.rmse > 0.0 && m.mae > 0.0);
+}
+
+#[test]
+fn threshold_boundary_is_strict() {
+    // |t| must *exceed* 1e-3 to count; exactly 1e-3 is skipped.
+    let m = Metrics::compute(&[1.0, 2.0], &[1e-3, 2.0]);
+    assert!((m.mape - 0.0).abs() < 1e-12, "t = 1e-3 must be skipped, got mape {}", m.mape);
+}
+
+#[test]
+#[should_panic(expected = "empty")]
+fn empty_slices_panic() {
+    let _ = Metrics::compute(&[], &[]);
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn mismatched_lengths_panic() {
+    let _ = Metrics::compute(&[1.0, 2.0], &[1.0]);
+}
+
+#[test]
+#[should_panic]
+fn average_of_nothing_panics() {
+    let _ = Metrics::average(&[]);
+}
+
+#[test]
+fn average_is_componentwise_mean() {
+    let a = Metrics { rmse: 2.0, mae: 1.0, mape: 0.2, r2: 0.8 };
+    let b = Metrics { rmse: 4.0, mae: 3.0, mape: 0.4, r2: 0.2 };
+    let c = Metrics { rmse: 6.0, mae: 5.0, mape: 0.6, r2: -0.4 };
+    let avg = Metrics::average(&[a, b, c]);
+    assert!((avg.rmse - 4.0).abs() < 1e-12);
+    assert!((avg.mae - 3.0).abs() < 1e-12);
+    assert!((avg.mape - 0.4).abs() < 1e-12);
+    assert!((avg.r2 - 0.2).abs() < 1e-12);
+}

@@ -19,4 +19,14 @@ cargo test -q -p stsm-core --test infer_equivalence
 # degraded-input sanitization — pinned by name.
 cargo test -q -p stsm-synth --test fault_injection
 cargo test -q -p stsm-core --test resilience
+# The STSM_TELEMETRY zero-overhead contract (DESIGN.md, "Telemetry"):
+# telemetry on/off bit-identity at the kernel level and over a full
+# train + evaluate, plus guard-counter agreement with TrainReport.
+cargo test -q -p stsm-tensor --test telemetry_overhead
+cargo test -q -p stsm-core --test telemetry_equivalence
+# Closed-form metric values, banded-DTW exactness/monotonicity, and the
+# baseline trainers' learn-and-determinism smoke tests.
+cargo test -q -p stsm-timeseries --test metrics_closed_form
+cargo test -q -p stsm-timeseries --test dtw_band_properties
+cargo test -q -p stsm-baselines --test baseline_training
 cargo clippy --all-targets -q -- -D warnings

@@ -14,6 +14,7 @@ use stsm::core::{
     TrainOptions, TrainedStsm, Variant,
 };
 use stsm::synth::{dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis};
+use stsm::tensor::telemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,9 +28,32 @@ fn main() {
             Ok(())
         }
     };
+    emit_telemetry();
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+}
+
+/// After an instrumented run (`STSM_TELEMETRY=1`), prints the telemetry
+/// table on stderr and, when `STSM_TELEMETRY_PATH` is set, writes the full
+/// JSON [`telemetry::TelemetryReport`] there (schema in DESIGN.md).
+fn emit_telemetry() {
+    if !telemetry::enabled() {
+        return;
+    }
+    let report = telemetry::snapshot();
+    if report.is_empty() {
+        return;
+    }
+    eprint!("{}", report.render_table());
+    if let Ok(path) = std::env::var("STSM_TELEMETRY_PATH") {
+        if !path.is_empty() {
+            match std::fs::write(&path, report.to_json()) {
+                Ok(()) => eprintln!("telemetry report written to {path}"),
+                Err(e) => eprintln!("telemetry: failed to write {path}: {e}"),
+            }
+        }
     }
 }
 
