@@ -56,12 +56,7 @@ fn assert_learns(r: &BaselineReport, epochs: usize) {
         r.epoch_losses
     );
     let (first, last) = (r.epoch_losses[0], *r.epoch_losses.last().unwrap());
-    assert!(
-        last < first,
-        "{}: loss did not decrease over training: {:?}",
-        r.name,
-        r.epoch_losses
-    );
+    assert!(last < first, "{}: loss did not decrease over training: {:?}", r.name, r.epoch_losses);
     assert!(r.metrics.rmse.is_finite() && r.metrics.mae.is_finite(), "{}: metrics", r.name);
     assert!(r.metrics.rmse > 0.0, "{}: rmse must be positive on held-out data", r.name);
 }

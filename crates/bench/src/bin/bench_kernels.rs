@@ -4,11 +4,18 @@
 //! The serial measurements run under `pool::with_max_threads(1)`, which
 //! forces the inline path without touching the environment, so one process
 //! measures both sides. Results are bit-identical by the pool's determinism
-//! contract; this binary only compares wall-clock.
+//! contract; this binary only compares wall-clock. Cases with a known
+//! floating-op count also report GFLOP/s so kernel changes can be judged
+//! against machine peak, not just against the previous run.
 //!
 //! ```bash
-//! cargo run -p stsm-bench --release --bin bench_kernels
+//! cargo run -p stsm-bench --release --bin bench_kernels            # full run
+//! cargo run -p stsm-bench --release --bin bench_kernels -- --smoke # CI wiring check
 //! ```
+//!
+//! `--smoke` runs every case once at tiny sizes and does *not* overwrite
+//! `BENCH_kernels.json` — it exists so `scripts/check.sh` can prove the
+//! bench binary still builds and runs without paying full-size timings.
 
 use serde_json::json;
 use std::time::Instant;
@@ -31,12 +38,26 @@ fn best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
-fn bench_case(name: &str, size: &str, reps: usize, mut f: impl FnMut()) -> serde_json::Value {
+fn gflops(flops: Option<f64>, ms: f64) -> Option<f64> {
+    flops.map(|fl| fl / (ms * 1e-3) / 1e9)
+}
+
+/// One serial-vs-pool case. `flops` is the floating-op count of a single
+/// call (2·m·k·n for a matmul) when one is meaningful.
+fn bench_case(
+    name: &str,
+    size: &str,
+    reps: usize,
+    flops: Option<f64>,
+    mut f: impl FnMut(),
+) -> serde_json::Value {
     let serial_ms = pool::with_max_threads(1, || best_ms(reps, &mut f));
     let parallel_ms = best_ms(reps, &mut f);
     let speedup = serial_ms / parallel_ms;
+    let gf = gflops(flops, parallel_ms);
+    let gf_col = gf.map_or(String::from("        -"), |g| format!("{g:>7.2} GF/s"));
     println!(
-        "{name:<28} {size:<24} serial {serial_ms:>9.2} ms   pool {parallel_ms:>9.2} ms   speedup {speedup:>5.2}x"
+        "{name:<28} {size:<24} serial {serial_ms:>9.2} ms   pool {parallel_ms:>9.2} ms   speedup {speedup:>5.2}x   {gf_col}"
     );
     json!({
         "name": name,
@@ -44,47 +65,105 @@ fn bench_case(name: &str, size: &str, reps: usize, mut f: impl FnMut()) -> serde
         "serial_ms": serial_ms,
         "parallel_ms": parallel_ms,
         "speedup": speedup,
+        "gflops_serial": gflops(flops, serial_ms),
+        "gflops_parallel": gf,
+    })
+}
+
+/// Two named routes to the same result (no serial/pool split): used for the
+/// view-vs-copy window-gather comparison. Reported in the same JSON shape
+/// with `speedup = baseline / candidate`.
+fn bench_pair(
+    name: &str,
+    size: &str,
+    reps: usize,
+    mut baseline: impl FnMut(),
+    mut candidate: impl FnMut(),
+) -> serde_json::Value {
+    let base_ms = best_ms(reps, &mut baseline);
+    let cand_ms = best_ms(reps, &mut candidate);
+    let speedup = base_ms / cand_ms;
+    println!(
+        "{name:<28} {size:<24} copy   {base_ms:>9.2} ms   view {cand_ms:>9.2} ms   speedup {speedup:>5.2}x           -"
+    );
+    json!({
+        "name": name,
+        "size": size,
+        "serial_ms": base_ms,
+        "parallel_ms": cand_ms,
+        "speedup": speedup,
+        "gflops_serial": null,
+        "gflops_parallel": null,
     })
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let threads = pool::num_threads();
-    println!("pool threads: {threads} (STSM_NUM_THREADS overrides)\n");
+    println!("pool threads: {threads} (STSM_NUM_THREADS overrides){}\n", {
+        if smoke {
+            "   [smoke: tiny sizes, JSON not written]"
+        } else {
+            ""
+        }
+    });
     let mut cases = Vec::new();
 
-    // matmul at two sizes, both past the parallel threshold.
-    for &dim in &[256usize, 512] {
+    // matmul at two sizes, both past the packing threshold.
+    let matmul_dims: &[usize] = if smoke { &[64] } else { &[256, 512] };
+    for &dim in matmul_dims {
         let a = Tensor::from_vec([dim, dim], fill(dim * dim, 2654435761, 1000003));
         let b = Tensor::from_vec([dim, dim], fill(dim * dim, 40503, 999983));
-        let reps = if dim >= 512 { 3 } else { 5 };
-        cases.push(bench_case("matmul", &format!("{dim}x{dim}x{dim}"), reps, || {
+        let reps = if smoke {
+            1
+        } else if dim >= 512 {
+            3
+        } else {
+            5
+        };
+        let flops = 2.0 * (dim * dim * dim) as f64;
+        cases.push(bench_case("matmul", &format!("{dim}x{dim}x{dim}"), reps, Some(flops), || {
             matmul(&a, &b);
         }));
     }
 
-    // Batched matmul: parallel over the batch axis.
+    // Batched matmul: packing shared across batch entries when possible.
     {
-        let (bs, m, k, n) = (16usize, 96usize, 96usize, 96usize);
+        let (bs, m, k, n) =
+            if smoke { (2usize, 24usize, 24usize, 24usize) } else { (16, 96, 96, 96) };
         let a = Tensor::from_vec([bs, m, k], fill(bs * m * k, 97, 999979));
         let b = Tensor::from_vec([bs, k, n], fill(bs * k * n, 89, 999961));
-        cases.push(bench_case("bmm", &format!("{bs}x{m}x{k}x{n}"), 5, || {
+        let flops = 2.0 * (bs * m * k * n) as f64;
+        let reps = if smoke { 1 } else { 5 };
+        cases.push(bench_case("bmm", &format!("{bs}x{m}x{k}x{n}"), reps, Some(flops), || {
             bmm(&a, &b);
         }));
     }
 
     // Dilated conv over (N, C_out) rows — STSM's TCN shape at daily length.
     {
-        let (n, cin, cout, t, k) = (64usize, 32usize, 32usize, 288usize, 3usize);
+        let (n, cin, cout, t, k) =
+            if smoke { (4usize, 8usize, 8usize, 48usize, 3usize) } else { (64, 32, 32, 288, 3) };
         let x = Tensor::from_vec([n, cin, t], fill(n * cin * t, 31, 999959));
         let w = Tensor::from_vec([cout, cin, k], fill(cout * cin * k, 7, 997));
-        cases.push(bench_case("conv1d_dilated", &format!("{n}x{cin}->{cout}x{t} k{k}"), 5, || {
-            conv1d_dilated(&x, &w, None, 2);
-        }));
+        let flops = 2.0 * (n * cout * cin * k * t) as f64;
+        let reps = if smoke { 1 } else { 5 };
+        cases.push(bench_case(
+            "conv1d_dilated",
+            &format!("{n}x{cin}->{cout}x{t} k{k}"),
+            reps,
+            Some(flops),
+            || {
+                conv1d_dilated(&x, &w, None, 2);
+            },
+        ));
     }
 
-    // All-pairs DTW at the paper's daily-profile scale (band 16).
-    for &n_series in &[100usize, 200] {
-        let steps = 288usize;
+    // All-pairs DTW at the paper's daily-profile scale (band 16), pair-chunk
+    // dispatch.
+    let dtw_sizes: &[usize] = if smoke { &[20] } else { &[100, 200] };
+    for &n_series in dtw_sizes {
+        let steps = if smoke { 48usize } else { 288 };
         let series: Vec<Vec<f32>> = (0..n_series)
             .map(|s| {
                 (0..steps)
@@ -92,21 +171,67 @@ fn main() {
                     .collect()
             })
             .collect();
-        let reps = if n_series >= 200 { 2 } else { 3 };
+        let reps = if smoke {
+            1
+        } else if n_series >= 200 {
+            2
+        } else {
+            3
+        };
         cases.push(bench_case(
             "dtw_all_pairs",
             &format!("{n_series}x{steps} band16"),
             reps,
+            None,
             || {
                 dtw_all_pairs(&series, 16);
             },
         ));
     }
 
+    // Trainer-style window gathers: materialize every window as a fresh
+    // tensor (old route) vs stream a stride-aware view into one reused
+    // buffer (new route). Same bytes either way.
+    {
+        let (rows, t_total, t_in) =
+            if smoke { (16usize, 96usize, 12usize) } else { (200, 2016, 24) };
+        let mat = Tensor::from_vec([rows, t_total], fill(rows * t_total, 53, 999953));
+        let starts: Vec<usize> = (0..(t_total - t_in)).step_by(3).collect();
+        let reps = if smoke { 1 } else { 5 };
+        let copy_route = || {
+            for &s in &starts {
+                std::hint::black_box(mat.view().slice(1, s, s + t_in).to_tensor());
+            }
+        };
+        let mut buf: Vec<f32> = Vec::with_capacity(rows * t_in);
+        let view_route = || {
+            for &s in &starts {
+                buf.clear();
+                let w = mat.view().slice(1, s, s + t_in);
+                for r in 0..rows {
+                    w.index(0, r).extend_into(&mut buf);
+                }
+                std::hint::black_box(&buf);
+            }
+        };
+        cases.push(bench_pair(
+            "gather_view_vs_copy",
+            &format!("{rows}x{t_in} of T{t_total}"),
+            reps,
+            copy_route,
+            view_route,
+        ));
+    }
+
+    if smoke {
+        println!("\nsmoke run complete (BENCH_kernels.json left untouched)");
+        return;
+    }
+
     let report = json!({
         "threads": threads,
         "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        "note": "serial = pool::with_max_threads(1); results bit-identical, only wall-clock differs",
+        "note": "serial = pool::with_max_threads(1); results bit-identical, only wall-clock differs; gflops from 2mkn-style op counts",
         "cases": cases,
     });
     // crates/bench -> repo root.

@@ -71,7 +71,7 @@ pub use masking::{cosine, MaskingContext};
 pub use model::{predict_once, ForwardOutput, StModel};
 pub use predictor::Predictor;
 pub use problem::ProblemInstance;
-pub use pseudo::{blend_series, inverse_distance_weights};
+pub use pseudo::{blend_series, blend_series_strided, inverse_distance_weights};
 pub use resilience::{carry_impute, DataQuality, ResilienceReport, TrainOptions};
 pub use temporal_adj::{pseudo_weights_for, DtwContext};
 pub use trainer::{

@@ -119,6 +119,20 @@ impl ProblemInstance {
         &self.scaled[i * self.dataset.t_total + start..i * self.dataset.t_total + end]
     }
 
+    /// Gathers the full scaled series of the given global locations into a
+    /// `(len(globals), t_total)` tensor, one row per location. Gathered once
+    /// per (epoch × index set), this matrix lets the trainer take per-window
+    /// *views* (stride-aware slices along time) instead of copying every
+    /// window out of `scaled`.
+    pub fn gather_rows(&self, globals: &[usize]) -> stsm_tensor::Tensor {
+        let t_total = self.dataset.t_total;
+        let mut data = Vec::with_capacity(globals.len() * t_total);
+        for &g in globals {
+            data.extend_from_slice(self.scaled_range(g, 0, t_total));
+        }
+        stsm_tensor::Tensor::from_vec([globals.len(), t_total], data)
+    }
+
     /// Distance (matrix flavour) between global locations `i` and `j`.
     pub fn dist(&self, i: usize, j: usize) -> f32 {
         self.dist_matrices[i * self.n() + j]

@@ -32,6 +32,32 @@ pub fn inverse_distance_weights(dist: &[f32], targets: usize, sources: usize) ->
 /// * returns `targets × t`.
 pub fn blend_series(weights: &[f32], source_values: &[f32], sources: usize, t: usize) -> Vec<f32> {
     assert_eq!(source_values.len(), sources * t, "source values shape mismatch");
+    blend_series_strided(weights, source_values, sources, t, t, 0)
+}
+
+/// Strided variant of [`blend_series`]: source row `j` covers
+/// `source_values[j·row_stride + offset ..][..t]`, so a time window of a
+/// pre-gathered `sources × T_total` matrix blends in place with no window
+/// copy. Identical arithmetic, element order and zero-weight skipping as
+/// the contiguous entry point (which forwards here with `row_stride = t`,
+/// `offset = 0`).
+pub fn blend_series_strided(
+    weights: &[f32],
+    source_values: &[f32],
+    sources: usize,
+    t: usize,
+    row_stride: usize,
+    offset: usize,
+) -> Vec<f32> {
+    assert!(sources > 0 || weights.is_empty(), "weights without sources");
+    if sources == 0 {
+        return Vec::new();
+    }
+    assert!(offset + t <= row_stride.max(t), "window exceeds source row");
+    assert!(
+        (sources - 1) * row_stride + offset + t <= source_values.len(),
+        "source values shape mismatch"
+    );
     assert!(weights.len() % sources == 0, "weights not divisible by sources");
     let targets = weights.len() / sources;
     let mut out = vec![0.0f32; targets * t];
@@ -42,7 +68,8 @@ pub fn blend_series(weights: &[f32], source_values: &[f32], sources: usize, t: u
             if w == 0.0 {
                 continue;
             }
-            let srow = &source_values[j * t..(j + 1) * t];
+            let sbase = j * row_stride + offset;
+            let srow = &source_values[sbase..sbase + t];
             for (o, &s) in orow.iter_mut().zip(srow) {
                 *o += w * s;
             }

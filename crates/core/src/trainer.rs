@@ -24,7 +24,7 @@ use crate::error::StsmError;
 use crate::masking::MaskingContext;
 use crate::model::{ForwardOutput, StModel};
 use crate::problem::ProblemInstance;
-use crate::pseudo::blend_series;
+use crate::pseudo::blend_series_strided;
 use crate::resilience::{DataQuality, ResilienceReport, TrainOptions};
 use crate::temporal_adj::{pseudo_weights_for, DtwContext};
 use rand::rngs::StdRng;
@@ -36,7 +36,7 @@ use stsm_graph::{normalize_gcn, CsrLinMap};
 use stsm_tensor::nn::Fwd;
 use stsm_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use stsm_tensor::telemetry;
-use stsm_tensor::{ParamBinder, ParamStore, Tape, Tensor, Var};
+use stsm_tensor::{ParamBinder, ParamStore, Tape, Tensor, TensorView, Var};
 use stsm_timeseries::{sliding_windows, Metrics, WindowIndex};
 
 /// A trained STSM (or variant) ready for evaluation.
@@ -167,6 +167,10 @@ pub fn train_stsm_with(
     if windows.is_empty() {
         return Err(StsmError::TrainingPeriodTooShort { span, needed: cfg.t_in + cfg.t_out });
     }
+    // All observed series gathered once as an `(N_o, T_total)` matrix;
+    // every training window is a stride-aware *view* into it (see
+    // `window_view`) rather than a per-window copy out of `scaled`.
+    let obs_rows = problem.gather_rows(&observed);
     let mut store = ParamStore::new();
     let model = StModel::new(&mut store, cfg);
     // Mild weight decay fights overfitting to the observed region (the
@@ -237,8 +241,11 @@ pub fn train_stsm_with(
         let unmasked_locals: Vec<usize> = (0..n_obs).filter(|&i| !masked[i]).collect();
         let masked_globals: Vec<usize> = masked_locals.iter().map(|&l| observed[l]).collect();
         let unmasked_globals: Vec<usize> = unmasked_locals.iter().map(|&l| observed[l]).collect();
-        // 2. Pseudo-observation weights for the masked locations.
+        // 2. Pseudo-observation weights for the masked locations, plus the
+        //    unmasked series rows that pseudo-observations blend from
+        //    (gathered once per epoch; windows blend strided views of it).
         let pw = pseudo_weights_for(problem, &masked_globals, &unmasked_globals);
+        let unmasked_rows = problem.gather_rows(&unmasked_globals);
         // 3. Per-epoch DTW adjacency (Eq. links rebuilt because the masked
         //    set changed).
         let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(
@@ -261,13 +268,13 @@ pub fn train_stsm_with(
                 &model,
                 &store,
                 &masked_locals,
-                &unmasked_globals,
+                &unmasked_rows,
                 &pw,
                 &a_s,
                 &a_dtw,
                 &windows,
                 chunk,
-                &observed,
+                &obs_rows,
             );
             let norm = clip_grad_norm(&mut grads, 5.0);
             let bad = cfg.guard.enabled
@@ -388,13 +395,13 @@ fn batch_loss_and_grads(
     model: &StModel,
     store: &ParamStore,
     masked_locals: &[usize],
-    unmasked_globals: &[usize],
+    unmasked_rows: &Tensor,
     pseudo_weights: &[f32],
     a_s: &Arc<CsrLinMap>,
     a_dtw: &Arc<CsrLinMap>,
     windows: &[WindowIndex],
     chunk: &[usize],
-    observed: &[usize],
+    obs_rows: &Tensor,
 ) -> (f32, Vec<(stsm_tensor::ParamId, Tensor)>) {
     let tape = Tape::new();
     let mut binder = ParamBinder::new(&tape);
@@ -407,26 +414,28 @@ fn batch_loss_and_grads(
         let w = windows[wi];
         let abs_start = problem.train_time.start + w.input_start;
         let gather_t = telemetry::span("train.gather");
-        let x_full = gather_window(problem, observed, abs_start, cfg.t_in);
+        let xw = window_view(obs_rows, abs_start, cfg.t_in);
         let x_masked = mask_window(
-            &x_full,
+            &xw,
             masked_locals,
-            unmasked_globals,
+            unmasked_rows,
             pseudo_weights,
-            problem,
             abs_start,
             cfg.t_in,
             cfg.pseudo_observations,
         );
-        let y = gather_window(problem, observed, abs_start + cfg.t_in, cfg.t_out);
+        // The unmasked full window is only materialized when the
+        // contrastive branch actually feeds it to a second forward pass.
+        let x_full = cfg.contrastive.then(|| window_tensor(&xw));
+        let y = window_tensor(&window_view(obs_rows, abs_start + cfg.t_in, cfg.t_out));
         let tf = StModel::time_features(abs_start, cfg.t_in, spd);
         drop(gather_t);
         let _fwd_t = telemetry::span("train.forward");
         let out_m: ForwardOutput = model.forward(&mut fwd, &x_masked, &tf, a_s, a_dtw);
         let lp = fwd.tape().mse_loss(out_m.prediction, &y);
         pred_losses.push(lp);
-        if cfg.contrastive {
-            let out_f = model.forward(&mut fwd, &x_full, &tf, a_s, a_dtw);
+        if let Some(x_full) = &x_full {
+            let out_f = model.forward(&mut fwd, x_full, &tf, a_s, a_dtw);
             z_orig.push(out_f.graph_repr);
             z_masked.push(out_m.graph_repr);
         }
@@ -449,49 +458,64 @@ fn batch_loss_and_grads(
     (tape.value(loss).item(), binder.grads())
 }
 
-/// Gathers a `(rows, T, 1)` window of scaled values for the given global
-/// location ids.
-fn gather_window(problem: &ProblemInstance, globals: &[usize], start: usize, len: usize) -> Tensor {
-    let mut data = stsm_tensor::alloc::buf_with_capacity(globals.len() * len);
-    for &g in globals {
-        data.extend_from_slice(problem.scaled_range(g, start, start + len));
-    }
-    Tensor::from_vec([globals.len(), len, 1], data)
+/// A `(rows, len)` stride-aware view of the time window `[start, start+len)`
+/// inside a pre-gathered `(rows, T_total)` row matrix — no data is copied.
+fn window_view(rows: &Tensor, start: usize, len: usize) -> TensorView<'_> {
+    telemetry::count("train.gather.view", 1);
+    rows.view().slice(1, start, start + len)
 }
 
-/// Replaces masked rows of a `(N_o, T, 1)` window with pseudo-observations
-/// blended from the unmasked locations (Eq. 3).
-#[allow(clippy::too_many_arguments)]
+/// Materializes a window view as a `(rows, len, 1)` tensor for consumers
+/// that need an owned tensor (loss targets, the contrastive second pass).
+fn window_tensor(w: &TensorView<'_>) -> Tensor {
+    telemetry::count("train.gather.copy", 1);
+    let (rows, len) = (w.dim(0), w.dim(1));
+    w.to_tensor().reshape([rows, len, 1])
+}
+
+/// Builds the masked `(N_o, len, 1)` input window: unmasked rows stream
+/// straight out of the window *view*, masked rows get pseudo-observations
+/// blended from strided views of the unmasked row matrix (Eq. 3) — the
+/// per-window source copy the old path made is gone.
 fn mask_window(
-    x_full: &Tensor,
+    x_window: &TensorView<'_>,
     masked_locals: &[usize],
-    unmasked_globals: &[usize],
+    unmasked_rows: &Tensor,
     pseudo_weights: &[f32],
-    problem: &ProblemInstance,
     start: usize,
     len: usize,
     pseudo_observations: bool,
 ) -> Tensor {
+    let n_obs = x_window.dim(0);
     if masked_locals.is_empty() {
-        return x_full.clone();
+        return window_tensor(x_window);
     }
-    let pseudo = if pseudo_observations {
-        let mut sources = Vec::with_capacity(unmasked_globals.len() * len);
-        for &g in unmasked_globals {
-            sources.extend_from_slice(problem.scaled_range(g, start, start + len));
-        }
-        blend_series(pseudo_weights, &sources, unmasked_globals.len(), len)
+    let n_unmasked = unmasked_rows.dim(0);
+    let pseudo = if pseudo_observations && n_unmasked > 0 {
+        blend_series_strided(
+            pseudo_weights,
+            unmasked_rows.data(),
+            n_unmasked,
+            len,
+            unmasked_rows.dim(1),
+            start,
+        )
     } else {
         vec![0.0f32; masked_locals.len() * len]
     };
-    let mut x = x_full.clone();
-    {
-        let data = x.data_mut();
-        for (row, &l) in masked_locals.iter().enumerate() {
-            data[l * len..(l + 1) * len].copy_from_slice(&pseudo[row * len..(row + 1) * len]);
+    let mut data = stsm_tensor::alloc::buf_with_capacity(n_obs * len);
+    // `masked_locals` is sorted ascending, so one pointer sweep interleaves
+    // pseudo rows with view rows in output order.
+    let mut mi = 0usize;
+    for r in 0..n_obs {
+        if mi < masked_locals.len() && masked_locals[mi] == r {
+            data.extend_from_slice(&pseudo[mi * len..(mi + 1) * len]);
+            mi += 1;
+        } else {
+            x_window.index(0, r).extend_into(&mut data);
         }
     }
-    x
+    Tensor::from_vec([n_obs, len, 1], data)
 }
 
 impl TrainedStsm {

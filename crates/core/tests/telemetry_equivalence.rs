@@ -81,9 +81,8 @@ fn train_and_evaluate_bitwise_identical_with_telemetry_on_and_off() {
 
     let (off_model, off_report) =
         telemetry::with_telemetry(false, || train_stsm(&p, &cfg).expect("trains"));
-    let off_eval = telemetry::with_telemetry(false, || {
-        evaluate_stsm(&off_model, &p).expect("evaluates")
-    });
+    let off_eval =
+        telemetry::with_telemetry(false, || evaluate_stsm(&off_model, &p).expect("evaluates"));
     assert!(off_report.telemetry.is_none(), "disabled runs must not carry a snapshot");
     assert!(off_eval.telemetry.is_none());
 

@@ -140,6 +140,11 @@ impl InferSession {
         self.push(out)
     }
 
+    pub(crate) fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let out = kernels::bmm_nt(self.val(a), self.val(b));
+        self.push(out)
+    }
+
     pub(crate) fn linmap(&mut self, map: Arc<dyn LinMap>, x: Var) -> Var {
         let out = map.apply(self.val(x));
         self.push(out)

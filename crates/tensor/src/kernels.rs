@@ -2,94 +2,117 @@
 //! row-wise softmax. These are the hot paths of model training; everything
 //! else composes out of elementwise maps.
 //!
-//! The matmul kernel uses an i-k-j loop order (streaming through rows of `b`)
-//! which auto-vectorizes well. All kernels split *output* ranges over the
-//! persistent worker pool ([`crate::pool`]) once the problem is large enough
-//! to amortize dispatch: every output element is computed by exactly one
-//! thread with a serial inner loop, so results are bit-identical to the
-//! serial path for any thread count.
+//! Matrix products route by size: at or above [`PACK_THRESHOLD`] multiply-
+//! adds they take the cache-blocked packed SIMD path ([`crate::gemm`]);
+//! below it they keep the naive i-k-j kernel whose constant factors win when
+//! packing cannot amortize. Both paths accept strided [`gemm::MatRef`]
+//! operands, so the `_nt`/`_tn` transpose entries read the original storage
+//! in place instead of materializing a transposed copy. All kernels split
+//! *output* ranges over the persistent worker pool ([`crate::pool`]) once
+//! the problem is large enough to amortize dispatch: every output element is
+//! computed by exactly one thread with a serial inner loop, so results are
+//! bit-identical to the serial path for any thread count.
+//!
+//! ## Zero-skip and the finiteness verdict
+//!
+//! The naive kernel skips `a == 0` terms, which is only sound when `b`
+//! carries no NaN/Inf (`0 · NaN` must stay NaN). That verdict comes from the
+//! cached [`Tensor::all_finite`] atomic tag — computed at most once per
+//! tensor, never rescanned per call — and is consulted *lazily*, only when a
+//! product actually routes to the naive path. The packed path needs no
+//! verdict at all: its dense FMA loop never skips a term, so non-finite
+//! values propagate by construction.
 
 use crate::alloc;
+use crate::gemm::{self, BatchedMatRef, MatRef};
 use crate::pool::{self, SliceWriter};
 use crate::telemetry;
 use crate::tensor::Tensor;
 
-/// Minimum number of multiply-adds before a kernel goes parallel.
-const PAR_THRESHOLD: usize = 1 << 22; // ~4M MACs
+/// Products with at least this many multiply-adds take the packed blocked
+/// SIMD path; packing `B` costs `O(k·n)` against `O(m·k·n)` compute, so
+/// below this the naive kernel's lower constant factors win.
+const PACK_THRESHOLD: usize = 1 << 15;
 
-/// Minimum amount of per-chunk work (in inner-loop operations) a parallel
-/// chunk should carry, so dispatch overhead stays negligible.
-const MIN_CHUNK_WORK: usize = 1 << 16;
-
-/// Multiplies row-major `a` (m×k) by `b` (k×n) into a new m×n buffer.
-/// Production entry points go through [`matmul`] for the cached finiteness
-/// verdict; this slice-level wrapper remains the test reference.
-#[cfg_attr(not(test), allow(dead_code))]
+/// Multiplies row-major `a` (m×k) by `b` (k×n) into a new m×n buffer using
+/// the naive i-k-j kernel unconditionally. Production entry points go
+/// through [`matmul`]; this slice-level wrapper is the property-test
+/// reference the packed path is checked against.
 pub fn matmul_raw(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     // The zero-skip fast path is only sound when `b` is free of non-finite
     // values (0·NaN must stay NaN, 0·∞ likewise); one cheap scan of `b`
-    // decides for the whole product. Tensor-level entry points pass the
+    // decides for the whole product. Tensor-level entry points use the
     // cached [`Tensor::all_finite`] verdict instead of rescanning.
     let skip_zeros = b.iter().all(|v| v.is_finite());
     let mut out = alloc::buf_zeroed(m * n);
-    matmul_into(a, b, &mut out, m, k, n, skip_zeros);
+    naive_into(
+        MatRef::contiguous(a, 0, k),
+        MatRef::contiguous(b, 0, n),
+        &mut out,
+        m,
+        k,
+        n,
+        skip_zeros,
+    );
     out
 }
 
-/// Multiplies `a` (m×k) by `b` (k×n) into the zeroed buffer `out` (m×n),
-/// splitting the row range over the pool when the work is large enough.
-/// `skip_zeros` must only be set when `b` is free of NaN/Inf.
-fn matmul_into(
-    a: &[f32],
-    b: &[f32],
+/// Naive i-k-j product over strided operands: serial, zero-skipping.
+/// `skip_zeros` must only be set when `b` contains no NaN/Inf, or zeros in
+/// `a` would swallow them. For contiguous operands this performs exactly the
+/// additions of the historical row kernel, in the same order; strided
+/// operands read the same logical elements through their strides, so a view
+/// route is bitwise identical to the materialized-copy route it replaces.
+fn naive_into(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
     out: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
     skip_zeros: bool,
 ) {
-    let row_work = k * n;
-    if m * row_work < PAR_THRESHOLD {
-        matmul_rows_into(a, b, out, 0, m, k, n, skip_zeros);
-        return;
-    }
-    let min_rows = MIN_CHUNK_WORK.div_ceil(row_work.max(1)).max(1);
-    let writer = SliceWriter::new(out);
-    pool::par_chunks(m, min_rows, |rows| {
-        // Safety: row ranges are disjoint, so the output slices are too.
-        let chunk = unsafe { writer.slice(rows.start * n..rows.end * n) };
-        matmul_rows_into(a, b, chunk, rows.start, rows.len(), k, n, skip_zeros);
-    });
-}
-
-/// Computes `rows` output rows starting at `row0` into `out` (relative
-/// indexing). `skip_zeros` enables the sparse fast path; it must only be set
-/// when `b` contains no NaN/Inf, or zeros in `a` would swallow them.
-#[allow(clippy::too_many_arguments)]
-fn matmul_rows_into(
-    a: &[f32],
-    b: &[f32],
-    out: &mut [f32],
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n: usize,
-    skip_zeros: bool,
-) {
-    for i in 0..rows {
-        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+    for i in 0..m {
         let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
+        for kk in 0..k {
+            let av = a.data[a.base + i * a.rs + kk * a.cs];
             if skip_zeros && av == 0.0 {
                 continue;
             }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+            if b.cs == 1 {
+                let bb = b.base + kk * b.rs;
+                let brow = &b.data[bb..bb + n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            } else {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o += av * b.data[b.base + kk * b.rs + j * b.cs];
+                }
             }
         }
+    }
+}
+
+/// Size-routed product core: packed blocked path at or above
+/// [`PACK_THRESHOLD`] MACs, naive path below it. `naive_skip` produces the
+/// zero-skip soundness verdict and is only invoked on the naive route (the
+/// packed path propagates non-finite values without needing one).
+fn mm_into(
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    naive_skip: impl FnOnce() -> bool,
+) {
+    if m * k * n >= PACK_THRESHOLD {
+        gemm::gemm_into(a, b, out, m, k, n);
+    } else {
+        naive_into(a, b, out, m, k, n, naive_skip());
     }
 }
 
@@ -102,12 +125,101 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", a.shape(), b.shape());
     let mut out = alloc::buf_zeroed(m * n);
-    matmul_into(a.data(), b.data(), &mut out, m, k, n, b.all_finite());
+    mm_into(
+        MatRef::contiguous(a.data(), 0, k),
+        MatRef::contiguous(b.data(), 0, n),
+        &mut out,
+        m,
+        k,
+        n,
+        || b.all_finite(),
+    );
     Tensor::from_vec([m, n], out)
 }
 
-/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n). Parallel over the
-/// batch axis; a single large batch still parallelizes inside `matmul_into`.
+/// `a · bᵀ` for `a` (m,k) and `b` (n,k) — the backward pass's `G·Wᵀ` route.
+/// Reads `b` through a transposed stride view: no `bᵀ` copy is ever
+/// materialized, and the result is bitwise identical to
+/// `matmul(a, &b.t())` because the same logical elements are combined in
+/// the same order.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.matmul");
+    assert_eq!(a.rank(), 2, "matmul_nt lhs must be 2-D, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul_nt rhs must be 2-D, got {}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_nt inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = alloc::buf_zeroed(m * n);
+    mm_into(
+        MatRef::contiguous(a.data(), 0, k),
+        MatRef::contiguous(b.data(), 0, k).transposed(),
+        &mut out,
+        m,
+        k,
+        n,
+        || b.all_finite(),
+    );
+    Tensor::from_vec([m, n], out)
+}
+
+/// `aᵀ · b` for `a` (m,k) and `b` (m,n) — the backward pass's `Xᵀ·G` route,
+/// reading `a` through a transposed stride view. Bitwise identical to
+/// `matmul(&a.t(), b)`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.matmul");
+    assert_eq!(a.rank(), 2, "matmul_tn lhs must be 2-D, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul_tn rhs must be 2-D, got {}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (m2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(m, m2, "matmul_tn inner dims mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = alloc::buf_zeroed(k * n);
+    mm_into(
+        MatRef::contiguous(a.data(), 0, k).transposed(),
+        MatRef::contiguous(b.data(), 0, n),
+        &mut out,
+        k,
+        m,
+        n,
+        || b.all_finite(),
+    );
+    Tensor::from_vec([k, n], out)
+}
+
+/// Size-routed batched product core shared by the `bmm*` entries. Large
+/// per-batch products take the packed path (which also amortizes packing
+/// across batches when `b` is batch-broadcast); small ones run the naive
+/// kernel parallel over batch entries.
+#[allow(clippy::too_many_arguments)]
+fn bmm_core(
+    a: BatchedMatRef<'_>,
+    b: BatchedMatRef<'_>,
+    bs: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    naive_skip: impl FnOnce() -> bool,
+) -> Vec<f32> {
+    let mut out = alloc::buf_zeroed(bs * m * n);
+    if m * k * n >= PACK_THRESHOLD {
+        gemm::bmm_into(a, b, &mut out, bs, m, k, n);
+    } else {
+        // One whole-tensor verdict (cached on `b`) instead of one scan per
+        // batch: more conservative when only some batches carry NaN/Inf, but
+        // the skip path never changes values, so results are identical.
+        let skip_zeros = naive_skip();
+        let writer = SliceWriter::new(&mut out);
+        pool::par_chunks_weighted(bs, m * k * n, |batches| {
+            for i in batches {
+                // Safety: batch blocks are disjoint output regions.
+                let chunk = unsafe { writer.slice(i * m * n..(i + 1) * m * n) };
+                naive_into(a.mat(i), b.mat(i), chunk, m, k, n, skip_zeros);
+            }
+        });
+    }
+    out
+}
+
+/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n).
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = telemetry::span("kernel.bmm");
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
@@ -116,31 +228,61 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let (bs2, k2, n) = (b.dim(0), b.dim(1), b.dim(2));
     assert_eq!(bs, bs2, "bmm batch mismatch");
     assert_eq!(k, k2, "bmm inner dims mismatch");
-    let (ad, bd) = (a.data(), b.data());
-    // One whole-tensor verdict (cached on `b`) instead of one scan per
-    // batch: more conservative when only some batches carry NaN/Inf, but the
-    // skip path never changes values, so results are identical either way.
-    let skip_zeros = b.all_finite();
-    let per_batch = m * k * n;
-    let mut out = alloc::buf_zeroed(bs * m * n);
-    let min_batches = MIN_CHUNK_WORK.div_ceil(per_batch.max(1)).max(1);
-    let writer = SliceWriter::new(&mut out);
-    pool::par_chunks(bs, min_batches, |batches| {
-        // Safety: batch ranges are disjoint, so the output blocks are too.
-        let chunk = unsafe { writer.slice(batches.start * m * n..batches.end * m * n) };
-        for (ci, i) in batches.enumerate() {
-            matmul_into(
-                &ad[i * m * k..(i + 1) * m * k],
-                &bd[i * k * n..(i + 1) * k * n],
-                &mut chunk[ci * m * n..(ci + 1) * m * n],
-                m,
-                k,
-                n,
-                skip_zeros,
-            );
-        }
-    });
+    let out = bmm_core(
+        BatchedMatRef::contiguous(a.data(), m, k),
+        BatchedMatRef::contiguous(b.data(), k, n),
+        bs,
+        m,
+        k,
+        n,
+        || b.all_finite(),
+    );
     Tensor::from_vec([bs, m, n], out)
+}
+
+/// Batched `a · bᵀ`: (B,m,k) × (B,n,k) → (B,m,n) — attention's `Q·Kᵀ`
+/// without materializing the transposed keys. Bitwise identical to
+/// `bmm(a, &b.permute(&[0, 2, 1]))`.
+pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.bmm");
+    assert_eq!(a.rank(), 3, "bmm_nt lhs must be 3-D");
+    assert_eq!(b.rank(), 3, "bmm_nt rhs must be 3-D");
+    let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+    let (bs2, n, k2) = (b.dim(0), b.dim(1), b.dim(2));
+    assert_eq!(bs, bs2, "bmm_nt batch mismatch");
+    assert_eq!(k, k2, "bmm_nt inner dims mismatch");
+    let out = bmm_core(
+        BatchedMatRef::contiguous(a.data(), m, k),
+        BatchedMatRef::contiguous(b.data(), n, k).transposed(),
+        bs,
+        m,
+        k,
+        n,
+        || b.all_finite(),
+    );
+    Tensor::from_vec([bs, m, n], out)
+}
+
+/// Batched `aᵀ · b`: (B,m,k) × (B,m,n) → (B,k,n) — the bmm backward's
+/// `Aᵀ·G` route. Bitwise identical to `bmm(&a.permute(&[0, 2, 1]), b)`.
+pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let _t = telemetry::span("kernel.bmm");
+    assert_eq!(a.rank(), 3, "bmm_tn lhs must be 3-D");
+    assert_eq!(b.rank(), 3, "bmm_tn rhs must be 3-D");
+    let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+    let (bs2, m2, n) = (b.dim(0), b.dim(1), b.dim(2));
+    assert_eq!(bs, bs2, "bmm_tn batch mismatch");
+    assert_eq!(m, m2, "bmm_tn inner dims mismatch");
+    let out = bmm_core(
+        BatchedMatRef::contiguous(a.data(), m, k).transposed(),
+        BatchedMatRef::contiguous(b.data(), m, n),
+        bs,
+        k,
+        m,
+        n,
+        || b.all_finite(),
+    );
+    Tensor::from_vec([bs, k, n], out)
 }
 
 /// Dilated causal-padded 1-D convolution over the last axis.
@@ -176,9 +318,8 @@ pub fn conv1d_dilated(
     let skip_zeros = input.all_finite();
     let mut out = alloc::buf_zeroed(n * cout * t);
     let pair_work = cin * k * t;
-    let min_pairs = MIN_CHUNK_WORK.div_ceil(pair_work.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
-    pool::par_chunks(n * cout, min_pairs, |pairs| {
+    pool::par_chunks_weighted(n * cout, pair_work, |pairs| {
         // Safety: (batch, channel) row ranges are disjoint output rows.
         let chunk = unsafe { writer.slice(pairs.start * t..pairs.end * t) };
         for (pi, p) in pairs.enumerate() {
@@ -289,9 +430,8 @@ pub fn softmax_lastdim(x: &Tensor) -> Tensor {
     let rows = x.numel() / d;
     let mut out = alloc::buf_zeroed(x.numel());
     let data = x.data();
-    let min_rows = MIN_CHUNK_WORK.div_ceil(d.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
-    pool::par_chunks(rows, min_rows, |rs| {
+    pool::par_chunks_weighted(rows, d, |rs| {
         // Safety: row ranges are disjoint output rows.
         let chunk = unsafe { writer.slice(rs.start * d..rs.end * d) };
         for (ri, r) in rs.enumerate() {
@@ -320,9 +460,8 @@ pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
     let rows = x.numel() / d;
     let mut out = alloc::buf_zeroed(x.numel());
     let data = x.data();
-    let min_rows = MIN_CHUNK_WORK.div_ceil(d.max(1)).max(1);
     let writer = SliceWriter::new(&mut out);
-    pool::par_chunks(rows, min_rows, |rs| {
+    pool::par_chunks_weighted(rows, d, |rs| {
         // Safety: row ranges are disjoint output rows.
         let chunk = unsafe { writer.slice(rs.start * d..rs.end * d) };
         for (ri, r) in rs.enumerate() {
@@ -350,8 +489,9 @@ pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
 
 /// Fused affine map `x·W + b` with `x` (m×k), `W` (k×n) and a broadcast bias
 /// row `b` (n). Bit-identical to `matmul(x, w)` followed by a broadcast add:
-/// every output row accumulates the matrix product from zero and adds the
-/// bias once at the end.
+/// the product routes through the same size-selected kernel as `matmul`, and
+/// the bias pass adds each row in the same element order as the composed
+/// broadcast add.
 pub fn addmm(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     let _t = telemetry::span("kernel.addmm");
     assert_eq!(x.rank(), 2, "addmm lhs must be 2-D, got {}", x.shape());
@@ -360,52 +500,34 @@ pub fn addmm(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (w.dim(0), w.dim(1));
     assert_eq!(k, k2, "addmm inner dims mismatch: {} vs {}", x.shape(), w.shape());
     assert_eq!(b.numel(), n, "addmm bias must have {} elements, got {}", n, b.shape());
-    let skip_zeros = w.all_finite();
-    let (xd, wd, bd) = (x.data(), w.data(), b.data());
     let mut out = alloc::buf_zeroed(m * n);
-    let row_work = k * n;
-    if m * row_work < PAR_THRESHOLD {
-        addmm_rows(xd, wd, bd, &mut out, 0, m, k, n, skip_zeros);
-    } else {
-        let min_rows = MIN_CHUNK_WORK.div_ceil(row_work.max(1)).max(1);
-        let writer = SliceWriter::new(&mut out);
-        pool::par_chunks(m, min_rows, |rows| {
-            // Safety: row ranges are disjoint, so the output slices are too.
-            let chunk = unsafe { writer.slice(rows.start * n..rows.end * n) };
-            addmm_rows(xd, wd, bd, chunk, rows.start, rows.len(), k, n, skip_zeros);
-        });
+    mm_into(
+        MatRef::contiguous(x.data(), 0, k),
+        MatRef::contiguous(w.data(), 0, n),
+        &mut out,
+        m,
+        k,
+        n,
+        || w.all_finite(),
+    );
+    let bd = b.data();
+    for orow in out.chunks_exact_mut(n) {
+        for (o, &bv) in orow.iter_mut().zip(bd) {
+            *o += bv;
+        }
     }
     Tensor::from_vec([m, n], out)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn addmm_rows(
-    x: &[f32],
-    w: &[f32],
-    b: &[f32],
-    out: &mut [f32],
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n: usize,
-    skip_zeros: bool,
-) {
-    matmul_rows_into(x, w, out, row0, rows, k, n, skip_zeros);
-    for orow in out[..rows * n].chunks_exact_mut(n) {
-        for (o, &bv) in orow.iter_mut().zip(b) {
-            *o += bv;
-        }
-    }
-}
-
 /// Backward pass of [`addmm`]: `(grad_x, grad_w, grad_b)` for output
 /// gradient `g`. Matches the composed path: the matmul gradients are the
-/// standard `G·Wᵀ` / `Xᵀ·G` products, and the bias gradient sums `g` over
-/// rows in row-major order — the same addition sequence as
+/// standard `G·Wᵀ` / `Xᵀ·G` products (read through transpose views — no
+/// materialized `Wᵀ`/`Xᵀ`), and the bias gradient sums `g` over rows in
+/// row-major order — the same addition sequence as
 /// `Tensor::reduce_to(g, bias_shape)`.
 pub fn addmm_backward(x: &Tensor, w: &Tensor, g: &Tensor) -> (Tensor, Tensor, Tensor) {
-    let gx = matmul(g, &w.t());
-    let gw = matmul(&x.t(), g);
+    let gx = matmul_nt(g, w);
+    let gw = matmul_tn(x, g);
     let n = g.dim(1);
     let mut gb = alloc::buf_zeroed(n);
     for row in g.data().chunks_exact(n) {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+mod gemm;
 mod infer;
 mod kernels;
 mod linmap;
@@ -50,15 +51,19 @@ pub mod optim;
 mod params;
 pub mod pool;
 mod shape;
+pub mod simd;
 mod tape;
 mod tape_ext;
 pub mod telemetry;
 mod tensor;
 
 pub use infer::InferSession;
-pub use kernels::{addmm, bmm, conv1d_dilated, log_softmax_lastdim, matmul, softmax_lastdim};
+pub use kernels::{
+    addmm, bmm, bmm_nt, bmm_tn, conv1d_dilated, log_softmax_lastdim, matmul, matmul_nt, matmul_raw,
+    matmul_tn, softmax_lastdim,
+};
 pub use linmap::{DenseLinMap, LinMap};
 pub use params::{ParamBinder, ParamId, ParamLayoutError, ParamStore};
-pub use shape::Shape;
+pub use shape::{Layout, Shape};
 pub use tape::{Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{Tensor, TensorView};

@@ -60,7 +60,8 @@ impl LinMap for DenseLinMap {
         assert_eq!(rows, self.out_rows(), "LinMap transpose input rows mismatch");
         let cols = g.numel() / rows;
         let g2 = g.reshape([rows, cols]);
-        let y = crate::kernels::matmul(&self.matrix.t(), &g2);
+        // Transpose-view route: reads `matrix` in place, no materialized Aᵀ.
+        let y = crate::kernels::matmul_tn(&self.matrix, &g2);
         let mut out_dims = g.dims().to_vec();
         out_dims[0] = self.in_rows();
         y.reshape(out_dims)

@@ -56,8 +56,7 @@ impl MultiHeadAttention {
         let q = split(fwd, q);
         let k = split(fwd, k);
         let v = split(fwd, v);
-        let kt = fwd.permute(k, &[0, 2, 1]);
-        let scores = fwd.bmm(q, kt);
+        let scores = fwd.bmm_nt(q, k);
         let scores = fwd.mul_scalar(scores, 1.0 / (dh as f32).sqrt());
         let attn = fwd.softmax_lastdim(scores);
         let ctx = fwd.bmm(attn, v);

@@ -125,6 +125,9 @@ impl<'a, 't> Fwd<'a, 't> {
         fn matmul(a: Var, b: Var) -> Var;
         /// Batched matrix product `(b, m, k) × (b, k, n)`.
         fn bmm(a: Var, b: Var) -> Var;
+        /// Batched `a · bᵀ` product `(b, m, k) × (b, n, k)` — reads the
+        /// second operand through a transpose view (no materialized copy).
+        fn bmm_nt(a: Var, b: Var) -> Var;
         /// Applies a constant linear operator (e.g. a graph adjacency).
         fn linmap(map: Arc<dyn LinMap>, x: Var) -> Var;
         /// Fused `x @ w + b` (row-broadcast bias).

@@ -116,6 +116,43 @@ pub fn with_max_threads<R>(cap: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Minimum total inner-loop operations a region must carry before dispatch
+/// to the pool pays for itself; smaller regions run inline on the calling
+/// thread. A region at this size is ~50 µs of serial arithmetic, an order of
+/// magnitude above the channel-send + wakeup cost of a dispatch — below it,
+/// parallelism shows up as the *negative* speedups the kernel bench used to
+/// record for small `bmm` and `dtw_all_pairs` shapes.
+pub const INLINE_WORK_THRESHOLD: usize = 1 << 19;
+
+/// Minimum inner-loop operations one chunk should carry once a region does
+/// go parallel, so per-chunk claim overhead stays amortized.
+pub const MIN_CHUNK_WORK: usize = 1 << 16;
+
+/// Work-aware variant of [`par_chunks`]: `item_work` approximates the
+/// inner-loop operations per item (MACs for matmul strips, DP cells for DTW
+/// pairs). Regions below [`INLINE_WORK_THRESHOLD`] total operations take the
+/// inline path without touching the pool, and parallel chunks are sized so
+/// each carries at least [`MIN_CHUNK_WORK`] operations.
+///
+/// The chunking depends only on `n_items` and `item_work`, never on the
+/// thread count observed at runtime, so the determinism contract of
+/// [`par_chunks`] carries over unchanged.
+pub fn par_chunks_weighted<F>(n_items: usize, item_work: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n_items == 0 {
+        return;
+    }
+    let item_work = item_work.max(1);
+    if n_items.saturating_mul(item_work) < INLINE_WORK_THRESHOLD {
+        telemetry::count("pool.region.inline", 1);
+        f(0..n_items);
+        return;
+    }
+    par_chunks(n_items, MIN_CHUNK_WORK.div_ceil(item_work), f)
+}
+
 /// Splits `0..n_items` into chunks of at least `min_chunk` indices and runs
 /// `f` on each chunk, using the pool when the range is large enough. Chunks
 /// are disjoint and cover every index exactly once. `f` must only touch

@@ -126,6 +126,186 @@ impl Shape {
     }
 }
 
+/// A stride-aware view layout: dimension sizes plus per-dimension strides and
+/// a start offset into some underlying buffer.
+///
+/// Where [`Shape`] describes a dense row-major tensor, a `Layout` describes an
+/// arbitrary *view* of one — a transpose, a slice, a window — without moving
+/// data. Transforms ([`Layout::transposed`], [`Layout::slice`],
+/// [`Layout::index`], [`Layout::permuted`]) only rewrite dims/strides/offset;
+/// [`Layout::merged`] coalesces adjacent dimensions that happen to be
+/// contiguous with each other so copies and kernels can walk longer runs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Layout {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+    offset: usize,
+}
+
+impl Layout {
+    /// The contiguous row-major layout of `shape`, starting at offset 0.
+    pub fn contiguous(shape: &Shape) -> Self {
+        Layout { dims: shape.dims().to_vec(), strides: shape.strides(), offset: 0 }
+    }
+
+    /// Builds a layout from raw parts. `dims` and `strides` must have equal
+    /// length.
+    pub fn from_parts(dims: Vec<usize>, strides: Vec<usize>, offset: usize) -> Self {
+        assert_eq!(dims.len(), strides.len(), "layout dims/strides rank mismatch");
+        Layout { dims, strides, offset }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Size of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Stride (in elements of the underlying buffer) of dimension `axis`.
+    pub fn stride(&self, axis: usize) -> usize {
+        self.strides[axis]
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The strides.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Start offset into the underlying buffer.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Total number of elements addressed by the view.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The view's logical shape.
+    pub fn shape(&self) -> Shape {
+        Shape(self.dims.clone())
+    }
+
+    /// Linear buffer offset of a multi-dimensional index.
+    pub fn offset_of(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = self.offset;
+        for (i, &x) in idx.iter().enumerate() {
+            debug_assert!(x < self.dims[i], "index out of bounds");
+            off += x * self.strides[i];
+        }
+        off
+    }
+
+    /// One past the largest buffer offset the view can touch (0 for an empty
+    /// view). Used to validate a layout against a buffer length.
+    pub fn required_len(&self) -> usize {
+        if self.numel() == 0 {
+            return 0;
+        }
+        let mut last = self.offset;
+        for (d, s) in self.dims.iter().zip(&self.strides) {
+            last += (d - 1) * s;
+        }
+        last + 1
+    }
+
+    /// True when the view walks its elements in dense row-major order from
+    /// `offset` (size-1 dimensions ignored, empty views trivially contiguous).
+    pub fn is_contiguous(&self) -> bool {
+        let mut acc = 1usize;
+        for i in (0..self.rank()).rev() {
+            if self.dims[i] == 1 {
+                continue;
+            }
+            if self.strides[i] != acc {
+                return false;
+            }
+            acc *= self.dims[i];
+        }
+        true
+    }
+
+    /// Layout with dimensions `a` and `b` swapped.
+    pub fn transposed(&self, a: usize, b: usize) -> Layout {
+        let mut l = self.clone();
+        l.dims.swap(a, b);
+        l.strides.swap(a, b);
+        l
+    }
+
+    /// Layout with axes reordered so output axis `i` is input axis `perm[i]`.
+    pub fn permuted(&self, perm: &[usize]) -> Layout {
+        assert_eq!(perm.len(), self.rank(), "permute rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {:?}", perm);
+            seen[p] = true;
+        }
+        Layout {
+            dims: perm.iter().map(|&p| self.dims[p]).collect(),
+            strides: perm.iter().map(|&p| self.strides[p]).collect(),
+            offset: self.offset,
+        }
+    }
+
+    /// Layout restricted to `[start, end)` along `axis`.
+    pub fn slice(&self, axis: usize, start: usize, end: usize) -> Layout {
+        assert!(axis < self.rank(), "slice axis out of range");
+        assert!(start <= end && end <= self.dims[axis], "slice range out of bounds");
+        let mut l = self.clone();
+        l.offset += start * l.strides[axis];
+        l.dims[axis] = end - start;
+        l
+    }
+
+    /// Layout of the sub-view at index `i` along `axis`, with the axis
+    /// removed (rank decreases by one).
+    pub fn index(&self, axis: usize, i: usize) -> Layout {
+        assert!(axis < self.rank(), "index axis out of range");
+        assert!(i < self.dims[axis], "index out of bounds");
+        let mut l = self.clone();
+        l.offset += i * l.strides[axis];
+        l.dims.remove(axis);
+        l.strides.remove(axis);
+        l
+    }
+
+    /// Coalesces adjacent dimensions that are contiguous with each other
+    /// (`stride[i] == stride[i+1] * dim[i+1]`), in the spirit of
+    /// `ArrayLayout::merge`: a fully contiguous view collapses to rank 1, a
+    /// row-sliced matrix to its longest memcpy-able runs. Size-1 dimensions
+    /// are dropped (a scalar view keeps rank 0).
+    pub fn merged(&self) -> Layout {
+        let mut dims: Vec<usize> = Vec::with_capacity(self.rank());
+        let mut strides: Vec<usize> = Vec::with_capacity(self.rank());
+        for i in 0..self.rank() {
+            if self.dims[i] == 1 {
+                continue;
+            }
+            if let (Some(ld), Some(ls)) = (dims.last_mut(), strides.last()) {
+                if *ls == self.strides[i] * self.dims[i] {
+                    *ld *= self.dims[i];
+                    *strides.last_mut().unwrap() = self.strides[i];
+                    continue;
+                }
+            }
+            dims.push(self.dims[i]);
+            strides.push(self.strides[i]);
+        }
+        Layout { dims, strides, offset: self.offset }
+    }
+}
+
 impl fmt::Debug for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Shape{:?}", self.0)
@@ -206,5 +386,66 @@ mod tests {
         let s = Shape::new(&[2, 3, 4]);
         assert_eq!(s.remove_axis(1), Shape::new(&[2, 4]));
         assert_eq!(s.keep_axis(1), Shape::new(&[2, 1, 4]));
+    }
+
+    #[test]
+    fn layout_contiguous_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let l = Layout::contiguous(&s);
+        assert!(l.is_contiguous());
+        assert_eq!(l.numel(), 24);
+        assert_eq!(l.required_len(), 24);
+        for off in 0..s.numel() {
+            let idx = s.unravel(off);
+            assert_eq!(l.offset_of(&idx), off);
+        }
+    }
+
+    #[test]
+    fn layout_transpose_and_slice() {
+        let s = Shape::new(&[3, 5]);
+        let t = Layout::contiguous(&s).transposed(0, 1);
+        assert_eq!(t.dims(), &[5, 3]);
+        assert!(!t.is_contiguous());
+        assert_eq!(t.offset_of(&[2, 1]), 1 * 5 + 2);
+        let sl = Layout::contiguous(&s).slice(1, 1, 4);
+        assert_eq!(sl.dims(), &[3, 3]);
+        assert_eq!(sl.offset(), 1);
+        assert_eq!(sl.offset_of(&[2, 0]), 11);
+        assert_eq!(sl.required_len(), 14);
+        let ix = Layout::contiguous(&s).index(0, 2);
+        assert_eq!(ix.dims(), &[5]);
+        assert_eq!(ix.offset(), 10);
+        assert!(ix.is_contiguous());
+    }
+
+    #[test]
+    fn layout_merge_coalesces_contiguous_runs() {
+        let s = Shape::new(&[2, 3, 4]);
+        // Fully contiguous collapses to rank 1.
+        let m = Layout::contiguous(&s).merged();
+        assert_eq!(m.dims(), &[24]);
+        assert_eq!(m.strides(), &[1]);
+        // A last-axis slice keeps rows separate but merges the outer two.
+        let sl = Layout::contiguous(&s).slice(2, 0, 2).merged();
+        assert_eq!(sl.dims(), &[6, 2]);
+        assert_eq!(sl.strides(), &[4, 1]);
+        // An outer-axis slice stays one contiguous run.
+        let sl0 = Layout::contiguous(&s).slice(0, 1, 2).merged();
+        assert_eq!(sl0.dims(), &[12]);
+        assert_eq!(sl0.offset(), 12);
+        // Size-1 dims vanish; a scalar view ends at rank 0.
+        let one = Layout::contiguous(&Shape::new(&[1, 1])).merged();
+        assert_eq!(one.rank(), 0);
+        assert_eq!(one.numel(), 1);
+    }
+
+    #[test]
+    fn layout_permute_matches_transpose() {
+        let s = Shape::new(&[2, 3, 4]);
+        let l = Layout::contiguous(&s);
+        assert_eq!(l.permuted(&[0, 2, 1]), l.transposed(1, 2));
+        assert_eq!(l.permuted(&[2, 0, 1]).dims(), &[4, 2, 3]);
+        assert_eq!(l.permuted(&[2, 0, 1]).strides(), &[1, 12, 4]);
     }
 }

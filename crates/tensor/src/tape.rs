@@ -190,9 +190,10 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g| {
-                // dL/dA = G Bᵀ ; dL/dB = Aᵀ G
-                let ga = kernels::matmul(g, &tb.t());
-                let gb = kernels::matmul(&ta.t(), g);
+                // dL/dA = G Bᵀ ; dL/dB = Aᵀ G — transpose-view routes, no
+                // materialized Bᵀ/Aᵀ (bitwise identical to the copy routes).
+                let ga = kernels::matmul_nt(g, &tb);
+                let gb = kernels::matmul_tn(&ta, g);
                 vec![(a.0, ga), (b.0, gb)]
             })),
         )
@@ -205,8 +206,26 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g| {
-                let ga = kernels::bmm(g, &tb.permute(&[0, 2, 1]));
-                let gb = kernels::bmm(&ta.permute(&[0, 2, 1]), g);
+                let ga = kernels::bmm_nt(g, &tb);
+                let gb = kernels::bmm_tn(&ta, g);
+                vec![(a.0, ga), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// Batched `a · bᵀ` of two 3-D nodes: (B,m,k)×(B,n,k) → (B,m,n) —
+    /// attention's `Q·Kᵀ` without materializing the transposed keys.
+    /// Bit-identical to `bmm(a, permute(b, &[0, 2, 1]))` in forward and
+    /// backward.
+    pub fn bmm_nt(&self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (self.value(a), self.value(b));
+        let out = kernels::bmm_nt(&ta, &tb);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                // out = A Bᵀ: dL/dA = G B ; dL/dB = Gᵀ A.
+                let ga = kernels::bmm(g, &tb);
+                let gb = kernels::bmm_tn(g, &ta);
                 vec![(a.0, ga), (b.0, gb)]
             })),
         )

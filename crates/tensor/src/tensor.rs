@@ -5,7 +5,7 @@
 //! shared. This keeps the autograd tape cheap: saved activations are clones.
 
 use crate::alloc;
-use crate::shape::Shape;
+use crate::shape::{Layout, Shape};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -487,6 +487,20 @@ impl Tensor {
         !self.all_finite()
     }
 
+    /// A stride-aware borrowed view of the whole tensor (contiguous layout).
+    /// Views reindex without copying: transposes, slices and window gathers
+    /// become layout rewrites that the packed matmul kernels consume
+    /// directly (see [`crate::kernels`]).
+    pub fn view(&self) -> TensorView<'_> {
+        TensorView { data: &self.data, layout: Layout::contiguous(&self.shape) }
+    }
+
+    /// The transpose of a 2-D tensor as a view (no copy).
+    pub fn t_view(&self) -> TensorView<'_> {
+        assert_eq!(self.rank(), 2, "t_view() requires a 2-D tensor, got {}", self.shape);
+        self.view().transposed(0, 1)
+    }
+
     /// Approximate equality within `tol` (elementwise absolute difference).
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
@@ -495,6 +509,142 @@ impl Tensor {
                 .iter()
                 .zip(other.data.iter())
                 .all(|(&a, &b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+}
+
+/// A borrowed, stride-aware view of a tensor's storage.
+///
+/// A view is a [`Layout`] over a `&[f32]`: transposes, slices, axis indexing
+/// and window extraction rewrite the layout without touching data. Views feed
+/// the packed matmul kernels directly (any 2-D strides), and
+/// [`TensorView::to_tensor`] materializes one contiguous copy when an owned
+/// tensor is unavoidable — copying in merged runs, not element by element.
+#[derive(Clone)]
+pub struct TensorView<'a> {
+    data: &'a [f32],
+    layout: Layout,
+}
+
+impl<'a> TensorView<'a> {
+    /// Builds a view from a raw buffer and layout. The layout must fit the
+    /// buffer.
+    pub fn from_parts(data: &'a [f32], layout: Layout) -> Self {
+        assert!(
+            layout.required_len() <= data.len(),
+            "layout requires {} elements, buffer has {}",
+            layout.required_len(),
+            data.len()
+        );
+        TensorView { data, layout }
+    }
+
+    /// The underlying buffer (unsliced; index through the layout).
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// The view's layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.layout.rank()
+    }
+
+    /// Size of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.layout.dim(axis)
+    }
+
+    /// Total number of elements addressed.
+    pub fn numel(&self) -> usize {
+        self.layout.numel()
+    }
+
+    /// The view's logical shape.
+    pub fn shape(&self) -> Shape {
+        self.layout.shape()
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.layout.offset_of(idx)]
+    }
+
+    /// View with dimensions `a` and `b` swapped.
+    pub fn transposed(&self, a: usize, b: usize) -> TensorView<'a> {
+        TensorView { data: self.data, layout: self.layout.transposed(a, b) }
+    }
+
+    /// View with axes reordered (`numpy.transpose` semantics).
+    pub fn permuted(&self, perm: &[usize]) -> TensorView<'a> {
+        TensorView { data: self.data, layout: self.layout.permuted(perm) }
+    }
+
+    /// View restricted to `[start, end)` along `axis`.
+    pub fn slice(&self, axis: usize, start: usize, end: usize) -> TensorView<'a> {
+        TensorView { data: self.data, layout: self.layout.slice(axis, start, end) }
+    }
+
+    /// Sub-view at index `i` along `axis` (axis removed).
+    pub fn index(&self, axis: usize, i: usize) -> TensorView<'a> {
+        TensorView { data: self.data, layout: self.layout.index(axis, i) }
+    }
+
+    /// Materializes the view into an owned contiguous tensor, copying in the
+    /// longest contiguous runs the layout allows ([`Layout::merged`]).
+    pub fn to_tensor(&self) -> Tensor {
+        let shape = self.shape();
+        let n = shape.numel();
+        let mut out = alloc::buf_with_capacity(n);
+        self.extend_into(&mut out);
+        Tensor::from_vec(shape, out)
+    }
+
+    /// Appends the view's elements (row-major order) to `out`.
+    pub fn extend_into(&self, out: &mut Vec<f32>) {
+        let m = self.layout.merged();
+        if m.rank() == 0 {
+            if self.layout.numel() == 1 {
+                out.push(self.data[m.offset()]);
+            }
+            return;
+        }
+        if self.layout.numel() == 0 {
+            return;
+        }
+        // Innermost merged dimension: memcpy runs when unit-stride, strided
+        // walk otherwise.
+        let r = m.rank();
+        let run = m.dim(r - 1);
+        let run_stride = m.stride(r - 1);
+        let outer: usize = m.dims()[..r - 1].iter().product();
+        let mut idx = vec![0usize; r - 1];
+        let mut base = m.offset();
+        for _ in 0..outer {
+            if run_stride == 1 {
+                out.extend_from_slice(&self.data[base..base + run]);
+            } else {
+                out.extend((0..run).map(|j| self.data[base + j * run_stride]));
+            }
+            for i in (0..r - 1).rev() {
+                idx[i] += 1;
+                base += m.stride(i);
+                if idx[i] < m.dim(i) {
+                    break;
+                }
+                base -= m.stride(i) * m.dim(i);
+                idx[i] = 0;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TensorView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TensorView(shape={}, layout={:?})", self.shape(), self.layout)
     }
 }
 
@@ -634,6 +784,38 @@ mod tests {
         assert!(m.t().has_non_finite());
         assert!(m.reshape([2, 1]).has_non_finite());
         assert!(m.permute(&[1, 0]).has_non_finite());
+    }
+
+    #[test]
+    fn views_reindex_without_copying() {
+        let t = Tensor::arange(24).reshape([2, 3, 4]);
+        let v = t.view();
+        assert_eq!(v.shape(), *t.shape());
+        assert_eq!(v.at(&[1, 2, 3]), t.at(&[1, 2, 3]));
+        // Transpose view matches the materializing transpose.
+        let m = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.t_view().to_tensor(), m.t());
+        // Slice view matches the materializing slice.
+        assert_eq!(v.slice(1, 1, 3).to_tensor(), t.slice(1, 1, 3));
+        // Permute view matches permute.
+        assert_eq!(v.permuted(&[2, 0, 1]).to_tensor(), t.permute(&[2, 0, 1]));
+        // Index drops the axis.
+        let row = m.view().index(0, 1);
+        assert_eq!(row.shape().dims(), &[3]);
+        assert_eq!(row.to_tensor().data(), &[4., 5., 6.]);
+        // Chained: transpose of a slice.
+        let ts = v.slice(2, 1, 4).index(0, 1).transposed(0, 1);
+        assert_eq!(ts.shape().dims(), &[3, 3]);
+        assert_eq!(ts.at(&[0, 2]), t.at(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn view_to_tensor_scalar_and_empty() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.view().to_tensor(), s);
+        let e = Tensor::zeros([2, 0, 3]);
+        assert_eq!(e.view().to_tensor().numel(), 0);
+        assert_eq!(e.view().to_tensor().dims(), &[2, 0, 3]);
     }
 
     #[test]

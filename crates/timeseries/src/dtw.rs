@@ -49,30 +49,65 @@ pub fn dtw_similarity(d: f32, scale: f32) -> f32 {
     (-d / scale.max(1e-12)).exp()
 }
 
+/// Approximate DP cells per banded DTW call, used to weight pool dispatch:
+/// each of ~`t` rows fills ~`2·band + 1` cells.
+fn dtw_work_estimate(series: &[Vec<f32>], band: usize) -> usize {
+    let t = series.first().map(|s| s.len()).unwrap_or(0).max(1);
+    t * (2 * band.min(t) + 1)
+}
+
+/// Maps a flat index into the strict upper triangle of an `n × n` matrix
+/// (row-major pair order: `(0,1), (0,2), …, (0,n-1), (1,2), …`) back to its
+/// `(i, j)` pair. Row `i` starts at flat offset `i·(2n − i − 1)/2`.
+fn pair_at(p: usize, n: usize) -> (usize, usize) {
+    debug_assert!(p < n * (n - 1) / 2);
+    // Binary-search the largest row whose starting offset is <= p.
+    let row_start = |i: usize| i * (2 * n - i - 1) / 2;
+    let (mut lo, mut hi) = (0usize, n - 1);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if row_start(mid) <= p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let i = if row_start(hi) <= p { hi } else { lo };
+    (i, i + 1 + (p - row_start(i)))
+}
+
 /// All-pairs DTW distances over `series` (each a slice of equal or varying
 /// length). Returns a row-major symmetric N×N matrix with a zero diagonal.
 ///
-/// Rows are computed in parallel on the shared worker pool: the worker for
-/// row `i` computes every pair `(i, j>i)` and fills both `(i,j)` and its
-/// mirror `(j,i)`, so each cell is written by exactly one worker and the
-/// result is identical for any thread count.
+/// Work is dispatched over chunks of `(i, j)` *pairs* — not rows — so the
+/// per-chunk cost is uniform (row `i` owns `n − 1 − i` pairs, which made
+/// row-granularity chunks progressively lighter and left the last workers
+/// idle), and small inputs take the pool's inline path instead of paying
+/// dispatch overhead. The worker owning pair `(i, j)` writes both `(i,j)`
+/// and its mirror `(j,i)`, so each cell is written by exactly one worker
+/// and the result is identical for any thread count.
 pub fn dtw_all_pairs(series: &[Vec<f32>], band: usize) -> Vec<f32> {
     let n = series.len();
     let mut out = vec![0.0f32; n * n];
     if n < 2 {
         return out;
     }
+    let n_pairs = n * (n - 1) / 2;
     let writer = pool::SliceWriter::new(&mut out);
-    pool::par_chunks(n, 1, |is| {
-        for i in is {
-            for j in (i + 1)..n {
-                let d = dtw_banded(&series[i], &series[j], band);
-                // Safety: cell (i,j) with j>i and its mirror (j,i) belong to
-                // row i's worker alone.
-                unsafe {
-                    writer.slice(i * n + j..i * n + j + 1)[0] = d;
-                    writer.slice(j * n + i..j * n + i + 1)[0] = d;
-                }
+    pool::par_chunks_weighted(n_pairs, dtw_work_estimate(series, band), |ps| {
+        let (mut i, mut j) = pair_at(ps.start, n);
+        for _ in ps {
+            let d = dtw_banded(&series[i], &series[j], band);
+            // Safety: cell (i,j) with j>i and its mirror (j,i) belong to
+            // this pair's worker alone.
+            unsafe {
+                writer.slice(i * n + j..i * n + j + 1)[0] = d;
+                writer.slice(j * n + i..j * n + i + 1)[0] = d;
+            }
+            j += 1;
+            if j == n {
+                i += 1;
+                j = i + 1;
             }
         }
     });
@@ -80,7 +115,8 @@ pub fn dtw_all_pairs(series: &[Vec<f32>], band: usize) -> Vec<f32> {
 }
 
 /// DTW distances from each of `from` to each of `to` (rows = `from`).
-/// Parallel over the rows of `from`.
+/// Parallel over the `(i, j)` cells of the output, weighted like
+/// [`dtw_all_pairs`] so small products stay inline.
 pub fn dtw_cross(from: &[Vec<f32>], to: &[Vec<f32>], band: usize) -> Vec<f32> {
     let (n, m) = (from.len(), to.len());
     let mut out = vec![0.0f32; n * m];
@@ -88,13 +124,11 @@ pub fn dtw_cross(from: &[Vec<f32>], to: &[Vec<f32>], band: usize) -> Vec<f32> {
         return out;
     }
     let writer = pool::SliceWriter::new(&mut out);
-    pool::par_chunks(n, 1, |is| {
-        // Safety: row ranges are disjoint output rows.
-        let chunk = unsafe { writer.slice(is.start * m..is.end * m) };
-        for (ri, i) in is.enumerate() {
-            for j in 0..m {
-                chunk[ri * m + j] = dtw_banded(&from[i], &to[j], band);
-            }
+    pool::par_chunks_weighted(n * m, dtw_work_estimate(from, band), |cells| {
+        // Safety: cell ranges are disjoint output cells.
+        let chunk = unsafe { writer.slice(cells.start..cells.end) };
+        for (ci, c) in cells.enumerate() {
+            chunk[ci] = dtw_banded(&from[c / m], &to[c % m], band);
         }
     });
     out
@@ -165,6 +199,20 @@ mod tests {
     fn empty_series_edge_cases() {
         assert_eq!(dtw(&[], &[]), 0.0);
         assert!(dtw(&[1.0], &[]).is_infinite());
+    }
+
+    #[test]
+    fn pair_at_inverts_flat_enumeration() {
+        for n in [2, 3, 5, 10, 17] {
+            let mut p = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(pair_at(p, n), (i, j), "n={n} p={p}");
+                    p += 1;
+                }
+            }
+            assert_eq!(p, n * (n - 1) / 2);
+        }
     }
 
     #[test]

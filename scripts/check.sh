@@ -29,4 +29,11 @@ cargo test -q -p stsm-core --test telemetry_equivalence
 cargo test -q -p stsm-timeseries --test metrics_closed_form
 cargo test -q -p stsm-timeseries --test dtw_band_properties
 cargo test -q -p stsm-baselines --test baseline_training
+# The blocked-SIMD kernel contract (DESIGN.md, "Kernel architecture"):
+# packed-vs-naive tolerance on odd shapes, bitwise thread-count and
+# run-to-run determinism, view-route equality — at every SIMD level the
+# host supports (the suite forces Scalar internally; STSM_SIMD=off is the
+# process-wide switch). Pinned by name, plus a bench-binary wiring smoke.
+cargo test -q -p stsm-tensor --test kernel_tiling_equivalence
+cargo run -q -p stsm-bench --release --bin bench_kernels -- --smoke
 cargo clippy --all-targets -q -- -D warnings
