@@ -87,7 +87,7 @@ pub fn graph_embeddings(problem: &ProblemInstance) -> Vec<Vec<f32>> {
 
 fn largest_divisor(steps_per_day: usize, requested: usize) -> usize {
     let mut d = requested.clamp(1, steps_per_day);
-    while steps_per_day % d != 0 {
+    while !steps_per_day.is_multiple_of(d) {
         d -= 1;
     }
     d

@@ -27,7 +27,6 @@ const T_IN: usize = 24;
 const HIDDEN: usize = 32;
 const T_OUT: usize = 12;
 const WARMUP: usize = 3;
-const WINDOWS: usize = 50;
 
 struct RunStats {
     outputs: Vec<u32>,
@@ -36,8 +35,8 @@ struct RunStats {
     reused_per_window: f64,
 }
 
-fn window_inputs(rng: &mut StdRng) -> Vec<Tensor> {
-    (0..WARMUP + WINDOWS).map(|_| uniform([BATCH, T_IN, 1], -1.0, 1.0, rng)).collect()
+fn window_inputs(rng: &mut StdRng, windows: usize) -> Vec<Tensor> {
+    (0..WARMUP + windows).map(|_| uniform([BATCH, T_IN, 1], -1.0, 1.0, rng)).collect()
 }
 
 /// Forward every window through a fresh Train-mode tape (the pre-refactor
@@ -65,11 +64,12 @@ fn run_train_mode(store: &ParamStore, gru: &GruCell, head: &Linear, xs: &[Tensor
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let (fresh, reused) = alloc::alloc_counts();
+    let windows = xs.len() - WARMUP;
     RunStats {
         outputs,
-        windows_per_sec: WINDOWS as f64 / elapsed,
-        fresh_per_window: fresh as f64 / WINDOWS as f64,
-        reused_per_window: reused as f64 / WINDOWS as f64,
+        windows_per_sec: windows as f64 / elapsed,
+        fresh_per_window: fresh as f64 / windows as f64,
+        reused_per_window: reused as f64 / windows as f64,
     }
 }
 
@@ -98,27 +98,32 @@ fn run_infer_mode(store: &ParamStore, gru: &GruCell, head: &Linear, xs: &[Tensor
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let (fresh, reused) = alloc::alloc_counts();
+    let windows = xs.len() - WARMUP;
     RunStats {
         outputs,
-        windows_per_sec: WINDOWS as f64 / elapsed,
-        fresh_per_window: fresh as f64 / WINDOWS as f64,
-        reused_per_window: reused as f64 / WINDOWS as f64,
+        windows_per_sec: windows as f64 / elapsed,
+        fresh_per_window: fresh as f64 / windows as f64,
+        reused_per_window: reused as f64 / windows as f64,
     }
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let windows = if smoke { 5 } else { 50 };
     let threads = pool::num_threads();
     println!(
-        "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, {WINDOWS} measured \
+        "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, {windows} measured \
          forward-only windows, pool threads {threads}\n"
     );
     let mut rng = StdRng::seed_from_u64(2424);
     let mut store = ParamStore::new();
     let gru = GruCell::new(&mut store, "g", 1, HIDDEN, &mut rng);
     let head = Linear::new(&mut store, "head", HIDDEN, T_OUT, &mut rng);
-    let xs = window_inputs(&mut rng);
+    let xs = window_inputs(&mut rng, windows);
+    stsm_bench::reset_peak_rss();
     let train = run_train_mode(&store, &gru, &head, &xs);
     let infer = run_infer_mode(&store, &gru, &head, &xs);
+    let peak_rss = stsm_bench::peak_rss_bytes();
     assert_eq!(
         train.outputs, infer.outputs,
         "Train and Infer forward outputs must be bitwise identical"
@@ -132,10 +137,11 @@ fn main() {
     let report = json!({
         "workload": format!(
             "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, T {T_IN}, \
-             {WINDOWS} forward-only windows"
+             {windows} forward-only windows"
         ),
         "threads": threads,
         "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "peak_rss_bytes": peak_rss,
         "note": "single-CPU container; windows/sec is indicative, allocations/window is exact. \
                  Outputs asserted bitwise identical Train vs Infer before writing. Train mode \
                  builds a fresh tape + binder per window; Infer mode binds parameters once and \
@@ -151,10 +157,14 @@ fn main() {
             "pool_reuses_per_window": infer.reused_per_window,
         },
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
-    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
-        .expect("write BENCH_infer.json");
-    println!("\nwrote {path}");
+    if smoke {
+        println!("\nsmoke run: BENCH_infer.json left untouched");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_infer.json");
+        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
+            .expect("write BENCH_infer.json");
+        println!("\nwrote {path}");
+    }
 
     // One more instrumented Infer-mode pass: the session counters and kernel
     // span totals land in the telemetry table (stderr).

@@ -26,8 +26,6 @@ const BATCH: usize = 16;
 const T_IN: usize = 24;
 const HIDDEN: usize = 32;
 const T_OUT: usize = 12;
-const WARMUP: usize = 3;
-const STEPS: usize = 30;
 
 struct RunStats {
     losses: Vec<u32>,
@@ -38,7 +36,7 @@ struct RunStats {
 
 /// Runs the full training loop with the pool forced on or off; returns the
 /// per-step loss bits, throughput and per-step buffer-request counts.
-fn run(pool_on: bool) -> RunStats {
+fn run(pool_on: bool, warmup: usize, steps: usize) -> RunStats {
     alloc::with_pool(pool_on, || {
         // Start each mode from an empty pool so "off" cannot consume
         // buffers recycled by a previous "on" run.
@@ -50,7 +48,7 @@ fn run(pool_on: bool) -> RunStats {
         let x = uniform([BATCH, T_IN, 1], -1.0, 1.0, &mut rng);
         let y = uniform([BATCH, T_OUT], -1.0, 1.0, &mut rng);
         let mut opt = Adam::new(0.01);
-        let mut losses = Vec::with_capacity(WARMUP + STEPS);
+        let mut losses = Vec::with_capacity(warmup + steps);
         let step = |store: &mut ParamStore, opt: &mut Adam| {
             let (loss_v, mut grads) = {
                 let tape = Tape::new();
@@ -67,34 +65,38 @@ fn run(pool_on: bool) -> RunStats {
             opt.step(store, &grads);
             loss_v
         };
-        for _ in 0..WARMUP {
+        for _ in 0..warmup {
             losses.push(step(&mut store, &mut opt).to_bits());
         }
         alloc::reset_alloc_counts();
         let t0 = Instant::now();
-        for _ in 0..STEPS {
+        for _ in 0..steps {
             losses.push(step(&mut store, &mut opt).to_bits());
         }
         let elapsed = t0.elapsed().as_secs_f64();
         let (fresh, reused) = alloc::alloc_counts();
         RunStats {
             losses,
-            steps_per_sec: STEPS as f64 / elapsed,
-            fresh_per_step: fresh as f64 / STEPS as f64,
-            reused_per_step: reused as f64 / STEPS as f64,
+            steps_per_sec: steps as f64 / elapsed,
+            fresh_per_step: fresh as f64 / steps as f64,
+            reused_per_step: reused as f64 / steps as f64,
         }
     })
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (warmup, steps) = if smoke { (1, 4) } else { (3, 30) };
     let threads = pool::num_threads();
     println!(
-        "GRU({}->{}) + Linear({}->{}), batch {BATCH}, {STEPS} measured steps, \
+        "GRU({}->{}) + Linear({}->{}), batch {BATCH}, {steps} measured steps, \
          pool threads {threads}\n",
         1, HIDDEN, HIDDEN, T_OUT
     );
-    let on = run(true);
-    let off = run(false);
+    stsm_bench::reset_peak_rss();
+    let on = run(true, warmup, steps);
+    let off = run(false, warmup, steps);
+    let peak_rss = stsm_bench::peak_rss_bytes();
     assert_eq!(on.losses, off.losses, "pool on/off loss trajectories must be bitwise identical");
     for (label, r) in [("pool on ", &on), ("pool off", &off)] {
         println!(
@@ -105,10 +107,11 @@ fn main() {
     let report = json!({
         "workload": format!(
             "GRU(1->{HIDDEN}) + Linear({HIDDEN}->{T_OUT}), batch {BATCH}, T {T_IN}, \
-             {STEPS} steps of forward/backward/clip/Adam"
+             {steps} steps of forward/backward/clip/Adam"
         ),
         "threads": threads,
         "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "peak_rss_bytes": peak_rss,
         "note": "single-CPU container; steps/sec is indicative, allocations/step is exact. \
                  Loss trajectories asserted bitwise identical pool on vs off before writing.",
         "pool_on": {
@@ -122,16 +125,20 @@ fn main() {
             "pool_reuses_per_step": off.reused_per_step,
         },
     });
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
-    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
-        .expect("write BENCH_train.json");
-    println!("\nwrote {path}");
+    if smoke {
+        println!("\nsmoke run: BENCH_train.json left untouched");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
+            .expect("write BENCH_train.json");
+        println!("\nwrote {path}");
+    }
 
     // Cross-check the telemetry registry against the alloc-stats counters on
     // one more instrumented run, and show the kernel/phase span table.
     telemetry::with_telemetry(true, || {
         telemetry::reset();
-        run(true);
+        run(true, warmup, steps);
         let (fresh, reused) = alloc::alloc_counts();
         assert!(
             telemetry::counter_value("alloc.fresh") >= fresh

@@ -8,10 +8,12 @@
 
 #![warn(missing_docs)]
 
+pub mod rss;
 pub mod runner;
 pub mod scale;
 pub mod table;
 
+pub use rss::{peak_rss_bytes, reset_peak_rss};
 pub use runner::{
     apply_sensor_cap, average_results, distance_mode_for, run_dataset_lineup,
     run_dataset_lineup_with_splits, run_model, ModelId, RunResult,

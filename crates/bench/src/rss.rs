@@ -1,0 +1,61 @@
+//! Peak resident-set-size measurement for benchmark reports.
+//!
+//! Linux exposes the process's high-water mark as `VmHWM` in
+//! `/proc/self/status`, and writing `"5"` to `/proc/self/clear_refs`
+//! resets the watermark to the *current* RSS — so a reset immediately
+//! before a phase followed by a read immediately after bounds that phase's
+//! peak memory. Both calls degrade gracefully (`None` / `false`) on other
+//! platforms or in sandboxes that hide procfs.
+
+/// Peak resident set size in bytes (`VmHWM`) since process start or the
+/// last successful [`reset_peak_rss`]. `None` off Linux or when procfs is
+/// unreadable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Resets the peak-RSS watermark to the current RSS so the next
+/// [`peak_rss_bytes`] covers only the work done in between. Returns whether
+/// the reset took effect (always `false` off Linux).
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // Any live process maps at least a few hundred KiB.
+            assert!(bytes > 100 * 1024, "implausible VmHWM: {bytes}");
+        }
+    }
+
+    #[test]
+    fn reset_then_allocate_moves_watermark() {
+        if !reset_peak_rss() {
+            return; // unsupported platform/sandbox: nothing to check
+        }
+        let before = peak_rss_bytes();
+        // Touch a buffer noticeably larger than the page cache noise floor.
+        let mut big = vec![0u8; 64 << 20];
+        for i in (0..big.len()).step_by(4096) {
+            big[i] = i as u8;
+        }
+        let after = peak_rss_bytes();
+        std::hint::black_box(&big);
+        if let (Some(b), Some(a)) = (before, after) {
+            assert!(a >= b, "watermark went backwards: {b} -> {a}");
+            assert!(a - b > 32 << 20, "64MiB touch must raise the watermark, got {}", a - b);
+        }
+    }
+}

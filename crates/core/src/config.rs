@@ -21,6 +21,40 @@ pub enum TemporalModule {
     Transformer,
 }
 
+/// Candidate-pair policy for the DTW neighbour search behind `A_dtw`
+/// (§3.4.1). The search itself is always lower-bound pruned; this only
+/// controls which pairs are eligible at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DtwCandidates {
+    /// Every other node is a candidate — selections match the dense
+    /// all-pairs ranking bitwise. Default.
+    #[default]
+    Exact,
+    /// Each node only considers its `per_node` spatially nearest sensors
+    /// (grid-bucketed k-NN over coordinates). Approximate: a temporally
+    /// similar but spatially distant peer can be missed. Opt-in for
+    /// metro-scale graphs where even the pruned exact scan is too slow.
+    Spatial {
+        /// Spatially nearest candidates kept per node.
+        per_node: usize,
+    },
+}
+
+impl DtwCandidates {
+    /// Reads the `STSM_DTW_CANDIDATES` override: `exact` or `spatial:<k>`
+    /// (e.g. `spatial:32`). Returns `None` when unset or unparseable.
+    pub fn from_env() -> Option<Self> {
+        let v = std::env::var("STSM_DTW_CANDIDATES").ok()?.to_lowercase();
+        if v == "exact" {
+            return Some(DtwCandidates::Exact);
+        }
+        v.strip_prefix("spatial:")
+            .and_then(|k| k.parse().ok())
+            .filter(|&k: &usize| k > 0)
+            .map(|per_node| DtwCandidates::Spatial { per_node })
+    }
+}
+
 /// Which distance function feeds adjacency matrices and pseudo-observations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DistanceMode {
@@ -161,6 +195,10 @@ pub struct StsmConfig {
     pub dtw_band: usize,
     /// Downsampling factor for DTW daily profiles.
     pub dtw_downsample: usize,
+    /// Candidate-pair policy for the DTW neighbour search. `#[serde(default)]`
+    /// keeps configs serialized before this field existed loadable.
+    #[serde(default)]
+    pub dtw_candidates: DtwCandidates,
     /// Masking strategy.
     pub masking: MaskingMode,
     /// Whether the contrastive module is enabled.
@@ -202,6 +240,7 @@ impl Default for StsmConfig {
             windows_per_epoch: 24,
             dtw_band: 6,
             dtw_downsample: 4,
+            dtw_candidates: DtwCandidates::from_env().unwrap_or_default(),
             masking: MaskingMode::Selective,
             contrastive: true,
             temporal: TemporalModule::DilatedConv,
@@ -301,8 +340,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "T == T'")]
     fn rejects_mismatched_horizons() {
-        let mut c = StsmConfig::default();
-        c.t_out = 6;
+        let c = StsmConfig { t_out: 6, ..StsmConfig::default() };
         c.validate();
     }
 

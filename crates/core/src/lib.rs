@@ -64,7 +64,9 @@ pub use analysis::{evaluate_detailed, DetailedEval};
 pub use checkpoint::{
     config_fingerprint, CheckpointError, GuardSnapshot, TrainCheckpoint, CHECKPOINT_VERSION,
 };
-pub use config::{DistanceMode, GuardConfig, MaskingMode, StsmConfig, TemporalModule, Variant};
+pub use config::{
+    DistanceMode, DtwCandidates, GuardConfig, MaskingMode, StsmConfig, TemporalModule, Variant,
+};
 pub use contrastive::nt_xent;
 pub use error::StsmError;
 pub use masking::{cosine, MaskingContext};

@@ -17,6 +17,7 @@ use stsm_tensor::{InferSession, ParamStore, Tensor, Var};
 pub const TIME_FEATURES: usize = 5;
 
 /// Temporal sub-module of one block.
+#[allow(clippy::large_enum_variant)] // one instance per block; size is irrelevant
 enum TemporalSub {
     /// Two stacked dilated causal convolutions (Eq. 5).
     Conv(Conv1d, Conv1d),
@@ -93,7 +94,7 @@ impl StModel {
                     )
                 }
                 TemporalModule::Transformer => {
-                    let heads = if h % 4 == 0 { 4 } else { 1 };
+                    let heads = if h.is_multiple_of(4) { 4 } else { 1 };
                     TemporalSub::Transformer(
                         TransformerEncoderLayer::new(
                             store,
@@ -206,6 +207,7 @@ impl StModel {
         ForwardOutput { prediction, graph_repr }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn block_forward(
         &self,
         fwd: &mut Fwd,

@@ -51,7 +51,13 @@ impl<'m> Predictor<'m> {
         let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
             &problem.spatial_adjacency(&all, cfg.epsilon_s),
         )));
-        let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+        let dtw = DtwContext::with_options(
+            problem,
+            cfg.dtw_band,
+            cfg.dtw_downsample,
+            cfg.dtw_candidates,
+            cfg.q_kk.max(cfg.q_ku),
+        );
         let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
         let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
             n,

@@ -58,7 +58,7 @@ pub fn blend_series_strided(
         (sources - 1) * row_stride + offset + t <= source_values.len(),
         "source values shape mismatch"
     );
-    assert!(weights.len() % sources == 0, "weights not divisible by sources");
+    assert!(weights.len().is_multiple_of(sources), "weights not divisible by sources");
     let targets = weights.len() / sources;
     let mut out = vec![0.0f32; targets * t];
     for ti in 0..targets {

@@ -5,34 +5,72 @@
 //! allowed, but pseudo-observed locations (masked at training, unobserved at
 //! testing) only *receive* messages from observed locations — their noisy
 //! pseudo-profiles never pollute observed embeddings.
+//!
+//! Only the `q` nearest neighbours of each node ever reach the adjacency,
+//! so the context stores a lower-bound-pruned sparse top-`q` structure
+//! (O(N·q) memory) instead of the former N×N distance matrix plus full
+//! per-node rankings. Selections stay bitwise identical to the dense
+//! ranking: the sparse rows are exact prefixes of it, and whenever a
+//! masked-subset scan exhausts a truncated row the node is rescanned
+//! against the full eligible candidate set (counted by the
+//! `dtw.fallback_rescan` telemetry counter).
 
+use crate::config::DtwCandidates;
 use crate::problem::ProblemInstance;
 use crate::pseudo::{blend_series, inverse_distance_weights};
-use stsm_graph::CsrMatrix;
-use stsm_tensor::pool;
-use stsm_timeseries::{daily_profile, dtw_all_pairs, dtw_banded};
+use stsm_graph::{grid_knn, CsrMatrix};
+use stsm_tensor::{pool, telemetry};
+use stsm_timeseries::{
+    daily_profile, dtw_banded, dtw_envelope, dtw_envelopes, dtw_nearest, dtw_top_q,
+    dtw_top_q_with_candidates, DtwEnvelope, PruneStats, SparseNeighbors,
+};
+
+/// How many ranked neighbours each sparse row holds relative to the largest
+/// `q` the adjacency builders will request. The headroom absorbs masked
+/// entries (mask ratio 0.5 leaves a `2^-depth`-ish chance of exhausting a
+/// row); exactness never depends on it thanks to the fallback rescan.
+const DEPTH_FACTOR: usize = 8;
+const MIN_DEPTH: usize = 16;
 
 /// Precomputed DTW state for one problem: real observed profiles, their
-/// pairwise distances, and per-node neighbor rankings (computed once; the
-/// per-epoch masked adjacencies reuse all three).
+/// Keogh envelopes, and the exact sparse top-`q` neighbour ranking per node
+/// (computed once; the per-epoch masked adjacencies reuse all three).
 pub struct DtwContext {
     /// Daily profiles of the observed locations (order of `problem.observed`).
     profiles: Vec<Vec<f32>>,
-    /// Pairwise DTW distances between observed profiles (`N_o × N_o`).
-    pairwise: Vec<f32>,
-    /// For each observed local `i`: every other local, sorted by ascending
-    /// DTW distance to `i` (ties by index). The unmasked↔unmasked top-`q_kk`
-    /// ranking only depends on this static order, so each epoch scans the
-    /// presorted row for unmasked entries instead of re-sorting every node.
-    sorted_neighbors: Vec<Vec<u32>>,
+    /// Keogh envelopes of `profiles` at half-width `band`, reused by every
+    /// pruned scan (construction, pseudo-profile scoring, rescans).
+    envelopes: Vec<DtwEnvelope>,
+    /// Exact top-`depth` DTW neighbours of every node, ascending by
+    /// `(distance, index)` — the first entries of the dense ranking.
+    neighbors: SparseNeighbors,
+    /// Spatial candidate lists when [`DtwCandidates::Spatial`] is active
+    /// (`None` = every pair eligible).
+    candidates: Option<Vec<Vec<u32>>>,
+    /// Cascade outcome counts from the construction-time search.
+    stats: PruneStats,
     band: usize,
 }
 
 impl DtwContext {
-    /// Builds profiles from the scaled training-period series of every
-    /// observed location, computes their pairwise DTW distances (in parallel
-    /// on the shared pool), and presorts each node's neighbor ranking.
+    /// [`Self::with_options`] with exact candidates and the paper's `q = 1`.
     pub fn new(problem: &ProblemInstance, band: usize, downsample: usize) -> Self {
+        Self::with_options(problem, band, downsample, DtwCandidates::Exact, 1)
+    }
+
+    /// Builds profiles from the scaled training-period series of every
+    /// observed location and runs the pruned sparse top-q neighbour search
+    /// (LB_Kim → LB_Keogh → full banded DTW, in parallel on the shared
+    /// pool). `q_needed` is the largest neighbour count the adjacency
+    /// builders will request (`max(q_kk, q_ku)`); rows are ranked several
+    /// times deeper so masked-subset scans rarely fall back to a rescan.
+    pub fn with_options(
+        problem: &ProblemInstance,
+        band: usize,
+        downsample: usize,
+        candidates: DtwCandidates,
+        q_needed: usize,
+    ) -> Self {
         let spd = problem.steps_per_day();
         let downsample = effective_downsample(spd, downsample);
         let profiles: Vec<Vec<f32>> = problem
@@ -54,25 +92,22 @@ impl DtwContext {
             })
             .collect();
         let n = profiles.len();
-        let pairwise = dtw_all_pairs(&profiles, band);
-        // Rows sort independently, so chunk results concatenated in order
-        // reproduce the serial row order for any thread count.
-        let sorted_neighbors: Vec<Vec<u32>> = pool::par_map_chunks(n, 16, |rows| {
-            rows.map(|i| {
-                let mut order: Vec<u32> = (0..n as u32).filter(|&j| j as usize != i).collect();
-                // total_cmp: identical order for the finite, non-negative
-                // DTW distances, but never panics if one slips through.
-                order.sort_by(|&a, &b| {
-                    pairwise[i * n + a as usize].total_cmp(&pairwise[i * n + b as usize])
-                });
-                order
-            })
-            .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-        DtwContext { profiles, pairwise, sorted_neighbors, band }
+        let depth = (q_needed.max(1) * DEPTH_FACTOR).max(MIN_DEPTH).min(n.saturating_sub(1));
+        let (neighbors, stats, candidates) = match candidates {
+            DtwCandidates::Exact => {
+                let (nb, st) = dtw_top_q(&profiles, band, depth);
+                (nb, st, None)
+            }
+            DtwCandidates::Spatial { per_node } => {
+                let coords: Vec<[f64; 2]> =
+                    problem.observed.iter().map(|&g| problem.dataset.coords[g]).collect();
+                let lists = grid_knn(&coords, per_node);
+                let (nb, st) = dtw_top_q_with_candidates(&profiles, band, depth, &lists);
+                (nb, st, Some(lists))
+            }
+        };
+        let envelopes = dtw_envelopes(&profiles, band);
+        DtwContext { profiles, envelopes, neighbors, candidates, stats, band }
     }
 
     /// Number of observed locations.
@@ -80,9 +115,64 @@ impl DtwContext {
         self.profiles.len()
     }
 
-    /// The DTW distance between observed locals `i` and `j`.
+    /// Cascade outcome counts (pruned/full kernel calls) from construction.
+    pub fn prune_stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    /// The DTW distance between observed locals `i` and `j`. Top-`q`
+    /// neighbour distances come from the sparse structure; anything beyond
+    /// it is recomputed on demand with the same kernel, so the value is
+    /// identical either way.
     pub fn distance(&self, i: usize, j: usize) -> f32 {
-        self.pairwise[i * self.n_observed() + j]
+        if i == j {
+            return 0.0;
+        }
+        if let Some((_, d)) = self.neighbors.row(i).find(|&(c, _)| c as usize == j) {
+            return d;
+        }
+        dtw_banded(&self.profiles[i], &self.profiles[j], self.band)
+    }
+
+    /// First `count` neighbours of `i` (ascending DTW distance, ties by
+    /// index) satisfying `keep`. A filtered prefix of the exact ranking is
+    /// the exact filtered ranking's prefix, so scanning the sparse row
+    /// suffices whenever it either yields `count` survivors or was never
+    /// truncated; otherwise the node rescans its eligible candidates with
+    /// the same pruned search.
+    fn ranked(&self, i: usize, count: usize, keep: &dyn Fn(usize) -> bool) -> Vec<u32> {
+        let row = self.neighbors.neighbors(i);
+        let hits: Vec<u32> =
+            row.iter().copied().filter(|&j| keep(j as usize)).take(count).collect();
+        if hits.len() == count || row.len() < self.neighbors.q() {
+            return hits;
+        }
+        let eligible: Vec<u32> =
+            self.candidate_ids(i).into_iter().filter(|&j| keep(j as usize)).collect();
+        if eligible.len() <= hits.len() {
+            return hits;
+        }
+        telemetry::count("dtw.fallback_rescan", 1);
+        let mut stats = PruneStats::default();
+        let found = dtw_nearest(
+            &self.profiles[i],
+            &self.envelopes[i],
+            &self.profiles,
+            &self.envelopes,
+            &eligible,
+            self.band,
+            count,
+            &mut stats,
+        );
+        publish_stats(&stats);
+        found.into_iter().map(|(j, _)| j).collect()
+    }
+
+    fn candidate_ids(&self, i: usize) -> Vec<u32> {
+        match &self.candidates {
+            Some(lists) => lists[i].iter().copied().filter(|&j| j as usize != i).collect(),
+            None => (0..self.n_observed() as u32).filter(|&j| j as usize != i).collect(),
+        }
     }
 
     /// Training-time adjacency over the observed graph with a masked subset
@@ -111,21 +201,21 @@ impl DtwContext {
         );
         let mut triplets = Vec::new();
         // Unmasked -> unmasked: top q_kk most similar per node (incoming).
-        // Scanning the presorted row for unmasked entries is equivalent to
-        // the old per-epoch re-sort: a stable sort of a subset keeps the
-        // subset in the same relative order as the sorted full set.
         for &i in &unmasked {
-            for &j in self.sorted_neighbors[i].iter().filter(|&&j| !masked[j as usize]).take(q_kk) {
+            for j in self.ranked(i, q_kk, &|j| !masked[j]) {
                 triplets.push((i, j as usize, 1.0));
             }
         }
         // Masked <- unmasked: DTW between the pseudo profile and real
-        // profiles. Nodes score independently (blend + |unmasked| DTWs +
-        // sort each), so they fan out over the pool; chunk results
+        // profiles, through the same pruned cascade (exact top-q_ku, same
+        // kernel and tie order as the former sort-everything route). Nodes
+        // score independently, so they fan out over the pool; chunk results
         // concatenated in order keep the serial triplet order.
         let plen = self.profiles.first().map_or(0, Vec::len);
-        let scored_links = pool::par_map_chunks(masked_ids.len(), 1, |rows| {
+        let unmasked_u32: Vec<u32> = unmasked.iter().map(|&u| u as u32).collect();
+        let scored = pool::par_map_chunks(masked_ids.len(), 1, |rows| {
             let mut links: Vec<(usize, usize, f32)> = Vec::new();
+            let mut stats = PruneStats::default();
             for row in rows {
                 let m = masked_ids[row];
                 let pseudo = self.blend_profile(
@@ -133,20 +223,40 @@ impl DtwContext {
                     &unmasked,
                     plen,
                 );
-                let mut scored: Vec<(usize, f32)> = unmasked
-                    .iter()
-                    .map(|&j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
-                    .collect();
-                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-                for &(j, _) in scored.iter().take(q_ku) {
-                    links.push((m, j, 1.0));
+                let pseudo_env = dtw_envelope(&pseudo, self.band);
+                // In spatial-candidate mode a masked node only links to
+                // unmasked peers within its spatial candidate list.
+                let restricted: Vec<u32>;
+                let cands: &[u32] = match &self.candidates {
+                    None => &unmasked_u32,
+                    Some(lists) => {
+                        restricted =
+                            lists[m].iter().copied().filter(|&j| !masked[j as usize]).collect();
+                        &restricted
+                    }
+                };
+                let top = dtw_nearest(
+                    &pseudo,
+                    &pseudo_env,
+                    &self.profiles,
+                    &self.envelopes,
+                    cands,
+                    self.band,
+                    q_ku,
+                    &mut stats,
+                );
+                for (j, _) in top {
+                    links.push((m, j as usize, 1.0));
                 }
             }
-            links
+            (links, stats)
         });
-        for links in scored_links {
+        let mut pseudo_stats = PruneStats::default();
+        for (links, stats) in scored {
             triplets.extend(links);
+            merge_stats(&mut pseudo_stats, &stats);
         }
+        publish_stats(&pseudo_stats);
         CsrMatrix::from_triplets(n, n, &triplets)
     }
 
@@ -169,35 +279,49 @@ impl DtwContext {
         assert_eq!(layout.len(), n_obs);
         assert_eq!(pseudo_weights.len(), unobs_layout.len() * n_obs);
         let mut triplets = Vec::new();
-        // Observed -> observed: the presorted rows already rank every peer.
+        // Observed -> observed: the sparse rows already rank the top peers.
         for i in 0..n_obs {
-            for &j in self.sorted_neighbors[i].iter().take(q_kk) {
+            for j in self.ranked(i, q_kk, &|_| true) {
                 triplets.push((layout[i], layout[j as usize], 1.0));
             }
         }
         // Unobserved <- observed: pseudo-profile scoring fans out per node,
-        // exactly like the masked loop in [`Self::train_adjacency`].
+        // exactly like the masked loop in [`Self::train_adjacency`]. All
+        // observed locations stay eligible in both candidate modes — the
+        // spatial lists only cover observed↔observed pairs.
         let plen = self.profiles.first().map_or(0, Vec::len);
         let all_obs: Vec<usize> = (0..n_obs).collect();
-        let scored_links = pool::par_map_chunks(unobs_layout.len(), 1, |rows| {
+        let all_obs_u32: Vec<u32> = (0..n_obs as u32).collect();
+        let scored = pool::par_map_chunks(unobs_layout.len(), 1, |rows| {
             let mut links: Vec<(usize, usize, f32)> = Vec::new();
+            let mut stats = PruneStats::default();
             for u in rows {
                 let row = unobs_layout[u];
                 let pseudo =
                     self.blend_profile(&pseudo_weights[u * n_obs..(u + 1) * n_obs], &all_obs, plen);
-                let mut scored: Vec<(usize, f32)> = (0..n_obs)
-                    .map(|j| (j, dtw_banded(&pseudo, &self.profiles[j], self.band)))
-                    .collect();
-                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-                for &(j, _) in scored.iter().take(q_ku) {
-                    links.push((row, layout[j], 1.0));
+                let pseudo_env = dtw_envelope(&pseudo, self.band);
+                let top = dtw_nearest(
+                    &pseudo,
+                    &pseudo_env,
+                    &self.profiles,
+                    &self.envelopes,
+                    &all_obs_u32,
+                    self.band,
+                    q_ku,
+                    &mut stats,
+                );
+                for (j, _) in top {
+                    links.push((row, layout[j as usize], 1.0));
                 }
             }
-            links
+            (links, stats)
         });
-        for links in scored_links {
+        let mut pseudo_stats = PruneStats::default();
+        for (links, stats) in scored {
             triplets.extend(links);
+            merge_stats(&mut pseudo_stats, &stats);
         }
+        publish_stats(&pseudo_stats);
         CsrMatrix::from_triplets(n_total, n_total, &triplets)
     }
 
@@ -210,6 +334,18 @@ impl DtwContext {
         }
         blend_series(weights, &flat, sources.len(), plen)
     }
+}
+
+fn merge_stats(into: &mut PruneStats, from: &PruneStats) {
+    into.lb_kim_pruned += from.lb_kim_pruned;
+    into.lb_keogh_pruned += from.lb_keogh_pruned;
+    into.full_dtw += from.full_dtw;
+}
+
+fn publish_stats(stats: &PruneStats) {
+    telemetry::count("dtw.lb_kim_pruned", stats.lb_kim_pruned);
+    telemetry::count("dtw.lb_keogh_pruned", stats.lb_keogh_pruned);
+    telemetry::count("dtw.full_dtw", stats.full_dtw);
 }
 
 /// Builds inverse-distance pseudo weights for DTW/adjacency purposes from a
@@ -226,7 +362,7 @@ pub fn pseudo_weights_for(
 fn effective_downsample(steps_per_day: usize, requested: usize) -> usize {
     // Choose the largest divisor of steps_per_day not exceeding `requested`.
     let mut d = requested.min(steps_per_day).max(1);
-    while steps_per_day % d != 0 {
+    while !steps_per_day.is_multiple_of(d) {
         d -= 1;
     }
     d
@@ -272,6 +408,36 @@ mod tests {
     }
 
     #[test]
+    fn construction_prunes_candidates() {
+        // Needs enough observed nodes that the top-`depth` threshold sits
+        // well below most candidates; at tiny N nearly every candidate is
+        // kept and nothing can be pruned.
+        let d = DatasetConfig {
+            name: "prune".into(),
+            network: NetworkKind::Highway,
+            sensors: 160,
+            extent: 30_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 6,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 6_000.0,
+            poi_radius: 300.0,
+            seed: 29,
+        }
+        .generate();
+        let split = space_split(&d.coords, SplitAxis::Horizontal, false);
+        let p = ProblemInstance::new(d, split, DistanceMode::Euclidean);
+        let ctx = DtwContext::new(&p, 4, 2);
+        let stats = ctx.prune_stats();
+        assert!(stats.full_dtw > 0, "some candidates must reach the kernel");
+        assert!(
+            stats.lb_kim_pruned + stats.lb_keogh_pruned > 0,
+            "lower bounds should prune at least one candidate"
+        );
+    }
+
+    #[test]
     fn train_adjacency_respects_direction() {
         let p = problem();
         let ctx = DtwContext::new(&p, 4, 2);
@@ -296,6 +462,55 @@ mod tests {
         // Every unmasked location receives exactly q_kk links.
         for &u in &unmasked {
             assert_eq!(a.row(u).count(), 1);
+        }
+    }
+
+    #[test]
+    fn train_links_match_dense_reference_under_heavy_masking() {
+        // Mask so aggressively that the sparse rows cannot possibly hold
+        // enough unmasked survivors: the fallback rescan must reproduce the
+        // brute-force dense selection exactly.
+        let p = problem();
+        let ctx = DtwContext::new(&p, 4, 2);
+        let n = ctx.n_observed();
+        // Leave only 4 unmasked locations.
+        let masked: Vec<bool> = (0..n).map(|i| i % (n / 4).max(1) != 0).collect();
+        let unmasked: Vec<usize> = (0..n).filter(|&i| !masked[i]).collect();
+        let masked_ids: Vec<usize> = (0..n).filter(|&i| masked[i]).collect();
+        let mg: Vec<usize> = masked_ids.iter().map(|&l| p.observed[l]).collect();
+        let ug: Vec<usize> = unmasked.iter().map(|&l| p.observed[l]).collect();
+        let w = pseudo_weights_for(&p, &mg, &ug);
+        let q_kk = 2.min(unmasked.len() - 1);
+        let a = ctx.train_adjacency(&masked, &w, q_kk, 1);
+        for &i in &unmasked {
+            let got: Vec<usize> = a.row(i).map(|(c, _)| c).collect();
+            // Dense reference: rank every unmasked peer by (distance, index).
+            let mut want: Vec<(f32, usize)> =
+                unmasked.iter().filter(|&&j| j != i).map(|&j| (ctx.distance(i, j), j)).collect();
+            want.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut want: Vec<usize> = want.into_iter().take(q_kk).map(|(_, j)| j).collect();
+            want.sort_unstable();
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            assert_eq!(got_sorted, want, "node {i}");
+        }
+    }
+
+    #[test]
+    fn spatial_candidates_restrict_links() {
+        let p = problem();
+        let exact = DtwContext::new(&p, 4, 2);
+        let per_node = 6;
+        let spatial = DtwContext::with_options(&p, 4, 2, DtwCandidates::Spatial { per_node }, 1);
+        let n = spatial.n_observed();
+        assert_eq!(n, exact.n_observed());
+        let masked = vec![false; n];
+        let a = spatial.train_adjacency(&masked, &[], 1, 1);
+        // Every link must point at one of the node's spatial candidates.
+        let coords: Vec<[f64; 2]> = p.observed.iter().map(|&g| p.dataset.coords[g]).collect();
+        let lists = grid_knn(&coords, per_node);
+        for (r, c, _) in a.iter() {
+            assert!(lists[r].contains(&(c as u32)), "link {r}->{c} outside spatial candidates");
         }
     }
 

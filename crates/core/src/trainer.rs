@@ -216,7 +216,13 @@ pub fn train_stsm_with(
         &problem.spatial_adjacency(&observed, cfg.epsilon_s),
     )));
     let masking = MaskingContext::new(problem, cfg.epsilon_sg, cfg.mask_ratio, cfg.top_k);
-    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+    let dtw = DtwContext::with_options(
+        problem,
+        cfg.dtw_band,
+        cfg.dtw_downsample,
+        cfg.dtw_candidates,
+        cfg.q_kk.max(cfg.q_ku),
+    );
 
     // Rollback target: parameters + optimizer state at the last epoch
     // boundary (initially the freshly-initialized or resumed state).

@@ -56,7 +56,13 @@ fn test_assets(
     let all: Vec<usize> = (0..n).collect();
     let a_s =
         Arc::new(CsrLinMap::new(normalize_gcn(&problem.spatial_adjacency(&all, cfg.epsilon_s))));
-    let dtw = DtwContext::new(problem, cfg.dtw_band, cfg.dtw_downsample);
+    let dtw = DtwContext::with_options(
+        problem,
+        cfg.dtw_band,
+        cfg.dtw_downsample,
+        cfg.dtw_candidates,
+        cfg.q_kk.max(cfg.q_ku),
+    );
     let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
     let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
         n,
@@ -133,7 +139,7 @@ fn predictor_matches_predict_once_across_windows() {
             let pw = pseudo_weights_for(&problem, &problem.unobserved, &problem.observed);
             build_input(&problem, &pw, abs_start, cfg.t_in)
         };
-        let oneshot = predict_once(&trained.model_ref(), &trained.store, &x, &tf, &a_s, &a_dtw);
+        let oneshot = predict_once(trained.model_ref(), &trained.store, &x, &tf, &a_s, &a_dtw);
         assert_eq!(from_predictor.shape(), oneshot.shape());
         for (a, b) in from_predictor.data().iter().zip(oneshot.data()) {
             assert_eq!(a.to_bits(), b.to_bits(), "Predictor/predict_once divergence");

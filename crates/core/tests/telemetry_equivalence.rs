@@ -148,7 +148,6 @@ fn guard_counters_match_resilience_report_under_faults() {
         spike_scale: 1e4,
         sensors: Some(observed),
         time_range: Some(20..120),
-        ..FaultPlan::default()
     };
     let (faulted, log) = plan.apply(&clean);
     assert!(log.total() > 0, "the plan must actually corrupt something");

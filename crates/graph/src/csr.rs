@@ -19,7 +19,7 @@ impl CsrMatrix {
     /// entries are summed; zero values are kept (callers may prune first).
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
         // Merge consecutive duplicates (same row and column).
         let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(sorted.len());
         for (r, c, v) in sorted {

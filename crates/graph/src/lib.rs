@@ -10,13 +10,16 @@
 //!   a threshold) plus kNN graphs;
 //! * GCN normalization `D̃^{-1/2} Ã D̃^{-1/2}` (Eq. 6) and row normalization;
 //! * Dijkstra / all-pairs shortest paths for the road-network-distance model
-//!   variants (§5.2.6).
+//!   variants (§5.2.6);
+//! * [`grid_knn`] — grid-bucketed exact k-nearest-neighbour search used by
+//!   the metro-scale synthetic generator and the spatial DTW candidate mode.
 
 #![warn(missing_docs)]
 
 mod adjacency;
 mod algorithms;
 mod csr;
+mod knn;
 mod shortest_path;
 
 pub use adjacency::{
@@ -28,4 +31,5 @@ pub use algorithms::{
     bfs_hops, connected_components, degree_stats, k_hop_neighbors, num_components,
 };
 pub use csr::{CsrLinMap, CsrMatrix};
+pub use knn::{grid_knn, grid_knn_with_distances};
 pub use shortest_path::{all_pairs_shortest_paths, dijkstra};

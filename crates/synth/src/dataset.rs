@@ -277,6 +277,27 @@ pub mod presets {
         }
     }
 
+    /// Metro-area scale benchmark: `sensors` traffic sensors (10k-100k is
+    /// the intended range) spread over several cities linked by highway
+    /// corridors, at 5-minute resolution. Not one of the paper's datasets —
+    /// this exists to measure adjacency construction and training beyond the
+    /// paper's ≤964-sensor scale.
+    pub fn metro(sensors: usize, days: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            name: format!("Metro-{sensors}"),
+            network: NetworkKind::MetroArea,
+            sensors,
+            extent: 120_000.0,
+            steps_per_day: 288,
+            interval_minutes: 5,
+            days,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 20_000.0,
+            poi_radius: 300.0,
+            seed: seed.wrapping_add(5),
+        }
+    }
+
     /// AirQ analogue: 63 PM2.5 sensors over two adjacent cities, hourly.
     pub fn airq(days: usize, seed: u64) -> DatasetConfig {
         DatasetConfig {

@@ -1,10 +1,12 @@
 //! Synthetic sensor-network layouts mirroring the paper's five datasets
 //! (Fig. 5): highway corridors (PEMS-Bay/07/08), an urban grid (Melbourne)
-//! and a two-city cluster layout (AirQ: Beijing + Tianjin).
+//! and a two-city cluster layout (AirQ: Beijing + Tianjin), plus a
+//! metro-area layout (several cities linked by highways) for scale testing
+//! beyond the paper's sensor counts.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use stsm_graph::CsrMatrix;
+use stsm_graph::{grid_knn_with_distances, CsrMatrix};
 
 /// The kind of sensor network to lay out.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,6 +17,9 @@ pub enum NetworkKind {
     UrbanGrid,
     /// Sensors clustered around two adjacent city centres.
     TwoCities,
+    /// A whole metropolitan area: several urban grids (cities) linked by
+    /// highway corridors along a spanning tree. Scales to 10k-100k sensors.
+    MetroArea,
 }
 
 /// A generated sensor network: planar coordinates (metres) plus a road graph
@@ -62,6 +67,7 @@ pub fn generate_network(kind: NetworkKind, n: usize, extent: f64, seed: u64) -> 
         NetworkKind::Highway => highway_coords(n, extent, &mut rng),
         NetworkKind::UrbanGrid => grid_coords(n, extent, &mut rng),
         NetworkKind::TwoCities => two_city_coords(n, extent, &mut rng),
+        NetworkKind::MetroArea => metro_coords(n, extent, &mut rng),
     };
     let road_graph = connect_road_graph(&coords);
     SensorNetwork { coords, road_graph, kind }
@@ -136,22 +142,114 @@ fn two_city_coords(n: usize, extent: f64, rng: &mut StdRng) -> Vec<[f64; 2]> {
     coords
 }
 
+fn metro_coords(n: usize, extent: f64, rng: &mut StdRng) -> Vec<[f64; 2]> {
+    // Several city centres placed with minimum separation; more sensors mean
+    // more cities (3 at small n, up to 8 at metro scale).
+    let cities = (3 + n / 4000).min(8);
+    let min_sep = extent * 0.22;
+    let mut centres: Vec<[f64; 2]> = Vec::with_capacity(cities);
+    let mut attempts = 0usize;
+    while centres.len() < cities {
+        let p = [
+            extent * (0.1 + 0.8 * rng.random::<f64>()),
+            extent * (0.1 + 0.8 * rng.random::<f64>()),
+        ];
+        attempts += 1;
+        if attempts > 400 || centres.iter().all(|&c| dist(c, p) >= min_sep) {
+            centres.push(p);
+        }
+    }
+    // Prim's MST over the centres gives the highway corridors: every city is
+    // reachable and no corridor loops are wasted on duplicates.
+    let mut in_tree = vec![false; cities];
+    in_tree[0] = true;
+    let mut corridors: Vec<(usize, usize)> = Vec::with_capacity(cities - 1);
+    for _ in 1..cities {
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for a in 0..cities {
+            if !in_tree[a] {
+                continue;
+            }
+            for b in 0..cities {
+                if in_tree[b] {
+                    continue;
+                }
+                let d = dist(centres[a], centres[b]);
+                if d < best.0 {
+                    best = (d, a, b);
+                }
+            }
+        }
+        in_tree[best.2] = true;
+        corridors.push((best.1, best.2));
+    }
+
+    // ~72% of sensors sit on jittered street grids inside the cities, the
+    // rest string along the highway corridors.
+    let urban_total = n * 72 / 100;
+    let mut coords = Vec::with_capacity(n);
+    let patch = extent * 0.11;
+    for (ci, centre) in centres.iter().enumerate() {
+        // Split urban sensors evenly, first cities absorbing the remainder.
+        let count = urban_total / cities + usize::from(ci < urban_total % cities);
+        let side = (count as f64).sqrt().ceil().max(1.0) as usize;
+        let spacing = patch / side as f64;
+        let origin = [centre[0] - patch * 0.5, centre[1] - patch * 0.5];
+        for s in 0..count {
+            let (gx, gy) = (s % side, s / side);
+            let jx = (rng.random::<f64>() - 0.5) * spacing * 0.25;
+            let jy = (rng.random::<f64>() - 0.5) * spacing * 0.25;
+            coords
+                .push([origin[0] + gx as f64 * spacing + jx, origin[1] + gy as f64 * spacing + jy]);
+        }
+    }
+    let highway_total = n - coords.len();
+    let per_corridor = highway_total.div_ceil(corridors.len().max(1));
+    for &(a, b) in &corridors {
+        let (ca, cb) = (centres[a], centres[b]);
+        let len = dist(ca, cb).max(f64::MIN_POSITIVE);
+        let normal = [-(cb[1] - ca[1]) / len, (cb[0] - ca[0]) / len];
+        let amp = extent * 0.02 * (rng.random::<f64>() - 0.5) * 2.0;
+        let phase = rng.random::<f64>() * std::f64::consts::TAU;
+        for i in 0..per_corridor {
+            if coords.len() >= n {
+                break;
+            }
+            let t = (i as f64 + 0.5) / per_corridor as f64;
+            let off = amp * (t * 3.0 + phase).sin() + (rng.random::<f64>() - 0.5) * extent * 0.003;
+            coords.push([
+                ca[0] + t * (cb[0] - ca[0]) + normal[0] * off,
+                ca[1] + t * (cb[1] - ca[1]) + normal[1] * off,
+            ]);
+        }
+    }
+    // Rounding can leave a few unplaced; scatter them around the first city.
+    while coords.len() < n {
+        coords.push([
+            centres[0][0] + (rng.random::<f64>() - 0.5) * patch,
+            centres[0][1] + (rng.random::<f64>() - 0.5) * patch,
+        ]);
+    }
+    coords.truncate(n);
+    coords
+}
+
 /// Connects each sensor to its nearest neighbours with road edges weighted by
 /// slightly-inflated Euclidean length (roads are never perfectly straight),
-/// keeping the graph connected.
+/// keeping the graph connected. Neighbour search goes through the
+/// grid-bucketed exact k-NN in `stsm-graph`, so building a 100k-sensor metro
+/// network no longer needs an O(N² log N) sort per node; ties break by
+/// `(distance, index)` exactly like the previous full-sort implementation.
 fn connect_road_graph(coords: &[[f64; 2]]) -> CsrMatrix {
     let n = coords.len();
     let k = 3.min(n - 1);
-    let mut triplets = Vec::new();
-    for i in 0..n {
-        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-        order.sort_by(|&a, &b| {
-            dist(coords[i], coords[a]).partial_cmp(&dist(coords[i], coords[b])).expect("finite")
-        });
-        for &j in order.iter().take(k) {
-            let d = (dist(coords[i], coords[j]) * 1.2) as f32;
-            triplets.push((i, j, d));
-            triplets.push((j, i, d));
+    let neighbours = grid_knn_with_distances(coords, k);
+    let mut triplets = Vec::with_capacity(n * k * 2);
+    for (i, row) in neighbours.iter().enumerate() {
+        for &(j, d) in row {
+            let d = (d * 1.2) as f32;
+            triplets.push((i, j as usize, d));
+            triplets.push((j as usize, i, d));
         }
     }
     // from_triplets sums duplicates; rebuild keeping one copy per edge.
@@ -176,7 +274,12 @@ mod tests {
 
     #[test]
     fn generates_requested_count() {
-        for kind in [NetworkKind::Highway, NetworkKind::UrbanGrid, NetworkKind::TwoCities] {
+        for kind in [
+            NetworkKind::Highway,
+            NetworkKind::UrbanGrid,
+            NetworkKind::TwoCities,
+            NetworkKind::MetroArea,
+        ] {
             let net = generate_network(kind, 100, 10_000.0, 1);
             assert_eq!(net.len(), 100);
             let (x0, y0, x1, y1) = net.bounds();
@@ -212,6 +315,24 @@ mod tests {
         for (r, c, v) in net.road_graph.iter() {
             let e = dist(net.coords[r], net.coords[c]);
             assert!(v as f64 >= e * 0.99, "road shorter than straight line");
+        }
+    }
+
+    #[test]
+    fn metro_area_is_deterministic_and_clustered() {
+        let a = generate_network(NetworkKind::MetroArea, 600, 60_000.0, 21);
+        let b = generate_network(NetworkKind::MetroArea, 600, 60_000.0, 21);
+        assert_eq!(a.coords, b.coords);
+        assert_eq!(a.len(), 600);
+        // Urban patches are dense: most sensors must have a neighbour much
+        // closer than the uniform-scatter expectation (~extent/sqrt(n)).
+        let nn = stsm_graph::grid_knn_with_distances(&a.coords, 1);
+        let uniform = 60_000.0 / (600f64).sqrt();
+        let close = nn.iter().filter(|r| r[0].1 < uniform * 0.25).count();
+        assert!(close > 400, "expected dense urban clusters, got {close}/600 close pairs");
+        // And every sensor still has road edges.
+        for i in 0..a.len() {
+            assert!(a.road_graph.row(i).count() >= 1);
         }
     }
 

@@ -123,8 +123,8 @@ fn simulate_traffic(
             let weekend = dow >= 5;
             let weekday_factor = if weekend { 0.45 } else { 1.0 };
             let mut congestion = 0.0f64;
-            for k in 0..NUM_ARCHETYPES {
-                congestion += w[k] * congestion_profile(k, tod);
+            for (k, &wk) in w.iter().enumerate().take(NUM_ARCHETYPES) {
+                congestion += wk * congestion_profile(k, tod);
             }
             congestion *= weekday_factor * amps[i];
             // Incident contributions.

@@ -115,7 +115,7 @@ pub fn session_begin() {
 pub fn session_end() {
     let drained = SESSION.with(|s| {
         let mut s = s.borrow_mut();
-        let Some(c) = s.as_mut() else { return None };
+        let c = s.as_mut()?;
         c.depth -= 1;
         if c.depth == 0 {
             s.take()

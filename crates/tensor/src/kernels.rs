@@ -381,10 +381,10 @@ pub fn conv1d_dilated_backward(
             for b_i in batches {
                 // Safety: each batch sample owns a disjoint grad_input block.
                 let gi_rows = unsafe { gi_writer.slice(b_i * cin * t..(b_i + 1) * cin * t) };
-                for co in 0..cout {
+                for (co, gb_co) in gb.iter_mut().enumerate() {
                     let obase = (b_i * cout + co) * t;
                     let go = &gdata[obase..obase + t];
-                    gb[co] += go.iter().sum::<f32>();
+                    *gb_co += go.iter().sum::<f32>();
                     for ci in 0..cin {
                         let ibase = (b_i * cin + ci) * t;
                         let wbase = (co * cin + ci) * k;

@@ -26,7 +26,7 @@ impl MultiHeadAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
         MultiHeadAttention {
             wq: Linear::new(store, &format!("{name}.wq"), dim, dim, rng),
             wk: Linear::new(store, &format!("{name}.wk"), dim, dim, rng),

@@ -86,15 +86,15 @@ impl Shape {
     pub fn broadcast_with(&self, other: &Shape) -> Option<Shape> {
         let r = self.rank().max(other.rank());
         let mut out = vec![0usize; r];
-        for i in 0..r {
+        for (i, o) in out.iter_mut().enumerate() {
             let a = if i < r - self.rank() { 1 } else { self.0[i - (r - self.rank())] };
             let b = if i < r - other.rank() { 1 } else { other.0[i - (r - other.rank())] };
             if a == b {
-                out[i] = a;
+                *o = a;
             } else if a == 1 {
-                out[i] = b;
+                *o = b;
             } else if b == 1 {
-                out[i] = a;
+                *o = a;
             } else {
                 return None;
             }
@@ -407,7 +407,7 @@ mod tests {
         let t = Layout::contiguous(&s).transposed(0, 1);
         assert_eq!(t.dims(), &[5, 3]);
         assert!(!t.is_contiguous());
-        assert_eq!(t.offset_of(&[2, 1]), 1 * 5 + 2);
+        assert_eq!(t.offset_of(&[2, 1]), 5 + 2);
         let sl = Layout::contiguous(&s).slice(1, 1, 4);
         assert_eq!(sl.dims(), &[3, 3]);
         assert_eq!(sl.offset(), 1);

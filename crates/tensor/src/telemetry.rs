@@ -308,7 +308,7 @@ impl TelemetryReport {
             let _ = writeln!(out, "-- spans --");
             let _ = writeln!(out, "{:<28} {:>10} {:>14} {:>12}", "name", "calls", "total", "mean");
             for (name, s) in &self.spans {
-                let mean = if s.calls > 0 { s.total_nanos / s.calls } else { 0 };
+                let mean = s.total_nanos.checked_div(s.calls).unwrap_or(0);
                 let _ = writeln!(
                     out,
                     "{:<28} {:>10} {:>14} {:>12}",
@@ -333,7 +333,7 @@ impl TelemetryReport {
                 "name", "count", "mean", "p~50", "max"
             );
             for (name, h) in &self.histograms {
-                let mean = if h.count > 0 { h.total_nanos / h.count } else { 0 };
+                let mean = h.total_nanos.checked_div(h.count).unwrap_or(0);
                 let _ = writeln!(
                     out,
                     "{:<28} {:>10} {:>12} {:>12} {:>12}",
@@ -493,7 +493,7 @@ mod tests {
             reset();
             assert_eq!(counter_value("test.c"), 0);
             assert_eq!(span_totals("test.s"), (0, 0));
-            assert!(snapshot().histograms.get("test.h").is_none());
+            assert!(!snapshot().histograms.contains_key("test.h"));
         });
     }
 

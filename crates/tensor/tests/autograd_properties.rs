@@ -53,7 +53,7 @@ proptest! {
             },
             &x,
             5e-2,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -66,7 +66,7 @@ proptest! {
             },
             &x,
             5e-2,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]
@@ -82,7 +82,7 @@ proptest! {
             },
             &x,
             5e-2,
-        ).map_err(|e| TestCaseError::fail(e))?;
+        ).map_err(TestCaseError::fail)?;
     }
 
     #[test]

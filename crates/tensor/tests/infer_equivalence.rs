@@ -93,7 +93,7 @@ fn gru_matches() {
     let mut store = ParamStore::new();
     let gru = GruCell::new(&mut store, "g", 3, 6, &mut rng);
     let x = uniform([4, 5, 3], -1.0, 1.0, &mut rng);
-    check_both_pools(&store, |fwd, v| gru.forward_seq(fwd, v[0]), &[x.clone()]);
+    check_both_pools(&store, |fwd, v| gru.forward_seq(fwd, v[0]), std::slice::from_ref(&x));
     check_both_pools(&store, |fwd, v| gru.forward_seq_all(fwd, v[0]), &[x]);
 }
 

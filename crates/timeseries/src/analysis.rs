@@ -18,7 +18,10 @@ impl HorizonMetrics {
     /// (`[s0h0, s0h1, ..., s0h(T'-1), s1h0, ...]`).
     pub fn compute(pred: &[f32], truth: &[f32], t_out: usize) -> HorizonMetrics {
         assert_eq!(pred.len(), truth.len());
-        assert!(t_out >= 1 && pred.len() % t_out == 0, "length must be a multiple of t_out");
+        assert!(
+            t_out >= 1 && pred.len().is_multiple_of(t_out),
+            "length must be a multiple of t_out"
+        );
         let samples = pred.len() / t_out;
         let mut per_horizon = Vec::with_capacity(t_out);
         for h in 0..t_out {
@@ -60,11 +63,25 @@ pub fn autocorrelation(series: &[f32], max_lag: usize) -> Vec<f64> {
         .collect()
 }
 
-/// The lag (within `1..=max_lag`) with the highest autocorrelation — a crude
-/// period detector used to verify simulated signals are diurnal.
+/// The lag (within `1..=max_lag`) at the strongest *local* peak of the
+/// autocorrelation — a crude period detector used to verify simulated
+/// signals are diurnal. A raw argmax would degenerate to lag 1 for any
+/// smooth series (adjacent samples are always highly correlated); the
+/// period shows up as the first place the ACF turns back up.
 pub fn dominant_period(series: &[f32], max_lag: usize) -> usize {
     let acf = autocorrelation(series, max_lag);
-    (1..=max_lag).max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).expect("finite")).unwrap_or(1)
+    let mut best: Option<usize> = None;
+    for lag in 1..max_lag {
+        let peak = acf[lag] >= acf[lag - 1] && acf[lag] >= acf[lag + 1];
+        if peak && best.is_none_or(|b| acf[lag] > acf[b]) {
+            best = Some(lag);
+        }
+    }
+    // Aperiodic (or trend-dominated) series have no interior peak; fall
+    // back to the plain argmax.
+    best.unwrap_or_else(|| {
+        (1..=max_lag).max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).expect("finite")).unwrap_or(1)
+    })
 }
 
 #[cfg(test)]
@@ -99,7 +116,10 @@ mod tests {
             (0..200).map(|i| ((i % 20) as f32 / 20.0 * std::f32::consts::TAU).sin()).collect();
         let acf = autocorrelation(&series, 40);
         assert!((acf[0] - 1.0).abs() < 1e-9);
-        assert!(acf[20] > 0.9, "lag-20 ACF {} should be ~1", acf[20]);
+        // The estimator divides the (n-lag)-term covariance by the n-term
+        // variance, so a perfectly periodic signal peaks at exactly
+        // (n-lag)/n = 180/200 = 0.9, not 1.
+        assert!((acf[20] - 0.9).abs() < 1e-3, "lag-20 ACF {} should be ~(n-lag)/n = 0.9", acf[20]);
         assert!(acf[10] < 0.0, "half-period ACF {} should be negative", acf[10]);
         assert_eq!(dominant_period(&series, 30), 20);
     }

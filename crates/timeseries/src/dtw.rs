@@ -44,15 +44,60 @@ pub fn dtw_banded(a: &[f32], b: &[f32], band: usize) -> f32 {
     prev[m]
 }
 
+/// [`dtw_banded`] with early abandonment for the pruning cascade: returns
+/// `None` as soon as some DP row's minimum exceeds `cut`. Every complete
+/// warping path passes through at least one cell of every row, and a cell's
+/// DP value lower-bounds any path through it, so a row whose minimum beats
+/// the cut proves the final distance would too. The recurrence, iteration
+/// order and arithmetic are identical to [`dtw_banded`], so a `Some`
+/// result is bitwise equal to the unabandoned distance (`cut = ∞` never
+/// abandons).
+pub(crate) fn dtw_banded_abandon(a: &[f32], b: &[f32], band: usize, cut: f32) -> Option<f32> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return if n == m { Some(0.0) } else { Some(f32::INFINITY) };
+    }
+    let band = band.max(n.abs_diff(m));
+    let inf = f32::INFINITY;
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(inf);
+        let lo = i.saturating_sub(band).max(1);
+        let hi = i.saturating_add(band).min(m);
+        let mut row_min = inf;
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > cut {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    Some(prev[m])
+}
+
 /// Converts a DTW distance into a similarity in (0, 1]: `exp(-d / scale)`.
 pub fn dtw_similarity(d: f32, scale: f32) -> f32 {
     (-d / scale.max(1e-12)).exp()
 }
 
 /// Approximate DP cells per banded DTW call, used to weight pool dispatch:
-/// each of ~`t` rows fills ~`2·band + 1` cells.
-fn dtw_work_estimate(series: &[Vec<f32>], band: usize) -> usize {
-    let t = series.first().map(|s| s.len()).unwrap_or(0).max(1);
+/// each of ~`t` rows fills ~`2·band + 1` cells. `t` is the *mean* length of
+/// every series involved in the call — weighting by only the first series'
+/// length mis-sized chunks for ragged inputs and for [`dtw_cross`], whose
+/// `from`/`to` sets can have very different lengths.
+fn dtw_work_estimate<'a>(series: impl Iterator<Item = &'a Vec<f32>>, band: usize) -> usize {
+    let (mut total, mut count) = (0usize, 0usize);
+    for s in series {
+        total += s.len();
+        count += 1;
+    }
+    let t = (total / count.max(1)).max(1);
     t * (2 * band.min(t) + 1)
 }
 
@@ -94,7 +139,7 @@ pub fn dtw_all_pairs(series: &[Vec<f32>], band: usize) -> Vec<f32> {
     }
     let n_pairs = n * (n - 1) / 2;
     let writer = pool::SliceWriter::new(&mut out);
-    pool::par_chunks_weighted(n_pairs, dtw_work_estimate(series, band), |ps| {
+    pool::par_chunks_weighted(n_pairs, dtw_work_estimate(series.iter(), band), |ps| {
         let (mut i, mut j) = pair_at(ps.start, n);
         for _ in ps {
             let d = dtw_banded(&series[i], &series[j], band);
@@ -124,13 +169,17 @@ pub fn dtw_cross(from: &[Vec<f32>], to: &[Vec<f32>], band: usize) -> Vec<f32> {
         return out;
     }
     let writer = pool::SliceWriter::new(&mut out);
-    pool::par_chunks_weighted(n * m, dtw_work_estimate(from, band), |cells| {
-        // Safety: cell ranges are disjoint output cells.
-        let chunk = unsafe { writer.slice(cells.start..cells.end) };
-        for (ci, c) in cells.enumerate() {
-            chunk[ci] = dtw_banded(&from[c / m], &to[c % m], band);
-        }
-    });
+    pool::par_chunks_weighted(
+        n * m,
+        dtw_work_estimate(from.iter().chain(to.iter()), band),
+        |cells| {
+            // Safety: cell ranges are disjoint output cells.
+            let chunk = unsafe { writer.slice(cells.start..cells.end) };
+            for (ci, c) in cells.enumerate() {
+                chunk[ci] = dtw_banded(&from[c / m], &to[c % m], band);
+            }
+        },
+    );
     out
 }
 

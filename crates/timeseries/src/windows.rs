@@ -100,7 +100,7 @@ impl Scaler {
 pub fn daily_profile(series: &[f32], steps_per_day: usize, downsample: usize) -> Vec<f32> {
     assert!(steps_per_day >= 1 && downsample >= 1);
     assert!(
-        steps_per_day % downsample == 0,
+        steps_per_day.is_multiple_of(downsample),
         "downsample {downsample} must divide steps_per_day {steps_per_day}"
     );
     let bins = steps_per_day / downsample;

@@ -1,0 +1,201 @@
+//! Property-based checks for the lower-bound pruning cascade (§3.4.1 at
+//! scale): the bounds that let `dtw_top_q` skip full DTW evaluations must
+//! be *admissible* — never exceed the true banded distance — or the sparse
+//! top-q sets would silently diverge from the dense ranking.
+//!
+//! Three contracts:
+//!
+//! 1. `lb_kim ≤ lb_keogh` exactly (LB_Keogh takes the max with the endpoint
+//!    bound by construction), and `lb_keogh ≤ dtw_banded` up to the same
+//!    f32 rounding margin the pruner itself uses — so a bound can never
+//!    evict a candidate the dense route would keep.
+//! 2. For unequal-length series the Keogh sum does not apply; the bound
+//!    falls back to LB_Kim, which is admissible for any warping path.
+//! 3. `dtw_top_q` at N≈200 selects bitwise the same `(neighbour, distance)`
+//!    rows as the dense `dtw_all_pairs` matrix sorted by
+//!    `(distance, index)` and truncated — and restricting to an explicit
+//!    candidate list matches the dense ranking filtered the same way.
+
+use proptest::prelude::*;
+use stsm_timeseries::{
+    dtw_all_pairs, dtw_banded, dtw_envelope, dtw_top_q, dtw_top_q_with_candidates, lb_keogh, lb_kim,
+};
+
+/// The pruner prunes only when `lb > d·(1+1e-5) + 1e-6`; admissibility up
+/// to that margin is therefore exactly what correctness requires.
+fn admissible(lb: f32, d: f32) -> bool {
+    lb <= d * (1.0 + 1e-5) + 1e-6
+}
+
+/// Dense reference ranking: full pairwise matrix, each row sorted by
+/// `(distance, index)` and truncated to `q` — the pre-sparse route.
+fn dense_top_q(profiles: &[Vec<f32>], band: usize, q: usize) -> Vec<Vec<(u32, f32)>> {
+    let n = profiles.len();
+    let d = dtw_all_pairs(profiles, band);
+    (0..n)
+        .map(|i| {
+            let mut row: Vec<(u32, f32)> = (0..n as u32)
+                .filter(|&j| j as usize != i)
+                .map(|j| (j, d[i * n + j as usize]))
+                .collect();
+            row.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            row.truncate(q);
+            row
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lower_bound_cascade_is_admissible(
+        case in (2usize..48, 0usize..10).prop_flat_map(|(len, band)| (
+            proptest::collection::vec(-50f32..50.0, len),
+            proptest::collection::vec(-50f32..50.0, len),
+            Just(band),
+        )),
+    ) {
+        let (a, b, band) = case;
+        let env_a = dtw_envelope(&a, band);
+        let env_b = dtw_envelope(&b, band);
+        let d = dtw_banded(&a, &b, band);
+        // Chain order: LB_Keogh folds LB_Kim in via `max`, so the first
+        // inequality is exact, not merely within the margin.
+        let kim = lb_kim(&a, &b);
+        for keogh in [lb_keogh(&a, &env_b), lb_keogh(&b, &env_a)] {
+            prop_assert!(kim <= keogh, "lb_kim {} above lb_keogh {}", kim, keogh);
+            prop_assert!(
+                admissible(keogh, d),
+                "inadmissible LB_Keogh: bound {} vs dtw_banded {} (band {})",
+                keogh, d, band
+            );
+        }
+        prop_assert!(admissible(kim, d), "inadmissible LB_Kim: {} vs {}", kim, d);
+    }
+
+    #[test]
+    fn unequal_lengths_fall_back_to_the_endpoint_bound(
+        a in proptest::collection::vec(-50f32..50.0, 1..24),
+        b in proptest::collection::vec(-50f32..50.0, 25..40),
+        band in 0usize..8,
+    ) {
+        // The Keogh sum needs aligned indices; on a length mismatch the
+        // bound must degrade to exactly LB_Kim and stay admissible.
+        let keogh = lb_keogh(&a, &dtw_envelope(&b, band));
+        prop_assert_eq!(keogh.to_bits(), lb_kim(&a, &b).to_bits());
+        prop_assert!(admissible(keogh, dtw_banded(&a, &b, band)));
+    }
+
+    #[test]
+    fn envelope_bounds_contain_the_series(
+        s in proptest::collection::vec(-50f32..50.0, 1..64),
+        band in 0usize..12,
+    ) {
+        let env = dtw_envelope(&s, band);
+        prop_assert_eq!(env.len(), s.len());
+        for (i, &v) in s.iter().enumerate() {
+            prop_assert!(env.lower[i] <= v && v <= env.upper[i]);
+        }
+        // Band 0 degenerates to the series itself.
+        if band == 0 {
+            for (i, &v) in s.iter().enumerate() {
+                prop_assert_eq!(env.lower[i].to_bits(), v.to_bits());
+                prop_assert_eq!(env.upper[i].to_bits(), v.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs a ~200-node dense all-pairs reference; a handful of
+    // cases keeps the suite fast while still varying layout and band.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pruned_top_q_matches_the_dense_ranking_at_n200(
+        profiles in proptest::collection::vec(
+            proptest::collection::vec(-5f32..5.0, 36),
+            190usize..210,
+        ).prop_map(|rows| rows
+            .into_iter()
+            .map(|steps| {
+                // Random walks, not iid noise: levels diverge across nodes
+                // the way real daily profiles do, so the lower bounds have
+                // something to prune. Iid series concentrate at one mutual
+                // distance and the cascade degenerates to all-full-DTW.
+                let mut level = 0.0f32;
+                steps.into_iter().map(|s| { level += s; level }).collect::<Vec<f32>>()
+            })
+            .collect::<Vec<Vec<f32>>>()
+        ),
+        band in 2usize..8,
+        q in 3usize..10,
+    ) {
+        let (sparse, stats) = dtw_top_q(&profiles, band, q);
+        let dense = dense_top_q(&profiles, band, q);
+        prop_assert_eq!(sparse.len(), dense.len());
+        for (i, want) in dense.iter().enumerate() {
+            let got: Vec<(u32, u32)> = sparse.row(i).map(|(j, d)| (j, d.to_bits())).collect();
+            let want: Vec<(u32, u32)> =
+                want.iter().map(|&(j, d)| (j, d.to_bits())).collect();
+            prop_assert_eq!(got, want, "row {} diverged from the dense ranking", i);
+        }
+        // At this scale random series are mutually distant, so the cascade
+        // must actually skip work — otherwise the sparse route is the dense
+        // route with extra steps.
+        prop_assert!(stats.full_dtw > 0);
+        prop_assert!(
+            stats.lb_kim_pruned + stats.lb_keogh_pruned > 0,
+            "no candidate pruned across {} nodes", profiles.len()
+        );
+    }
+
+    #[test]
+    fn candidate_restricted_search_matches_the_filtered_dense_ranking(
+        profiles in proptest::collection::vec(
+            proptest::collection::vec(-30f32..30.0, 24),
+            40usize..60,
+        ),
+        stride in 2usize..4,
+        q in 2usize..6,
+    ) {
+        let n = profiles.len();
+        let band = 4;
+        // Deterministic sparse candidate lists: node i may only look at
+        // nodes j with (i + j) divisible by `stride` — asymmetric on
+        // purpose, like a spatial-k-NN restriction would be.
+        let candidates: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                (0..n as u32).filter(|&j| j as usize != i && (i + j as usize).is_multiple_of(stride)).collect()
+            })
+            .collect();
+        let (sparse, _) = dtw_top_q_with_candidates(&profiles, band, q, &candidates);
+        let dense = dense_top_q(&profiles, band, n);
+        for (i, dense_row) in dense.iter().enumerate() {
+            let got: Vec<(u32, u32)> = sparse.row(i).map(|(j, d)| (j, d.to_bits())).collect();
+            let want: Vec<(u32, u32)> = dense_row
+                .iter()
+                .filter(|&&(j, _)| (i + j as usize).is_multiple_of(stride))
+                .take(q)
+                .map(|&(j, d)| (j, d.to_bits()))
+                .collect();
+            prop_assert_eq!(got, want, "restricted row {} diverged", i);
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs() {
+    // No nodes, one node, q = 0: every shape stays consistent and empty.
+    let (empty, _) = dtw_top_q(&[], 4, 3);
+    assert_eq!(empty.len(), 0);
+    let one = vec![vec![1.0f32, 2.0, 3.0]];
+    let (single, _) = dtw_top_q(&one, 4, 3);
+    assert_eq!(single.len(), 1);
+    assert_eq!(single.row(0).count(), 0);
+    let two = vec![vec![1.0f32; 4], vec![2.0f32; 4]];
+    let (zero_q, _) = dtw_top_q(&two, 2, 0);
+    assert_eq!(zero_q.row(0).count(), 0);
+    assert_eq!(zero_q.row(1).count(), 0);
+}

@@ -1,0 +1,495 @@
+//! Offline stand-in for `serde_derive`: generates real impls of the stub
+//! `serde::Serialize` / `serde::Deserialize` value-tree traits.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream (no
+//! `syn`/`quote`, which aren't available offline), covering the shapes this
+//! workspace actually derives: plain structs (named, tuple, unit) and enums
+//! with unit / tuple / struct variants — no generics. Supported field
+//! attributes: `#[serde(default)]` and `#[serde(skip)]` (plus
+//! container-level `#[serde(default)]`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive stub: generated Serialize does not parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive stub: generated Deserialize does not parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    container_default: bool,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tts: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tts: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tts.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tts.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes; returns (has_serde_default, has_serde_skip).
+    fn eat_attrs(&mut self) -> (bool, bool) {
+        let (mut default, mut skip) = (false, false);
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let mut inner = Cursor::new(g.stream());
+                    if inner.eat_ident("serde") {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            let mut ac = Cursor::new(args.stream());
+                            while let Some(tt) = ac.next() {
+                                if let TokenTree::Ident(id) = tt {
+                                    match id.to_string().as_str() {
+                                        "default" => default = true,
+                                        "skip" => skip = true,
+                                        other => panic!(
+                                            "serde_derive stub: unsupported serde attribute `{other}`"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                other => panic!("serde_derive stub: malformed attribute, got {other:?}"),
+            }
+        }
+        (default, skip)
+    }
+
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes one type, tracking angle-bracket depth so commas inside
+    /// generic arguments don't terminate early. Stops before a top-level
+    /// `,` or `=` or end of stream.
+    fn skip_type(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tt) = self.peek() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' | '=' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (default, skip) = c.eat_attrs();
+        c.eat_vis();
+        let name = c.expect_ident();
+        assert!(c.eat_punct(':'), "serde_derive stub: expected ':' after field `{name}`");
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name, default, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        c.eat_vis();
+        c.skip_type();
+        c.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs();
+        let name = c.expect_ident();
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        assert!(
+            !matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '='),
+            "serde_derive stub: explicit discriminants unsupported"
+        );
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let (container_default, _) = c.eat_attrs();
+    c.eat_vis();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive stub: expected `struct` or `enum`");
+    };
+    let name = c.expect_ident();
+    assert!(
+        !matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<'),
+        "serde_derive stub: generic types are unsupported (deriving `{name}`)"
+    );
+    let body = if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        }
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive stub: expected struct body, got {other:?}"),
+        }
+    };
+    Item { name, container_default, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = String::from("let mut m = serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{0}\"), \
+                     serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("serde::Value::Object(m)");
+            s
+        }
+        Body::TupleStruct(1) => String::from("serde::Serialize::to_value(&self.0)"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => String::from("serde::Value::Null"),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::String(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            String::from("serde::Serialize::to_value(x0)")
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut m = serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{v}\"), {inner});\n\
+                             serde::Value::Object(m)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().filter(|f| !f.skip).map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut fm = serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{0}\"), \
+                                 serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        let pattern = if binds.is_empty() {
+                            String::from("..")
+                        } else {
+                            format!("{}, ..", binds.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pattern} }} => {{\n{inner}\
+                             let mut m = serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{v}\"), \
+                             serde::Value::Object(fm));\n\
+                             serde::Value::Object(m)\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_expr(container_default: bool, f: &Field, obj: &str, ctx: &str) -> String {
+    if f.skip {
+        return String::from("::std::default::Default::default()");
+    }
+    let missing = if f.default || container_default {
+        String::from("::std::default::Default::default()")
+    } else {
+        format!(
+            "match serde::Deserialize::missing() {{\n\
+             Some(d) => d,\n\
+             None => return Err(serde::Error::msg(\"missing field `{0}` in {ctx}\")),\n}}",
+            f.name
+        )
+    };
+    format!(
+        "match serde::Map::get({obj}, \"{0}\") {{\n\
+         Some(x) => serde::Deserialize::from_value(x)?,\n\
+         None => {missing},\n}}",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{}: {},\n",
+                    f.name,
+                    field_expr(item.container_default, f, "obj", name)
+                ));
+            }
+            format!(
+                "let obj = match v {{\n\
+                 serde::Value::Object(m) => m,\n\
+                 _ => return Err(serde::Error::msg(\"expected object for {name}\")),\n}};\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(\
+                         a.get({i}).unwrap_or(&serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let a = match v {{\n\
+                 serde::Value::Array(a) => a,\n\
+                 _ => return Err(serde::Error::msg(\"expected array for {name}\")),\n}};\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "Ok({name}::{v}(serde::Deserialize::from_value(inner)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "serde::Deserialize::from_value(\
+                                         a.get({i}).unwrap_or(&serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let a = match inner {{\n\
+                                 serde::Value::Array(a) => a,\n\
+                                 _ => return Err(serde::Error::msg(\
+                                 \"expected array for {name}::{v}\")),\n}};\n\
+                                 Ok({name}::{v}({items})) }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        obj_arms.push_str(&format!(
+                            "if let Some(inner) = serde::Map::get(m, \"{v}\") {{\n\
+                             return {build};\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{}: {},\n",
+                                f.name,
+                                field_expr(false, f, "fm", &format!("{name}::{}", v.name))
+                            ));
+                        }
+                        obj_arms.push_str(&format!(
+                            "if let Some(inner) = serde::Map::get(m, \"{v}\") {{\n\
+                             let fm = match inner {{\n\
+                             serde::Value::Object(fm) => fm,\n\
+                             _ => return Err(serde::Error::msg(\
+                             \"expected object for {name}::{v}\")),\n}};\n\
+                             return Ok({name}::{v} {{\n{inits}}});\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n{str_arms}\
+                 other => Err(serde::Error::msg(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 serde::Value::Object(m) => {{\n{obj_arms}\
+                 Err(serde::Error::msg(\"unknown variant object for {name}\"))\n}},\n\
+                 _ => Err(serde::Error::msg(\"expected variant for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

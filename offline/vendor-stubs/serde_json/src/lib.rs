@@ -1,0 +1,126 @@
+//! Minimal offline stand-in for `serde_json`, backed by the value-tree
+//! types in the stub `serde` crate: `Value`/`Map`/`Number`/`Error`,
+//! `to_string[_pretty]`, `from_str`, `to_value`/`from_value` and a
+//! tt-muncher `json!` macro. JSON produced here genuinely parses back.
+
+pub use serde::{Error, Map, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Compact JSON text for any `Serialize` type.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render())
+}
+
+/// Pretty (2-space indented) JSON text for any `Serialize` type.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Converts any `Serialize` type into a [`Value`] tree. Takes its
+/// argument by value like the real crate (references work through the
+/// blanket `Serialize for &T` impl).
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse(s)?)
+}
+
+/// Reconstructs any `Deserialize` type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+/// Build a [`Value`] from JSON-like syntax. Keys must be string literals;
+/// values may be `null`, `true`/`false`, nested `{...}`/`[...]`, or any
+/// Rust expression whose type implements `Serialize`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // --- array muncher: accumulate tokens of one element until a
+    // --- top-level comma, then recurse on the element.
+    (@arr $items:ident ($($elem:tt)+)) => {
+        $items.push($crate::json_internal!($($elem)+));
+    };
+    (@arr $items:ident ($($elem:tt)+) , $($rest:tt)*) => {
+        $items.push($crate::json_internal!($($elem)+));
+        $crate::json_internal!(@arr $items () $($rest)*);
+    };
+    (@arr $items:ident ()) => {};
+    (@arr $items:ident ($($elem:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@arr $items ($($elem)* $next) $($rest)*);
+    };
+
+    // --- object muncher: take `"key" :`, then accumulate value tokens
+    // --- until a top-level comma.
+    (@obj $map:ident) => {};
+    (@obj $map:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_internal!(@objval $map $key () $($rest)+);
+    };
+    (@objval $map:ident $key:literal ($($val:tt)+)) => {
+        $map.insert(::std::string::String::from($key), $crate::json_internal!($($val)+));
+    };
+    (@objval $map:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json_internal!($($val)+));
+        $crate::json_internal!(@obj $map $($rest)*);
+    };
+    (@objval $map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@objval $map $key ($($val)* $next) $($rest)*);
+    };
+
+    // --- literals and composite forms.
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items = ::std::vec::Vec::new();
+        $crate::json_internal!(@arr items () $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@obj map $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let cases = vec![json!({"a": 1}), json!({"a": 2})];
+        let n = 3usize;
+        let v = json!({
+            "s": "text",
+            "num": 1.5,
+            "int": n,
+            "none": null,
+            "flag": true,
+            "expr": format!("x{}", n),
+            "arr": [1, 2.5, "three", null, {"nested": [n, 4]}],
+            "obj": { "inner": { "deep": n * 2 }, "more": false },
+            "cases": cases,
+        });
+        assert_eq!(v["int"].as_u64(), Some(3));
+        assert_eq!(v["expr"].as_str(), Some("x3"));
+        assert_eq!(v["arr"][4]["nested"][1].as_u64(), Some(4));
+        assert_eq!(v["obj"]["inner"]["deep"].as_u64(), Some(6));
+        assert_eq!(v["cases"][1]["a"].as_u64(), Some(2));
+        let reparsed: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, reparsed);
+    }
+}

@@ -28,6 +28,10 @@ cargo test -q -p stsm-core --test telemetry_equivalence
 # baseline trainers' learn-and-determinism smoke tests.
 cargo test -q -p stsm-timeseries --test metrics_closed_form
 cargo test -q -p stsm-timeseries --test dtw_band_properties
+# The pruned sparse top-q contract (DESIGN.md, "Scaling"): LB_Kim/LB_Keogh
+# admissibility against the banded kernel, and bitwise top-q equality with
+# the dense all-pairs ranking at ~200 nodes — pinned by name.
+cargo test -q -p stsm-timeseries --test dtw_prune_properties
 cargo test -q -p stsm-baselines --test baseline_training
 # The blocked-SIMD kernel contract (DESIGN.md, "Kernel architecture"):
 # packed-vs-naive tolerance on odd shapes, bitwise thread-count and
@@ -36,4 +40,11 @@ cargo test -q -p stsm-baselines --test baseline_training
 # process-wide switch). Pinned by name, plus a bench-binary wiring smoke.
 cargo test -q -p stsm-tensor --test kernel_tiling_equivalence
 cargo run -q -p stsm-bench --release --bin bench_kernels -- --smoke
+# Bench-binary wiring smokes: train/infer assert their pool-on/off and
+# Train/Infer bitwise contracts in-process; scale asserts pruned-vs-dense
+# top-q identity on a small metro layout. Smoke runs never rewrite the
+# BENCH_*.json artefacts.
+cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_train -- --smoke
+cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_infer -- --smoke
+cargo run -q -p stsm-bench --release --bin bench_scale -- --smoke
 cargo clippy --all-targets -q -- -D warnings

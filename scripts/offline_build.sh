@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs any cargo subcommand with crates-io redirected to the offline
+# dependency stand-ins in offline/vendor-stubs (see its README.md).
+# Usage: scripts/offline_build.sh <cargo-args...>, e.g.
+#   scripts/offline_build.sh build --release
+#   scripts/offline_build.sh test -q -p stsm-timeseries
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+exec cargo --offline \
+  --config 'source.crates-io.replace-with="offline-stubs"' \
+  --config "source.offline-stubs.directory=\"${repo_root}/offline/vendor-stubs\"" \
+  "$@"

@@ -61,7 +61,7 @@ fn print_usage() {
     eprintln!(
         "stsm — spatial-temporal forecasting for regions without observations\n\n\
          USAGE:\n\
-           stsm generate --preset <pems-bay|pems-07|pems-08|melbourne|airq> [--days N] [--seed N] --out FILE\n\
+           stsm generate --preset <pems-bay|pems-07|pems-08|melbourne|airq|metro> [--sensors N] [--days N] [--seed N] --out FILE\n\
            stsm train    --data FILE [--variant stsm|stsm-r|stsm-nc|stsm-rnc|stsm-trans] [--epochs N] --out FILE\n\
            stsm evaluate --data FILE --model FILE\n\
            stsm forecast --data FILE --model FILE   (adds per-horizon breakdown)"
@@ -85,6 +85,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "pems-08" => presets::pems_08(400, days, seed),
         "melbourne" => presets::melbourne(days, seed),
         "airq" => presets::airq(days, seed),
+        "metro" => {
+            let sensors: usize = flag(args, "--sensors")
+                .map_or(Ok(10_000), |v| v.parse().map_err(|e| format!("{e}")))?;
+            presets::metro(sensors, days, seed)
+        }
         other => return Err(format!("unknown preset '{other}'")),
     };
     let dataset = cfg.generate();
