@@ -21,6 +21,7 @@
 use std::fmt;
 use std::fs;
 use std::path::Path;
+use stsm_tensor::codec;
 use stsm_tensor::optim::AdamState;
 use stsm_tensor::{ParamStore, Tensor};
 
@@ -125,22 +126,16 @@ pub fn config_fingerprint(cfg_json: &str) -> u64 {
     h
 }
 
+// The bit-exact f32 token codec lives in `stsm_tensor::codec` (shared with
+// the model-JSON serializer); these thin wrappers keep the checkpoint's
+// historical call shape and error type.
+
 fn push_f32s(out: &mut String, values: &[f32]) {
-    for v in values {
-        out.push(' ');
-        out.push_str(&format!("{:08x}", v.to_bits()));
-    }
+    codec::push_f32_bits(out, values);
 }
 
 fn parse_f32s(fields: &[&str]) -> Result<Vec<f32>, CheckpointError> {
-    fields
-        .iter()
-        .map(|f| {
-            u32::from_str_radix(f, 16)
-                .map(f32::from_bits)
-                .map_err(|_| CheckpointError::Malformed(format!("bad f32 bits '{f}'")))
-        })
-        .collect()
+    codec::parse_f32_bits(fields).map_err(|e| CheckpointError::Malformed(e.to_string()))
 }
 
 fn parse_num<T: std::str::FromStr>(field: &str, what: &str) -> Result<T, CheckpointError> {

@@ -43,6 +43,16 @@
 //! snapshot ([`GuardConfig`](StsmConfig), reported via
 //! [`ResilienceReport`]); inference sanitizes degraded input windows and
 //! reports what it imputed ([`DataQuality`]). See `DESIGN.md`.
+//!
+//! ## Quantized inference
+//!
+//! [`TrainedStsm::quantize`] converts a trained model's parameters to f16 or
+//! bf16 *storage* (compute stays f32), halving serving bytes.
+//! [`Predictor`] serves either precision behind one API and honors the
+//! `STSM_INFER_DTYPE=f32|f16|bf16` environment override;
+//! [`evaluate_quantized`] mirrors [`evaluate_stsm`] for [`QuantizedStsm`],
+//! and the `quantized_equivalence` suite gates the accuracy delta to
+//! [`QUANT_RMSE_REL_EPSILON`]. See `DESIGN.md`, "Precision & quantization".
 
 #![warn(missing_docs)]
 
@@ -56,6 +66,7 @@ mod model;
 mod predictor;
 mod problem;
 mod pseudo;
+mod quant;
 mod resilience;
 mod temporal_adj;
 mod trainer;
@@ -74,9 +85,10 @@ pub use model::{predict_once, ForwardOutput, StModel};
 pub use predictor::Predictor;
 pub use problem::ProblemInstance;
 pub use pseudo::{blend_series, blend_series_strided, inverse_distance_weights};
+pub use quant::{QuantizedStsm, QUANT_RMSE_REL_EPSILON};
 pub use resilience::{carry_impute, DataQuality, ResilienceReport, TrainOptions};
 pub use temporal_adj::{pseudo_weights_for, DtwContext};
 pub use trainer::{
-    evaluate_stsm, historical_average_metrics, train_stsm, train_stsm_with, EvalReport,
-    TrainReport, TrainedStsm,
+    evaluate_quantized, evaluate_stsm, historical_average_metrics, train_stsm, train_stsm_with,
+    EvalReport, TrainReport, TrainedStsm,
 };

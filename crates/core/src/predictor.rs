@@ -13,11 +13,27 @@
 //! co-temporal readings first, last-finite carry within the window as the
 //! fallback — returning a [`DataQuality`] summary next to the forecast.
 //! Clean windows take an untouched fast path, so their output is bitwise
-//! identical to [`Predictor::predict_window`].
+//! identical to [`Predictor::predict_window`] — for f32 *and* quantized
+//! sessions alike (the fast path never touches the gathered sources, so the
+//! same bound session sees the same input bits either way; the
+//! `quantized_equivalence` suite asserts this per dtype).
+//!
+//! ## Precision
+//!
+//! A `Predictor` serves either parameter precision behind one API: bind a
+//! [`TrainedStsm`] for f32 weights, or a [`QuantizedStsm`] (via
+//! [`Predictor::new_quantized`] / [`Predictor::new_with_dtype`]) for
+//! f16/bf16 storage with f32 compute. [`Predictor::new`] additionally honors
+//! the `STSM_INFER_DTYPE=f32|f16|bf16` environment override, quantizing on
+//! the fly — unset, empty, or unrecognized values fall back to f32 so a
+//! stray variable can never silently change a production default to a
+//! *different* reduced precision.
 
+use crate::config::StsmConfig;
 use crate::model::StModel;
 use crate::problem::ProblemInstance;
 use crate::pseudo::{blend_series, inverse_distance_weights};
+use crate::quant::QuantizedStsm;
 use crate::resilience::{carry_impute, DataQuality};
 use crate::temporal_adj::{pseudo_weights_for, DtwContext};
 use crate::trainer::TrainedStsm;
@@ -25,12 +41,56 @@ use std::sync::Arc;
 use std::time::Instant;
 use stsm_graph::{normalize_gcn, CsrLinMap};
 use stsm_tensor::nn::Fwd;
-use stsm_tensor::{telemetry, InferSession, Tensor};
+use stsm_tensor::{telemetry, DType, InferSession, ParamStore, Tensor};
 
-/// Reusable inference workspace over a trained model and a problem's
-/// test-time assets; see the module docs.
+/// Where a [`Predictor`]'s weights live: a borrowed f32 model, a borrowed
+/// quantized model, or a quantized copy the predictor owns (the
+/// `STSM_INFER_DTYPE` path quantizes on the fly and must keep the result
+/// alive itself).
+enum ModelSource<'m> {
+    Trained(&'m TrainedStsm),
+    Quantized(&'m QuantizedStsm),
+    OwnedQuantized(Box<QuantizedStsm>),
+}
+
+impl ModelSource<'_> {
+    fn cfg(&self) -> &StsmConfig {
+        match self {
+            ModelSource::Trained(t) => &t.cfg,
+            ModelSource::Quantized(q) => q.cfg(),
+            ModelSource::OwnedQuantized(q) => q.cfg(),
+        }
+    }
+
+    fn store(&self) -> &ParamStore {
+        match self {
+            ModelSource::Trained(t) => &t.store,
+            ModelSource::Quantized(q) => q.store(),
+            ModelSource::OwnedQuantized(q) => q.store(),
+        }
+    }
+
+    fn model(&self) -> &StModel {
+        match self {
+            ModelSource::Trained(t) => t.model_ref(),
+            ModelSource::Quantized(q) => q.model_ref(),
+            ModelSource::OwnedQuantized(q) => q.model_ref(),
+        }
+    }
+
+    fn dtype(&self) -> DType {
+        match self {
+            ModelSource::Trained(_) => DType::F32,
+            ModelSource::Quantized(q) => q.dtype(),
+            ModelSource::OwnedQuantized(q) => q.dtype(),
+        }
+    }
+}
+
+/// Reusable inference workspace over a trained (or quantized) model and a
+/// problem's test-time assets; see the module docs.
 pub struct Predictor<'m> {
-    trained: &'m TrainedStsm,
+    source: ModelSource<'m>,
     session: InferSession,
     a_s: Arc<CsrLinMap>,
     a_dtw: Arc<CsrLinMap>,
@@ -44,8 +104,46 @@ pub struct Predictor<'m> {
 impl<'m> Predictor<'m> {
     /// Builds the test-time assets (full-graph adjacencies, pseudo-observation
     /// weights) and binds the model's parameters into a fresh Infer session.
+    ///
+    /// Reads `STSM_INFER_DTYPE` (per call): `f16`/`bf16` quantize the model's
+    /// weights on the fly (storage-only; compute stays f32); `f32`, unset, or
+    /// any unrecognized value serve the trained f32 weights unchanged.
     pub fn new(trained: &'m TrainedStsm, problem: &ProblemInstance) -> Self {
-        let cfg = &trained.cfg;
+        let dt = std::env::var("STSM_INFER_DTYPE")
+            .ok()
+            .and_then(|s| DType::parse(&s))
+            .unwrap_or(DType::F32);
+        Self::new_with_dtype(trained, problem, dt)
+    }
+
+    /// Like [`Predictor::new`], but with the inference dtype fixed by the
+    /// caller instead of the environment. [`DType::F32`] binds the trained
+    /// store directly (no copy); the 16-bit dtypes quantize into an owned
+    /// [`QuantizedStsm`].
+    pub fn new_with_dtype(trained: &'m TrainedStsm, problem: &ProblemInstance, dt: DType) -> Self {
+        let source = if dt.is_half() {
+            ModelSource::OwnedQuantized(Box::new(trained.quantize(dt)))
+        } else {
+            ModelSource::Trained(trained)
+        };
+        Self::with_source(source, problem)
+    }
+
+    /// Binds an already-quantized model. The session arena allocates per the
+    /// store's dtype, so reset/recycle stays zero-alloc across windows just
+    /// like the f32 path.
+    pub fn new_quantized(quantized: &'m QuantizedStsm, problem: &ProblemInstance) -> Self {
+        Self::with_source(ModelSource::Quantized(quantized), problem)
+    }
+
+    /// Storage dtype of the bound parameters ([`DType::F32`] for a plain
+    /// trained model).
+    pub fn dtype(&self) -> DType {
+        self.source.dtype()
+    }
+
+    fn with_source(source: ModelSource<'m>, problem: &ProblemInstance) -> Self {
+        let cfg = source.cfg();
         let n = problem.n();
         let all: Vec<usize> = (0..n).collect();
         let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
@@ -70,8 +168,13 @@ impl<'m> Predictor<'m> {
         let obs_dist = problem.sub_distances(&problem.observed, &problem.observed, true);
         let obs_weights =
             inverse_distance_weights(&obs_dist, problem.observed.len(), problem.observed.len());
-        let session = InferSession::new(&trained.store);
-        Predictor { trained, session, a_s, a_dtw, pw, obs_weights, spd: problem.steps_per_day() }
+        let session = InferSession::new(source.store());
+        Predictor { source, session, a_s, a_dtw, pw, obs_weights, spd: problem.steps_per_day() }
+    }
+
+    /// The configuration of the bound model.
+    pub fn cfg(&self) -> &StsmConfig {
+        self.source.cfg()
     }
 
     /// Predicts one test window starting at absolute step `abs_start`:
@@ -80,7 +183,7 @@ impl<'m> Predictor<'m> {
     /// Returns scaled predictions `(N, T', 1)`. Assumes finite inputs; use
     /// [`Predictor::predict_window_checked`] for degraded data.
     pub fn predict_window(&mut self, problem: &ProblemInstance, abs_start: usize) -> Tensor {
-        let cfg = &self.trained.cfg;
+        let cfg = self.source.cfg();
         let x = build_full_input(problem, &self.pw, abs_start, cfg.t_in, cfg.pseudo_observations);
         let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
         self.predict(&x, &tf)
@@ -96,7 +199,7 @@ impl<'m> Predictor<'m> {
         problem: &ProblemInstance,
         abs_start: usize,
     ) -> (Tensor, DataQuality) {
-        let cfg = &self.trained.cfg;
+        let cfg = self.source.cfg();
         let len = cfg.t_in;
         let mut sources = gather_sources(problem, abs_start, len);
         let mut quality = DataQuality { scanned: sources.len(), ..DataQuality::default() };
@@ -110,12 +213,15 @@ impl<'m> Predictor<'m> {
     }
 
     /// Runs one tape-free forward on an already-assembled input, reusing the
-    /// bound session. Bitwise identical to the Train-mode forward value.
+    /// bound session. For f32 sessions the result is bitwise identical to the
+    /// Train-mode forward value; quantized sessions differ from f32 only by
+    /// the round-to-nearest-even step applied to the stored weights (compute
+    /// still accumulates in f32) and are themselves fully deterministic.
     pub fn predict(&mut self, x: &Tensor, time_feats: &Tensor) -> Tensor {
         let t0 = telemetry::enabled().then(Instant::now);
         self.session.reset();
-        let mut fwd = Fwd::infer(&self.trained.store, &mut self.session);
-        let out = self.trained.model_ref().forward(&mut fwd, x, time_feats, &self.a_s, &self.a_dtw);
+        let mut fwd = Fwd::infer(self.source.store(), &mut self.session);
+        let out = self.source.model().forward(&mut fwd, x, time_feats, &self.a_s, &self.a_dtw);
         let pred = fwd.value(out.prediction);
         if let Some(t0) = t0 {
             telemetry::record_duration("infer.window", t0.elapsed());

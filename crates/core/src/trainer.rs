@@ -570,14 +570,43 @@ pub fn evaluate_stsm(
     trained: &TrainedStsm,
     problem: &ProblemInstance,
 ) -> Result<EvalReport, StsmError> {
-    let cfg = &trained.cfg;
     let start = Instant::now();
-    let mut predictor = crate::Predictor::new(trained, problem);
+    let predictor = crate::Predictor::new(trained, problem);
+    evaluate_with_predictor(predictor, problem, start)
+}
+
+/// Evaluates a quantized model on the unobserved region over the test period.
+///
+/// Identical protocol to [`evaluate_stsm`] — same windows, same checked
+/// inference path, same metrics — with the forward running over f16/bf16
+/// weight storage (f32 compute). The `quantized_equivalence` suite gates the
+/// resulting RMSE to stay within [`crate::QUANT_RMSE_REL_EPSILON`]
+/// (relative) of the f32 evaluation.
+pub fn evaluate_quantized(
+    quantized: &crate::QuantizedStsm,
+    problem: &ProblemInstance,
+) -> Result<EvalReport, StsmError> {
+    let start = Instant::now();
+    let predictor = crate::Predictor::new_quantized(quantized, problem);
+    evaluate_with_predictor(predictor, problem, start)
+}
+
+/// Shared evaluation loop behind [`evaluate_stsm`] and
+/// [`evaluate_quantized`]: runs checked inference over non-overlapping test
+/// windows and aggregates metrics + data quality. `start` is the caller's
+/// clock so `test_seconds` includes predictor construction (adjacency and
+/// session build), as it always has.
+fn evaluate_with_predictor(
+    mut predictor: crate::Predictor<'_>,
+    problem: &ProblemInstance,
+    start: Instant,
+) -> Result<EvalReport, StsmError> {
+    let (t_in, t_out) = (predictor.cfg().t_in, predictor.cfg().t_out);
     // Non-overlapping windows across the test period.
     let span = problem.test_time.len();
-    let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
+    let windows = sliding_windows(span, t_in, t_out, t_out);
     if windows.is_empty() {
-        return Err(StsmError::TestPeriodTooShort { span, needed: cfg.t_in + cfg.t_out });
+        return Err(StsmError::TestPeriodTooShort { span, needed: t_in + t_out });
     }
     let mut preds = Vec::new();
     let mut truths = Vec::new();
@@ -586,9 +615,9 @@ pub fn evaluate_stsm(
         let abs_start = problem.test_time.start + w.input_start;
         let (pred, wq) = predictor.predict_window_checked(problem, abs_start);
         quality.merge(&wq);
-        let target_start = abs_start + cfg.t_in;
+        let target_start = abs_start + t_in;
         for &u in &problem.unobserved {
-            for p in 0..cfg.t_out {
+            for p in 0..t_out {
                 preds.push(problem.scaler.inverse(pred.at(&[u, p, 0])));
                 truths.push(problem.dataset.value(u, target_start + p));
             }

@@ -1,0 +1,175 @@
+//! Quantized inference equivalence and accuracy-gate suite.
+//!
+//! * quantize → save → load → predict is bitwise stable per dtype;
+//! * `quantize(F32)` serves bit-identical forecasts to the plain f32
+//!   predictor (one API, no hidden precision change);
+//! * the checked inference path's clean-input fast path stays bitwise
+//!   identical to the unchecked path for quantized sessions too;
+//! * parameter storage bytes exactly halve for the 16-bit dtypes;
+//! * the quantized eval RMSE stays within `QUANT_RMSE_REL_EPSILON`
+//!   (relative) of the f32 eval on the standard synthetic problem — the
+//!   accuracy-delta gate for the storage-only quantization contract.
+
+use stsm_core::{
+    evaluate_quantized, evaluate_stsm, train_stsm, DistanceMode, Predictor, ProblemInstance,
+    QuantizedStsm, StsmConfig, StsmError, TrainedStsm, QUANT_RMSE_REL_EPSILON,
+};
+use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+use stsm_tensor::DType;
+
+fn tiny_problem(seed: u64) -> ProblemInstance {
+    let d = DatasetConfig {
+        name: "quant".into(),
+        network: NetworkKind::Highway,
+        sensors: 24,
+        extent: 10_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate();
+    let split = space_split(&d.coords, SplitAxis::Vertical, false);
+    ProblemInstance::new(d, split, DistanceMode::Euclidean)
+}
+
+fn tiny_cfg(seed: u64) -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 4,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        top_k: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn trained_tiny() -> (TrainedStsm, ProblemInstance) {
+    let p = tiny_problem(7);
+    let (trained, _) = train_stsm(&p, &tiny_cfg(7)).expect("trains");
+    (trained, p)
+}
+
+/// Bitwise parameter equality between two quantized stores.
+fn stores_identical(a: &QuantizedStsm, b: &QuantizedStsm) -> bool {
+    a.store().len() == b.store().len()
+        && a.store()
+            .iter()
+            .zip(b.store().iter())
+            .all(|((_, na, ta), (_, nb, tb))| na == nb && ta == tb)
+}
+
+#[test]
+fn quantize_save_load_predict_roundtrip_bitwise_per_dtype() {
+    let (trained, p) = trained_tiny();
+    let abs_start = p.test_time.start;
+    for dt in [DType::F32, DType::F16, DType::Bf16] {
+        let q = trained.quantize(dt);
+        assert_eq!(q.dtype(), dt);
+        let restored = QuantizedStsm::from_json(&q.to_json()).expect("roundtrip");
+        assert_eq!(restored.dtype(), dt);
+        assert!(stores_identical(&q, &restored), "{dt}: params not bitwise stable through JSON");
+        // Same forecast bits from the original and the restored model, and
+        // deterministically so across repeated windows on one session.
+        let y1 = Predictor::new_quantized(&q, &p).predict_window(&p, abs_start);
+        let y2 = Predictor::new_quantized(&restored, &p).predict_window(&p, abs_start);
+        assert_eq!(y1, y2, "{dt}: restored model predicts different bits");
+        let mut pr = Predictor::new_quantized(&q, &p);
+        assert_eq!(
+            pr.predict_window(&p, abs_start),
+            pr.predict_window(&p, abs_start),
+            "{dt}: repeated windows diverge on one session"
+        );
+        // Quantization is itself deterministic.
+        assert!(stores_identical(&q, &trained.quantize(dt)));
+    }
+}
+
+#[test]
+fn quantize_f32_matches_plain_predictor_bitwise() {
+    let (trained, p) = trained_tiny();
+    let abs_start = p.test_time.start;
+    let q32 = trained.quantize(DType::F32);
+    let y_plain = Predictor::new(&trained, &p).predict_window(&p, abs_start);
+    let y_q32 = Predictor::new_quantized(&q32, &p).predict_window(&p, abs_start);
+    let y_dt32 = Predictor::new_with_dtype(&trained, &p, DType::F32).predict_window(&p, abs_start);
+    assert_eq!(y_plain, y_q32);
+    assert_eq!(y_plain, y_dt32);
+    // And the dtype surfaces through the API.
+    assert_eq!(Predictor::new(&trained, &p).dtype(), DType::F32);
+    assert_eq!(Predictor::new_with_dtype(&trained, &p, DType::F16).dtype(), DType::F16);
+    assert_eq!(Predictor::new_quantized(&q32, &p).dtype(), DType::F32);
+}
+
+#[test]
+fn checked_path_is_bitwise_fast_path_on_clean_input_for_quantized_sessions() {
+    let (trained, p) = trained_tiny();
+    let abs_start = p.test_time.start;
+    for dt in [DType::F16, DType::Bf16] {
+        let mut pr = Predictor::new_with_dtype(&trained, &p, dt);
+        let unchecked = pr.predict_window(&p, abs_start);
+        let (checked, quality) = pr.predict_window_checked(&p, abs_start);
+        assert_eq!(quality.non_finite, 0, "{dt}: synthetic eval input should be clean");
+        assert_eq!(quality.imputed_blend + quality.imputed_carry, 0);
+        assert_eq!(unchecked, checked, "{dt}: clean-input fast path not bitwise");
+    }
+}
+
+#[test]
+fn half_dtypes_halve_param_storage_exactly() {
+    let (trained, _) = trained_tiny();
+    let f32_bytes = trained.store.storage_bytes();
+    assert!(f32_bytes > 0);
+    for dt in [DType::F16, DType::Bf16] {
+        let q = trained.quantize(dt);
+        assert_eq!(q.param_bytes() * 2, f32_bytes, "{dt}: expected exactly half the bytes");
+    }
+    assert_eq!(trained.quantize(DType::F32).param_bytes(), f32_bytes);
+}
+
+#[test]
+fn quantized_rmse_within_epsilon_of_f32() {
+    let (trained, p) = trained_tiny();
+    let base = evaluate_stsm(&trained, &p).expect("f32 eval").metrics.rmse;
+    assert!(base.is_finite() && base > 0.0);
+    for dt in [DType::F16, DType::Bf16] {
+        let q = trained.quantize(dt);
+        let rmse = evaluate_quantized(&q, &p).expect("quantized eval").metrics.rmse;
+        let rel = (rmse - base).abs() / base;
+        assert!(
+            rel <= f64::from(QUANT_RMSE_REL_EPSILON),
+            "{dt}: quantized RMSE {rmse} vs f32 {base} — relative delta {rel} exceeds ε {QUANT_RMSE_REL_EPSILON}"
+        );
+    }
+    // f32 "quantization" is the identity: same windows, same bits, same RMSE.
+    let rmse32 = evaluate_quantized(&trained.quantize(DType::F32), &p).expect("eval").metrics.rmse;
+    assert_eq!(rmse32.to_bits(), base.to_bits());
+}
+
+#[test]
+fn from_json_rejects_tampered_payloads() {
+    let (trained, _) = trained_tiny();
+    let q = trained.quantize(DType::F16);
+    let json = q.to_json();
+    // Declared dtype disagrees with the stored parameter bits (only the
+    // top-level field is tampered; the per-tensor dtype tags keep saying
+    // f16, which is exactly the inconsistency the loader must catch).
+    let lied = json.replacen("\"dtype\":\"f16\"", "\"dtype\":\"bf16\"", 1);
+    assert!(matches!(QuantizedStsm::from_json(&lied), Err(StsmError::Serde(_))));
+    // Unknown dtype name.
+    let unknown = json.replace("\"dtype\":\"f16\"", "\"dtype\":\"f8\"");
+    assert!(matches!(QuantizedStsm::from_json(&unknown), Err(StsmError::Serde(_))));
+    // Not JSON at all.
+    assert!(matches!(QuantizedStsm::from_json("{nope"), Err(StsmError::Serde(_))));
+    // Architecture mismatch between config and params.
+    let wrong_arch = json.replace("\"hidden\":8", "\"hidden\":16");
+    assert!(matches!(QuantizedStsm::from_json(&wrong_arch), Err(StsmError::ParamLayout(_))));
+}

@@ -78,6 +78,13 @@ const NUM_CLASSES: usize = (MAX_CLASS_LOG2 - MIN_CLASS_LOG2 + 1) as usize;
 static CLASSES: [Mutex<Vec<Vec<f32>>>; NUM_CLASSES] =
     [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
 
+/// Free lists for 16-bit storage (f16/bf16 bit patterns), mirroring
+/// [`CLASSES`]. Classes are keyed by *element* count, so a half buffer of a
+/// class holds half the bytes of its f32 counterpart; pooling per dtype keeps
+/// reset/recycle zero-alloc for quantized inference sessions too.
+static CLASSES_U16: [Mutex<Vec<Vec<u16>>>; NUM_CLASSES] =
+    [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
+
 thread_local! {
     /// Per-thread override of the env switch; see [`with_pool`].
     static POOL_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
@@ -87,10 +94,12 @@ thread_local! {
 }
 
 /// Depth-counted thread-local free lists installed for the lifetime of an
-/// inference session (nesting shares one cache).
+/// inference session (nesting shares one cache). Half-precision storage gets
+/// its own per-class lists so a quantized session recycles per dtype.
 struct SessionCache {
     depth: usize,
     classes: Vec<Vec<Vec<f32>>>,
+    classes_u16: Vec<Vec<Vec<u16>>>,
 }
 
 /// Installs (or re-enters) the calling thread's session cache. Must be paired
@@ -104,6 +113,7 @@ pub fn session_begin() {
                 *s = Some(SessionCache {
                     depth: 1,
                     classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+                    classes_u16: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
                 })
             }
         }
@@ -133,6 +143,15 @@ pub fn session_end() {
                 list.push(buf);
             }
         }
+        for (class, bufs) in cache.classes_u16.into_iter().enumerate() {
+            let mut list = lock_u16(class);
+            for buf in bufs {
+                if list.len() >= MAX_BUFS_PER_CLASS {
+                    break;
+                }
+                list.push(buf);
+            }
+        }
     }
 }
 
@@ -147,6 +166,22 @@ fn session_put(class: usize, buf: Vec<f32>) -> Option<Vec<f32>> {
     SESSION.with(|s| match s.borrow_mut().as_mut() {
         Some(c) if c.classes[class].len() < MAX_SESSION_BUFS_PER_CLASS => {
             c.classes[class].push(buf);
+            None
+        }
+        _ => Some(buf),
+    })
+}
+
+/// [`session_take`] for 16-bit storage buffers.
+fn session_take_u16(class: usize) -> Option<Vec<u16>> {
+    SESSION.with(|s| s.borrow_mut().as_mut().and_then(|c| c.classes_u16[class].pop()))
+}
+
+/// [`session_put`] for 16-bit storage buffers.
+fn session_put_u16(class: usize, buf: Vec<u16>) -> Option<Vec<u16>> {
+    SESSION.with(|s| match s.borrow_mut().as_mut() {
+        Some(c) if c.classes_u16[class].len() < MAX_SESSION_BUFS_PER_CLASS => {
+            c.classes_u16[class].push(buf);
             None
         }
         _ => Some(buf),
@@ -217,6 +252,10 @@ fn lock(class: usize) -> std::sync::MutexGuard<'static, Vec<Vec<f32>>> {
     CLASSES[class].lock().unwrap_or_else(|e| e.into_inner())
 }
 
+fn lock_u16(class: usize) -> std::sync::MutexGuard<'static, Vec<Vec<u16>>> {
+    CLASSES_U16[class].lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Pops a pooled buffer able to hold `n` elements, cleared to length 0.
 /// Returns `None` when recycling is off, `n` is outside the pooled range, or
 /// the class is empty.
@@ -248,10 +287,43 @@ pub fn recycle(buf: Vec<f32>) {
     }
 }
 
+/// [`take`] for 16-bit storage buffers.
+fn take_u16(n: usize) -> Option<Vec<u16>> {
+    if !enabled() {
+        return None;
+    }
+    let class = request_class(n)?;
+    let mut buf = match session_take_u16(class) {
+        Some(buf) => buf,
+        None => lock_u16(class).pop()?,
+    };
+    buf.clear();
+    Some(buf)
+}
+
+/// [`recycle`] for 16-bit storage buffers (f16/bf16 tensor storage).
+pub fn recycle_u16(buf: Vec<u16>) {
+    if !enabled() {
+        return;
+    }
+    let Some(class) = capacity_class(buf.capacity()) else { return };
+    let Some(buf) = session_put_u16(class, buf) else { return };
+    let mut list = lock_u16(class);
+    if list.len() < MAX_BUFS_PER_CLASS {
+        list.push(buf);
+    }
+}
+
 /// The shared empty storage a [`crate::Tensor`] leaves behind after handing
 /// its buffer back in `Drop`.
 pub(crate) fn empty_shared() -> Arc<Vec<f32>> {
     static EMPTY: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// [`empty_shared`] for 16-bit storage.
+pub(crate) fn empty_shared_u16() -> Arc<Vec<u16>> {
+    static EMPTY: OnceLock<Arc<Vec<u16>>> = OnceLock::new();
     Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
 }
 
@@ -264,6 +336,9 @@ pub fn pooled_in_class_of(n: usize) -> usize {
 /// Empties every free list, releasing the memory to the system allocator.
 pub fn clear() {
     for class in &CLASSES {
+        class.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+    for class in &CLASSES_U16 {
         class.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
@@ -342,6 +417,26 @@ pub fn buf_filled(n: usize, v: f32) -> Vec<f32> {
 /// `push`/`extend` exactly `n` values; pooled like [`buf_zeroed`].
 pub fn buf_with_capacity(n: usize) -> Vec<f32> {
     match take(n) {
+        Some(buf) => {
+            count_reused();
+            buf
+        }
+        None => {
+            count_fresh();
+            match request_class(n) {
+                Some(_) if enabled() => {
+                    Vec::with_capacity(n.next_power_of_two().max(MIN_POOLED_LEN))
+                }
+                _ => Vec::with_capacity(n),
+            }
+        }
+    }
+}
+
+/// [`buf_with_capacity`] for 16-bit storage (f16/bf16 tensor buffers),
+/// served from the dedicated u16 pool.
+pub fn buf_u16_with_capacity(n: usize) -> Vec<u16> {
+    match take_u16(n) {
         Some(buf) => {
             count_reused();
             buf
@@ -488,6 +583,41 @@ mod tests {
             assert!(take(n).is_some());
             session_end();
             drain(n);
+        });
+    }
+
+    #[test]
+    fn u16_pool_is_separate_and_recycles() {
+        let n = (1usize << 17) + 5; // unique class
+        let cap = n.next_power_of_two();
+        with_pool(true, || {
+            while take_u16(n).is_some() {}
+            recycle_u16(Vec::with_capacity(cap));
+            let buf = take_u16(n).expect("pooled u16 buffer should serve");
+            assert!(buf.capacity() >= n && buf.is_empty());
+            // The f32 pool must never see 16-bit buffers and vice versa.
+            while take(n).is_some() {}
+            recycle_u16(buf);
+            assert!(take(n).is_none());
+            assert!(take_u16(n).is_some());
+            while take_u16(n).is_some() {}
+        });
+    }
+
+    #[test]
+    fn session_cache_holds_u16_buffers() {
+        let n = (1usize << 16) + 1; // unique class
+        let cap = n.next_power_of_two();
+        with_pool(true, || {
+            while take_u16(n).is_some() {}
+            session_begin();
+            recycle_u16(Vec::with_capacity(cap));
+            assert!(take_u16(n).is_some(), "session-cached u16 buffer should serve");
+            recycle_u16(Vec::with_capacity(cap));
+            session_end();
+            // Drained into the global u16 class on the final end.
+            assert!(take_u16(n).is_some());
+            while take_u16(n).is_some() {}
         });
     }
 

@@ -1,0 +1,191 @@
+//! Bit-exact text codecs for persisted numeric payloads.
+//!
+//! Two formats share this module, both chosen so that decimal round-tripping
+//! can never perturb a single ULP:
+//!
+//! * the **checkpoint token format** from the training-checkpoint work —
+//!   each f32 as 8 hex digits of its IEEE-754 bit pattern, space-separated
+//!   ([`push_f32_bits`] / [`parse_f32_bits`]); `stsm_core::checkpoint` is
+//!   the consumer;
+//! * the **dense payload format** used by [`crate::Tensor`]'s JSON form —
+//!   the storage buffer's raw little-endian bytes as one lowercase hex
+//!   string, generalized over storage dtype: 8 hex digits per f32 element,
+//!   4 per f16/bf16 element ([`f32s_to_hex`] / [`u16s_to_hex`] and their
+//!   inverses).
+//!
+//! Before this module existed the checkpoint writer and the model JSON
+//! serializer each had their own encode/decode; they now share one
+//! implementation and one error type ([`CodecError`]).
+
+use std::fmt;
+
+/// Why a hex payload could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// A token or character is not valid hexadecimal.
+    BadHex(String),
+    /// The payload length is not a whole number of elements.
+    BadLength(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadHex(t) => write!(f, "bad hex payload '{t}'"),
+            CodecError::BadLength(n) => {
+                write!(f, "hex payload of {n} digits is not a whole number of elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+#[inline]
+fn push_byte(out: &mut String, b: u8) {
+    out.push(HEX[(b >> 4) as usize] as char);
+    out.push(HEX[(b & 0xf) as usize] as char);
+}
+
+#[inline]
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn parse_bytes(s: &str) -> Result<Vec<u8>, CodecError> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(2) {
+        return Err(CodecError::BadLength(b.len()));
+    }
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        let (hi, lo) = match (nibble(pair[0]), nibble(pair[1])) {
+            (Some(hi), Some(lo)) => (hi, lo),
+            _ => return Err(CodecError::BadHex(String::from_utf8_lossy(pair).into_owned())),
+        };
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Encodes f32 values as one dense hex string: per element, the 4 raw
+/// little-endian bytes as 8 lowercase hex digits.
+pub fn f32s_to_hex(vals: &[f32]) -> String {
+    let mut out = String::with_capacity(vals.len() * 8);
+    for v in vals {
+        for b in v.to_bits().to_le_bytes() {
+            push_byte(&mut out, b);
+        }
+    }
+    out
+}
+
+/// Decodes [`f32s_to_hex`] output bit-exactly.
+pub fn hex_to_f32s(s: &str) -> Result<Vec<f32>, CodecError> {
+    let bytes = parse_bytes(s)?;
+    if bytes.len() % 4 != 0 {
+        return Err(CodecError::BadLength(s.len()));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect())
+}
+
+/// Encodes 16-bit storage elements (f16/bf16 bit patterns) as one dense hex
+/// string: per element, the 2 raw little-endian bytes as 4 hex digits.
+pub fn u16s_to_hex(vals: &[u16]) -> String {
+    let mut out = String::with_capacity(vals.len() * 4);
+    for v in vals {
+        for b in v.to_le_bytes() {
+            push_byte(&mut out, b);
+        }
+    }
+    out
+}
+
+/// Decodes [`u16s_to_hex`] output bit-exactly.
+pub fn hex_to_u16s(s: &str) -> Result<Vec<u16>, CodecError> {
+    let bytes = parse_bytes(s)?;
+    if bytes.len() % 2 != 0 {
+        return Err(CodecError::BadLength(s.len()));
+    }
+    Ok(bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect())
+}
+
+/// Appends each value as ` ` + 8 hex digits of its bit pattern — the
+/// checkpoint text token format (big-endian digit order, space-separated).
+pub fn push_f32_bits(out: &mut String, values: &[f32]) {
+    for v in values {
+        out.push(' ');
+        let bits = v.to_bits();
+        for shift in [28u32, 24, 20, 16, 12, 8, 4, 0] {
+            out.push(HEX[((bits >> shift) & 0xf) as usize] as char);
+        }
+    }
+}
+
+/// Parses whitespace-split tokens produced by [`push_f32_bits`].
+pub fn parse_f32_bits(fields: &[&str]) -> Result<Vec<f32>, CodecError> {
+    fields
+        .iter()
+        .map(|f| {
+            u32::from_str_radix(f, 16)
+                .map(f32::from_bits)
+                .map_err(|_| CodecError::BadHex((*f).to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_f32_roundtrip_is_bit_exact() {
+        let vals =
+            vec![0.0f32, -0.0, 1.5, f32::MIN_POSITIVE, f32::MAX, f32::NAN, f32::NEG_INFINITY];
+        let hex = f32s_to_hex(&vals);
+        assert_eq!(hex.len(), vals.len() * 8);
+        let back = hex_to_f32s(&hex).unwrap();
+        let got: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_u16_roundtrip() {
+        let vals = vec![0u16, 1, 0x3c00, 0x7bff, 0xffff, 0x8000];
+        let back = hex_to_u16s(&u16s_to_hex(&vals)).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn dense_decoder_rejects_garbage() {
+        assert!(matches!(hex_to_f32s("zz"), Err(CodecError::BadHex(_))));
+        assert!(matches!(hex_to_f32s("abc"), Err(CodecError::BadLength(_))));
+        assert!(matches!(hex_to_f32s("abcdef"), Err(CodecError::BadLength(_))));
+        assert!(matches!(hex_to_u16s("12q4"), Err(CodecError::BadHex(_))));
+        assert!(matches!(hex_to_u16s("123"), Err(CodecError::BadLength(_))));
+        assert_eq!(hex_to_f32s("").unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn token_format_matches_checkpoint_layout() {
+        let mut s = String::from("epoch_losses");
+        push_f32_bits(&mut s, &[1.0, -2.5]);
+        assert_eq!(s, format!("epoch_losses {:08x} {:08x}", 1.0f32.to_bits(), (-2.5f32).to_bits()));
+        let fields: Vec<&str> = s.split_whitespace().skip(1).collect();
+        let back = parse_f32_bits(&fields).unwrap();
+        assert_eq!(back[0].to_bits(), 1.0f32.to_bits());
+        assert_eq!(back[1].to_bits(), (-2.5f32).to_bits());
+        assert!(matches!(parse_f32_bits(&["zzzzzzzz"]), Err(CodecError::BadHex(_))));
+    }
+}

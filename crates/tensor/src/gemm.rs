@@ -24,6 +24,7 @@
 //! (the naive small-shape path keeps the cached-verdict zero-skip; see
 //! `kernels.rs`).
 
+use crate::dtype::{self, DType};
 use crate::simd::{self, SimdLevel, TileArgs, MR, NR};
 use crate::{alloc, pool};
 
@@ -47,6 +48,57 @@ impl<'a> MatRef<'a> {
     /// The transpose: same storage, swapped strides.
     pub fn transposed(self) -> Self {
         MatRef { data: self.data, base: self.base, rs: self.cs, cs: self.rs }
+    }
+}
+
+/// A rank-2 view over 16-bit storage (f16/bf16 bit patterns): element
+/// `(r, c)` lives at `base + r * rs + c * cs`. The quantized mirror of
+/// [`MatRef`]; it only ever feeds the packing step, which widens to f32
+/// scratch — the micro-kernels themselves never see half bits.
+#[derive(Clone, Copy)]
+pub struct HalfMatRef<'a> {
+    /// Raw 16-bit element patterns.
+    pub bits: &'a [u16],
+    /// How to decode `bits` ([`DType::F16`] or [`DType::Bf16`]).
+    pub dtype: DType,
+    /// Offset of element (0, 0).
+    pub base: usize,
+    /// Row stride in elements.
+    pub rs: usize,
+    /// Column stride in elements.
+    pub cs: usize,
+}
+
+impl<'a> HalfMatRef<'a> {
+    /// Row-major contiguous `(rows, cols)` matrix over `bits[base..]`.
+    pub fn contiguous(bits: &'a [u16], dtype: DType, base: usize, cols: usize) -> Self {
+        HalfMatRef { bits, dtype, base, rs: cols, cs: 1 }
+    }
+
+    /// The transpose: same storage, swapped strides.
+    pub fn transposed(self) -> Self {
+        HalfMatRef { rs: self.cs, cs: self.rs, ..self }
+    }
+}
+
+/// A `B` operand of either storage precision. The packed GEMM path is
+/// dtype-generic in exactly one place — the pack — so the driver takes this
+/// instead of forcing callers to dequantize whole matrices up front.
+#[derive(Clone, Copy)]
+pub enum AnyMatRef<'a> {
+    /// Full-precision operand, packed by straight copy.
+    F32(MatRef<'a>),
+    /// Half-precision operand, widened to f32 during packing.
+    Half(HalfMatRef<'a>),
+}
+
+impl<'a> AnyMatRef<'a> {
+    /// The transpose: same storage, swapped strides, either precision.
+    pub fn transposed(self) -> Self {
+        match self {
+            AnyMatRef::F32(m) => AnyMatRef::F32(m.transposed()),
+            AnyMatRef::Half(m) => AnyMatRef::Half(m.transposed()),
+        }
     }
 }
 
@@ -78,6 +130,47 @@ fn pack_b(b: MatRef<'_>, k: usize, n: usize, packed: &mut [f32]) {
                 }
             }
         }
+    }
+}
+
+/// Packs a half-precision `b` (logical `(k, n)`) into the same panel-major
+/// f32 scratch as [`pack_b`], decoding while packing: the dequantization cost
+/// rides the existing `O(k·n)` pack (amortized across every `M`-strip) and
+/// the micro-kernels run unchanged at full f32 speed — accumulation is f32
+/// regardless of storage dtype. Contiguous rows decode `NR` lanes per call,
+/// which the F16C path turns into one vector convert.
+fn pack_b_half(b: HalfMatRef<'_>, k: usize, n: usize, packed: &mut [f32]) {
+    let n_panels = n.div_ceil(NR);
+    debug_assert!(packed.len() >= n_panels * k * NR);
+    for p in 0..n_panels {
+        let c0 = p * NR;
+        let cols = NR.min(n - c0);
+        let panel = &mut packed[p * k * NR..(p + 1) * k * NR];
+        if b.cs == 1 && cols == NR {
+            for kk in 0..k {
+                let src = b.base + kk * b.rs + c0;
+                dtype::decode_slice(
+                    b.dtype,
+                    &b.bits[src..src + NR],
+                    &mut panel[kk * NR..kk * NR + NR],
+                );
+            }
+        } else {
+            for kk in 0..k {
+                for c in 0..cols {
+                    let bit = b.bits[b.base + kk * b.rs + (c0 + c) * b.cs];
+                    panel[kk * NR + c] = dtype::decode_one(b.dtype, bit);
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches the pack for either storage precision.
+fn pack_b_any(b: AnyMatRef<'_>, k: usize, n: usize, packed: &mut [f32]) {
+    match b {
+        AnyMatRef::F32(b) => pack_b(b, k, n, packed),
+        AnyMatRef::Half(b) => pack_b_half(b, k, n, packed),
     }
 }
 
@@ -115,7 +208,25 @@ fn compute_strip(
 
 /// Packed blocked `out = a · b` for logical shapes `(m, k) × (k, n)`.
 /// `out` must hold at least `m * n` floats; every element is overwritten.
+/// For an f32 `b` this is exactly [`gemm_into_any`] with `AnyMatRef::F32` —
+/// one code path, so the f32 route stays bitwise unchanged.
+#[cfg_attr(not(test), allow(dead_code))] // production callers route through gemm_into_any
 pub fn gemm_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_into_any(a, AnyMatRef::F32(b), out, m, k, n)
+}
+
+/// [`gemm_into`] generalized over `B`'s storage precision: half `B` is
+/// dequantized panel-by-panel during packing, after which the strip loop and
+/// micro-kernels are byte-for-byte the f32 path (f32 accumulation, same
+/// determinism contract).
+pub fn gemm_into_any(
+    a: MatRef<'_>,
+    b: AnyMatRef<'_>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert!(out.len() >= m * n);
     if m == 0 || n == 0 {
         return;
@@ -126,7 +237,7 @@ pub fn gemm_into(a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], m: usize, k: usi
     }
     let lvl = simd::level();
     let mut packed = alloc::buf_zeroed(packed_len(k, n));
-    pack_b(b, k, n, &mut packed);
+    pack_b_any(b, k, n, &mut packed);
     let n_strips = m.div_ceil(MR);
     {
         let packed = &packed[..];
@@ -361,6 +472,55 @@ mod tests {
         gemm_into(MatRef::contiguous(&a, 0, 2), MatRef::contiguous(&b, 0, 2), &mut out, 2, 2, 2);
         assert!(out[0].is_nan() && out[2].is_nan(), "0 × NaN must stay NaN: {out:?}");
         assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn half_b_matches_dequantize_then_gemm_bitwise() {
+        let (m, k, n) = (9, 13, 17);
+        let a = fill(m * k, 9);
+        let b = fill(k * n, 10);
+        for dt in [DType::F16, DType::Bf16] {
+            let mut bits = vec![0u16; k * n];
+            dtype::encode_slice(dt, &b, &mut bits);
+            let mut deq = vec![0.0f32; k * n];
+            dtype::decode_slice(dt, &bits, &mut deq);
+            let mut via_half = vec![f32::NAN; m * n];
+            gemm_into_any(
+                MatRef::contiguous(&a, 0, k),
+                AnyMatRef::Half(HalfMatRef::contiguous(&bits, dt, 0, n)),
+                &mut via_half,
+                m,
+                k,
+                n,
+            );
+            let mut via_f32 = vec![f32::NAN; m * n];
+            gemm_into(
+                MatRef::contiguous(&a, 0, k),
+                MatRef::contiguous(&deq, 0, n),
+                &mut via_f32,
+                m,
+                k,
+                n,
+            );
+            assert_eq!(via_half, via_f32, "{dt}: pack-time decode must be bitwise");
+            // Strided (transposed) half views go through the per-element path.
+            let mut bits_t = vec![0u16; n * k];
+            for kk in 0..k {
+                for j in 0..n {
+                    bits_t[j * k + kk] = bits[kk * n + j];
+                }
+            }
+            let mut via_t = vec![f32::NAN; m * n];
+            gemm_into_any(
+                MatRef::contiguous(&a, 0, k),
+                AnyMatRef::Half(HalfMatRef::contiguous(&bits_t, dt, 0, k).transposed()),
+                &mut via_t,
+                m,
+                k,
+                n,
+            );
+            assert_eq!(via_t, via_f32, "{dt}: strided half pack must match");
+        }
     }
 
     #[test]

@@ -73,6 +73,21 @@ impl InferSession {
         }
     }
 
+    /// Bytes of parameter storage bound in this session, summed at each
+    /// parameter's own dtype — half a quantized model's f32 footprint. This
+    /// is the per-replica weight cost of serving; intermediates are counted
+    /// separately by [`InferSession::arena_bytes`].
+    pub fn param_bytes(&self) -> usize {
+        self.vals[..self.n_params].iter().map(Tensor::storage_bytes).sum()
+    }
+
+    /// Bytes of intermediate (non-parameter) tensors currently alive in the
+    /// arena. Right after a forward pass this is the prediction's working
+    /// set; [`InferSession::reset`] returns it to the session cache.
+    pub fn arena_bytes(&self) -> usize {
+        self.vals[self.n_params..].iter().map(Tensor::storage_bytes).sum()
+    }
+
     /// The bound [`Var`] of parameter `id` — a constant-time index mapping.
     pub fn p(&self, id: ParamId) -> Var {
         assert!(id.0 < self.n_params, "parameter bound after session creation");

@@ -24,7 +24,8 @@
 //! values propagate by construction.
 
 use crate::alloc;
-use crate::gemm::{self, BatchedMatRef, MatRef};
+use crate::dtype::{self, DType};
+use crate::gemm::{self, AnyMatRef, BatchedMatRef, HalfMatRef, MatRef};
 use crate::pool::{self, SliceWriter};
 use crate::telemetry;
 use crate::tensor::Tensor;
@@ -33,6 +34,17 @@ use crate::tensor::Tensor;
 /// SIMD path; packing `B` costs `O(k·n)` against `O(m·k·n)` compute, so
 /// below this the naive kernel's lower constant factors win.
 const PACK_THRESHOLD: usize = 1 << 15;
+
+/// Packed-path threshold when `B` is half-precision. A quantized `B` must be
+/// decoded to f32 either way — into a scratch matrix for the naive kernel or
+/// into panels while packing — so the pack pass is no longer an *extra*
+/// `O(k·n)` cost relative to the naive route and the crossover sits lower.
+/// Route selection for a half `B` therefore differs from the f32 product of
+/// the dequantized matrix in the `[PACK_THRESHOLD_HALF, PACK_THRESHOLD)`
+/// band (values agree within the packed-vs-naive tolerance; each route stays
+/// bitwise deterministic and bitwise equal to the dequantized product taken
+/// through the *same* route).
+const PACK_THRESHOLD_HALF: usize = PACK_THRESHOLD / 4;
 
 /// Multiplies row-major `a` (m×k) by `b` (k×n) into a new m×n buffer using
 /// the naive i-k-j kernel unconditionally. Production entry points go
@@ -96,44 +108,92 @@ fn naive_into(
     }
 }
 
+/// The `B`-side operand of a product, in whatever precision the tensor
+/// stores: f32 tensors feed the kernels in place, half tensors hand over
+/// their raw bits for pack-time (or scratch-time) dequantization.
+fn mat_any(t: &Tensor, base: usize, cols: usize) -> AnyMatRef<'_> {
+    match t.dtype() {
+        DType::F32 => AnyMatRef::F32(MatRef::contiguous(t.data(), base, cols)),
+        dt => AnyMatRef::Half(HalfMatRef::contiguous(t.half_bits(), dt, base, cols)),
+    }
+}
+
+/// Dequantizes a strided half matrix into a contiguous row-major `(k, n)`
+/// f32 scratch — the naive path's half route (the packed path converts
+/// during packing instead and never materializes this).
+fn dequant_mat(b: HalfMatRef<'_>, k: usize, n: usize) -> Vec<f32> {
+    let mut out = alloc::buf_with_capacity(k * n);
+    out.resize(k * n, 0.0);
+    if b.cs == 1 {
+        for kk in 0..k {
+            let src = b.base + kk * b.rs;
+            dtype::decode_slice(b.dtype, &b.bits[src..src + n], &mut out[kk * n..(kk + 1) * n]);
+        }
+    } else {
+        for kk in 0..k {
+            for j in 0..n {
+                out[kk * n + j] = dtype::decode_one(b.dtype, b.bits[b.base + kk * b.rs + j * b.cs]);
+            }
+        }
+    }
+    out
+}
+
 /// Size-routed product core: packed blocked path at or above
-/// [`PACK_THRESHOLD`] MACs, naive path below it. `naive_skip` produces the
-/// zero-skip soundness verdict and is only invoked on the naive route (the
-/// packed path propagates non-finite values without needing one).
+/// [`PACK_THRESHOLD`] MACs (f32 `b`) / [`PACK_THRESHOLD_HALF`] (half `b`),
+/// naive path below it. `naive_skip` produces the zero-skip soundness
+/// verdict and is only invoked on the naive route (the packed path
+/// propagates non-finite values without needing one). A half `b`
+/// dequantizes during packing on the blocked path, or into pooled f32
+/// scratch on the naive path — either way the arithmetic (and the result,
+/// given equal inputs routed the same way) is exactly the f32 kernel's.
 fn mm_into(
     a: MatRef<'_>,
-    b: MatRef<'_>,
+    b: AnyMatRef<'_>,
     out: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
     naive_skip: impl FnOnce() -> bool,
 ) {
-    if m * k * n >= PACK_THRESHOLD {
-        gemm::gemm_into(a, b, out, m, k, n);
-    } else {
-        naive_into(a, b, out, m, k, n, naive_skip());
+    let threshold = match b {
+        AnyMatRef::F32(_) => PACK_THRESHOLD,
+        AnyMatRef::Half(_) => PACK_THRESHOLD_HALF,
+    };
+    if m * k * n >= threshold {
+        gemm::gemm_into_any(a, b, out, m, k, n);
+        return;
+    }
+    match b {
+        AnyMatRef::F32(b) => naive_into(a, b, out, m, k, n, naive_skip()),
+        AnyMatRef::Half(hb) => {
+            let scratch = dequant_mat(hb, k, n);
+            naive_into(a, MatRef::contiguous(&scratch, 0, n), out, m, k, n, naive_skip());
+            alloc::recycle(scratch);
+        }
     }
 }
 
 /// 2-D matrix product of tensors. Shapes must be (m,k) and (k,n).
+///
+/// `b` may be half-precision (a quantized weight matrix): its bits are
+/// widened to f32 inside the kernel (during packing on the blocked path),
+/// with f32 accumulation throughout. A half `a` — which normal execution
+/// never produces, activations stay f32 — is upcast whole.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = telemetry::span("kernel.matmul");
+    if a.dtype().is_half() {
+        return matmul(&a.to_dtype(DType::F32), b);
+    }
     assert_eq!(a.rank(), 2, "matmul lhs must be 2-D, got {}", a.shape());
     assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul inner dims mismatch: {} vs {}", a.shape(), b.shape());
     let mut out = alloc::buf_zeroed(m * n);
-    mm_into(
-        MatRef::contiguous(a.data(), 0, k),
-        MatRef::contiguous(b.data(), 0, n),
-        &mut out,
-        m,
-        k,
-        n,
-        || b.all_finite(),
-    );
+    mm_into(MatRef::contiguous(a.data(), 0, k), mat_any(b, 0, n), &mut out, m, k, n, || {
+        b.all_finite()
+    });
     Tensor::from_vec([m, n], out)
 }
 
@@ -144,6 +204,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// the same order.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = telemetry::span("kernel.matmul");
+    if a.dtype().is_half() {
+        return matmul_nt(&a.to_dtype(DType::F32), b);
+    }
     assert_eq!(a.rank(), 2, "matmul_nt lhs must be 2-D, got {}", a.shape());
     assert_eq!(b.rank(), 2, "matmul_nt rhs must be 2-D, got {}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
@@ -152,7 +215,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = alloc::buf_zeroed(m * n);
     mm_into(
         MatRef::contiguous(a.data(), 0, k),
-        MatRef::contiguous(b.data(), 0, k).transposed(),
+        mat_any(b, 0, k).transposed(),
         &mut out,
         m,
         k,
@@ -167,6 +230,9 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// `matmul(&a.t(), b)`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let _t = telemetry::span("kernel.matmul");
+    if a.dtype().is_half() {
+        return matmul_tn(&a.to_dtype(DType::F32), b);
+    }
     assert_eq!(a.rank(), 2, "matmul_tn lhs must be 2-D, got {}", a.shape());
     assert_eq!(b.rank(), 2, "matmul_tn rhs must be 2-D, got {}", b.shape());
     let (m, k) = (a.dim(0), a.dim(1));
@@ -175,7 +241,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = alloc::buf_zeroed(k * n);
     mm_into(
         MatRef::contiguous(a.data(), 0, k).transposed(),
-        MatRef::contiguous(b.data(), 0, n),
+        mat_any(b, 0, n),
         &mut out,
         k,
         m,
@@ -219,8 +285,13 @@ fn bmm_core(
     out
 }
 
-/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n).
+/// Batched matrix product: (B,m,k) × (B,k,n) → (B,m,n). Half operands are
+/// upcast whole (batched products only ever see f32 activations; quantized
+/// weights flow through the 2-D entries' pack-time conversion).
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.dtype().is_half() || b.dtype().is_half() {
+        return bmm(&a.to_dtype(DType::F32), &b.to_dtype(DType::F32));
+    }
     let _t = telemetry::span("kernel.bmm");
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
@@ -244,6 +315,9 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 /// without materializing the transposed keys. Bitwise identical to
 /// `bmm(a, &b.permute(&[0, 2, 1]))`.
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.dtype().is_half() || b.dtype().is_half() {
+        return bmm_nt(&a.to_dtype(DType::F32), &b.to_dtype(DType::F32));
+    }
     let _t = telemetry::span("kernel.bmm");
     assert_eq!(a.rank(), 3, "bmm_nt lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm_nt rhs must be 3-D");
@@ -266,6 +340,9 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// Batched `aᵀ · b`: (B,m,k) × (B,m,n) → (B,k,n) — the bmm backward's
 /// `Aᵀ·G` route. Bitwise identical to `bmm(&a.permute(&[0, 2, 1]), b)`.
 pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.dtype().is_half() || b.dtype().is_half() {
+        return bmm_tn(&a.to_dtype(DType::F32), &b.to_dtype(DType::F32));
+    }
     let _t = telemetry::span("kernel.bmm");
     assert_eq!(a.rank(), 3, "bmm_tn lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm_tn rhs must be 3-D");
@@ -300,6 +377,16 @@ pub fn conv1d_dilated(
     bias: Option<&Tensor>,
     dilation: usize,
 ) -> Tensor {
+    // Half operands (quantized conv weights/bias) are upcast whole: the
+    // conv taps read weights repeatedly, so a one-time dequantization is
+    // cheaper than per-tap decoding and keeps the f32 loop untouched.
+    if input.dtype().is_half()
+        || weight.dtype().is_half()
+        || bias.is_some_and(|b| b.dtype().is_half())
+    {
+        let up = |t: &Tensor| t.to_dtype(DType::F32);
+        return conv1d_dilated(&up(input), &up(weight), bias.map(up).as_ref(), dilation);
+    }
     let _t = telemetry::span("kernel.conv1d");
     assert_eq!(input.rank(), 3, "conv1d input must be (N, C_in, T)");
     assert_eq!(weight.rank(), 3, "conv1d weight must be (C_out, C_in, K)");
@@ -494,6 +581,9 @@ pub fn log_softmax_lastdim(x: &Tensor) -> Tensor {
 /// broadcast add.
 pub fn addmm(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     let _t = telemetry::span("kernel.addmm");
+    if x.dtype().is_half() {
+        return addmm(&x.to_dtype(DType::F32), w, b);
+    }
     assert_eq!(x.rank(), 2, "addmm lhs must be 2-D, got {}", x.shape());
     assert_eq!(w.rank(), 2, "addmm rhs must be 2-D, got {}", w.shape());
     let (m, k) = (x.dim(0), x.dim(1));
@@ -501,16 +591,19 @@ pub fn addmm(x: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "addmm inner dims mismatch: {} vs {}", x.shape(), w.shape());
     assert_eq!(b.numel(), n, "addmm bias must have {} elements, got {}", n, b.shape());
     let mut out = alloc::buf_zeroed(m * n);
-    mm_into(
-        MatRef::contiguous(x.data(), 0, k),
-        MatRef::contiguous(w.data(), 0, n),
-        &mut out,
-        m,
-        k,
-        n,
-        || w.all_finite(),
-    );
-    let bd = b.data();
+    mm_into(MatRef::contiguous(x.data(), 0, k), mat_any(w, 0, n), &mut out, m, k, n, || {
+        w.all_finite()
+    });
+    // A quantized bias adds its *decoded* f32 values — the add itself stays
+    // f32, so a clean f32 input still reproduces the f32 path bit-for-bit
+    // whenever the decoded bias equals the original.
+    let bias_up;
+    let bd = if b.dtype().is_half() {
+        bias_up = b.to_dtype(DType::F32);
+        bias_up.data()
+    } else {
+        b.data()
+    };
     for orow in out.chunks_exact_mut(n) {
         for (o, &bv) in orow.iter_mut().zip(bd) {
             *o += bv;
@@ -678,6 +771,31 @@ mod tests {
         let c = matmul(&a, &b);
         assert!(c.data()[0].is_nan(), "0·NaN must propagate, got {}", c.data()[0]);
         assert!(c.data()[1].is_nan(), "0·∞ must propagate, got {}", c.data()[1]);
+    }
+
+    #[test]
+    fn quantized_b_matches_dequantize_then_multiply_bitwise() {
+        // Covers the naive (< PACK_THRESHOLD) and packed routes: either way,
+        // a product against quantized weights must equal multiplying the
+        // decoded values at full precision, bit for bit.
+        for (m, k, n) in [(3, 4, 5), (40, 50, 40)] {
+            let x = Tensor::from_vec([m, k], pseudo_fill(m * k, 2654435761, 1000, 997.0));
+            let w = Tensor::from_vec([k, n], pseudo_fill(k * n, 40503, 1000, 991.0));
+            let wt = Tensor::from_vec([n, k], pseudo_fill(n * k, 40503, 1000, 991.0));
+            let bias = Tensor::from_vec([n], pseudo_fill(n, 19, 97, 93.0));
+            for dt in [DType::F16, DType::Bf16] {
+                let (qw, qwt, qb) = (w.to_dtype(dt), wt.to_dtype(dt), bias.to_dtype(dt));
+                let (dw, dwt, db) =
+                    (qw.to_dtype(DType::F32), qwt.to_dtype(DType::F32), qb.to_dtype(DType::F32));
+                assert_eq!(matmul(&x, &qw), matmul(&x, &dw), "{dt} matmul {m}x{k}x{n}");
+                assert_eq!(matmul_nt(&x, &qwt), matmul_nt(&x, &dwt), "{dt} matmul_nt");
+                // Half *lhs* goes through the whole-operand upcast guard.
+                let g = Tensor::from_vec([m, n], pseudo_fill(m * n, 29, 203, 101.0));
+                let qx = x.to_dtype(dt);
+                assert_eq!(matmul_tn(&qx, &g), matmul_tn(&qx.to_dtype(DType::F32), &g));
+                assert_eq!(addmm(&x, &qw, &qb), addmm(&x, &dw, &db), "{dt} addmm");
+            }
+        }
     }
 
     #[test]

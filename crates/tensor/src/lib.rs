@@ -42,6 +42,8 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod codec;
+pub mod dtype;
 mod gemm;
 mod infer;
 mod kernels;
@@ -57,6 +59,7 @@ mod tape_ext;
 pub mod telemetry;
 mod tensor;
 
+pub use dtype::DType;
 pub use infer::InferSession;
 pub use kernels::{
     addmm, bmm, bmm_nt, bmm_tn, conv1d_dilated, log_softmax_lastdim, matmul, matmul_nt, matmul_raw,

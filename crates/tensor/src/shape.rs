@@ -3,6 +3,7 @@
 //! A [`Shape`] is an ordered list of dimension sizes. All tensors in this crate
 //! are contiguous and row-major ("C order"): the last dimension varies fastest.
 
+use crate::dtype::DType;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -140,19 +141,40 @@ pub struct Layout {
     dims: Vec<usize>,
     strides: Vec<usize>,
     offset: usize,
+    /// Element type of the buffer the layout indexes into (strides and
+    /// offsets are in *elements* of this dtype, not bytes). Defaults to f32;
+    /// kernels consult it to pick a decode path for half-precision storage.
+    dtype: DType,
 }
 
 impl Layout {
-    /// The contiguous row-major layout of `shape`, starting at offset 0.
+    /// The contiguous row-major layout of `shape`, starting at offset 0
+    /// (f32 elements; see [`Layout::with_dtype`]).
     pub fn contiguous(shape: &Shape) -> Self {
-        Layout { dims: shape.dims().to_vec(), strides: shape.strides(), offset: 0 }
+        Layout {
+            dims: shape.dims().to_vec(),
+            strides: shape.strides(),
+            offset: 0,
+            dtype: DType::F32,
+        }
     }
 
-    /// Builds a layout from raw parts. `dims` and `strides` must have equal
-    /// length.
+    /// Builds an f32 layout from raw parts. `dims` and `strides` must have
+    /// equal length.
     pub fn from_parts(dims: Vec<usize>, strides: Vec<usize>, offset: usize) -> Self {
         assert_eq!(dims.len(), strides.len(), "layout dims/strides rank mismatch");
-        Layout { dims, strides, offset }
+        Layout { dims, strides, offset, dtype: DType::F32 }
+    }
+
+    /// The element type of the buffer this layout indexes.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// The same layout re-tagged with a storage dtype.
+    pub fn with_dtype(mut self, dt: DType) -> Self {
+        self.dtype = dt;
+        self
     }
 
     /// Number of dimensions.
@@ -255,6 +277,7 @@ impl Layout {
             dims: perm.iter().map(|&p| self.dims[p]).collect(),
             strides: perm.iter().map(|&p| self.strides[p]).collect(),
             offset: self.offset,
+            dtype: self.dtype,
         }
     }
 
@@ -302,7 +325,7 @@ impl Layout {
             dims.push(self.dims[i]);
             strides.push(self.strides[i]);
         }
-        Layout { dims, strides, offset: self.offset }
+        Layout { dims, strides, offset: self.offset, dtype: self.dtype }
     }
 }
 

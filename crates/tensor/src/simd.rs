@@ -74,6 +74,20 @@ fn detect() -> SimdLevel {
     SimdLevel::Scalar
 }
 
+/// True when the CPU has the F16C half-precision conversion instructions.
+/// Probed once; independent of [`level`] because F16C is a separate CPUID
+/// bit from AVX2/FMA — callers gate vector conversions on *both* (so
+/// `STSM_SIMD=scalar` and [`with_level`] still force the portable mirror).
+pub fn f16c_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static F16C: OnceLock<bool> = OnceLock::new();
+        *F16C.get_or_init(|| std::arch::is_x86_feature_detected!("f16c"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
 /// Runs `f` with this thread's micro-kernel dispatch forced to `level`,
 /// restoring the previous override on exit (including on panic). Exists so
 /// the equivalence tests can compare the SIMD and scalar paths in one

@@ -1,10 +1,27 @@
-//! Dense, contiguous, row-major `f32` tensors with copy-on-write storage.
+//! Dense, contiguous, row-major tensors with copy-on-write, dtype-tagged
+//! storage.
 //!
-//! Storage is an `Arc<Vec<f32>>`, so cloning a [`Tensor`] is O(1); mutation
-//! goes through [`Tensor::data_mut`], which copies only when the buffer is
-//! shared. This keeps the autograd tape cheap: saved activations are clones.
+//! Storage is an `Arc` over either an f32 buffer or a 16-bit buffer of
+//! f16/bf16 bit patterns ([`crate::dtype::DType`]); cloning a [`Tensor`] is
+//! O(1) and mutation goes through [`Tensor::data_mut`], which copies only
+//! when the buffer is shared. This keeps the autograd tape cheap: saved
+//! activations are clones.
+//!
+//! ## Precision model
+//!
+//! All *computation* is f32: [`Tensor::data`]/[`Tensor::data_mut`] are the
+//! typed f32 accessors the kernels build on, and they panic on half storage
+//! rather than silently widen. Half tensors are storage-only (quantized
+//! model weights): the hot kernels ([`crate::kernels`]) read their raw bits
+//! via [`Tensor::half_bits`] and convert during packing, while every other
+//! operation falls back to an explicit [`Tensor::to_dtype`] upcast — so the
+//! whole API works for any dtype, with f32 semantics and f32 accumulation
+//! everywhere. Training never sees a half tensor; the f32 path is bitwise
+//! unchanged.
 
 use crate::alloc;
+use crate::codec;
+use crate::dtype::{self, DType};
 use crate::shape::{Layout, Shape};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -18,40 +35,75 @@ const FIN_FINITE: u8 = 1;
 /// At least one element is NaN or infinite.
 const FIN_NONFINITE: u8 = 2;
 
-/// A dense `f32` tensor (contiguous, row-major).
-#[derive(Serialize, Deserialize)]
+/// Dtype-tagged storage: f32 buffers for everything the tape touches, raw
+/// 16-bit patterns for quantized (f16/bf16) weights.
+enum Storage {
+    F32(Arc<Vec<f32>>),
+    Half(DType, Arc<Vec<u16>>),
+}
+
+impl Storage {
+    fn dtype(&self) -> DType {
+        match self {
+            Storage::F32(_) => DType::F32,
+            Storage::Half(dt, _) => *dt,
+        }
+    }
+}
+
+impl Clone for Storage {
+    fn clone(&self) -> Self {
+        match self {
+            Storage::F32(v) => Storage::F32(Arc::clone(v)),
+            Storage::Half(dt, v) => Storage::Half(*dt, Arc::clone(v)),
+        }
+    }
+}
+
+/// A dense tensor (contiguous, row-major; f32 or half-precision storage).
 pub struct Tensor {
     shape: Shape,
-    data: Arc<Vec<f32>>,
+    data: Storage,
     /// Cached [`Tensor::all_finite`] verdict (`FIN_*`), so kernels that gate
     /// fast paths on finiteness (matmul zero-skip) scan a reused operand —
     /// e.g. a weight matrix seen again in `addmm`'s backward — only once.
     /// Reset to unknown by [`Tensor::data_mut`]; not serialized.
-    #[serde(skip)]
     finite: AtomicU8,
 }
 
 impl Clone for Tensor {
     fn clone(&self) -> Self {
-        Tensor {
-            shape: self.shape.clone(),
-            data: Arc::clone(&self.data),
-            finite: self.finite_hint(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.clone(), finite: self.finite_hint() }
     }
 }
 
 impl Drop for Tensor {
-    /// Returns the storage buffer to the recycling pool ([`crate::alloc`])
-    /// when this tensor is its unique owner; shared storage (clones, tape
-    /// leaves) is left for the last owner to recycle.
+    /// Returns the storage buffer to the recycling pool ([`crate::alloc`],
+    /// per dtype) when this tensor is its unique owner; shared storage
+    /// (clones, tape leaves) is left for the last owner to recycle.
     fn drop(&mut self) {
-        if !alloc::enabled() || Arc::strong_count(&self.data) != 1 {
+        if !alloc::enabled() {
             return;
         }
-        let data = std::mem::replace(&mut self.data, alloc::empty_shared());
-        if let Ok(buf) = Arc::try_unwrap(data) {
-            alloc::recycle(buf);
+        match &mut self.data {
+            Storage::F32(arc) => {
+                if Arc::strong_count(arc) != 1 {
+                    return;
+                }
+                let data = std::mem::replace(arc, alloc::empty_shared());
+                if let Ok(buf) = Arc::try_unwrap(data) {
+                    alloc::recycle(buf);
+                }
+            }
+            Storage::Half(_, arc) => {
+                if Arc::strong_count(arc) != 1 {
+                    return;
+                }
+                let data = std::mem::replace(arc, alloc::empty_shared_u16());
+                if let Ok(buf) = Arc::try_unwrap(data) {
+                    alloc::recycle_u16(buf);
+                }
+            }
         }
     }
 }
@@ -68,7 +120,27 @@ impl Tensor {
             shape,
             shape.numel()
         );
-        Tensor { shape, data: Arc::new(data), finite: AtomicU8::new(FIN_UNKNOWN) }
+        Tensor { shape, data: Storage::F32(Arc::new(data)), finite: AtomicU8::new(FIN_UNKNOWN) }
+    }
+
+    /// Builds a half-precision tensor from raw 16-bit patterns of `dt`
+    /// (which must be [`DType::F16`] or [`DType::Bf16`]).
+    pub fn from_half_bits(shape: impl Into<Shape>, dt: DType, bits: Vec<u16>) -> Self {
+        assert!(dt.is_half(), "from_half_bits: {dt} is not a half dtype");
+        let shape = shape.into();
+        assert_eq!(
+            bits.len(),
+            shape.numel(),
+            "bits length {} does not match shape {} ({} elements)",
+            bits.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor {
+            shape,
+            data: Storage::Half(dt, Arc::new(bits)),
+            finite: AtomicU8::new(FIN_UNKNOWN),
+        }
     }
 
     /// The cached finiteness verdict, packaged for a new tensor whose
@@ -142,20 +214,108 @@ impl Tensor {
         self.shape.numel()
     }
 
-    /// Read-only view of the underlying buffer.
-    pub fn data(&self) -> &[f32] {
-        &self.data
+    /// The element type of the storage buffer.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
     }
 
-    /// Mutable view of the underlying buffer (copy-on-write).
+    /// Bytes the storage buffer holds for this tensor's elements.
+    pub fn storage_bytes(&self) -> usize {
+        self.numel() * self.dtype().size_of()
+    }
+
+    /// Read-only view of the underlying f32 buffer — the typed accessor the
+    /// kernels assume. Panics on half storage: callers that can meet a
+    /// quantized tensor go through [`Tensor::half_bits`] or
+    /// [`Tensor::to_dtype`] instead of assuming f32.
+    pub fn data(&self) -> &[f32] {
+        match &self.data {
+            Storage::F32(v) => v,
+            Storage::Half(dt, _) => {
+                panic!("data() on a {dt} tensor: use half_bits() or to_dtype(DType::F32)")
+            }
+        }
+    }
+
+    /// Raw 16-bit patterns of a half-precision tensor. Panics on f32
+    /// storage (the mirror of [`Tensor::data`]'s contract).
+    pub fn half_bits(&self) -> &[u16] {
+        match &self.data {
+            Storage::F32(_) => panic!("half_bits() on an f32 tensor: use data()"),
+            Storage::Half(_, b) => b,
+        }
+    }
+
+    /// Mutable view of the underlying f32 buffer (copy-on-write). Panics on
+    /// half storage: quantized tensors are immutable (re-quantize from f32
+    /// instead of editing bits in place).
     pub fn data_mut(&mut self) -> &mut [f32] {
         self.finite.store(FIN_UNKNOWN, Ordering::Relaxed);
-        Arc::<Vec<f32>>::make_mut(&mut self.data).as_mut_slice()
+        match &mut self.data {
+            Storage::F32(v) => Arc::<Vec<f32>>::make_mut(v).as_mut_slice(),
+            Storage::Half(dt, _) => {
+                panic!("data_mut() on a {dt} tensor: quantized storage is read-only")
+            }
+        }
     }
 
-    /// Element at a multi-dimensional index.
+    /// Converts to `dt` storage. f32 → half quantizes with round-to-nearest-
+    /// even ([`crate::dtype`]); half → f32 is exact. Converting to the
+    /// current dtype is a cheap clone. Buffers come from the per-dtype
+    /// recycling pools, so steady-state conversion allocates nothing.
+    pub fn to_dtype(&self, dt: DType) -> Tensor {
+        if dt == self.dtype() {
+            return self.clone();
+        }
+        let n = self.numel();
+        match (&self.data, dt) {
+            (Storage::F32(v), _) => {
+                crate::telemetry::count("dtype.quantize", 1);
+                let mut bits = alloc::buf_u16_with_capacity(n);
+                bits.resize(n, 0);
+                dtype::encode_slice(dt, v, &mut bits);
+                // Quantization can overflow a finite f32 to ±Inf (f16 range
+                // is narrower), so the cached verdict does not carry over.
+                Tensor {
+                    shape: self.shape.clone(),
+                    data: Storage::Half(dt, Arc::new(bits)),
+                    finite: AtomicU8::new(FIN_UNKNOWN),
+                }
+            }
+            (Storage::Half(h, bits), DType::F32) => {
+                crate::telemetry::count("dtype.dequantize", 1);
+                let mut out = alloc::buf_with_capacity(n);
+                out.resize(n, 0.0);
+                dtype::decode_slice(*h, bits, &mut out);
+                // Decoding is exact, so finiteness is preserved.
+                Tensor {
+                    shape: self.shape.clone(),
+                    data: Storage::F32(Arc::new(out)),
+                    finite: self.finite_hint(),
+                }
+            }
+            (Storage::Half(..), _) => self.to_dtype(DType::F32).to_dtype(dt),
+        }
+    }
+
+    /// `Some(f32 copy)` for half storage, `None` when already f32. The
+    /// guard every dtype-generic fallback opens with.
+    fn upcast(&self) -> Option<Tensor> {
+        if self.dtype() == DType::F32 {
+            None
+        } else {
+            Some(self.to_dtype(DType::F32))
+        }
+    }
+
+    /// Element at a multi-dimensional index (decoded to f32 for half
+    /// storage).
     pub fn at(&self, idx: &[usize]) -> f32 {
-        self.data[self.shape.offset(idx)]
+        let off = self.shape.offset(idx);
+        match &self.data {
+            Storage::F32(v) => v[off],
+            Storage::Half(dt, b) => dtype::decode_one(*dt, b[off]),
+        }
     }
 
     /// Sets the element at a multi-dimensional index.
@@ -167,7 +327,10 @@ impl Tensor {
     /// The single value of a scalar (or one-element) tensor.
     pub fn item(&self) -> f32 {
         assert_eq!(self.numel(), 1, "item() requires exactly one element, shape is {}", self.shape);
-        self.data[0]
+        match &self.data {
+            Storage::F32(v) => v[0],
+            Storage::Half(dt, b) => dtype::decode_one(*dt, b[0]),
+        }
     }
 
     /// Reinterprets the buffer under a new shape with the same element count.
@@ -180,13 +343,16 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor { shape, data: Arc::clone(&self.data), finite: self.finite_hint() }
+        Tensor { shape, data: self.data.clone(), finite: self.finite_hint() }
     }
 
-    /// Applies `f` to every element, returning a new tensor.
+    /// Applies `f` to every element, returning a new (f32) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        if let Some(t) = self.upcast() {
+            return t.map(f);
+        }
         let mut out = alloc::buf_with_capacity(self.numel());
-        out.extend(self.data.iter().map(|&x| f(x)));
+        out.extend(self.data().iter().map(|&x| f(x)));
         Tensor::from_vec(self.shape.clone(), out)
     }
 
@@ -198,8 +364,11 @@ impl Tensor {
             "zip shape mismatch: {} vs {}",
             self.shape, other.shape
         );
+        if self.dtype().is_half() || other.dtype().is_half() {
+            return self.to_dtype(DType::F32).zip(&other.to_dtype(DType::F32), f);
+        }
         let mut out = alloc::buf_with_capacity(self.numel());
-        out.extend(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)));
+        out.extend(self.data().iter().zip(other.data().iter()).map(|(&a, &b)| f(a, b)));
         Tensor::from_vec(self.shape.clone(), out)
     }
 
@@ -221,6 +390,9 @@ impl Tensor {
     pub fn broadcast_to(&self, target: &Shape) -> Tensor {
         if &self.shape == target {
             return self.clone();
+        }
+        if let Some(t) = self.upcast() {
+            return t.broadcast_to(target);
         }
         assert!(
             self.shape.broadcasts_to(target),
@@ -244,8 +416,9 @@ impl Tensor {
         let tdims = target.dims();
         let mut idx = vec![0usize; r];
         let mut src_off = 0usize;
+        let data = self.data();
         for _ in 0..n {
-            out.push(self.data[src_off]);
+            out.push(data[src_off]);
             // Increment the multi-index, updating the source offset incrementally.
             for i in (0..r).rev() {
                 idx[i] += 1;
@@ -257,7 +430,11 @@ impl Tensor {
                 idx[i] = 0;
             }
         }
-        Tensor { shape: target.clone(), data: Arc::new(out), finite: self.finite_hint() }
+        Tensor {
+            shape: target.clone(),
+            data: Storage::F32(Arc::new(out)),
+            finite: self.finite_hint(),
+        }
     }
 
     /// Reduces a broadcasted gradient back to this tensor's original shape by
@@ -266,6 +443,9 @@ impl Tensor {
     pub fn reduce_to(grad: &Tensor, original: &Shape) -> Tensor {
         if grad.shape() == original {
             return grad.clone();
+        }
+        if let Some(t) = grad.upcast() {
+            return Tensor::reduce_to(&t, original);
         }
         let gr = grad.rank();
         let pad = gr - original.rank();
@@ -302,12 +482,16 @@ impl Tensor {
 
     /// Transposes a 2-D tensor.
     pub fn t(&self) -> Tensor {
+        if let Some(t) = self.upcast() {
+            return t.t();
+        }
         assert_eq!(self.rank(), 2, "t() requires a 2-D tensor, got {}", self.shape);
         let (m, n) = (self.dim(0), self.dim(1));
         let mut out = alloc::buf_zeroed(m * n);
+        let data = self.data();
         for i in 0..m {
             for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+                out[j * m + i] = data[i * n + j];
             }
         }
         let mut t = Tensor::from_vec([n, m], out);
@@ -318,6 +502,9 @@ impl Tensor {
     /// Permutes dimensions: `out[idx] = self[idx[perm]]` semantics of
     /// `numpy.transpose` (axis `i` of the output is axis `perm[i]` of input).
     pub fn permute(&self, perm: &[usize]) -> Tensor {
+        if let Some(t) = self.upcast() {
+            return t.permute(perm);
+        }
         assert_eq!(perm.len(), self.rank(), "permute rank mismatch");
         let mut seen = vec![false; perm.len()];
         for &p in perm {
@@ -334,8 +521,9 @@ impl Tensor {
         // Stride of output index i in the source buffer.
         let eff: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
         let mut src_off = 0usize;
+        let data = self.data();
         for _ in 0..n {
-            out.push(self.data[src_off]);
+            out.push(data[src_off]);
             for i in (0..r).rev() {
                 idx[i] += 1;
                 src_off += eff[i];
@@ -346,11 +534,14 @@ impl Tensor {
                 idx[i] = 0;
             }
         }
-        Tensor { shape: out_shape, data: Arc::new(out), finite: self.finite_hint() }
+        Tensor { shape: out_shape, data: Storage::F32(Arc::new(out)), finite: self.finite_hint() }
     }
 
     /// Slices along `axis`, keeping indices in `[start, end)`.
     pub fn slice(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        if let Some(t) = self.upcast() {
+            return t.slice(axis, start, end);
+        }
         assert!(axis < self.rank(), "slice axis out of range");
         assert!(start <= end && end <= self.dim(axis), "slice range out of bounds");
         let outer: usize = self.dims()[..axis].iter().product();
@@ -358,9 +549,10 @@ impl Tensor {
         let d = self.dim(axis);
         let len = end - start;
         let mut out = alloc::buf_with_capacity(outer * len * inner);
+        let data = self.data();
         for o in 0..outer {
             let base = o * d * inner;
-            out.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+            out.extend_from_slice(&data[base + start * inner..base + end * inner]);
         }
         let mut dims = self.dims().to_vec();
         dims[axis] = len;
@@ -369,12 +561,16 @@ impl Tensor {
 
     /// Selects rows (`axis = 0` entries) by index, with repetition allowed.
     pub fn index_select0(&self, indices: &[usize]) -> Tensor {
+        if let Some(t) = self.upcast() {
+            return t.index_select0(indices);
+        }
         assert!(self.rank() >= 1);
         let inner: usize = self.dims()[1..].iter().product();
         let mut out = alloc::buf_with_capacity(indices.len() * inner);
+        let data = self.data();
         for &i in indices {
             assert!(i < self.dim(0), "index_select0 index {} out of range {}", i, self.dim(0));
-            out.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+            out.extend_from_slice(&data[i * inner..(i + 1) * inner]);
         }
         let mut dims = self.dims().to_vec();
         dims[0] = indices.len();
@@ -384,6 +580,11 @@ impl Tensor {
     /// Concatenates tensors along `axis`. All other dimensions must match.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
         assert!(!tensors.is_empty(), "concat of zero tensors");
+        if tensors.iter().any(|t| t.dtype().is_half()) {
+            let upcast: Vec<Tensor> = tensors.iter().map(|t| t.to_dtype(DType::F32)).collect();
+            let refs: Vec<&Tensor> = upcast.iter().collect();
+            return Tensor::concat(&refs, axis);
+        }
         let r = tensors[0].rank();
         assert!(axis < r, "concat axis out of range");
         for t in tensors {
@@ -402,7 +603,7 @@ impl Tensor {
             for t in tensors {
                 let d = t.dim(axis);
                 let base = o * d * inner;
-                out.extend_from_slice(&t.data[base..base + d * inner]);
+                out.extend_from_slice(&t.data()[base..base + d * inner]);
             }
         }
         let mut dims = tensors[0].dims().to_vec();
@@ -412,7 +613,10 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        if let Some(t) = self.upcast() {
+            return t.sum();
+        }
+        self.data().iter().sum()
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -426,27 +630,37 @@ impl Tensor {
 
     /// Maximum element (NaN-ignoring; `-inf` for empty tensors).
     pub fn max_value(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        if let Some(t) = self.upcast() {
+            return t.max_value();
+        }
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (NaN-ignoring; `+inf` for empty tensors).
     pub fn min_value(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        if let Some(t) = self.upcast() {
+            return t.min_value();
+        }
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
     }
 
     /// Sum along `axis`, keeping it as size 1 when `keepdim`.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        if let Some(t) = self.upcast() {
+            return t.sum_axis(axis, keepdim);
+        }
         assert!(axis < self.rank());
         let outer: usize = self.dims()[..axis].iter().product();
         let d = self.dim(axis);
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let mut out = alloc::buf_zeroed(outer * inner);
+        let data = self.data();
         for o in 0..outer {
             for k in 0..d {
                 let base = (o * d + k) * inner;
                 let obase = o * inner;
                 for i in 0..inner {
-                    out[obase + i] += self.data[base + i];
+                    out[obase + i] += data[base + i];
                 }
             }
         }
@@ -462,7 +676,10 @@ impl Tensor {
 
     /// Squared L2 norm of all elements.
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        if let Some(t) = self.upcast() {
+            return t.sq_norm();
+        }
+        self.data().iter().map(|&x| x * x).sum()
     }
 
     /// True if every element is finite (no NaN/Inf). The verdict is cached
@@ -470,12 +687,20 @@ impl Tensor {
     /// [`Tensor::data_mut`] invalidates it. Kernels use this to decide
     /// whether zero-skip fast paths are sound without rescanning reused
     /// operands (e.g. the weight matrix in `addmm` forward and backward).
+    /// Half storage is checked at the bit level (exponent all-ones), no
+    /// decode needed.
     pub fn all_finite(&self) -> bool {
         match self.finite.load(Ordering::Relaxed) {
             FIN_FINITE => true,
             FIN_NONFINITE => false,
             _ => {
-                let ok = self.data.iter().all(|x| x.is_finite());
+                let ok = match &self.data {
+                    Storage::F32(v) => v.iter().all(|x| x.is_finite()),
+                    Storage::Half(dt, b) => {
+                        let dt = *dt;
+                        b.iter().all(|&x| dtype::bits_finite(dt, x))
+                    }
+                };
                 self.finite.store(if ok { FIN_FINITE } else { FIN_NONFINITE }, Ordering::Relaxed);
                 ok
             }
@@ -487,12 +712,16 @@ impl Tensor {
         !self.all_finite()
     }
 
-    /// A stride-aware borrowed view of the whole tensor (contiguous layout).
-    /// Views reindex without copying: transposes, slices and window gathers
-    /// become layout rewrites that the packed matmul kernels consume
-    /// directly (see [`crate::kernels`]).
+    /// A stride-aware borrowed view of the whole tensor (contiguous layout,
+    /// tagged with the tensor's dtype). Views reindex without copying:
+    /// transposes, slices and window gathers become layout rewrites that the
+    /// packed matmul kernels consume directly (see [`crate::kernels`]).
+    /// Panics on half storage — views borrow the f32 buffer.
     pub fn view(&self) -> TensorView<'_> {
-        TensorView { data: &self.data, layout: Layout::contiguous(&self.shape) }
+        TensorView {
+            data: self.data(),
+            layout: Layout::contiguous(&self.shape).with_dtype(self.dtype()),
+        }
     }
 
     /// The transpose of a 2-D tensor as a view (no copy).
@@ -503,11 +732,14 @@ impl Tensor {
 
     /// Approximate equality within `tol` (elementwise absolute difference).
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        if self.dtype().is_half() || other.dtype().is_half() {
+            return self.to_dtype(DType::F32).allclose(&other.to_dtype(DType::F32), tol);
+        }
         self.shape == other.shape
             && self
-                .data
+                .data()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.data().iter())
                 .all(|(&a, &b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
     }
 }
@@ -546,6 +778,11 @@ impl<'a> TensorView<'a> {
     /// The view's layout.
     pub fn layout(&self) -> &Layout {
         &self.layout
+    }
+
+    /// The storage dtype the layout was tagged with.
+    pub fn dtype(&self) -> DType {
+        self.layout.dtype()
     }
 
     /// Number of dimensions.
@@ -651,16 +888,21 @@ impl fmt::Debug for TensorView<'_> {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.dtype().is_half() {
+            write!(f, "dtype={}, ", self.dtype())?;
+        }
+        let vals = self.to_dtype(DType::F32);
+        let data = vals.data();
         if self.numel() <= 16 {
-            write!(f, "data={:?})", self.data)
+            write!(f, "data={:?})", data)
         } else {
             write!(
                 f,
                 "data=[{:.4}, {:.4}, ... {:.4}], mean={:.4})",
-                self.data[0],
-                self.data[1],
-                self.data[self.numel() - 1],
-                self.mean()
+                data[0],
+                data[1],
+                data[self.numel() - 1],
+                vals.mean()
             )
         }
     }
@@ -668,7 +910,75 @@ impl fmt::Debug for Tensor {
 
 impl PartialEq for Tensor {
     fn eq(&self, other: &Self) -> bool {
-        self.shape == other.shape && self.data == other.data
+        if self.shape != other.shape {
+            return false;
+        }
+        match (&self.data, &other.data) {
+            (Storage::F32(a), Storage::F32(b)) => a == b,
+            (Storage::Half(da, a), Storage::Half(db, b)) => da == db && a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Serialize for Tensor {
+    /// Serializes as `{shape, dtype, bits}` where `bits` is the storage
+    /// buffer's raw little-endian bytes as hex ([`crate::codec`]) — the same
+    /// bit-exact discipline the training checkpoints use, generalized over
+    /// dtype.
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("shape".to_string(), self.shape.to_value());
+        m.insert("dtype".to_string(), serde::Value::String(self.dtype().name().to_string()));
+        let hex = match &self.data {
+            Storage::F32(v) => codec::f32s_to_hex(v),
+            Storage::Half(_, b) => codec::u16s_to_hex(b),
+        };
+        m.insert("bits".to_string(), serde::Value::String(hex));
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for Tensor {
+    /// Accepts both the `{shape, dtype, bits}` form written by
+    /// [`Tensor::to_value`] and the legacy `{shape, data: [f32…]}` form of
+    /// earlier releases.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        fn bad(msg: impl Into<String>) -> serde::Error {
+            serde::Error::msg(msg)
+        }
+        let shape =
+            Shape::from_value(v.get("shape").ok_or_else(|| bad("tensor missing 'shape'"))?)?;
+        let check = |shape: Shape, n: usize| {
+            if n == shape.numel() {
+                Ok(shape)
+            } else {
+                Err(bad(format!("payload of {n} elements does not match shape {shape}")))
+            }
+        };
+        if let Some(bits_v) = v.get("bits") {
+            let bits = bits_v.as_str().ok_or_else(|| bad("tensor 'bits' must be a hex string"))?;
+            let name = v
+                .get("dtype")
+                .and_then(serde::Value::as_str)
+                .ok_or_else(|| bad("tensor with 'bits' missing 'dtype'"))?;
+            let dt = DType::parse(name).ok_or_else(|| bad(format!("unknown dtype '{name}'")))?;
+            match dt {
+                DType::F32 => {
+                    let vals = codec::hex_to_f32s(bits).map_err(|e| bad(e.to_string()))?;
+                    Ok(Tensor::from_vec(check(shape, vals.len())?, vals))
+                }
+                _ => {
+                    let vals = codec::hex_to_u16s(bits).map_err(|e| bad(e.to_string()))?;
+                    Ok(Tensor::from_half_bits(check(shape, vals.len())?, dt, vals))
+                }
+            }
+        } else if let Some(data_v) = v.get("data") {
+            let data = Vec::<f32>::from_value(data_v)?;
+            Ok(Tensor::from_vec(check(shape, data.len())?, data))
+        } else {
+            Err(bad("tensor missing 'bits' (or legacy 'data') payload"))
+        }
     }
 }
 
@@ -684,6 +994,8 @@ mod tests {
         assert_eq!(Tensor::eye(3).at(&[1, 1]), 1.0);
         assert_eq!(Tensor::eye(3).at(&[1, 0]), 0.0);
         assert_eq!(Tensor::arange(4).data(), &[0., 1., 2., 3.]);
+        assert_eq!(t.dtype(), DType::F32);
+        assert_eq!(t.storage_bytes(), 24);
     }
 
     #[test]
@@ -792,6 +1104,7 @@ mod tests {
         let v = t.view();
         assert_eq!(v.shape(), *t.shape());
         assert_eq!(v.at(&[1, 2, 3]), t.at(&[1, 2, 3]));
+        assert_eq!(v.dtype(), DType::F32);
         // Transpose view matches the materializing transpose.
         let m = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(m.t_view().to_tensor(), m.t());
@@ -824,5 +1137,97 @@ mod tests {
         let b = Tensor::from_vec([2], vec![10., 20.]);
         let c = a.zip_broadcast(&b, |x, y| x + y);
         assert_eq!(c.data(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn quantize_roundtrip_and_metadata() {
+        let vals = vec![0.0f32, 1.5, -2.25, 100.0, -0.125, 7.0];
+        let t = Tensor::from_vec([2, 3], vals.clone());
+        for dt in [DType::F16, DType::Bf16] {
+            let q = t.to_dtype(dt);
+            assert_eq!(q.dtype(), dt);
+            assert_eq!(q.dims(), &[2, 3]);
+            assert_eq!(q.storage_bytes(), t.storage_bytes() / 2);
+            assert_eq!(q.half_bits().len(), 6);
+            // These values are exactly representable in both half formats.
+            let back = q.to_dtype(DType::F32);
+            assert_eq!(back.data(), &vals[..]);
+            // Element access decodes without panicking.
+            assert_eq!(q.at(&[0, 1]), 1.5);
+            assert_eq!(q.sum(), t.sum());
+            assert!(q.all_finite());
+        }
+        // to_dtype to the current dtype is a cheap clone.
+        assert_eq!(t.to_dtype(DType::F32), t);
+    }
+
+    #[test]
+    fn half_ops_upcast() {
+        let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let q = t.to_dtype(DType::F16);
+        assert_eq!(q.map(|x| x * 2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(q.t(), t.t());
+        assert_eq!(q.slice(0, 0, 1).data(), &[1.0, 2.0]);
+        assert_eq!(q.sum_axis(0, false).data(), &[4.0, 6.0]);
+        assert_eq!(q.zip(&t, |a, b| a - b).data(), &[0.0; 4]);
+        assert!(q.allclose(&t, 0.0));
+        let c = Tensor::concat(&[&q, &t], 0);
+        assert_eq!(c.dims(), &[4, 2]);
+        assert_eq!(c.dtype(), DType::F32);
+    }
+
+    #[test]
+    fn half_finiteness_and_overflow() {
+        // 1e30 overflows f16 to +Inf but fits bf16.
+        let t = Tensor::from_vec([2], vec![1.0, 1e30]);
+        assert!(t.all_finite());
+        let f16 = t.to_dtype(DType::F16);
+        assert!(f16.has_non_finite(), "f16 overflow must be visible to all_finite");
+        let bf16 = t.to_dtype(DType::Bf16);
+        assert!(bf16.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "data() on a f16 tensor")]
+    fn half_data_access_panics() {
+        let q = Tensor::from_vec([2], vec![1.0, 2.0]).to_dtype(DType::F16);
+        let _ = q.data();
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized storage is read-only")]
+    fn half_data_mut_panics() {
+        let mut q = Tensor::from_vec([2], vec![1.0, 2.0]).to_dtype(DType::Bf16);
+        let _ = q.data_mut();
+    }
+
+    #[test]
+    fn serde_roundtrip_per_dtype_is_bitwise() {
+        let t = Tensor::from_vec([2, 2], vec![0.1, -0.2, f32::MIN_POSITIVE, 3.0e7]);
+        for dt in [DType::F32, DType::F16, DType::Bf16] {
+            let q = t.to_dtype(dt);
+            let json = serde_json::to_string(&q).unwrap();
+            assert!(json.contains(&format!("\"dtype\":\"{dt}\"")), "{json}");
+            let back: Tensor = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.dtype(), dt);
+            assert_eq!(back, q, "{dt} round-trip must be bitwise");
+        }
+    }
+
+    #[test]
+    fn serde_reads_legacy_f32_form() {
+        let legacy = r#"{"shape":[2,2],"data":[1.0,2.5,-3.0,0.0]}"#;
+        let t: Tensor = serde_json::from_str(legacy).unwrap();
+        assert_eq!(t.dtype(), DType::F32);
+        assert_eq!(t.data(), &[1.0, 2.5, -3.0, 0.0]);
+        // Mismatched payloads are errors, not panics.
+        assert!(serde_json::from_str::<Tensor>(r#"{"shape":[3],"data":[1.0]}"#).is_err());
+        assert!(
+            serde_json::from_str::<Tensor>(r#"{"shape":[1],"dtype":"f8","bits":"00"}"#).is_err()
+        );
+        assert!(
+            serde_json::from_str::<Tensor>(r#"{"shape":[2],"dtype":"f16","bits":"003c"}"#).is_err(),
+            "one f16 element cannot satisfy shape [2]"
+        );
     }
 }

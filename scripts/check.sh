@@ -39,11 +39,18 @@ cargo test -q -p stsm-baselines --test baseline_training
 # host supports (the suite forces Scalar internally; STSM_SIMD=off is the
 # process-wide switch). Pinned by name, plus a bench-binary wiring smoke.
 cargo test -q -p stsm-tensor --test kernel_tiling_equivalence
+# The precision/quantization contract (DESIGN.md, "Precision &
+# quantization"): exhaustive f16/bf16 round-trip + RNE rounding +
+# scalar-vs-F16C bitwise equivalence, and quantize→save→load→predict
+# bitwise stability with the RMSE accuracy ε-gate — pinned by name.
+cargo test -q -p stsm-tensor --test dtype_convert
+cargo test -q -p stsm-core --test quantized_equivalence
 cargo run -q -p stsm-bench --release --bin bench_kernels -- --smoke
 # Bench-binary wiring smokes: train/infer assert their pool-on/off and
-# Train/Infer bitwise contracts in-process; scale asserts pruned-vs-dense
-# top-q identity on a small metro layout. Smoke runs never rewrite the
-# BENCH_*.json artefacts.
+# Train/Infer bitwise contracts in-process (bench_infer includes the
+# per-dtype f32/f16/bf16 serving pass with its f32-row bitwise assert);
+# scale asserts pruned-vs-dense top-q identity on a small metro layout.
+# Smoke runs never rewrite the BENCH_*.json artefacts.
 cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_train -- --smoke
 cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_infer -- --smoke
 cargo run -q -p stsm-bench --release --bin bench_scale -- --smoke
