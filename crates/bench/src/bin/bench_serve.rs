@@ -1,0 +1,314 @@
+//! Load generator for the `stsm-serve` forecast service: streams synthetic
+//! ingestion (with a seeded fault mix) at a running server while closed-loop
+//! clients submit forecast requests at several concurrency levels, and
+//! writes `BENCH_serve.json` with p50/p99 request latency (from the
+//! `serve.request` telemetry histogram) and req/s per level.
+//!
+//! Before any measurement, the same serving scenario is run with telemetry
+//! on and off and the forecast bits are asserted identical — the
+//! zero-overhead telemetry contract, extended to the serving layer.
+//!
+//! ```bash
+//! cargo run -p stsm-bench --release --bin bench_serve             # full, writes JSON
+//! cargo run -p stsm-bench --release --bin bench_serve -- --smoke  # quick, no artifact
+//! ```
+//!
+//! Knobs: `--nan-rate=0.25` adjusts the fault mix fed to the ingest stream;
+//! `--concurrency=1,2,4,8` overrides the measured client counts.
+
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stsm_core::{train_stsm, DistanceMode, ProblemInstance, StsmConfig};
+use stsm_serve::{ForecastRequest, ServeConfig, ServeError, Server, SharedModel};
+use stsm_synth::{
+    space_split, DatasetConfig, FaultPlan, FaultSchedule, NetworkKind, SignalKind, SplitAxis,
+};
+use stsm_tensor::telemetry;
+
+fn dataset(seed: u64) -> stsm_synth::Dataset {
+    DatasetConfig {
+        name: "serve-bench".into(),
+        network: NetworkKind::Highway,
+        sensors: 24,
+        extent: 10_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate()
+}
+
+fn cfg(seed: u64) -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 4,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        top_k: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn clean_step(p: &ProblemInstance, t: usize) -> Vec<f32> {
+    p.observed.iter().map(|&g| p.scaled_value(g, t)).collect()
+}
+
+/// One fixed serving scenario (single worker, clean ingest, one Latest and
+/// one Window forecast); returns the concatenated output bits.
+fn scenario_bits(p: &Arc<ProblemInstance>, model: &SharedModel, t_in: usize) -> Vec<u32> {
+    let server = Server::start(
+        Arc::clone(p),
+        model.clone(),
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    for t in 0..t_in {
+        server.ingest_step(&clean_step(p, t));
+    }
+    let a = server.submit(ForecastRequest::latest()).expect("admit").wait().expect("latest");
+    let b = server
+        .submit(ForecastRequest::window(p.test_time.start))
+        .expect("admit")
+        .wait()
+        .expect("window");
+    server.shutdown();
+    let mut bits: Vec<u32> = a.prediction.data().iter().map(|v| v.to_bits()).collect();
+    bits.extend(b.prediction.data().iter().map(|v| v.to_bits()));
+    bits
+}
+
+struct LevelResult {
+    concurrency: usize,
+    requests: u64,
+    completed: u64,
+    rejected: u64,
+    req_per_sec: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+    deadline_exceeded: u64,
+    overloaded: u64,
+    breaker_trips: u64,
+}
+
+/// Runs one closed-loop load level: `clients` threads each issue
+/// `reqs_per_client` requests (a Latest/Window mix, some with deadlines)
+/// while the main loop keeps streaming faulted ingest steps.
+fn run_level(
+    p: &Arc<ProblemInstance>,
+    model: &SharedModel,
+    t_in: usize,
+    clients: usize,
+    reqs_per_client: usize,
+    nan_rate: f64,
+) -> LevelResult {
+    telemetry::with_telemetry(true, || {
+        telemetry::reset();
+        let server = Server::start(
+            Arc::clone(p),
+            model.clone(),
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+        );
+        let plan = FaultPlan {
+            seed: 4242,
+            nan_rate,
+            dropout_windows: 1,
+            dropout_len: 3,
+            spike_rate: 0.02,
+            spike_scale: 1e3,
+            sensors: Some(p.observed.clone()),
+            time_range: None,
+        };
+        let schedule = FaultSchedule::new(&plan, p.n(), p.dataset.t_total);
+        let corrupt_step = |t: usize| -> Vec<f32> {
+            p.observed
+                .iter()
+                .map(|&g| {
+                    schedule.corrupt(
+                        g,
+                        t % p.dataset.t_total,
+                        p.scaled_value(g, t % p.dataset.t_total),
+                    )
+                })
+                .collect()
+        };
+        for t in 0..t_in {
+            server.ingest_step(&corrupt_step(t));
+        }
+        let done = AtomicBool::new(false);
+        let completed = AtomicU64::new(0);
+        let rejected = AtomicU64::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            // Ingest stream: one faulted step per millisecond until the
+            // clients finish.
+            s.spawn(|| {
+                let mut t = t_in;
+                while !done.load(Ordering::Relaxed) {
+                    server.ingest_step(&corrupt_step(t));
+                    t += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            let mut handles = Vec::new();
+            for c in 0..clients {
+                let server = &server;
+                let completed = &completed;
+                let rejected = &rejected;
+                handles.push(s.spawn(move || {
+                    for i in 0..reqs_per_client {
+                        let mut req = if (c + i) % 4 == 3 {
+                            ForecastRequest::window(p.test_time.start + (i % 8))
+                        } else {
+                            ForecastRequest::latest()
+                        };
+                        if i % 8 == 7 {
+                            req = req.with_deadline(Duration::from_secs(5));
+                        }
+                        match server.submit(req) {
+                            Ok(pending) => match pending.wait() {
+                                Ok(resp) => {
+                                    assert!(resp.prediction.data().iter().all(|v| v.is_finite()));
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                }
+                            },
+                            Err(ServeError::Overloaded { .. })
+                            | Err(ServeError::ColdStart { .. }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected rejection: {e}"),
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("client thread");
+            }
+            // Clients are done; release the ingest thread so the scope can
+            // close.
+            done.store(true, Ordering::Relaxed);
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let stats = server.shutdown();
+        let snap = telemetry::snapshot();
+        let (p50, p99) = snap
+            .histograms
+            .get("serve.request")
+            .map(|h| (h.percentile_upper_micros(0.50), h.percentile_upper_micros(0.99)))
+            .unwrap_or((0, 0));
+        let completed = completed.into_inner();
+        let rejected = rejected.into_inner();
+        LevelResult {
+            concurrency: clients,
+            requests: completed + rejected,
+            completed,
+            rejected,
+            req_per_sec: completed as f64 / elapsed,
+            p50_micros: p50,
+            p99_micros: p99,
+            deadline_exceeded: stats.deadline_exceeded,
+            overloaded: stats.overloaded,
+            breaker_trips: stats.breaker_trips,
+        }
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let nan_rate = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--nan-rate=").and_then(|v| v.parse::<f64>().ok()))
+        .unwrap_or(0.1);
+    let levels: Vec<usize> = args
+        .iter()
+        .find_map(|a| {
+            a.strip_prefix("--concurrency=")
+                .map(|v| v.split(',').filter_map(|n| n.parse().ok()).collect::<Vec<_>>())
+        })
+        .filter(|v: &Vec<usize>| v.len() >= 3 || smoke)
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let reqs_per_client = if smoke { 4 } else { 40 };
+
+    let data = dataset(77);
+    let split = space_split(&data.coords, SplitAxis::Vertical, false);
+    let p = Arc::new(ProblemInstance::new(data, split, DistanceMode::Euclidean));
+    let cfg = cfg(77);
+    println!("training the served model ({} sensors, t_in {}) ...", p.n(), cfg.t_in);
+    let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+    let model = SharedModel::F32(Arc::new(trained));
+
+    // Zero-overhead contract before any measurement.
+    let on = telemetry::with_telemetry(true, || scenario_bits(&p, &model, cfg.t_in));
+    let off = telemetry::with_telemetry(false, || scenario_bits(&p, &model, cfg.t_in));
+    assert_eq!(on, off, "telemetry gate must be bitwise invisible to served forecasts");
+    println!("telemetry on/off forecasts bitwise identical ({} values)\n", on.len());
+
+    stsm_bench::reset_peak_rss();
+    let mut rows = Vec::new();
+    for &c in &levels {
+        let r = run_level(&p, &model, cfg.t_in, c, reqs_per_client, nan_rate);
+        println!(
+            "concurrency {:>2}  {:>7.1} req/s   p50 {:>6}µs   p99 {:>6}µs   \
+             {}/{} completed ({} rejected, {} deadline, {} overload, {} breaker trips)",
+            r.concurrency,
+            r.req_per_sec,
+            r.p50_micros,
+            r.p99_micros,
+            r.completed,
+            r.requests,
+            r.rejected,
+            r.deadline_exceeded,
+            r.overloaded,
+            r.breaker_trips,
+        );
+        rows.push(r);
+    }
+    let peak_rss = stsm_bench::peak_rss_bytes();
+
+    let report = json!({
+        "workload": format!(
+            "closed-loop clients over a 2-worker pool, {} sensors, t_in {}, nan_rate {nan_rate}, \
+             {reqs_per_client} requests/client, streaming faulted ingest at ~1 step/ms",
+            p.n(), cfg.t_in
+        ),
+        "host_cpus": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "peak_rss_bytes": peak_rss,
+        "note": "single-CPU container: req/s and latency are indicative, ordering across \
+                 concurrency levels is the signal. p50/p99 are upper bounds from the log2-bucket \
+                 serve.request telemetry histogram (within 2x of the true quantile). Telemetry \
+                 on/off forecast bits asserted identical before measuring.",
+        "levels": rows.iter().map(|r| json!({
+            "concurrency": r.concurrency,
+            "requests": r.requests,
+            "completed": r.completed,
+            "rejected": r.rejected,
+            "req_per_sec": r.req_per_sec,
+            "p50_micros_upper": r.p50_micros,
+            "p99_micros_upper": r.p99_micros,
+            "deadline_exceeded": r.deadline_exceeded,
+            "overloaded": r.overloaded,
+            "breaker_trips": r.breaker_trips,
+        })).collect::<Vec<_>>(),
+    });
+    if smoke {
+        println!("\nsmoke run: BENCH_serve.json left untouched");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize report"))
+            .expect("write BENCH_serve.json");
+        println!("\nwrote {path}");
+    }
+}

@@ -82,7 +82,7 @@ pub use contrastive::nt_xent;
 pub use error::StsmError;
 pub use masking::{cosine, MaskingContext};
 pub use model::{predict_once, ForwardOutput, StModel};
-pub use predictor::Predictor;
+pub use predictor::{InferAssets, Predictor, SharedModel};
 pub use problem::ProblemInstance;
 pub use pseudo::{blend_series, blend_series_strided, inverse_distance_weights};
 pub use quant::{QuantizedStsm, QUANT_RMSE_REL_EPSILON};

@@ -11,7 +11,10 @@
 //! readings of the window for non-finite values (dropped or corrupted
 //! sensors) and imputes them — inverse-distance blend over the finite
 //! co-temporal readings first, last-finite carry within the window as the
-//! fallback — returning a [`DataQuality`] summary next to the forecast.
+//! fallback, deterministic zero-fill (counted as
+//! [`DataQuality::unrecoverable`]) when a sensor's window is non-finite end
+//! to end with no finite co-temporal reading anywhere — returning a
+//! [`DataQuality`] summary next to the forecast.
 //! Clean windows take an untouched fast path, so their output is bitwise
 //! identical to [`Predictor::predict_window`] — for f32 *and* quantized
 //! sessions alike (the fast path never touches the gathered sources, so the
@@ -29,6 +32,7 @@
 //! stray variable can never silently change a production default to a
 //! *different* reduced precision.
 
+use crate::checkpoint::config_fingerprint;
 use crate::config::StsmConfig;
 use crate::model::StModel;
 use crate::problem::ProblemInstance;
@@ -43,14 +47,61 @@ use stsm_graph::{normalize_gcn, CsrLinMap};
 use stsm_tensor::nn::Fwd;
 use stsm_tensor::{telemetry, DType, InferSession, ParamStore, Tensor};
 
+/// A shareable, reference-counted model of either precision — the currency a
+/// serving layer passes between threads and swaps atomically under load.
+///
+/// Worker threads clone the `Arc` and bind their own (thread-pinned)
+/// [`Predictor`] via [`Predictor::new_shared`] /
+/// [`Predictor::new_shared_with_assets`]; the model data itself is immutable
+/// and `Sync`, so any number of sessions serve one copy of the weights.
+#[derive(Clone)]
+pub enum SharedModel {
+    /// Full-precision trained weights.
+    F32(Arc<TrainedStsm>),
+    /// f16/bf16 storage (f32 compute) — see [`QuantizedStsm`].
+    Quantized(Arc<QuantizedStsm>),
+}
+
+impl SharedModel {
+    /// The configuration the model was trained with.
+    pub fn cfg(&self) -> &StsmConfig {
+        match self {
+            SharedModel::F32(t) => &t.cfg,
+            SharedModel::Quantized(q) => q.cfg(),
+        }
+    }
+
+    /// Storage dtype of the parameters.
+    pub fn dtype(&self) -> DType {
+        match self {
+            SharedModel::F32(_) => DType::F32,
+            SharedModel::Quantized(q) => q.dtype(),
+        }
+    }
+
+    /// FNV-1a fingerprint of the model's config (the same canonical JSON
+    /// form the training checkpoints use). A serving layer compares
+    /// fingerprints before hot-swapping: only a checkpoint trained under the
+    /// *identical* configuration can replace a live model, because the
+    /// serving-side assets (adjacencies, pseudo-weights, window geometry)
+    /// are functions of that config.
+    pub fn fingerprint(&self) -> u64 {
+        config_fingerprint(
+            &serde_json::to_string(self.cfg()).expect("config serialization cannot fail"),
+        )
+    }
+}
+
 /// Where a [`Predictor`]'s weights live: a borrowed f32 model, a borrowed
-/// quantized model, or a quantized copy the predictor owns (the
+/// quantized model, a quantized copy the predictor owns (the
 /// `STSM_INFER_DTYPE` path quantizes on the fly and must keep the result
-/// alive itself).
+/// alive itself), or a reference-counted [`SharedModel`] (the serving path —
+/// no borrow, so the predictor is `'static`).
 enum ModelSource<'m> {
     Trained(&'m TrainedStsm),
     Quantized(&'m QuantizedStsm),
     OwnedQuantized(Box<QuantizedStsm>),
+    Shared(SharedModel),
 }
 
 impl ModelSource<'_> {
@@ -59,6 +110,7 @@ impl ModelSource<'_> {
             ModelSource::Trained(t) => &t.cfg,
             ModelSource::Quantized(q) => q.cfg(),
             ModelSource::OwnedQuantized(q) => q.cfg(),
+            ModelSource::Shared(s) => s.cfg(),
         }
     }
 
@@ -67,6 +119,8 @@ impl ModelSource<'_> {
             ModelSource::Trained(t) => &t.store,
             ModelSource::Quantized(q) => q.store(),
             ModelSource::OwnedQuantized(q) => q.store(),
+            ModelSource::Shared(SharedModel::F32(t)) => &t.store,
+            ModelSource::Shared(SharedModel::Quantized(q)) => q.store(),
         }
     }
 
@@ -75,6 +129,8 @@ impl ModelSource<'_> {
             ModelSource::Trained(t) => t.model_ref(),
             ModelSource::Quantized(q) => q.model_ref(),
             ModelSource::OwnedQuantized(q) => q.model_ref(),
+            ModelSource::Shared(SharedModel::F32(t)) => t.model_ref(),
+            ModelSource::Shared(SharedModel::Quantized(q)) => q.model_ref(),
         }
     }
 
@@ -83,6 +139,63 @@ impl ModelSource<'_> {
             ModelSource::Trained(_) => DType::F32,
             ModelSource::Quantized(q) => q.dtype(),
             ModelSource::OwnedQuantized(q) => q.dtype(),
+            ModelSource::Shared(s) => s.dtype(),
+        }
+    }
+}
+
+/// The model-independent test-time assets a [`Predictor`] binds: full-graph
+/// spatial and DTW adjacencies, pseudo-observation weights (Eq. 3), the
+/// observed×observed imputation weights and the steps/day for time features.
+///
+/// These are a function of the *config* and the *problem*, not the weights,
+/// so a predictor pool builds them once and every worker — and every
+/// hot-swapped model with a matching config fingerprint — reuses them via
+/// cheap `Arc` clones instead of re-running the DTW search per worker or per
+/// swap.
+#[derive(Clone)]
+pub struct InferAssets {
+    a_s: Arc<CsrLinMap>,
+    a_dtw: Arc<CsrLinMap>,
+    pw: Arc<Vec<f32>>,
+    obs_weights: Arc<Vec<f32>>,
+    spd: usize,
+}
+
+impl InferAssets {
+    /// Builds the test-time assets for `cfg` over `problem` (the expensive
+    /// part is the DTW top-q search). Shareable across threads and swaps.
+    pub fn new(cfg: &StsmConfig, problem: &ProblemInstance) -> Self {
+        let n = problem.n();
+        let all: Vec<usize> = (0..n).collect();
+        let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
+            &problem.spatial_adjacency(&all, cfg.epsilon_s),
+        )));
+        let dtw = DtwContext::with_options(
+            problem,
+            cfg.dtw_band,
+            cfg.dtw_downsample,
+            cfg.dtw_candidates,
+            cfg.q_kk.max(cfg.q_ku),
+        );
+        let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
+        let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
+            n,
+            &problem.observed,
+            &problem.unobserved,
+            &pw,
+            cfg.q_kk,
+            cfg.q_ku,
+        ))));
+        let obs_dist = problem.sub_distances(&problem.observed, &problem.observed, true);
+        let obs_weights =
+            inverse_distance_weights(&obs_dist, problem.observed.len(), problem.observed.len());
+        InferAssets {
+            a_s,
+            a_dtw,
+            pw: Arc::new(pw),
+            obs_weights: Arc::new(obs_weights),
+            spd: problem.steps_per_day(),
         }
     }
 }
@@ -92,13 +205,7 @@ impl ModelSource<'_> {
 pub struct Predictor<'m> {
     source: ModelSource<'m>,
     session: InferSession,
-    a_s: Arc<CsrLinMap>,
-    a_dtw: Arc<CsrLinMap>,
-    pw: Vec<f32>,
-    /// Observed×observed inverse-distance weights used to impute dropped
-    /// readings from finite co-temporal neighbors.
-    obs_weights: Vec<f32>,
-    spd: usize,
+    assets: InferAssets,
 }
 
 impl<'m> Predictor<'m> {
@@ -136,6 +243,23 @@ impl<'m> Predictor<'m> {
         Self::with_source(ModelSource::Quantized(quantized), problem)
     }
 
+    /// Binds a reference-counted [`SharedModel`] (either precision), building
+    /// fresh assets from `problem`. The result borrows nothing, so a serving
+    /// worker can own it for the lifetime of its thread. Note the predictor
+    /// itself stays `!Send` (its session arena is thread-pinned): build it
+    /// *inside* the thread that will serve with it.
+    pub fn new_shared(model: SharedModel, problem: &ProblemInstance) -> Predictor<'static> {
+        Predictor::with_source(ModelSource::Shared(model), problem)
+    }
+
+    /// Like [`Predictor::new_shared`], but reusing already-built
+    /// [`InferAssets`] — the predictor-pool path: the expensive DTW search
+    /// runs once, every worker (and every hot-swapped model with a matching
+    /// config fingerprint) binds against `Arc` clones of the same assets.
+    pub fn new_shared_with_assets(model: SharedModel, assets: &InferAssets) -> Predictor<'static> {
+        Predictor::from_parts(ModelSource::Shared(model), assets.clone())
+    }
+
     /// Storage dtype of the bound parameters ([`DType::F32`] for a plain
     /// trained model).
     pub fn dtype(&self) -> DType {
@@ -143,33 +267,13 @@ impl<'m> Predictor<'m> {
     }
 
     fn with_source(source: ModelSource<'m>, problem: &ProblemInstance) -> Self {
-        let cfg = source.cfg();
-        let n = problem.n();
-        let all: Vec<usize> = (0..n).collect();
-        let a_s = Arc::new(CsrLinMap::new(normalize_gcn(
-            &problem.spatial_adjacency(&all, cfg.epsilon_s),
-        )));
-        let dtw = DtwContext::with_options(
-            problem,
-            cfg.dtw_band,
-            cfg.dtw_downsample,
-            cfg.dtw_candidates,
-            cfg.q_kk.max(cfg.q_ku),
-        );
-        let pw = pseudo_weights_for(problem, &problem.unobserved, &problem.observed);
-        let a_dtw = Arc::new(CsrLinMap::new(normalize_gcn(&dtw.test_adjacency(
-            n,
-            &problem.observed,
-            &problem.unobserved,
-            &pw,
-            cfg.q_kk,
-            cfg.q_ku,
-        ))));
-        let obs_dist = problem.sub_distances(&problem.observed, &problem.observed, true);
-        let obs_weights =
-            inverse_distance_weights(&obs_dist, problem.observed.len(), problem.observed.len());
+        let assets = InferAssets::new(source.cfg(), problem);
+        Self::from_parts(source, assets)
+    }
+
+    fn from_parts(source: ModelSource<'m>, assets: InferAssets) -> Self {
         let session = InferSession::new(source.store());
-        Predictor { source, session, a_s, a_dtw, pw, obs_weights, spd: problem.steps_per_day() }
+        Predictor { source, session, assets }
     }
 
     /// The configuration of the bound model.
@@ -184,8 +288,14 @@ impl<'m> Predictor<'m> {
     /// [`Predictor::predict_window_checked`] for degraded data.
     pub fn predict_window(&mut self, problem: &ProblemInstance, abs_start: usize) -> Tensor {
         let cfg = self.source.cfg();
-        let x = build_full_input(problem, &self.pw, abs_start, cfg.t_in, cfg.pseudo_observations);
-        let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
+        let x = build_full_input(
+            problem,
+            &self.assets.pw,
+            abs_start,
+            cfg.t_in,
+            cfg.pseudo_observations,
+        );
+        let tf = StModel::time_features(abs_start, cfg.t_in, self.assets.spd);
         self.predict(&x, &tf)
     }
 
@@ -199,16 +309,40 @@ impl<'m> Predictor<'m> {
         problem: &ProblemInstance,
         abs_start: usize,
     ) -> (Tensor, DataQuality) {
+        let len = self.source.cfg().t_in;
+        let mut sources = gather_sources(problem, abs_start, len);
+        self.predict_sources_checked(problem, &mut sources, abs_start)
+    }
+
+    /// The serving-layer entry point: forecasts from *caller-gathered*
+    /// observed source rows (`N_o × t_in`, observed-major, scaled) instead of
+    /// reading the problem's dataset — the shape a streaming ingest ring
+    /// buffer produces. Sanitizes `sources` in place exactly like
+    /// [`Predictor::predict_window_checked`] (blend → carry → zero-fill; see
+    /// [`DataQuality`]) and returns the forecast plus the imputation summary.
+    /// `abs_start` only feeds the time-of-day/day-of-week features.
+    pub fn predict_sources_checked(
+        &mut self,
+        problem: &ProblemInstance,
+        sources: &mut [f32],
+        abs_start: usize,
+    ) -> (Tensor, DataQuality) {
         let cfg = self.source.cfg();
         let len = cfg.t_in;
-        let mut sources = gather_sources(problem, abs_start, len);
+        assert_eq!(
+            sources.len(),
+            problem.observed.len() * len,
+            "sources must be N_o x t_in, observed-major"
+        );
         let mut quality = DataQuality { scanned: sources.len(), ..DataQuality::default() };
-        sanitize_sources(&mut sources, problem, len, &self.obs_weights, &mut quality);
+        sanitize_sources(sources, problem, len, &self.assets.obs_weights, &mut quality);
         telemetry::count("infer.imputed.blend", quality.imputed_blend as u64);
         telemetry::count("infer.imputed.carry", quality.imputed_carry as u64);
+        telemetry::count("infer.imputed.unrecoverable", quality.unrecoverable as u64);
         telemetry::count("infer.non_finite_inputs", quality.non_finite as u64);
-        let x = assemble_full_input(problem, &self.pw, &sources, len, cfg.pseudo_observations);
-        let tf = StModel::time_features(abs_start, cfg.t_in, self.spd);
+        let x =
+            assemble_full_input(problem, &self.assets.pw, sources, len, cfg.pseudo_observations);
+        let tf = StModel::time_features(abs_start, cfg.t_in, self.assets.spd);
         (self.predict(&x, &tf), quality)
     }
 
@@ -221,7 +355,13 @@ impl<'m> Predictor<'m> {
         let t0 = telemetry::enabled().then(Instant::now);
         self.session.reset();
         let mut fwd = Fwd::infer(self.source.store(), &mut self.session);
-        let out = self.source.model().forward(&mut fwd, x, time_feats, &self.a_s, &self.a_dtw);
+        let out = self.source.model().forward(
+            &mut fwd,
+            x,
+            time_feats,
+            &self.assets.a_s,
+            &self.assets.a_dtw,
+        );
         let pred = fwd.value(out.prediction);
         if let Some(t0) = t0 {
             telemetry::record_duration("infer.window", t0.elapsed());
@@ -245,8 +385,10 @@ pub(crate) fn gather_sources(problem: &ProblemInstance, start: usize, len: usize
 /// inverse-distance blend of the *finite* co-temporal readings (weights
 /// renormalized over the finite subset, self excluded); readings with no
 /// finite co-temporal neighbor are filled afterwards by carrying the
-/// sensor's last finite value through the window (fallback fill 0.0 — the
-/// scaled mean). Updates `quality` with what happened.
+/// sensor's last finite value through the window. A row that is non-finite
+/// end to end (and found no blend either) is zero-filled and counted as
+/// [`DataQuality::unrecoverable`] — the documented deterministic fallback
+/// for an all-dark window. Updates `quality` with what happened.
 fn sanitize_sources(
     sources: &mut [f32],
     problem: &ProblemInstance,
@@ -300,11 +442,22 @@ fn sanitize_sources(
         }
     }
     // Pass 2: whatever survived pass 1 (a step where *every* sensor dropped
-    // out) is carried within the sensor's own window.
+    // out) is carried within the sensor's own window. A row with no finite
+    // reading anywhere — the all-dark case, where neither the blend nor the
+    // carry has any information — is zero-filled deterministically (0.0 is
+    // the scaled mean) and counted as `unrecoverable`, not as a carry: the
+    // forecast for those readings rests on the model prior alone, and
+    // callers branch on that distinction.
     for r in 0..n_obs {
         let row = &mut sources[r * len..(r + 1) * len];
-        if row.iter().any(|v| !v.is_finite()) {
+        if !row.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        if row.iter().any(|v| v.is_finite()) {
             quality.imputed_carry += carry_impute(row, 0.0);
+        } else {
+            row.fill(0.0);
+            quality.unrecoverable += len;
         }
     }
     for (r, flag) in affected.iter().enumerate() {

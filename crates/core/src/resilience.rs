@@ -98,6 +98,14 @@ pub struct DataQuality {
     /// Readings imputed by carrying the sensor's last finite value (no
     /// finite neighbor was available at that time step).
     pub imputed_carry: usize,
+    /// Readings for which *no* information existed at all — the sensor's
+    /// entire window was non-finite **and** every co-temporal neighbor was
+    /// too, so neither the blend nor the carry had anything to work with.
+    /// These are deterministically zero-filled (0.0 is the scaled mean), so
+    /// an all-dark input still produces a defined, reproducible forecast
+    /// instead of silently carrying garbage. A nonzero count is the signal
+    /// that the forecast leans on the model prior alone for those readings.
+    pub unrecoverable: usize,
     /// Sorted global ids of observed sensors that needed imputation.
     pub affected_sensors: Vec<usize>,
 }
@@ -114,6 +122,7 @@ impl DataQuality {
         self.non_finite += other.non_finite;
         self.imputed_blend += other.imputed_blend;
         self.imputed_carry += other.imputed_carry;
+        self.unrecoverable += other.unrecoverable;
         for &s in &other.affected_sensors {
             if let Err(pos) = self.affected_sensors.binary_search(&s) {
                 self.affected_sensors.insert(pos, s);
@@ -166,6 +175,7 @@ mod tests {
             non_finite: 2,
             imputed_blend: 2,
             imputed_carry: 0,
+            unrecoverable: 0,
             affected_sensors: vec![1, 5],
         };
         let b = DataQuality {
@@ -173,6 +183,7 @@ mod tests {
             non_finite: 1,
             imputed_blend: 0,
             imputed_carry: 1,
+            unrecoverable: 6,
             affected_sensors: vec![3, 5],
         };
         a.merge(&b);
@@ -180,6 +191,7 @@ mod tests {
         assert_eq!(a.non_finite, 3);
         assert_eq!(a.imputed_blend, 2);
         assert_eq!(a.imputed_carry, 1);
+        assert_eq!(a.unrecoverable, 6);
         assert_eq!(a.affected_sensors, vec![1, 3, 5]);
         assert!(!a.is_clean());
         assert!(DataQuality::default().is_clean());

@@ -238,6 +238,55 @@ fn clean_inputs_take_the_untouched_fast_path() {
 }
 
 #[test]
+fn all_dark_windows_zero_fill_deterministically() {
+    // The worst degraded input: every observed reading of the window is
+    // non-finite, so neither the cross-sensor blend nor the in-window carry
+    // has any information. The documented fallback is a deterministic
+    // zero-fill (0.0 is the scaled mean), counted as `unrecoverable` so
+    // callers can tell "forecast from model prior alone" apart from
+    // "forecast from imputed data".
+    let p = problem_from(tiny_dataset(97));
+    let cfg = tiny_cfg(97);
+    let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+    let mut pred = Predictor::new(&trained, &p);
+    let n_src = p.n_observed() * cfg.t_in;
+    let abs_start = p.test_time.start;
+
+    let mut dark = vec![f32::NAN; n_src];
+    let (out_dark, q) = pred.predict_sources_checked(&p, &mut dark, abs_start);
+    assert_eq!(q.non_finite, n_src);
+    assert_eq!(q.unrecoverable, n_src, "all-dark readings must be counted unrecoverable");
+    assert_eq!(q.imputed_blend, 0);
+    assert_eq!(q.imputed_carry, 0);
+    assert!(dark.iter().all(|v| *v == 0.0), "fallback must be an exact zero-fill");
+    assert!(out_dark.data().iter().all(|v| v.is_finite()));
+
+    // Bitwise identical to explicitly feeding the zero window: the fallback
+    // is a deterministic input transform, not a special model path.
+    let mut zeros = vec![0.0f32; n_src];
+    let (out_zero, q_zero) = pred.predict_sources_checked(&p, &mut zeros, abs_start);
+    assert!(q_zero.is_clean());
+    let db: Vec<u32> = out_dark.data().iter().map(|v| v.to_bits()).collect();
+    let zb: Vec<u32> = out_zero.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(db, zb, "all-dark forecast must equal the zero-window forecast bitwise");
+
+    // One all-dark sensor among finite neighbors is *not* unrecoverable:
+    // the co-temporal blend reconstructs it.
+    let mut one_dark = {
+        let mut s = Vec::with_capacity(n_src);
+        for &g in &p.observed {
+            s.extend_from_slice(p.scaled_range(g, abs_start, abs_start + cfg.t_in));
+        }
+        s
+    };
+    one_dark[..cfg.t_in].fill(f32::NAN);
+    let (_, q_one) = pred.predict_sources_checked(&p, &mut one_dark, abs_start);
+    assert_eq!(q_one.non_finite, cfg.t_in);
+    assert_eq!(q_one.imputed_blend, cfg.t_in);
+    assert_eq!(q_one.unrecoverable, 0);
+}
+
+#[test]
 fn typed_errors_reach_the_facade() {
     // The error type is part of the public API surface and must be
     // matchable by downstream serving code.

@@ -1,0 +1,110 @@
+//! Service tuning knobs and their environment overrides.
+
+use std::time::Duration;
+
+/// Tuning knobs of a [`Server`](crate::Server).
+///
+/// [`ServeConfig::from_env`] reads the documented `STSM_SERVE_*` variables on
+/// top of these defaults; unset, empty, or unparsable values keep the
+/// default (the same fail-safe convention as `STSM_INFER_DTYPE`), so a stray
+/// variable can degrade a knob to its default but never to an arbitrary
+/// value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads in the predictor pool. Each worker owns one
+    /// `InferSession` (sessions are thread-pinned), built inside the worker
+    /// thread from the shared model `Arc`. Env: `STSM_SERVE_WORKERS`.
+    pub workers: usize,
+    /// Bounded queue capacity; a submit that finds the queue full (after
+    /// watermark shedding) is rejected with
+    /// [`Overloaded`](crate::ServeError::Overloaded).
+    /// Env: `STSM_SERVE_QUEUE_DEPTH`.
+    pub queue_depth: usize,
+    /// Once the queue holds at least this many jobs, each submit first sheds
+    /// already-expired requests from the queue head (answering them with
+    /// [`DeadlineExceeded`](crate::ServeError::DeadlineExceeded)) before
+    /// deciding admission — under overload, capacity goes to requests that
+    /// can still meet their deadlines. Defaults to 3/4 of `queue_depth`.
+    pub shed_watermark: usize,
+    /// Deadline budget applied to requests that don't carry their own.
+    /// `None` (the default) means no deadline. Env: `STSM_SERVE_DEADLINE_MS`
+    /// (milliseconds; `0` disables).
+    pub default_deadline: Option<Duration>,
+    /// Consecutive fully non-finite *steps*, counted in input windows, after
+    /// which a sensor's circuit breaker opens: `trip = windows * t_in` bad
+    /// steps in a row. An open breaker masks the sensor out of `Latest`
+    /// snapshots (routing it through the imputation path) even after it
+    /// resumes emitting, quarantining recovery garbage.
+    pub breaker_trip_windows: usize,
+    /// Consecutive finite steps (again `windows * t_in`) an open breaker
+    /// must observe before it closes and the sensor's readings are trusted
+    /// again.
+    pub breaker_close_windows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            shed_watermark: 48,
+            default_deadline: None,
+            breaker_trip_windows: 3,
+            breaker_close_windows: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `STSM_SERVE_WORKERS`, `STSM_SERVE_QUEUE_DEPTH`
+    /// and `STSM_SERVE_DEADLINE_MS` where set and parsable. The shed
+    /// watermark follows `queue_depth` (3/4 of it) unless the default depth
+    /// is kept.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(w) = env_usize("STSM_SERVE_WORKERS") {
+            cfg.workers = w.max(1);
+        }
+        if let Some(d) = env_usize("STSM_SERVE_QUEUE_DEPTH") {
+            cfg.queue_depth = d.max(1);
+            cfg.shed_watermark = (cfg.queue_depth * 3 / 4).max(1);
+        }
+        if let Some(ms) = env_usize("STSM_SERVE_DEADLINE_MS") {
+            cfg.default_deadline = (ms > 0).then(|| Duration::from_millis(ms as u64));
+        }
+        cfg
+    }
+
+    /// `shed_watermark`/`queue_depth` clamped into a consistent order
+    /// (watermark at least 1, at most the queue depth).
+    pub(crate) fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self.shed_watermark = self.shed_watermark.clamp(1, self.queue_depth);
+        self
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse::<usize>().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let cfg = ServeConfig::default().normalized();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.shed_watermark <= cfg.queue_depth);
+        assert!(cfg.default_deadline.is_none());
+    }
+
+    #[test]
+    fn normalized_clamps_watermark() {
+        let cfg = ServeConfig { queue_depth: 4, shed_watermark: 99, ..ServeConfig::default() }
+            .normalized();
+        assert_eq!(cfg.shed_watermark, 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Typed rejections of the forecast service.
+//!
+//! Every submitted request terminates in exactly one of two ways: a
+//! [`ForecastResponse`](crate::ForecastResponse) or one of these errors.
+//! There is no third state — the chaos suite counts both sides and asserts
+//! they sum to the number of submissions.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why the service declined (or failed) to produce a forecast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full and watermark shedding freed no slot.
+    /// Backpressure: the caller should retry later or slow down.
+    Overloaded {
+        /// Queue depth observed at rejection (== configured capacity).
+        depth: usize,
+    },
+    /// The request's deadline budget expired before a worker reached it.
+    /// Shed at queue-pop — no compute is spent on a forecast nobody can use.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when shed.
+        late_by: Duration,
+    },
+    /// The server is draining: no new work is admitted, in-flight requests
+    /// still complete.
+    ShuttingDown,
+    /// A `Latest` forecast was requested before the ingest ring held a full
+    /// input window.
+    ColdStart {
+        /// Steps ingested so far.
+        have: usize,
+        /// Steps a window needs (`t_in`).
+        need: usize,
+    },
+    /// The worker executing this request panicked. The panic was contained
+    /// (the worker respawned and the pool kept serving); only this request
+    /// is affected.
+    WorkerPanicked,
+    /// A hot-swap offered a model whose config fingerprint differs from the
+    /// serving one. The serving assets (adjacencies, pseudo-weights, window
+    /// geometry) are functions of the config, so such a model can never be
+    /// bound safely; the swap is rejected atomically and the old model keeps
+    /// serving.
+    FingerprintMismatch {
+        /// Fingerprint of the live model's config.
+        serving: u64,
+        /// Fingerprint of the rejected candidate's config.
+        offered: u64,
+    },
+    /// The request was malformed (e.g. a window start outside the dataset)
+    /// or was a chaos hook that produces no forecast by design.
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "overloaded: queue full at depth {depth}")
+            }
+            ServeError::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded ({late_by:?} late at shed)")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ColdStart { have, need } => {
+                write!(f, "cold start: {have}/{need} steps ingested")
+            }
+            ServeError::WorkerPanicked => write!(f, "worker panicked while serving this request"),
+            ServeError::FingerprintMismatch { serving, offered } => write!(
+                f,
+                "config fingerprint mismatch: serving {serving:#018x}, offered {offered:#018x}"
+            ),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

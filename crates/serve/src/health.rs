@@ -1,0 +1,143 @@
+//! Per-sensor circuit breakers over the ingest stream.
+
+use stsm_tensor::telemetry;
+
+/// Tracks per-sensor health from the ingest stream and opens a circuit
+/// breaker after a sensor has been dark (non-finite) for `trip_steps`
+/// consecutive steps.
+///
+/// While a breaker is open the sensor is treated as absent: `Latest`
+/// snapshots mask its row to NaN so the checked prediction path imputes it
+/// from its neighbors — even if the sensor has started emitting again. Only
+/// after `close_steps` consecutive finite readings does the breaker close
+/// and the sensor's values flow through untouched. This quarantines the
+/// garbage many sensors emit right after an outage (spikes, stuck values)
+/// behind the same deterministic imputation used for in-window dropouts.
+pub struct HealthTracker {
+    trip_steps: usize,
+    close_steps: usize,
+    bad_streak: Vec<usize>,
+    good_streak: Vec<usize>,
+    open: Vec<bool>,
+    trips: u64,
+    closes: u64,
+}
+
+impl HealthTracker {
+    /// A tracker for `n_sensors` sensors, tripping after `trip_steps`
+    /// consecutive non-finite readings and closing after `close_steps`
+    /// consecutive finite ones. Both thresholds are clamped to at least 1.
+    pub fn new(n_sensors: usize, trip_steps: usize, close_steps: usize) -> Self {
+        HealthTracker {
+            trip_steps: trip_steps.max(1),
+            close_steps: close_steps.max(1),
+            bad_streak: vec![0; n_sensors],
+            good_streak: vec![0; n_sensors],
+            open: vec![false; n_sensors],
+            trips: 0,
+            closes: 0,
+        }
+    }
+
+    /// Feeds one ingest step (one reading per sensor, sensor-major in
+    /// observed order) and updates breaker states.
+    pub fn observe_step(&mut self, readings: &[f32]) {
+        debug_assert_eq!(readings.len(), self.open.len());
+        for (s, v) in readings.iter().enumerate() {
+            if v.is_finite() {
+                self.good_streak[s] += 1;
+                self.bad_streak[s] = 0;
+                if self.open[s] && self.good_streak[s] >= self.close_steps {
+                    self.open[s] = false;
+                    self.closes += 1;
+                    telemetry::count("serve.breaker.close", 1);
+                }
+            } else {
+                self.bad_streak[s] += 1;
+                self.good_streak[s] = 0;
+                if !self.open[s] && self.bad_streak[s] >= self.trip_steps {
+                    self.open[s] = true;
+                    self.trips += 1;
+                    telemetry::count("serve.breaker.trip", 1);
+                }
+            }
+        }
+    }
+
+    /// Whether sensor `s`'s breaker is currently open.
+    pub fn is_open(&self, s: usize) -> bool {
+        self.open[s]
+    }
+
+    /// Number of currently open breakers.
+    pub fn open_count(&self) -> usize {
+        self.open.iter().filter(|o| **o).count()
+    }
+
+    /// Masks the rows of open-breaker sensors in a gathered source window
+    /// (`n_sensors × len`, sensor-major) to NaN, routing them through the
+    /// imputation path. Returns how many sensors were masked.
+    pub fn mask_sources(&self, sources: &mut [f32], len: usize) -> usize {
+        let mut masked = 0;
+        for (s, open) in self.open.iter().enumerate() {
+            if *open {
+                sources[s * len..(s + 1) * len].fill(f32::NAN);
+                masked += 1;
+            }
+        }
+        masked
+    }
+
+    /// Lifetime (trips, closes) counters.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.trips, self.closes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_streak_and_closes_after_recovery() {
+        let mut h = HealthTracker::new(2, 3, 2);
+        // Sensor 0 goes dark, sensor 1 stays healthy.
+        for _ in 0..2 {
+            h.observe_step(&[f32::NAN, 1.0]);
+            assert!(!h.is_open(0), "below trip threshold");
+        }
+        h.observe_step(&[f32::NAN, 1.0]);
+        assert!(h.is_open(0));
+        assert!(!h.is_open(1));
+        // One finite step is not enough to close (close_steps = 2)...
+        h.observe_step(&[5.0, 1.0]);
+        assert!(h.is_open(0));
+        // ...two are.
+        h.observe_step(&[5.0, 1.0]);
+        assert!(!h.is_open(0));
+        assert_eq!(h.totals(), (1, 1));
+    }
+
+    #[test]
+    fn interrupted_streak_does_not_trip() {
+        let mut h = HealthTracker::new(1, 3, 1);
+        h.observe_step(&[f32::NAN]);
+        h.observe_step(&[f32::NAN]);
+        h.observe_step(&[0.5]); // streak broken
+        h.observe_step(&[f32::NAN]);
+        h.observe_step(&[f32::NAN]);
+        assert!(!h.is_open(0));
+        assert_eq!(h.open_count(), 0);
+    }
+
+    #[test]
+    fn mask_fills_open_rows_only() {
+        let mut h = HealthTracker::new(2, 1, 1);
+        h.observe_step(&[f32::NAN, 1.0]);
+        let mut sources = vec![1.0f32; 6]; // 2 sensors x 3 steps
+        let masked = h.mask_sources(&mut sources, 3);
+        assert_eq!(masked, 1);
+        assert!(sources[..3].iter().all(|v| v.is_nan()));
+        assert!(sources[3..].iter().all(|v| *v == 1.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Streaming ingestion: per-sensor ring buffers of recent readings.
+
+/// A fixed-capacity ring of the most recent readings per observed sensor,
+/// fed one step at a time by [`Server::ingest_step`](crate::Server::ingest_step).
+///
+/// `snapshot_window` materializes the latest `t_in` steps as the
+/// observed-major `N_o × t_in` source matrix the checked prediction path
+/// consumes. Values are stored verbatim — including NaN from faulted
+/// sensors; sanitization happens downstream so the ring never has to decide
+/// what a reading "should" have been.
+pub struct IngestRing {
+    n_sensors: usize,
+    capacity: usize,
+    /// Sensor-major ring storage, `n_sensors × capacity`.
+    data: Vec<f32>,
+    /// Total steps ever ingested; `steps % capacity` is the next write slot.
+    steps: usize,
+}
+
+impl IngestRing {
+    /// A ring holding `capacity` steps (at least the model's `t_in`) for
+    /// `n_sensors` sensors.
+    pub fn new(n_sensors: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        IngestRing { n_sensors, capacity, data: vec![f32::NAN; n_sensors * capacity], steps: 0 }
+    }
+
+    /// Appends one step of readings (one per sensor, observed order).
+    ///
+    /// # Panics
+    /// If `readings.len() != n_sensors`.
+    pub fn push_step(&mut self, readings: &[f32]) {
+        assert_eq!(readings.len(), self.n_sensors, "one reading per observed sensor");
+        let slot = self.steps % self.capacity;
+        for (s, &v) in readings.iter().enumerate() {
+            self.data[s * self.capacity + slot] = v;
+        }
+        self.steps += 1;
+    }
+
+    /// Total steps ingested so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The last `len` steps as an observed-major `n_sensors × len` matrix,
+    /// plus the absolute index of the window's first step (for time
+    /// features). `None` until `len` steps have been ingested.
+    pub fn snapshot_window(&self, len: usize) -> Option<(Vec<f32>, usize)> {
+        if len == 0 || len > self.capacity || self.steps < len {
+            return None;
+        }
+        let start = self.steps - len;
+        let mut out = vec![0.0f32; self.n_sensors * len];
+        for s in 0..self.n_sensors {
+            let row = &self.data[s * self.capacity..(s + 1) * self.capacity];
+            for (t, o) in out[s * len..(s + 1) * len].iter_mut().enumerate() {
+                *o = row[(start + t) % self.capacity];
+            }
+        }
+        Some((out, start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_requires_full_window() {
+        let mut ring = IngestRing::new(2, 4);
+        assert!(ring.snapshot_window(3).is_none());
+        ring.push_step(&[1.0, 10.0]);
+        ring.push_step(&[2.0, 20.0]);
+        assert!(ring.snapshot_window(3).is_none());
+        ring.push_step(&[3.0, 30.0]);
+        let (w, start) = ring.snapshot_window(3).expect("full window");
+        assert_eq!(start, 0);
+        assert_eq!(w, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_latest() {
+        let mut ring = IngestRing::new(1, 3);
+        for t in 0..7 {
+            ring.push_step(&[t as f32]);
+        }
+        let (w, start) = ring.snapshot_window(3).expect("full window");
+        assert_eq!(start, 4);
+        assert_eq!(w, vec![4.0, 5.0, 6.0]);
+        assert_eq!(ring.steps(), 7);
+    }
+
+    #[test]
+    fn nan_readings_are_stored_verbatim() {
+        let mut ring = IngestRing::new(1, 2);
+        ring.push_step(&[f32::NAN]);
+        ring.push_step(&[1.0]);
+        let (w, _) = ring.snapshot_window(2).expect("full window");
+        assert!(w[0].is_nan());
+        assert_eq!(w[1], 1.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Chaos suite: seeded fault schedules thrown at a running server.
+//!
+//! The contract under test: **every request terminates in a forecast or a
+//! typed rejection** — through NaN bursts, sensor blackouts, worker panics,
+//! queue overflow, expired deadlines, and a hot-swap under load — and after
+//! the chaos ends, a clean-input forecast is bitwise identical to one from
+//! a server that never saw any fault.
+
+use std::sync::Arc;
+use std::time::Duration;
+use stsm_core::{train_stsm, DistanceMode, ProblemInstance, StsmConfig};
+use stsm_serve::{ForecastRequest, ServeConfig, ServeError, Server, SharedModel};
+use stsm_synth::{
+    space_split, DatasetConfig, FaultPlan, FaultSchedule, NetworkKind, SignalKind, SplitAxis,
+};
+
+fn tiny_dataset(seed: u64) -> stsm_synth::Dataset {
+    DatasetConfig {
+        name: "chaos".into(),
+        network: NetworkKind::Highway,
+        sensors: 24,
+        extent: 10_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate()
+}
+
+fn tiny_cfg(seed: u64) -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 4,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        top_k: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn bits(t: &stsm_tensor::Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// One clean step of scaled observed readings at absolute time `t`.
+fn clean_step(p: &ProblemInstance, t: usize) -> Vec<f32> {
+    p.observed.iter().map(|&g| p.scaled_value(g, t)).collect()
+}
+
+/// Spins until everything queued has been picked up by a worker (the pool
+/// may still be executing). Panics rather than hanging if that never
+/// happens.
+fn wait_queue_drained(server: &Server) {
+    for _ in 0..2_000 {
+        if server.queue_len() == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("queue never drained");
+}
+
+#[test]
+fn chaos_schedule_every_request_terminates_and_recovery_is_bitwise() {
+    let dataset = tiny_dataset(120);
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    let p = Arc::new(ProblemInstance::new(dataset, split, DistanceMode::Euclidean));
+    let cfg = tiny_cfg(120);
+    let t_in = cfg.t_in;
+    let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+    let model = SharedModel::F32(Arc::new(trained));
+
+    let serve_cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 4,
+        shed_watermark: 4,
+        default_deadline: None,
+        breaker_trip_windows: 1,  // trip after t_in consecutive bad steps
+        breaker_close_windows: 1, // close after t_in consecutive good steps
+    };
+    let server = Server::start(Arc::clone(&p), model.clone(), serve_cfg);
+
+    // Everything the chaos server ever ingests, for the twin server later.
+    let mut history: Vec<Vec<f32>> = Vec::new();
+    let mut outcomes_ok = 0u64;
+    let mut outcomes_err = 0u64;
+    let mut stall_answers = 0u64;
+
+    // --- Cold start: typed rejection before a full window exists.
+    match server.submit(ForecastRequest::latest()) {
+        Err(ServeError::ColdStart { have: 0, need }) => assert_eq!(need, t_in),
+        other => panic!("expected ColdStart, got {:?}", other.err()),
+    }
+
+    // --- Phase 1: stream 2*t_in steps through a seeded fault schedule
+    // (NaN bursts, blackout windows, spikes on the observed sensors),
+    // submitting a Latest forecast after each step once warm.
+    let plan = FaultPlan {
+        seed: 29,
+        nan_rate: 0.25,
+        dropout_windows: 2,
+        dropout_len: 4,
+        spike_rate: 0.05,
+        spike_scale: 1e3,
+        sensors: Some(p.observed.clone()),
+        time_range: Some(0..2 * t_in),
+    };
+    let schedule = FaultSchedule::new(&plan, p.n(), p.dataset.t_total);
+    let mut corrupted_readings = 0usize;
+    for t in 0..2 * t_in {
+        let step: Vec<f32> =
+            p.observed.iter().map(|&g| schedule.corrupt(g, t, p.scaled_value(g, t))).collect();
+        corrupted_readings += step.iter().filter(|v| !v.is_finite()).count();
+        server.ingest_step(&step);
+        history.push(step);
+        if t + 1 >= t_in {
+            let resp = server
+                .submit(ForecastRequest::latest())
+                .expect("admitted")
+                .wait()
+                .expect("faulted inputs must still forecast");
+            assert!(resp.prediction.data().iter().all(|v| v.is_finite()));
+            outcomes_ok += 1;
+        }
+    }
+    assert!(corrupted_readings > 0, "the schedule must actually corrupt the stream");
+
+    // --- Window requests: valid start works, out-of-range is a typed
+    // rejection, not a panic.
+    let resp = server
+        .submit(ForecastRequest::window(p.test_time.start))
+        .expect("admitted")
+        .wait()
+        .expect("window forecast");
+    assert!(resp.prediction.data().iter().all(|v| v.is_finite()));
+    outcomes_ok += 1;
+    match server.submit(ForecastRequest::window(usize::MAX / 2)) {
+        Err(ServeError::BadRequest(_)) => {}
+        other => panic!("expected BadRequest, got {:?}", other.err()),
+    }
+
+    // --- Panic containment: the panicking request gets a typed answer and
+    // the pool keeps serving afterwards.
+    match server.submit(ForecastRequest::chaos_panic()).expect("admitted").wait() {
+        Err(ServeError::WorkerPanicked) => outcomes_err += 1,
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    let resp = server
+        .submit(ForecastRequest::latest())
+        .expect("admitted")
+        .wait()
+        .expect("pool must survive a worker panic");
+    assert!(resp.prediction.data().iter().all(|v| v.is_finite()));
+    outcomes_ok += 1;
+
+    // --- Deadline shed at pop: occupy both workers, then submit a request
+    // whose budget is already zero; by the time a worker reaches it, it is
+    // late and must be shed without compute.
+    let stalls: Vec<_> = (0..2)
+        .map(|_| {
+            server
+                .submit(ForecastRequest::chaos_stall(Duration::from_millis(200)))
+                .expect("admitted")
+        })
+        .collect();
+    wait_queue_drained(&server); // both workers are now inside the stalls
+    let doomed =
+        server.submit(ForecastRequest::latest().with_deadline(Duration::ZERO)).expect("admitted");
+    match doomed.wait() {
+        Err(ServeError::DeadlineExceeded { .. }) => outcomes_err += 1,
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    for s in stalls {
+        match s.wait() {
+            Err(ServeError::BadRequest(_)) => {
+                stall_answers += 1;
+                outcomes_err += 1;
+            }
+            other => panic!("expected stall BadRequest, got {other:?}"),
+        }
+    }
+
+    // --- Backpressure: occupy both workers, fill the queue with undeadlined
+    // requests, and the next submit is a typed Overloaded rejection.
+    let stalls: Vec<_> = (0..2)
+        .map(|_| {
+            server
+                .submit(ForecastRequest::chaos_stall(Duration::from_millis(400)))
+                .expect("admitted")
+        })
+        .collect();
+    wait_queue_drained(&server);
+    let queued: Vec<_> =
+        (0..4).map(|_| server.submit(ForecastRequest::latest()).expect("fits in queue")).collect();
+    match server.submit(ForecastRequest::latest()) {
+        Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 4),
+        other => panic!("expected Overloaded, got {:?}", other.err()),
+    }
+    for s in stalls {
+        assert!(matches!(s.wait(), Err(ServeError::BadRequest(_))));
+        stall_answers += 1;
+        outcomes_err += 1;
+    }
+    for q in queued {
+        q.wait().expect("queued requests drain after the stall");
+        outcomes_ok += 1;
+    }
+
+    // --- Circuit breaker: one sensor goes dark for a full window of steps,
+    // trips, gets masked out of Latest snapshots, then recovers and closes.
+    for k in 0..t_in {
+        let mut step = clean_step(&p, 2 * t_in + k);
+        step[0] = f32::NAN;
+        server.ingest_step(&step);
+        history.push(step);
+    }
+    let masked = server
+        .submit(ForecastRequest::latest())
+        .expect("admitted")
+        .wait()
+        .expect("forecast with open breaker");
+    assert_eq!(masked.breaker_masked, 1, "the dark sensor must be breaker-masked");
+    assert!(!masked.quality.is_clean());
+    assert_eq!(masked.quality.unrecoverable, 0, "neighbors are finite, so blend recovers");
+    outcomes_ok += 1;
+    assert!(server.stats().breaker_trips >= 1);
+    // Recovery: a clean window of steps closes every breaker again (the
+    // phase-1 fault schedule may have tripped others; all have seen a full
+    // clean window by now).
+    for k in 0..t_in {
+        let step = clean_step(&p, 3 * t_in + k);
+        server.ingest_step(&step);
+        history.push(step);
+    }
+    let s = server.stats();
+    assert_eq!(s.breaker_closes, s.breaker_trips, "all breakers must be closed after recovery");
+
+    // --- Hot-swap under load: same weights re-offered as a new epoch. The
+    // ring is untouched between the two forecasts, so the pre- and post-swap
+    // predictions must be bitwise identical — proof no request straddled a
+    // half-installed model.
+    let before = server
+        .submit(ForecastRequest::latest())
+        .expect("admitted")
+        .wait()
+        .expect("pre-swap forecast");
+    outcomes_ok += 1;
+    let in_flight: Vec<_> =
+        (0..3).map(|_| server.submit(ForecastRequest::latest()).expect("admitted")).collect();
+    let generation = server.swap_model(model.clone()).expect("same fingerprint swaps");
+    assert_eq!(generation, 1);
+    for f in in_flight {
+        f.wait().expect("in-flight requests survive the swap");
+        outcomes_ok += 1;
+    }
+    let after = server
+        .submit(ForecastRequest::latest())
+        .expect("admitted")
+        .wait()
+        .expect("post-swap forecast");
+    assert_eq!(after.generation, 1);
+    assert_eq!(bits(&before.prediction), bits(&after.prediction));
+    outcomes_ok += 1;
+
+    // --- Post-chaos equivalence: a twin server that never saw a fault,
+    // fed the same number of steps with the same (clean) trailing window,
+    // must produce the bitwise-identical forecast.
+    let twin = Server::start(Arc::clone(&p), model.clone(), ServeConfig::default());
+    let tail = history.len() - t_in;
+    for (i, step) in history.iter().enumerate() {
+        if i < tail {
+            twin.ingest_step(&clean_step(&p, i));
+        } else {
+            twin.ingest_step(step); // the trailing window is clean by construction
+        }
+    }
+    let undisturbed = twin
+        .submit(ForecastRequest::latest())
+        .expect("admitted")
+        .wait()
+        .expect("undisturbed forecast");
+    assert!(undisturbed.quality.is_clean());
+    assert_eq!(
+        bits(&after.prediction),
+        bits(&undisturbed.prediction),
+        "post-chaos clean-input forecast must be bitwise identical to an undisturbed server's"
+    );
+    twin.shutdown();
+
+    // --- Accounting: nothing was silently dropped.
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert!(stats.worker_respawns >= 1);
+    assert_eq!(stats.overloaded, 1);
+    assert_eq!(stats.cold_start, 1);
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.generation, 1);
+    assert_eq!(stats.completed, outcomes_ok);
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.deadline_exceeded + stats.worker_panics + stall_answers,
+        "every accepted request must be accounted for: {stats:?}"
+    );
+    let _ = outcomes_err;
+}

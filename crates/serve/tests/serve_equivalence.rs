@@ -1,0 +1,197 @@
+//! Equivalence suite: serving must change *where* forecasts are computed,
+//! never *what* they are.
+//!
+//! * The telemetry gate is bitwise invisible: a served forecast with
+//!   `STSM_TELEMETRY` on equals one with it off, bit for bit.
+//! * A served window forecast equals the direct batch-path
+//!   [`Predictor`](stsm_core::Predictor) forecast, bit for bit — for the
+//!   f32 pool, the quantized pool, and across hot-swaps in both directions.
+//! * Hot-swap compatibility: a `QuantizedStsm` swaps over a running f32
+//!   pool and vice versa (same config fingerprint); a checkpoint with a
+//!   different fingerprint is rejected and the old model keeps serving.
+//! * Graceful drain: `begin_drain` rejects new work with `ShuttingDown`
+//!   while everything already queued still completes.
+
+use std::sync::Arc;
+use stsm_core::{train_stsm, DistanceMode, Predictor, ProblemInstance, StsmConfig, TrainedStsm};
+use stsm_serve::{ForecastRequest, ServeConfig, ServeError, Server, SharedModel};
+use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+use stsm_tensor::{telemetry, DType};
+
+fn tiny_dataset(seed: u64) -> stsm_synth::Dataset {
+    DatasetConfig {
+        name: "serve-eq".into(),
+        network: NetworkKind::Highway,
+        sensors: 24,
+        extent: 10_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days: 8,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate()
+}
+
+fn tiny_cfg(seed: u64) -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 4,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        top_k: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn bits(t: &stsm_tensor::Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn setup(seed: u64) -> (Arc<ProblemInstance>, StsmConfig, Arc<TrainedStsm>) {
+    let dataset = tiny_dataset(seed);
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    let p = Arc::new(ProblemInstance::new(dataset, split, DistanceMode::Euclidean));
+    let cfg = tiny_cfg(seed);
+    let (trained, _) = train_stsm(&p, &cfg).expect("trains");
+    (p, cfg, Arc::new(trained))
+}
+
+/// Serves one `Latest` and one `Window` forecast on a fresh single-worker
+/// server and returns the concatenated output bits.
+fn serve_once(p: &Arc<ProblemInstance>, model: SharedModel, t_in: usize) -> Vec<u32> {
+    let server =
+        Server::start(Arc::clone(p), model, ServeConfig { workers: 1, ..ServeConfig::default() });
+    for t in 0..t_in {
+        let step: Vec<f32> = p.observed.iter().map(|&g| p.scaled_value(g, t)).collect();
+        server.ingest_step(&step);
+    }
+    let latest =
+        server.submit(ForecastRequest::latest()).expect("admitted").wait().expect("latest");
+    let window = server
+        .submit(ForecastRequest::window(p.test_time.start))
+        .expect("admitted")
+        .wait()
+        .expect("window");
+    assert!(latest.quality.is_clean());
+    let mut out = bits(&latest.prediction);
+    out.extend(bits(&window.prediction));
+    server.shutdown();
+    out
+}
+
+#[test]
+fn telemetry_gate_and_drain_are_output_invisible() {
+    let (p, cfg, trained) = setup(130);
+    let model = SharedModel::F32(Arc::clone(&trained));
+
+    // The zero-overhead telemetry contract extends to the serving layer:
+    // identical output bits with the registry on and off.
+    let on = telemetry::with_telemetry(true, || serve_once(&p, model.clone(), cfg.t_in));
+    let off = telemetry::with_telemetry(false, || serve_once(&p, model.clone(), cfg.t_in));
+    assert_eq!(on, off, "telemetry gate must be bitwise invisible to served forecasts");
+
+    // Graceful drain: queued work completes, new work is rejected typed.
+    let server =
+        Server::start(Arc::clone(&p), model, ServeConfig { workers: 1, ..ServeConfig::default() });
+    let queued: Vec<_> = (0..4)
+        .map(|_| server.submit(ForecastRequest::window(p.test_time.start)).expect("admitted"))
+        .collect();
+    server.begin_drain();
+    assert!(matches!(
+        server.submit(ForecastRequest::window(p.test_time.start)),
+        Err(ServeError::ShuttingDown)
+    ));
+    let stats = server.shutdown();
+    for q in queued {
+        q.wait().expect("draining must complete already-queued work");
+    }
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.shutdown_rejected, 1);
+}
+
+#[test]
+fn hot_swap_compatibility_both_directions_and_fingerprint_rejection() {
+    let (p, _cfg, trained) = setup(131);
+    let f32_model = SharedModel::F32(Arc::clone(&trained));
+    let quant = Arc::new(trained.quantize(DType::F16));
+    let quant_model = SharedModel::Quantized(Arc::clone(&quant));
+    let abs_start = p.test_time.start;
+
+    // Direct batch-path references for both precisions.
+    let (ref_f32, _) =
+        Predictor::new_with_dtype(&trained, &p, DType::F32).predict_window_checked(&p, abs_start);
+    let (ref_quant, _) = Predictor::new_quantized(&quant, &p).predict_window_checked(&p, abs_start);
+
+    // Quantized checkpoint over a running f32 pool.
+    let server = Server::start(
+        Arc::clone(&p),
+        f32_model.clone(),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    );
+    let before = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("f32 forecast");
+    assert_eq!(before.generation, 0);
+    assert_eq!(bits(&before.prediction), bits(&ref_f32), "served == batch path (f32)");
+    assert_eq!(server.swap_model(quant_model.clone()).expect("fingerprints match"), 1);
+    let after = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("quantized forecast");
+    assert_eq!(after.generation, 1);
+    assert_eq!(bits(&after.prediction), bits(&ref_quant), "served == batch path (f16)");
+
+    // A checkpoint trained under a different config must be rejected, and
+    // the serving model must be untouched by the failed swap.
+    let mut other = TrainedStsm::from_json(&trained.to_json()).expect("round-trips");
+    other.cfg.epochs += 1; // any config delta changes the fingerprint
+    let err = server
+        .swap_model(SharedModel::F32(Arc::new(other)))
+        .expect_err("mismatched fingerprint must be rejected");
+    match err {
+        ServeError::FingerprintMismatch { serving, offered } => assert_ne!(serving, offered),
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+    let still = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("still serving");
+    assert_eq!(still.generation, 1, "failed swap must not bump the generation");
+    assert_eq!(bits(&still.prediction), bits(&ref_quant));
+    let stats = server.shutdown();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.swaps_rejected, 1);
+
+    // Vice versa: f32 checkpoint over a running quantized pool.
+    let server = Server::start(
+        Arc::clone(&p),
+        quant_model,
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    let before = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("quantized forecast");
+    assert_eq!(bits(&before.prediction), bits(&ref_quant));
+    assert_eq!(server.swap_model(f32_model).expect("fingerprints match"), 1);
+    let after = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("f32 forecast");
+    assert_eq!(bits(&after.prediction), bits(&ref_f32));
+    server.shutdown();
+}

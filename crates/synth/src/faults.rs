@@ -167,12 +167,217 @@ impl FaultPlan {
     }
 }
 
+/// A **streaming** (random-access) view of a [`FaultPlan`]: corruption as a
+/// pure function of `(sensor, time)` instead of a sweep over a materialized
+/// dataset.
+///
+/// A serving-layer load generator ingests readings one tick at a time and
+/// cannot afford — or even hold — a corrupted copy of the full horizon. A
+/// `FaultSchedule` answers "what does sensor `s` report at step `t`?" in
+/// O(log dropouts): dropout windows are drawn up front with the *same*
+/// seeded draw as [`FaultPlan::apply`]'s phase 2 (so blackout positions
+/// match the batch path exactly), while point NaNs and spikes are decided by
+/// a per-cell SplitMix64 hash of `(seed, sensor, t)` — deterministic under
+/// any ingestion order, which a sequential RNG sweep cannot be. Point
+/// corruption therefore honors the plan's *rates* and scoping but lands on
+/// different cells than `apply`'s sequential streams; the robustness suites
+/// only rely on per-seed determinism, never on matching the batch pattern.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    seed: u64,
+    nan_rate: f64,
+    spike_rate: f64,
+    spike_scale: f32,
+    /// `sensor_in[s]` — is sensor `s` targeted by the plan?
+    sensor_in: Vec<bool>,
+    time_range: Range<usize>,
+    /// Per-sensor sorted, disjoint blackout ranges.
+    blackouts: Vec<Vec<Range<usize>>>,
+}
+
+/// SplitMix64-style per-cell hash → uniform in `[0, 1)`.
+fn cell_unit(seed: u64, phase: u64, s: usize, t: usize) -> f64 {
+    let mut z = seed ^ phase ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((t as u64) << 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultSchedule {
+    /// Builds the schedule for a plan over an `n`-sensor, `t_total`-step
+    /// horizon. Identical `(plan, n, t_total)` → identical schedule.
+    pub fn new(plan: &FaultPlan, n: usize, t_total: usize) -> Self {
+        let mut sensor_in = vec![plan.sensors.is_none(); n];
+        let targets: Vec<usize> = match &plan.sensors {
+            Some(s) => {
+                for &i in s {
+                    assert!(i < n, "fault schedule targets sensor {i} but horizon has {n}");
+                    sensor_in[i] = true;
+                }
+                s.clone()
+            }
+            None => (0..n).collect(),
+        };
+        let time_range = match &plan.time_range {
+            Some(r) => r.start.min(t_total)..r.end.min(t_total),
+            None => 0..t_total,
+        };
+        // Same seeded draw as `FaultPlan::apply` phase 2, so blackout
+        // positions agree between the batch and streaming paths.
+        let mut blackouts = vec![Vec::new(); n];
+        if plan.dropout_windows > 0
+            && plan.dropout_len > 0
+            && !targets.is_empty()
+            && !time_range.is_empty()
+        {
+            let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xd20b_0066);
+            let len = plan.dropout_len.min(time_range.len());
+            for _ in 0..plan.dropout_windows {
+                let s = targets[rng.random_range(0..targets.len())];
+                let start = time_range.start + rng.random_range(0..time_range.len() - len + 1);
+                blackouts[s].push(start..start + len);
+            }
+            for w in &mut blackouts {
+                w.sort_by_key(|r| r.start);
+                // Merge overlaps so `is_blackout` can binary-search.
+                let mut merged: Vec<Range<usize>> = Vec::with_capacity(w.len());
+                for r in w.drain(..) {
+                    match merged.last_mut() {
+                        Some(m) if r.start <= m.end => m.end = m.end.max(r.end),
+                        _ => merged.push(r),
+                    }
+                }
+                *w = merged;
+            }
+        }
+        FaultSchedule {
+            seed: plan.seed,
+            nan_rate: plan.nan_rate,
+            spike_rate: plan.spike_rate,
+            spike_scale: plan.spike_scale,
+            sensor_in,
+            time_range,
+            blackouts,
+        }
+    }
+
+    /// True when sensor `s` is inside a dropout (blackout) window at `t`.
+    pub fn is_blackout(&self, s: usize, t: usize) -> bool {
+        let ws = &self.blackouts[s];
+        ws.binary_search_by(|r| {
+            if t < r.start {
+                std::cmp::Ordering::Greater
+            } else if t >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+        .is_ok()
+    }
+
+    /// The reading sensor `s` actually reports at step `t` given clean value
+    /// `v`: NaN inside blackouts and on point-NaN cells, a spike
+    /// (`v * scale + scale`) on spike cells, `v` otherwise. Out-of-scope
+    /// cells pass through untouched. Pure in `(s, t, v)`.
+    pub fn corrupt(&self, s: usize, t: usize, v: f32) -> f32 {
+        if !self.sensor_in[s] || !self.time_range.contains(&t) {
+            return v;
+        }
+        if self.is_blackout(s, t) {
+            return f32::NAN;
+        }
+        if self.nan_rate > 0.0 && cell_unit(self.seed, 0x4e61_4e21, s, t) < self.nan_rate {
+            return f32::NAN;
+        }
+        if self.spike_rate > 0.0
+            && v.is_finite()
+            && cell_unit(self.seed, 0x5717_4b35, s, t) < self.spike_rate
+        {
+            return v * self.spike_scale + self.spike_scale;
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dataset::DatasetConfig;
     use crate::network::NetworkKind;
     use crate::signal::SignalKind;
+
+    fn tiny() -> Dataset {
+        DatasetConfig {
+            name: "sched".into(),
+            network: NetworkKind::Highway,
+            sensors: 10,
+            extent: 8_000.0,
+            steps_per_day: 24,
+            interval_minutes: 60,
+            days: 3,
+            kind: SignalKind::TrafficSpeed,
+            latent_scale: 3_000.0,
+            poi_radius: 300.0,
+            seed: 9,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_scoped() {
+        let plan = FaultPlan {
+            seed: 77,
+            nan_rate: 0.1,
+            spike_rate: 0.05,
+            dropout_windows: 3,
+            dropout_len: 5,
+            sensors: Some(vec![1, 4, 7]),
+            time_range: Some(10..50),
+            ..FaultPlan::default()
+        };
+        let a = FaultSchedule::new(&plan, 10, 72);
+        let b = FaultSchedule::new(&plan, 10, 72);
+        let mut corrupted = 0usize;
+        for s in 0..10 {
+            for t in 0..72 {
+                let va = a.corrupt(s, t, 1.0);
+                let vb = b.corrupt(s, t, 1.0);
+                assert_eq!(va.to_bits(), vb.to_bits(), "pure function of (plan, s, t, v)");
+                if va.to_bits() != 1.0f32.to_bits() {
+                    corrupted += 1;
+                    assert!(
+                        [1usize, 4, 7].contains(&s) && (10..50).contains(&t),
+                        "corruption must respect sensor/time scoping (hit s={s} t={t})"
+                    );
+                }
+            }
+        }
+        assert!(corrupted > 0, "rates this high must corrupt something");
+        // Out-of-order queries agree with in-order ones (random access).
+        assert_eq!(a.corrupt(4, 20, 2.5).to_bits(), b.corrupt(4, 20, 2.5).to_bits());
+    }
+
+    #[test]
+    fn schedule_blackouts_match_batch_dropouts() {
+        let d = tiny();
+        let plan =
+            FaultPlan { seed: 5, dropout_windows: 4, dropout_len: 6, ..FaultPlan::default() };
+        let (corrupted, log) = plan.apply(&d);
+        assert!(log.dropped_readings > 0);
+        let sched = FaultSchedule::new(&plan, d.n, d.t_total);
+        for s in 0..d.n {
+            for t in 0..d.t_total {
+                let batch_dark = corrupted.values[s * d.t_total + t].is_nan();
+                assert_eq!(
+                    sched.is_blackout(s, t),
+                    batch_dark,
+                    "streaming blackout at (s={s}, t={t}) must match the batch dropout"
+                );
+            }
+        }
+    }
 
     #[test]
     fn empty_plan_is_identity_on_values() {

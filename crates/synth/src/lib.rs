@@ -29,7 +29,7 @@ mod signal;
 mod splits;
 
 pub use dataset::{presets, Dataset, DatasetConfig};
-pub use faults::{FaultLog, FaultPlan};
+pub use faults::{FaultLog, FaultPlan, FaultSchedule};
 pub use field::{Archetype, LatentField, SmoothField, NUM_ARCHETYPES};
 pub use io::{dataset_from_json, dataset_to_json, export_values_csv};
 pub use network::{generate_network, NetworkKind, SensorNetwork};

@@ -244,6 +244,19 @@ pub fn record_duration(name: &'static str, d: Duration) {
     }
 }
 
+/// Records one dimensionless observation (a queue depth, a batch size…) into
+/// the named histogram. Values share the latency histograms' log2 bucket
+/// machinery on the microsecond scale — a recorded value `v` lands in bucket
+/// `bit_length(v)` and reads back as `v µs` in [`TelemetryReport`] renders —
+/// so one histogram type serves both latencies and magnitudes. Used by the
+/// serving layer for `serve.queue_depth`. No-op when disabled.
+#[inline]
+pub fn record_value(name: &'static str, v: u64) {
+    if enabled() {
+        record_nanos(name, v.saturating_mul(1_000));
+    }
+}
+
 // ----------------------------------------------------------------- snapshots
 
 /// Aggregated state of one span timer.
@@ -349,21 +362,34 @@ impl TelemetryReport {
     }
 }
 
+impl HistogramReport {
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) from the
+    /// bucket counts: the upper boundary, in **microseconds**, of the first
+    /// bucket at or above that rank (clamped to the recorded max). Log2
+    /// buckets make this an upper bound within 2× of the true quantile —
+    /// exactly the resolution `bench_serve` reports p50/p99 at.
+    pub fn percentile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket `i` holds values with `micros < 2^i`; its upper
+                // bound cannot exceed the recorded maximum.
+                return (1u64 << i).min(self.max_nanos.div_ceil(1_000).max(1));
+            }
+        }
+        self.max_nanos.div_ceil(1_000)
+    }
+}
+
 /// Upper-bound estimate of the median from the bucket counts (the bucket
 /// boundary at or above the 50th percentile), in nanoseconds.
 fn approx_median_nanos(h: &HistogramReport) -> u64 {
-    if h.count == 0 {
-        return 0;
-    }
-    let half = h.count.div_ceil(2);
-    let mut seen = 0u64;
-    for (i, &c) in h.buckets.iter().enumerate() {
-        seen += c;
-        if seen >= half {
-            return (1u64 << i).saturating_mul(1_000); // bucket upper bound 2^i µs
-        }
-    }
-    h.max_nanos
+    h.percentile_upper_micros(0.5).saturating_mul(1_000)
 }
 
 fn fmt_nanos(nanos: u64) -> String {
@@ -495,6 +521,28 @@ mod tests {
             assert_eq!(span_totals("test.s"), (0, 0));
             assert!(!snapshot().histograms.contains_key("test.h"));
         });
+    }
+
+    #[test]
+    fn value_histogram_and_percentiles() {
+        let _g = guard();
+        let snap = with_telemetry(true, || {
+            reset();
+            for v in [1u64, 2, 3, 4, 100] {
+                record_value("test.depth", v);
+            }
+            snapshot()
+        });
+        let h = &snap.histograms["test.depth"];
+        assert_eq!(h.count, 5);
+        // Values read back on the µs scale: 100 → 100µs max.
+        assert_eq!(h.max_nanos, 100_000);
+        // p50 upper bound: rank 3 of [1,2,3,4,100] → value 3 → bucket 2
+        // (bit length of 3) → upper bound 4.
+        assert_eq!(h.percentile_upper_micros(0.5), 4);
+        // p99 → rank 5 → the 100 bucket (2^7 = 128), clamped to max 100.
+        assert_eq!(h.percentile_upper_micros(0.99), 100);
+        assert_eq!(HistogramReport::default().percentile_upper_micros(0.5), 0);
     }
 
     #[test]

@@ -45,6 +45,14 @@ cargo test -q -p stsm-tensor --test kernel_tiling_equivalence
 # bitwise stability with the RMSE accuracy ε-gate — pinned by name.
 cargo test -q -p stsm-tensor --test dtype_convert
 cargo test -q -p stsm-core --test quantized_equivalence
+# The serving contracts (DESIGN.md, "Serving"): every request terminates in
+# a forecast or a typed rejection under injected chaos (NaN bursts,
+# blackouts, worker panics, overload, hot-swap under load), post-chaos
+# bitwise recovery, telemetry-gate invisibility, quantized<->f32 hot-swap
+# compatibility and fingerprint-mismatch rejection — pinned by name.
+# `cargo clippy --all-targets` below covers the stsm-serve crate too.
+cargo test -q -p stsm-serve --test serve_chaos
+cargo test -q -p stsm-serve --test serve_equivalence
 cargo run -q -p stsm-bench --release --bin bench_kernels -- --smoke
 # Bench-binary wiring smokes: train/infer assert their pool-on/off and
 # Train/Infer bitwise contracts in-process (bench_infer includes the
@@ -54,4 +62,7 @@ cargo run -q -p stsm-bench --release --bin bench_kernels -- --smoke
 cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_train -- --smoke
 cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_infer -- --smoke
 cargo run -q -p stsm-bench --release --bin bench_scale -- --smoke
+# Serving load-generator wiring: telemetry on/off forecast bits asserted
+# identical in-process; smoke never rewrites BENCH_serve.json.
+cargo run -q -p stsm-bench --release --bin bench_serve -- --smoke
 cargo clippy --all-targets -q -- -D warnings

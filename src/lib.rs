@@ -9,7 +9,8 @@
 //! * [`timeseries`] — DTW, metrics, windows, scalers;
 //! * [`synth`] — synthetic dataset generators and space splits;
 //! * [`core`] — the STSM model, its variants, trainer and evaluator;
-//! * [`baselines`] — GE-GAN, IGNNK and INCREASE.
+//! * [`baselines`] — GE-GAN, IGNNK and INCREASE;
+//! * [`serve`] — the resilient concurrent forecast service.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -18,6 +19,7 @@
 pub use stsm_baselines as baselines;
 pub use stsm_core as core;
 pub use stsm_graph as graph;
+pub use stsm_serve as serve;
 pub use stsm_synth as synth;
 pub use stsm_tensor as tensor;
 pub use stsm_timeseries as timeseries;

@@ -9,12 +9,63 @@
 //! stsm forecast --data data.json --model model.json --horizon-detail
 //! ```
 
+use std::sync::Arc;
 use stsm::core::{
     evaluate_detailed, evaluate_stsm, train_stsm_with, DistanceMode, ProblemInstance, StsmConfig,
-    TrainOptions, TrainedStsm, Variant,
+    StsmError, TrainOptions, TrainedStsm, Variant,
 };
+use stsm::serve::{ForecastRequest, ServeConfig, Server, SharedModel};
 use stsm::synth::{dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis};
 use stsm::tensor::telemetry;
+
+/// CLI failure classes, each with its own process exit code so scripts and
+/// supervisors can branch on *why* a run failed without parsing stderr:
+/// `2` usage/config, `3` file I/O, `4` model/data parse or layout, `5`
+/// training divergence. Success is `0`; `1` is reserved for panics.
+enum CliError {
+    /// Bad flags, unknown subcommand values, or a configuration the
+    /// pipeline cannot run (e.g. a training period shorter than a window).
+    Usage(String),
+    /// A file could not be read or written.
+    Io(String),
+    /// A dataset or model file parsed but is invalid (bad JSON, parameter
+    /// layout mismatch, corrupt checkpoint).
+    Model(String),
+    /// Training ran but diverged beyond what the guard could rescue.
+    Diverged(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Model(_) => 4,
+            CliError::Diverged(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Model(m) | CliError::Diverged(m) => m,
+        }
+    }
+}
+
+impl From<StsmError> for CliError {
+    fn from(e: StsmError) -> Self {
+        match e {
+            // Geometry/config problems: the run never started.
+            StsmError::TrainingPeriodTooShort { .. }
+            | StsmError::TestPeriodTooShort { .. }
+            | StsmError::TooFewObserved { .. } => CliError::Usage(e.to_string()),
+            // Persisted artifacts that do not parse or fit.
+            StsmError::Checkpoint(_) | StsmError::ParamLayout(_) | StsmError::Serde(_) => {
+                CliError::Model(e.to_string())
+            }
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +74,7 @@ fn main() {
         Some("train") => cmd_train(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..], false),
         Some("forecast") => cmd_evaluate(&args[1..], true),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             print_usage();
             Ok(())
@@ -30,8 +82,8 @@ fn main() {
     };
     emit_telemetry();
     if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        eprintln!("error: {}", e.message());
+        std::process::exit(e.exit_code());
     }
 }
 
@@ -64,7 +116,11 @@ fn print_usage() {
            stsm generate --preset <pems-bay|pems-07|pems-08|melbourne|airq|metro> [--sensors N] [--days N] [--seed N] --out FILE\n\
            stsm train    --data FILE [--variant stsm|stsm-r|stsm-nc|stsm-rnc|stsm-trans] [--epochs N] --out FILE\n\
            stsm evaluate --data FILE --model FILE\n\
-           stsm forecast --data FILE --model FILE   (adds per-horizon breakdown)"
+           stsm forecast --data FILE --model FILE   (adds per-horizon breakdown)\n\
+           stsm serve    --data FILE --model FILE [--steps N]   (in-process serving demo over the test period;\n\
+                         honors STSM_SERVE_WORKERS / STSM_SERVE_QUEUE_DEPTH / STSM_SERVE_DEADLINE_MS)\n\n\
+         EXIT CODES:\n\
+           0 success   2 usage/config error   3 file I/O error   4 model/data parse error   5 training divergence"
     );
 }
 
@@ -72,13 +128,21 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let preset = flag(args, "--preset").ok_or("--preset required")?;
-    let days: usize =
-        flag(args, "--days").map_or(Ok(8), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let seed: u64 =
-        flag(args, "--seed").map_or(Ok(42), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let out = flag(args, "--out").ok_or("--out required")?;
+/// Parses a required numeric flag, defaulting when absent.
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    flag(args, name)
+        .map_or(Ok(default), |v| v.parse().map_err(|e| CliError::Usage(format!("{name}: {e}"))))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
+    let preset =
+        flag(args, "--preset").ok_or_else(|| CliError::Usage("--preset required".into()))?;
+    let days: usize = num_flag(args, "--days", 8)?;
+    let seed: u64 = num_flag(args, "--seed", 42)?;
+    let out = flag(args, "--out").ok_or_else(|| CliError::Usage("--out required".into()))?;
     let cfg = match preset.as_str() {
         "pems-bay" => presets::pems_bay(days, seed),
         "pems-07" => presets::pems_07(days, seed),
@@ -86,39 +150,47 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         "melbourne" => presets::melbourne(days, seed),
         "airq" => presets::airq(days, seed),
         "metro" => {
-            let sensors: usize = flag(args, "--sensors")
-                .map_or(Ok(10_000), |v| v.parse().map_err(|e| format!("{e}")))?;
+            let sensors: usize = num_flag(args, "--sensors", 10_000)?;
             presets::metro(sensors, days, seed)
         }
-        other => return Err(format!("unknown preset '{other}'")),
+        other => return Err(CliError::Usage(format!("unknown preset '{other}'"))),
     };
     let dataset = cfg.generate();
-    std::fs::write(&out, dataset_to_json(&dataset)).map_err(|e| e.to_string())?;
+    std::fs::write(&out, dataset_to_json(&dataset))
+        .map_err(|e| CliError::Io(format!("{out}: {e}")))?;
     println!("wrote {} ({} sensors × {} steps)", out, dataset.n, dataset.t_total);
     Ok(())
 }
 
-fn load_problem(args: &[String]) -> Result<ProblemInstance, String> {
-    let data = flag(args, "--data").ok_or("--data required")?;
-    let json = std::fs::read_to_string(&data).map_err(|e| format!("{data}: {e}"))?;
-    let dataset: Dataset = dataset_from_json(&json).map_err(|e| e.to_string())?;
+fn load_problem(args: &[String]) -> Result<ProblemInstance, CliError> {
+    let data = flag(args, "--data").ok_or_else(|| CliError::Usage("--data required".into()))?;
+    let json = std::fs::read_to_string(&data).map_err(|e| CliError::Io(format!("{data}: {e}")))?;
+    let dataset: Dataset =
+        dataset_from_json(&json).map_err(|e| CliError::Model(format!("{data}: {e}")))?;
     let split = space_split(&dataset.coords, SplitAxis::Horizontal, false);
     Ok(ProblemInstance::new(dataset, split, DistanceMode::Euclidean))
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn load_model(args: &[String]) -> Result<TrainedStsm, CliError> {
+    let model_path =
+        flag(args, "--model").ok_or_else(|| CliError::Usage("--model required".into()))?;
+    let json = std::fs::read_to_string(&model_path)
+        .map_err(|e| CliError::Io(format!("{model_path}: {e}")))?;
+    Ok(TrainedStsm::from_json(&json)?)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), CliError> {
     let problem = load_problem(args)?;
-    let out = flag(args, "--out").ok_or("--out required")?;
+    let out = flag(args, "--out").ok_or_else(|| CliError::Usage("--out required".into()))?;
     let variant = match flag(args, "--variant").as_deref() {
         None | Some("stsm") => Variant::Stsm,
         Some("stsm-r") => Variant::StsmR,
         Some("stsm-nc") => Variant::StsmNc,
         Some("stsm-rnc") => Variant::StsmRnc,
         Some("stsm-trans") => Variant::StsmTrans,
-        Some(other) => return Err(format!("unknown variant '{other}'")),
+        Some(other) => return Err(CliError::Usage(format!("unknown variant '{other}'"))),
     };
-    let epochs: usize =
-        flag(args, "--epochs").map_or(Ok(8), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let epochs: usize = num_flag(args, "--epochs", 8)?;
     let mut cfg = StsmConfig::default().for_dataset(&problem.dataset.name).with_variant(variant);
     cfg.epochs = epochs;
     // Keep top-K within the observed count for small datasets.
@@ -133,7 +205,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     // STSM_CHECKPOINT_PATH / STSM_CHECKPOINT_EVERY / STSM_RESUME control
     // epoch-boundary snapshots and crash recovery.
     let opts = TrainOptions::from_env();
-    let (trained, report) = train_stsm_with(&problem, &cfg, &opts).map_err(|e| e.to_string())?;
+    let (trained, report) = train_stsm_with(&problem, &cfg, &opts)?;
     println!(
         "done in {:.1}s; final epoch loss {:.4}",
         report.train_seconds,
@@ -151,18 +223,26 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             report.resilience.lr_scale
         );
     }
-    std::fs::write(&out, trained.to_json()).map_err(|e| e.to_string())?;
+    // Divergence the guard could not rescue is its own failure class: the
+    // artifact would be written from a meaningless parameter state.
+    let final_loss = report.epoch_losses.last().copied().unwrap_or(f32::NAN);
+    if !final_loss.is_finite() || report.resilience.skipped_epochs.len() >= cfg.epochs {
+        return Err(CliError::Diverged(format!(
+            "training diverged: final loss {final_loss}, {} of {} epochs skipped by the guard",
+            report.resilience.skipped_epochs.len(),
+            cfg.epochs
+        )));
+    }
+    std::fs::write(&out, trained.to_json()).map_err(|e| CliError::Io(format!("{out}: {e}")))?;
     println!("wrote {out}");
     Ok(())
 }
 
-fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), String> {
+fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), CliError> {
     let problem = load_problem(args)?;
-    let model_path = flag(args, "--model").ok_or("--model required")?;
-    let json = std::fs::read_to_string(&model_path).map_err(|e| format!("{model_path}: {e}"))?;
-    let trained = TrainedStsm::from_json(&json).map_err(|e| e.to_string())?;
+    let trained = load_model(args)?;
     if horizon_detail {
-        let detail = evaluate_detailed(&trained, &problem).map_err(|e| e.to_string())?;
+        let detail = evaluate_detailed(&trained, &problem)?;
         println!("overall: {}", detail.metrics);
         println!("\nper-horizon RMSE:");
         for (h, rmse) in detail.horizon.rmse_curve().iter().enumerate() {
@@ -180,7 +260,7 @@ fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), String> {
             println!("  sensor {loc:<4} RMSE {rmse:.3}");
         }
     } else {
-        let eval = evaluate_stsm(&trained, &problem).map_err(|e| e.to_string())?;
+        let eval = evaluate_stsm(&trained, &problem)?;
         println!("{}", eval.metrics);
         if !eval.quality.is_clean() {
             println!(
@@ -193,5 +273,61 @@ fn cmd_evaluate(args: &[String], horizon_detail: bool) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// In-process serving demo: streams the test period into the server's
+/// ingest ring and requests a `Latest` forecast per step, printing the
+/// service counters at the end. A stand-in for a network front-end — the
+/// queueing, deadline, breaker and hot-swap machinery is identical.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let problem = Arc::new(load_problem(args)?);
+    let trained = load_model(args)?;
+    let steps: usize = num_flag(args, "--steps", 48)?;
+    let serve_cfg = ServeConfig::from_env();
+    let model = SharedModel::F32(Arc::new(trained));
+    let t_in = model.cfg().t_in;
+    println!(
+        "serving {} with {} workers (queue depth {}, deadline {:?})",
+        problem.dataset.name, serve_cfg.workers, serve_cfg.queue_depth, serve_cfg.default_deadline
+    );
+    let server = Server::start(Arc::clone(&problem), model, serve_cfg);
+    let start = problem.test_time.start;
+    let end = problem.test_time.end.min(start + t_in + steps);
+    let mut served = 0u64;
+    let mut imputed = 0usize;
+    let mut worst_compute = std::time::Duration::ZERO;
+    for t in start..end {
+        let readings: Vec<f32> =
+            problem.observed.iter().map(|&g| problem.scaled_value(g, t)).collect();
+        server.ingest_step(&readings);
+        if t + 1 < start + t_in {
+            continue; // ring not warm yet
+        }
+        match server.submit(ForecastRequest::latest()) {
+            Ok(pending) => match pending.wait() {
+                Ok(resp) => {
+                    served += 1;
+                    imputed += resp.quality.imputed_blend + resp.quality.imputed_carry;
+                    worst_compute = worst_compute.max(resp.compute);
+                }
+                Err(e) => eprintln!("step {t}: {e}"),
+            },
+            Err(e) => eprintln!("step {t}: rejected: {e}"),
+        }
+    }
+    let stats = server.shutdown();
+    println!(
+        "served {served} forecasts over {} steps (worst compute {worst_compute:?}, {imputed} readings imputed)",
+        end - start
+    );
+    println!(
+        "counters: accepted {} completed {} deadline_exceeded {} overloaded {} breaker trips {}",
+        stats.accepted,
+        stats.completed,
+        stats.deadline_exceeded,
+        stats.overloaded,
+        stats.breaker_trips
+    );
     Ok(())
 }
