@@ -5,23 +5,10 @@
 
 use stsm_baselines::{run_gegan, run_ignnk, run_increase, BaselineConfig, BaselineReport};
 use stsm_core::{DistanceMode, ProblemInstance};
-use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+use stsm_synth::{space_split, SplitAxis};
 
 fn tiny_problem(seed: u64) -> ProblemInstance {
-    let dataset = DatasetConfig {
-        name: "base".into(),
-        network: NetworkKind::Highway,
-        sensors: 24,
-        extent: 10_000.0,
-        steps_per_day: 24,
-        interval_minutes: 60,
-        days: 8,
-        kind: SignalKind::TrafficSpeed,
-        latent_scale: 3_000.0,
-        poi_radius: 300.0,
-        seed,
-    }
-    .generate();
+    let dataset = stsm_synth::test_support::tiny_dataset("base", seed);
     let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
     ProblemInstance::new(dataset, split, DistanceMode::Euclidean)
 }

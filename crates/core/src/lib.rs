@@ -63,6 +63,7 @@ mod contrastive;
 mod error;
 mod masking;
 mod model;
+mod online;
 mod predictor;
 mod problem;
 mod pseudo;
@@ -82,9 +83,12 @@ pub use contrastive::nt_xent;
 pub use error::StsmError;
 pub use masking::{cosine, MaskingContext};
 pub use model::{predict_once, ForwardOutput, StModel};
+pub use online::{OnlineConfig, OnlineTrainer};
 pub use predictor::{InferAssets, Predictor, SharedModel};
 pub use problem::ProblemInstance;
-pub use pseudo::{blend_series, blend_series_strided, inverse_distance_weights};
+pub use pseudo::{
+    blend_series, blend_series_strided, inverse_distance_weights, masked_inverse_distance_weights,
+};
 pub use quant::{QuantizedStsm, QUANT_RMSE_REL_EPSILON};
 pub use resilience::{carry_impute, DataQuality, ResilienceReport, TrainOptions};
 pub use temporal_adj::{pseudo_weights_for, DtwContext};

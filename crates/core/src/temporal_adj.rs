@@ -120,6 +120,30 @@ impl DtwContext {
         self.stats
     }
 
+    /// Daily profile of observed local `i` (scaled training-period series,
+    /// order of `problem.observed`). The online layer seeds its rolling
+    /// neighbour structure from these so incremental rows stay comparable
+    /// to this context's batch rows.
+    pub fn profile(&self, i: usize) -> &[f32] {
+        &self.profiles[i]
+    }
+
+    /// Sakoe–Chiba half-width this context was built with.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// Churn-aware neighbour query: the first `count` neighbours of `i`
+    /// (ascending DTW distance, ties by index) whose `alive` flag is set.
+    /// Runs through [`DtwContext::ranked`]'s masked prefix scan over the
+    /// sparse row with the same exact fallback rescan when the truncated
+    /// row cannot prove the survivor prefix, so the result is identical to
+    /// re-ranking the surviving sensors from scratch.
+    pub fn surviving_links(&self, i: usize, count: usize, alive: &[bool]) -> Vec<u32> {
+        assert_eq!(alive.len(), self.n_observed(), "alive mask shape mismatch");
+        self.ranked(i, count, &|j| alive[j] && j != i)
+    }
+
     /// The DTW distance between observed locals `i` and `j`. Top-`q`
     /// neighbour distances come from the sparse structure; anything beyond
     /// it is recomputed on demand with the same kernel, so the value is

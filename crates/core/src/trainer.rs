@@ -92,7 +92,7 @@ pub struct EvalReport {
 /// mixing keeps distinct epochs decorrelated while making each epoch's
 /// stream a pure function of `(seed, epoch)` — the foundation of
 /// checkpoint-resume bit-identity.
-fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
+pub(crate) fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
     let mut z = seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -100,35 +100,35 @@ fn epoch_rng(seed: u64, epoch: usize) -> StdRng {
 }
 
 /// Divergence-guard running state (the part that crosses epoch boundaries).
-struct GuardState {
+pub(crate) struct GuardState {
     ema: f32,
     ema_count: u64,
 }
 
 impl GuardState {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         GuardState { ema: 0.0, ema_count: 0 }
     }
 
-    fn restore(&mut self, snap: &GuardSnapshot) {
+    pub(crate) fn restore(&mut self, snap: &GuardSnapshot) {
         self.ema = snap.ema;
         self.ema_count = snap.ema_count;
     }
 
     /// True when `loss` is a spike relative to the warmed-up EMA.
-    fn is_spike(&self, loss: f32, guard: &GuardConfig) -> bool {
+    pub(crate) fn is_spike(&self, loss: f32, guard: &GuardConfig) -> bool {
         self.ema_count >= guard.warmup_batches
             && self.ema > 0.0
             && loss > guard.spike_factor * self.ema
     }
 
     /// Folds a good batch's loss into the EMA.
-    fn observe(&mut self, loss: f32) {
+    pub(crate) fn observe(&mut self, loss: f32) {
         self.ema = if self.ema_count == 0 { loss } else { 0.9 * self.ema + 0.1 * loss };
         self.ema_count += 1;
     }
 
-    fn snapshot(&self, resilience: &ResilienceReport) -> GuardSnapshot {
+    pub(crate) fn snapshot(&self, resilience: &ResilienceReport) -> GuardSnapshot {
         GuardSnapshot {
             ema: self.ema,
             ema_count: self.ema_count,
@@ -395,7 +395,7 @@ fn record_epoch_phases(before: &[u64; 4]) {
 /// the divergence guard decides whether the step happens. The tape (and
 /// with it the immutable parameter borrow) is dropped before returning.
 #[allow(clippy::too_many_arguments)]
-fn batch_loss_and_grads(
+pub(crate) fn batch_loss_and_grads(
     problem: &ProblemInstance,
     cfg: &StsmConfig,
     model: &StModel,
@@ -525,6 +525,13 @@ fn mask_window(
 }
 
 impl TrainedStsm {
+    /// Assembles a trained model from parts whose store/architecture
+    /// consistency the caller has already established (the online trainer's
+    /// snapshot path).
+    pub(crate) fn from_parts(cfg: StsmConfig, store: ParamStore, model: StModel) -> Self {
+        TrainedStsm { cfg, store, model }
+    }
+
     /// The underlying spatial-temporal network.
     pub fn model_ref(&self) -> &StModel {
         &self.model

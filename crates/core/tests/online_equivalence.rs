@@ -1,0 +1,247 @@
+//! Online-vs-batch equivalence contracts (ISSUE 10): the incremental online
+//! layer must be *indistinguishable* from from-scratch recomputation.
+//!
+//! 1. Rolling DTW over growing observed series == batch `dtw_top_q` /
+//!    `dtw_banded`, bitwise, at every growth step.
+//! 2. Churn-renormalized pseudo-weights == a fresh inverse-distance fit on
+//!    the compacted survivor set, bitwise; churn-aware neighbour queries ==
+//!    a fresh ranking of the survivors.
+//! 3. One `OnlineTrainer::fine_tune_epoch` from a checkpoint == the batch
+//!    trainer resumed from the same checkpoint for one epoch, bitwise in
+//!    parameters and loss.
+
+use stsm_core::{
+    inverse_distance_weights, masked_inverse_distance_weights, train_stsm_with, DistanceMode,
+    DtwContext, OnlineConfig, OnlineTrainer, ProblemInstance, StsmConfig, TrainCheckpoint,
+    TrainOptions, TrainedStsm,
+};
+use stsm_synth::{space_split, SplitAxis};
+use stsm_timeseries::{dtw_top_q, RollingNeighbors};
+
+fn tiny_problem(seed: u64) -> ProblemInstance {
+    let dataset = stsm_synth::test_support::tiny_dataset("online-eq", seed);
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    ProblemInstance::new(dataset, split, DistanceMode::Euclidean)
+}
+
+fn tiny_cfg(seed: u64) -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 4,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        top_k: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Bitwise comparison of two trained models' parameters.
+fn params_identical(a: &TrainedStsm, b: &TrainedStsm) -> bool {
+    a.store.len() == b.store.len()
+        && a.store.iter().zip(b.store.iter()).all(|((_, na, ta), (_, nb, tb))| {
+            na == nb
+                && ta.data().len() == tb.data().len()
+                && ta.data().iter().zip(tb.data()).all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+}
+
+// ---------------------------------------------------------------- rolling
+
+/// Streaming the observed region's scaled series through
+/// [`RollingNeighbors`] yields, after every growth step, sparse rows
+/// bitwise equal to a from-scratch pruned batch search over the same
+/// prefixes.
+#[test]
+fn rolling_dtw_matches_batch_on_grown_series() {
+    let p = tiny_problem(31);
+    let rows = p.gather_rows(&p.observed);
+    let (n, t_total) = (rows.dim(0), rows.dim(1));
+    let series: Vec<Vec<f32>> =
+        (0..n.min(12)).map(|i| rows.data()[i * t_total..(i + 1) * t_total].to_vec()).collect();
+    let (band, q) = (4usize, 3usize);
+    let start = t_total / 2;
+    let mut rn = RollingNeighbors::new(band, q);
+    for s in &series {
+        rn.insert(s[..start].to_vec());
+    }
+    rn.refresh();
+    let mut len = start;
+    let step = 7usize;
+    while len < t_total {
+        let next = (len + step).min(t_total);
+        for (id, s) in series.iter().enumerate() {
+            rn.append(id, &s[len..next]);
+        }
+        len = next;
+        rn.refresh();
+        let prefixes: Vec<Vec<f32>> = series.iter().map(|s| s[..len].to_vec()).collect();
+        let (want, _) = dtw_top_q(&prefixes, band, q);
+        let (ids, got) = rn.to_sparse();
+        assert_eq!(ids, (0..series.len() as u32).collect::<Vec<_>>());
+        assert_eq!(got, want, "rolling rows diverged from batch at length {len}");
+    }
+}
+
+// ------------------------------------------------------------------ churn
+
+/// Masked re-normalization over the full source layout is bitwise a fresh
+/// inverse-distance fit on the compacted survivor set.
+#[test]
+fn churn_weights_match_fresh_fit_on_survivors() {
+    let p = tiny_problem(32);
+    let targets: Vec<usize> = p.unobserved.iter().copied().take(6).collect();
+    let sources = p.observed.clone();
+    let ns = sources.len();
+    // Kill every third source (deterministic churn pattern).
+    let alive: Vec<bool> = (0..ns).map(|j| j % 3 != 2).collect();
+    let survivors: Vec<usize> = (0..ns).filter(|&j| alive[j]).map(|j| sources[j]).collect();
+    assert!(!survivors.is_empty() && survivors.len() < ns);
+
+    let dist_full = p.sub_distances(&targets, &sources, true);
+    let masked = masked_inverse_distance_weights(&dist_full, targets.len(), ns, &alive);
+
+    let dist_surv = p.sub_distances(&targets, &survivors, true);
+    let fresh = inverse_distance_weights(&dist_surv, targets.len(), survivors.len());
+
+    for ti in 0..targets.len() {
+        let mut sj = 0usize;
+        for j in 0..ns {
+            let m = masked[ti * ns + j];
+            if alive[j] {
+                let f = fresh[ti * survivors.len() + sj];
+                assert_eq!(
+                    m.to_bits(),
+                    f.to_bits(),
+                    "weight for target {ti}, surviving source {j} diverged"
+                );
+                sj += 1;
+            } else {
+                assert_eq!(m.to_bits(), 0.0f32.to_bits(), "dead source {j} must get weight 0");
+            }
+        }
+    }
+}
+
+/// Churn-aware neighbour queries through the sparse rows (with fallback
+/// rescan) equal a brute-force re-ranking of the survivors by the same
+/// kernel, for every node and several churn patterns.
+#[test]
+fn surviving_links_match_fresh_ranking() {
+    let p = tiny_problem(33);
+    let cfg = tiny_cfg(33);
+    let ctx = DtwContext::with_options(
+        &p,
+        cfg.dtw_band,
+        cfg.dtw_downsample,
+        cfg.dtw_candidates,
+        cfg.q_kk.max(cfg.q_ku),
+    );
+    let n = ctx.n_observed();
+    for (pat, alive) in [
+        (0usize, (0..n).map(|j| j % 2 == 0).collect::<Vec<bool>>()),
+        (1, (0..n).map(|j| j % 4 != 3).collect()),
+        (2, vec![true; n]),
+    ] {
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            let count = cfg.q_kk;
+            let got = ctx.surviving_links(i, count, &alive);
+            // Brute force: every surviving candidate through the same
+            // kernel, sorted by (distance, index).
+            let mut all: Vec<(f32, u32)> = (0..n)
+                .filter(|&j| j != i && alive[j])
+                .map(|j| (ctx.distance(i, j), j as u32))
+                .collect();
+            all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let want: Vec<u32> = all.into_iter().take(count).map(|(_, j)| j).collect();
+            assert_eq!(got, want, "pattern {pat}, node {i}: survivor ranking diverged");
+        }
+    }
+}
+
+// -------------------------------------------------------------- fine-tune
+
+/// Resuming a checkpoint through `OnlineTrainer` and running one
+/// fine-tune epoch with a full replay horizon is bitwise the batch
+/// trainer's resumed epoch: same parameters, same loss.
+#[test]
+fn fine_tune_from_checkpoint_is_bitwise_batch_resume() {
+    let p = tiny_problem(34);
+    let cfg = tiny_cfg(34);
+    let dir = std::env::temp_dir().join("stsm_online_eq");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("warm.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Train 2 of 4 epochs, snapshotting the boundary.
+    let mut two = TrainOptions::checkpoint_to(&ckpt);
+    two.stop_after_epoch = Some(2);
+    train_stsm_with(&p, &cfg, &two).expect("partial run trains");
+
+    // Load the 2-epoch snapshot *before* the batch resume run below
+    // re-checkpoints over the same path.
+    let ck = TrainCheckpoint::load(&ckpt).expect("checkpoint loads");
+    assert_eq!(ck.epochs_done, 2);
+
+    // Batch resume: run exactly epoch 2.
+    let mut three = TrainOptions::resume_from(&ckpt);
+    three.stop_after_epoch = Some(3);
+    let (batch, batch_report) = train_stsm_with(&p, &cfg, &three).expect("resumes");
+    assert_eq!(batch_report.resilience.resumed_from_epoch, Some(2));
+    assert_eq!(batch_report.epoch_losses.len(), 3);
+
+    // Online resume: same checkpoint, full replay horizon, neutral lr scale.
+    let online_cfg = OnlineConfig { replay_windows: usize::MAX, lr_scale: 1.0, refresh_every: 1 };
+    let mut online =
+        OnlineTrainer::from_checkpoint(&p, &cfg, online_cfg, &ck).expect("online resume");
+    assert_eq!(online.epochs_done(), 2);
+    let loss = online.fine_tune_epoch(&p, p.train_time.end).expect("fine-tunes");
+    assert_eq!(online.epochs_done(), 3);
+
+    assert_eq!(
+        loss.to_bits(),
+        batch_report.epoch_losses[2].to_bits(),
+        "online epoch loss must equal the batch-resumed epoch loss"
+    );
+    let snapshot = online.trained().expect("snapshot");
+    assert!(
+        params_identical(&batch, &snapshot),
+        "one fine-tune epoch must land on the batch trajectory bit-for-bit"
+    );
+
+    // The exported checkpoint continues the same numbering.
+    let ck2 = online.checkpoint();
+    assert_eq!(ck2.epochs_done, 3);
+    assert_eq!(ck2.epoch_losses.last().map(|l| l.to_bits()), Some(loss.to_bits()));
+
+    // A mismatched config is rejected, not silently adapted.
+    let other = tiny_cfg(35);
+    assert!(OnlineTrainer::from_checkpoint(&p, &other, OnlineConfig::default(), &ck).is_err());
+}
+
+/// Bounded replay restricts the window pool: with a tiny horizon the
+/// fine-tune epoch still runs, stays finite and advances the epoch counter
+/// (graceful degradation, not equivalence).
+#[test]
+fn bounded_replay_fine_tune_stays_finite() {
+    let p = tiny_problem(36);
+    let cfg = tiny_cfg(36);
+    let (trained, _) = train_stsm_with(&p, &cfg, &TrainOptions::default()).expect("trains");
+    let online_cfg = OnlineConfig { replay_windows: 4, lr_scale: 0.5, refresh_every: 2 };
+    let mut online = OnlineTrainer::from_trained(&p, &trained, online_cfg).expect("wraps");
+    let before = online.epochs_done();
+    for k in 0..2 {
+        let loss = online.fine_tune_epoch(&p, p.train_time.end).expect("fine-tunes");
+        assert!(loss.is_finite(), "replay-bounded epoch {k} produced non-finite loss");
+    }
+    assert_eq!(online.epochs_done(), before + 2);
+    let snap = online.trained().expect("snapshot");
+    assert!(snap.store.iter().all(|(_, _, t)| t.data().iter().all(|v| v.is_finite())));
+}

@@ -6,23 +6,10 @@ use stsm_core::{
     evaluate_stsm, train_stsm, train_stsm_with, DistanceMode, Predictor, ProblemInstance,
     StsmConfig, StsmError, TrainCheckpoint, TrainOptions, TrainedStsm,
 };
-use stsm_synth::{space_split, DatasetConfig, FaultPlan, NetworkKind, SignalKind, SplitAxis};
+use stsm_synth::{space_split, FaultPlan, SplitAxis};
 
 fn tiny_dataset(seed: u64) -> stsm_synth::Dataset {
-    DatasetConfig {
-        name: "resil".into(),
-        network: NetworkKind::Highway,
-        sensors: 24,
-        extent: 10_000.0,
-        steps_per_day: 24,
-        interval_minutes: 60,
-        days: 8,
-        kind: SignalKind::TrafficSpeed,
-        latent_scale: 3_000.0,
-        poi_radius: 300.0,
-        seed,
-    }
-    .generate()
+    stsm_synth::test_support::tiny_dataset("resil", seed)
 }
 
 fn problem_from(dataset: stsm_synth::Dataset) -> ProblemInstance {

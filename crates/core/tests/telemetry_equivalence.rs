@@ -11,7 +11,7 @@ use std::sync::Mutex;
 use stsm_core::{
     evaluate_stsm, train_stsm, DistanceMode, ProblemInstance, StsmConfig, TrainedStsm,
 };
-use stsm_synth::{space_split, DatasetConfig, FaultPlan, NetworkKind, SignalKind, SplitAxis};
+use stsm_synth::{space_split, FaultPlan, SplitAxis};
 use stsm_tensor::telemetry;
 
 /// Serializes tests that toggle the process-wide telemetry gate.
@@ -22,20 +22,7 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 }
 
 fn tiny_dataset(seed: u64) -> stsm_synth::Dataset {
-    DatasetConfig {
-        name: "telem".into(),
-        network: NetworkKind::Highway,
-        sensors: 24,
-        extent: 10_000.0,
-        steps_per_day: 24,
-        interval_minutes: 60,
-        days: 8,
-        kind: SignalKind::TrafficSpeed,
-        latent_scale: 3_000.0,
-        poi_radius: 300.0,
-        seed,
-    }
-    .generate()
+    stsm_synth::test_support::tiny_dataset("telem", seed)
 }
 
 fn problem_from(dataset: stsm_synth::Dataset) -> ProblemInstance {

@@ -51,7 +51,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use stsm_core::{DataQuality, InferAssets, Predictor, ProblemInstance, SharedModel};
+use stsm_core::{DataQuality, InferAssets, OnlineTrainer, Predictor, ProblemInstance, SharedModel};
 use stsm_tensor::{telemetry, Tensor};
 
 /// What to forecast.
@@ -416,6 +416,18 @@ impl Server {
         self.inner.counters.bump(&self.inner.counters.swaps);
         telemetry::count("serve.swap", 1);
         Ok(generation)
+    }
+
+    /// Online-adaptation refresh hook: snapshots an [`OnlineTrainer`]'s
+    /// current weights and hot-swaps them in through the same
+    /// fingerprint-gated [`Server::swap_model`] path (the trainer shares
+    /// the serving config, so the cached [`InferAssets`] stay valid).
+    /// Returns the new swap generation.
+    pub fn swap_refreshed(&self, trainer: &OnlineTrainer) -> Result<u64, ServeError> {
+        let trained = trainer
+            .trained()
+            .map_err(|e| ServeError::BadRequest(format!("online snapshot failed: {e}")))?;
+        self.swap_model(SharedModel::F32(Arc::new(trained)))
     }
 
     /// Current always-on counters. Callable at any time; for the exact

@@ -10,25 +10,10 @@ use std::sync::Arc;
 use std::time::Duration;
 use stsm_core::{train_stsm, DistanceMode, ProblemInstance, StsmConfig};
 use stsm_serve::{ForecastRequest, ServeConfig, ServeError, Server, SharedModel};
-use stsm_synth::{
-    space_split, DatasetConfig, FaultPlan, FaultSchedule, NetworkKind, SignalKind, SplitAxis,
-};
+use stsm_synth::{space_split, FaultPlan, FaultSchedule, SplitAxis};
 
 fn tiny_dataset(seed: u64) -> stsm_synth::Dataset {
-    DatasetConfig {
-        name: "chaos".into(),
-        network: NetworkKind::Highway,
-        sensors: 24,
-        extent: 10_000.0,
-        steps_per_day: 24,
-        interval_minutes: 60,
-        days: 8,
-        kind: SignalKind::TrafficSpeed,
-        latent_scale: 3_000.0,
-        poi_radius: 300.0,
-        seed,
-    }
-    .generate()
+    stsm_synth::test_support::tiny_dataset("chaos", seed)
 }
 
 fn tiny_cfg(seed: u64) -> StsmConfig {

@@ -13,26 +13,16 @@
 //!   while everything already queued still completes.
 
 use std::sync::Arc;
-use stsm_core::{train_stsm, DistanceMode, Predictor, ProblemInstance, StsmConfig, TrainedStsm};
+use stsm_core::{
+    train_stsm, DistanceMode, OnlineConfig, OnlineTrainer, Predictor, ProblemInstance, StsmConfig,
+    TrainedStsm,
+};
 use stsm_serve::{ForecastRequest, ServeConfig, ServeError, Server, SharedModel};
-use stsm_synth::{space_split, DatasetConfig, NetworkKind, SignalKind, SplitAxis};
+use stsm_synth::{space_split, SplitAxis};
 use stsm_tensor::{telemetry, DType};
 
 fn tiny_dataset(seed: u64) -> stsm_synth::Dataset {
-    DatasetConfig {
-        name: "serve-eq".into(),
-        network: NetworkKind::Highway,
-        sensors: 24,
-        extent: 10_000.0,
-        steps_per_day: 24,
-        interval_minutes: 60,
-        days: 8,
-        kind: SignalKind::TrafficSpeed,
-        latent_scale: 3_000.0,
-        poi_radius: 300.0,
-        seed,
-    }
-    .generate()
+    stsm_synth::test_support::tiny_dataset("serve-eq", seed)
 }
 
 fn tiny_cfg(seed: u64) -> StsmConfig {
@@ -194,4 +184,47 @@ fn hot_swap_compatibility_both_directions_and_fingerprint_rejection() {
         .expect("f32 forecast");
     assert_eq!(bits(&after.prediction), bits(&ref_f32));
     server.shutdown();
+}
+
+#[test]
+fn online_refresh_hot_swaps_fine_tuned_weights() {
+    let (p, _cfg, trained) = setup(132);
+    let abs_start = p.test_time.start;
+    let server = Server::start(
+        Arc::clone(&p),
+        SharedModel::F32(Arc::clone(&trained)),
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    let before = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("pre-refresh forecast");
+    assert_eq!(before.generation, 0);
+
+    // Fine-tune online and push the refreshed weights through the same
+    // fingerprint-gated path as an operator-initiated swap.
+    let online_cfg = OnlineConfig { replay_windows: 16, lr_scale: 0.5, refresh_every: 1 };
+    let mut online = OnlineTrainer::from_trained(&p, &trained, online_cfg).expect("wraps");
+    online.fine_tune_epoch(&p, p.train_time.end).expect("fine-tunes");
+    let snapshot = online.trained().expect("snapshot");
+    assert_eq!(server.swap_refreshed(&online).expect("same fingerprint"), 1);
+
+    // The served forecast now matches the batch path over the refreshed
+    // snapshot, bit for bit — and differs from the pre-refresh forecast.
+    let (ref_new, _) = Predictor::new(&snapshot, &p).predict_window_checked(&p, abs_start);
+    let after = server
+        .submit(ForecastRequest::window(abs_start))
+        .expect("admitted")
+        .wait()
+        .expect("post-refresh forecast");
+    assert_eq!(after.generation, 1);
+    assert_eq!(bits(&after.prediction), bits(&ref_new), "served == batch path (refreshed)");
+    assert_ne!(
+        bits(&after.prediction),
+        bits(&before.prediction),
+        "fine-tuning must actually move the weights"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.swaps, 1);
 }

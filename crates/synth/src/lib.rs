@@ -25,8 +25,11 @@ mod field;
 mod io;
 mod network;
 mod poi;
+mod scenario;
 mod signal;
 mod splits;
+#[cfg(feature = "test-support")]
+pub mod test_support;
 
 pub use dataset::{presets, Dataset, DatasetConfig};
 pub use faults::{FaultLog, FaultPlan, FaultSchedule};
@@ -34,6 +37,7 @@ pub use field::{Archetype, LatentField, SmoothField, NUM_ARCHETYPES};
 pub use io::{dataset_from_json, dataset_to_json, export_values_csv};
 pub use network::{generate_network, NetworkKind, SensorNetwork};
 pub use poi::{generate_features, LocationFeatures, POI_CATEGORIES, POI_CATEGORY_NAMES};
+pub use scenario::{ChurnEvent, RegimeChange, ScenarioKind, ScenarioPlan};
 pub use signal::{simulate, SignalKind};
 pub use splits::{
     four_standard_splits, multi_region_split, ring_split, space_split, space_split_ratio,

@@ -1,0 +1,325 @@
+//! Seeded online scenarios: what a long-running deployment actually sees.
+//!
+//! A [`ScenarioPlan`] scripts one of three canonical disturbances over a
+//! streamed horizon — **region growth** (new sensors come online
+//! mid-stream), **sensor churn** (sensors leave, some return) and **regime
+//! shift** (the signal's level changes persistently) — and composes a
+//! [`FaultSchedule`] for background point corruption. Everything is a pure
+//! function of `(plan, sensor, step)`, so scenario runs are bit-reproducible
+//! across processes and ingestion orders; the `scenario_matrix` suite and
+//! `bench_online` rely on that.
+
+use crate::faults::{FaultPlan, FaultSchedule};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// The disturbance a [`ScenarioPlan`] scripts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// New sensors join mid-stream (dead before their join step).
+    RegionGrowth,
+    /// Existing sensors leave mid-stream; some come back after an outage.
+    SensorChurn,
+    /// A persistent level change hits every reading from the shift step on.
+    RegimeShift,
+}
+
+impl ScenarioKind {
+    /// All three kinds, in matrix order.
+    pub const ALL: [ScenarioKind; 3] =
+        [ScenarioKind::RegionGrowth, ScenarioKind::SensorChurn, ScenarioKind::RegimeShift];
+
+    /// Stable lower-case name (JSON keys, CLI args).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::RegionGrowth => "growth",
+            ScenarioKind::SensorChurn => "churn",
+            ScenarioKind::RegimeShift => "regime_shift",
+        }
+    }
+}
+
+/// One sensor's scripted availability change.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The sensor the event applies to.
+    pub sensor: usize,
+    /// Step the sensor comes online (0 = online from the start).
+    pub joins_at: usize,
+    /// Step the sensor goes dark again (`None` = stays online).
+    pub leaves_at: Option<usize>,
+    /// Step a left sensor returns (`None` = stays dark).
+    pub returns_at: Option<usize>,
+}
+
+/// A persistent level change: from `at` on, a clean reading `v` becomes
+/// `v * factor + offset`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegimeChange {
+    /// First step the new regime applies to.
+    pub at: usize,
+    /// Multiplicative level change.
+    pub factor: f32,
+    /// Additive level change.
+    pub offset: f32,
+}
+
+/// A seeded script of one online scenario over an `n`-sensor,
+/// `t_total`-step horizon, disturbing only steps inside `window`.
+///
+/// [`ScenarioPlan::reading`] answers "what does sensor `s` report at step
+/// `t` given clean value `v`?" — NaN while the sensor is offline, the
+/// regime-shifted value after a shift, and background corruption through
+/// the composed [`FaultSchedule`] — in O(log dropouts), random-access.
+#[derive(Clone, Debug)]
+pub struct ScenarioPlan {
+    kind: ScenarioKind,
+    seed: u64,
+    n: usize,
+    events: Vec<ChurnEvent>,
+    shift: Option<RegimeChange>,
+    faults: FaultSchedule,
+}
+
+impl ScenarioPlan {
+    /// Scripts scenario `kind` with `seed` over `n` sensors and `t_total`
+    /// steps, placing every disturbance inside `window` (typically the
+    /// streamed test period). Identical arguments → identical plan.
+    pub fn new(
+        kind: ScenarioKind,
+        seed: u64,
+        n: usize,
+        t_total: usize,
+        window: Range<usize>,
+    ) -> Self {
+        assert!(n > 0, "scenario needs at least one sensor");
+        let window = window.start.min(t_total)..window.end.min(t_total);
+        assert!(window.len() >= 4, "scenario window too short: {window:?}");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce2_a210);
+        let affected = (n / 6).max(1).min(n.saturating_sub(1).max(1));
+        let mut events = Vec::new();
+        let mut shift = None;
+        match kind {
+            ScenarioKind::RegionGrowth => {
+                // `affected` sensors are not installed yet; they join at a
+                // random step in the middle half of the window.
+                for _ in 0..affected {
+                    let sensor = rng.random_range(0..n);
+                    let lo = window.start + window.len() / 4;
+                    let hi = window.start + window.len() / 2;
+                    let joins_at = rng.random_range(lo..hi.max(lo + 1));
+                    events.push(ChurnEvent { sensor, joins_at, leaves_at: None, returns_at: None });
+                }
+            }
+            ScenarioKind::SensorChurn => {
+                // `affected` sensors go dark mid-window; every second one
+                // returns after an outage.
+                for k in 0..affected {
+                    let sensor = rng.random_range(0..n);
+                    let lo = window.start + window.len() / 4;
+                    let hi = window.start + window.len() / 2;
+                    let leaves_at = rng.random_range(lo..hi.max(lo + 1));
+                    let returns_at = (k % 2 == 0).then(|| {
+                        let outage = (window.len() / 4).max(2);
+                        (leaves_at + outage).min(window.end)
+                    });
+                    events.push(ChurnEvent {
+                        sensor,
+                        joins_at: 0,
+                        leaves_at: Some(leaves_at),
+                        returns_at,
+                    });
+                }
+            }
+            ScenarioKind::RegimeShift => {
+                let lo = window.start + window.len() / 3;
+                let hi = window.start + 2 * window.len() / 3;
+                let at = rng.random_range(lo..hi.max(lo + 1));
+                // A sizeable but physical level change (e.g. a new road
+                // opening): −25 % level plus a small offset drift.
+                shift =
+                    Some(RegimeChange { at, factor: 0.75, offset: rng.random_range(-1.0..1.0) });
+            }
+        }
+        // De-duplicate sensors (first draw wins) and sort for determinism.
+        events.sort_by_key(|e| e.sensor);
+        events.dedup_by_key(|e| e.sensor);
+        // Background corruption: sparse point NaNs through the same
+        // streaming fault machinery the chaos suites use.
+        let plan = FaultPlan {
+            seed: seed ^ 0x0b5e_55ed,
+            nan_rate: 0.002,
+            time_range: Some(window.clone()),
+            ..FaultPlan::default()
+        };
+        let faults = FaultSchedule::new(&plan, n, t_total);
+        ScenarioPlan { kind, seed, n, events, shift, faults }
+    }
+
+    /// The scenario kind this plan scripts.
+    pub fn kind(&self) -> ScenarioKind {
+        self.kind
+    }
+
+    /// The seed the script was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scripted availability events (empty for regime shift).
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// The scripted level change (`None` unless regime shift).
+    pub fn shift(&self) -> Option<RegimeChange> {
+        self.shift
+    }
+
+    /// True when sensor `s` is online at step `t`.
+    pub fn alive(&self, s: usize, t: usize) -> bool {
+        for e in &self.events {
+            if e.sensor != s {
+                continue;
+            }
+            if t < e.joins_at {
+                return false;
+            }
+            if let Some(leave) = e.leaves_at {
+                if t >= leave {
+                    return match e.returns_at {
+                        Some(ret) => t >= ret,
+                        None => false,
+                    };
+                }
+            }
+            return true;
+        }
+        true
+    }
+
+    /// Per-sensor availability at step `t` (index = sensor).
+    pub fn alive_mask(&self, t: usize) -> Vec<bool> {
+        (0..self.n).map(|s| self.alive(s, t)).collect()
+    }
+
+    /// The reading sensor `s` reports at step `t` given clean value `v`:
+    /// NaN while offline, regime-shifted from the shift step on, then
+    /// background-corrupted by the composed [`FaultSchedule`]. Pure in
+    /// `(s, t, v)`.
+    pub fn reading(&self, s: usize, t: usize, v: f32) -> f32 {
+        if !self.alive(s, t) {
+            return f32::NAN;
+        }
+        let v = match self.shift {
+            Some(sh) if t >= sh.at => v * sh.factor + sh.offset,
+            _ => v,
+        };
+        self.faults.corrupt(s, t, v)
+    }
+
+    /// Steps at which availability or regime changes (sorted, deduped) —
+    /// the disturbance onsets recovery assertions key on.
+    pub fn change_points(&self) -> Vec<usize> {
+        let mut pts = Vec::new();
+        for e in &self.events {
+            if e.joins_at > 0 {
+                pts.push(e.joins_at);
+            }
+            pts.extend(e.leaves_at);
+            pts.extend(e.returns_at);
+        }
+        pts.extend(self.shift.map(|s| s.at));
+        pts.sort_unstable();
+        pts.dedup();
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        for kind in ScenarioKind::ALL {
+            let a = ScenarioPlan::new(kind, 42, 20, 100, 50..100);
+            let b = ScenarioPlan::new(kind, 42, 20, 100, 50..100);
+            assert_eq!(a.events(), b.events());
+            assert_eq!(a.shift(), b.shift());
+            for s in 0..20 {
+                for t in 0..100 {
+                    assert_eq!(
+                        a.reading(s, t, 1.5).to_bits(),
+                        b.reading(s, t, 1.5).to_bits(),
+                        "reading must be pure in (plan, s, t, v)"
+                    );
+                }
+            }
+            let c = ScenarioPlan::new(kind, 43, 20, 100, 50..100);
+            let differs = (0..20).any(|s| {
+                (0..100).any(|t| a.reading(s, t, 1.5).to_bits() != c.reading(s, t, 1.5).to_bits())
+            }) || a.events() != c.events()
+                || a.shift() != c.shift();
+            assert!(differs, "{kind:?}: different seeds must differ somewhere");
+        }
+    }
+
+    #[test]
+    fn growth_sensors_start_dead_and_join() {
+        let p = ScenarioPlan::new(ScenarioKind::RegionGrowth, 7, 24, 120, 60..120);
+        assert!(!p.events().is_empty());
+        for e in p.events() {
+            assert!(e.joins_at >= 60 && e.joins_at < 120);
+            assert!(!p.alive(e.sensor, e.joins_at - 1), "dead right before joining");
+            assert!(p.alive(e.sensor, e.joins_at), "alive from the join step");
+            assert!(p.reading(e.sensor, 0, 3.0).is_nan(), "offline sensors report NaN");
+        }
+    }
+
+    #[test]
+    fn churn_sensors_leave_and_some_return() {
+        let p = ScenarioPlan::new(ScenarioKind::SensorChurn, 7, 24, 120, 60..120);
+        assert!(!p.events().is_empty());
+        let mut returned = 0;
+        for e in p.events() {
+            let leave = e.leaves_at.expect("churn events script a departure");
+            assert!(p.alive(e.sensor, leave - 1) && !p.alive(e.sensor, leave));
+            if let Some(ret) = e.returns_at {
+                assert!(ret > leave);
+                if ret < 120 {
+                    assert!(p.alive(e.sensor, ret), "returned sensor is alive again");
+                    returned += 1;
+                }
+            }
+        }
+        let _ = returned; // at least the structure held; returns may clamp away
+    }
+
+    #[test]
+    fn regime_shift_changes_level_after_onset() {
+        let p = ScenarioPlan::new(ScenarioKind::RegimeShift, 9, 16, 120, 60..120);
+        let sh = p.shift().expect("regime scenario scripts a shift");
+        assert!((60..120).contains(&sh.at));
+        assert!(p.events().is_empty());
+        // Find a clean cell before and after the shift to compare levels.
+        let v = 10.0f32;
+        let before = p.reading(3, sh.at - 1, v);
+        let after = p.reading(3, sh.at, v);
+        if before.is_finite() && after.is_finite() {
+            assert_eq!(before.to_bits(), v.to_bits(), "pre-shift readings pass through");
+            assert_eq!(after.to_bits(), (v * sh.factor + sh.offset).to_bits());
+        }
+    }
+
+    #[test]
+    fn change_points_cover_all_events() {
+        for kind in ScenarioKind::ALL {
+            let p = ScenarioPlan::new(kind, 5, 24, 120, 60..120);
+            let pts = p.change_points();
+            assert!(!pts.is_empty(), "{kind:?}: every scenario has at least one onset");
+            assert!(pts.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+}

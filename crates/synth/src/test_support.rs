@@ -1,0 +1,39 @@
+//! Shared seeded-run scaffolding for the workspace's integration suites
+//! (feature `test-support`).
+//!
+//! The chaos, resilience, baseline and online suites all train on the same
+//! tiny-but-structured synthetic deployment: 24 highway sensors, 8 days of
+//! hourly traffic speed over a 10 km extent. This module is the single
+//! definition of that dataset so a change to the canonical fixture shows up
+//! in every suite at once instead of drifting across copies.
+
+use crate::dataset::{Dataset, DatasetConfig};
+use crate::network::NetworkKind;
+use crate::signal::SignalKind;
+
+/// Canonical integration-test deployment: 24 highway sensors, 8 days of
+/// hourly [`SignalKind::TrafficSpeed`]. Identical `(name, seed)` →
+/// bitwise-identical dataset.
+pub fn tiny_dataset(name: &str, seed: u64) -> Dataset {
+    tiny_dataset_sized(name, seed, 24, 8)
+}
+
+/// [`tiny_dataset`] with explicit sensor count and day span, for suites
+/// that need a larger population (scenario matrices, scale benches) while
+/// keeping every other knob on the canonical fixture.
+pub fn tiny_dataset_sized(name: &str, seed: u64, sensors: usize, days: usize) -> Dataset {
+    DatasetConfig {
+        name: name.into(),
+        network: NetworkKind::Highway,
+        sensors,
+        extent: 10_000.0,
+        steps_per_day: 24,
+        interval_minutes: 60,
+        days,
+        kind: SignalKind::TrafficSpeed,
+        latent_scale: 3_000.0,
+        poi_radius: 300.0,
+        seed,
+    }
+    .generate()
+}

@@ -67,12 +67,31 @@ pub fn dtw_envelope(series: &[f32], band: usize) -> DtwEnvelope {
     let r = band.min(t);
     let mut lower = vec![0.0f32; t];
     let mut upper = vec![0.0f32; t];
+    fill_envelope_range(series, r, 0, t, &mut lower, &mut upper);
+    DtwEnvelope { lower, upper, first: series[0], last: series[t - 1] }
+}
+
+/// Fills `lower[i]`/`upper[i]` for `i ∈ [lo, hi)` with the min/max of
+/// `series` over the window `[i−r, i+r]` (clamped). The deque state at any
+/// position is a pure function of the window contents — elements left of
+/// the window are popped from the front, elements dominated inside it from
+/// the back — so a range fill produces bitwise the same values a full scan
+/// would.
+fn fill_envelope_range(
+    series: &[f32],
+    r: usize,
+    lo: usize,
+    hi: usize,
+    lower: &mut [f32],
+    upper: &mut [f32],
+) {
+    let t = series.len();
     // Monotonic deques of indices; front = current window extremum. Window
     // for position i is [i-r, i+r] clamped to the series.
     let mut max_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut min_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-    let mut pushed = 0usize;
-    for i in 0..t {
+    let mut pushed = lo.saturating_sub(r);
+    for i in lo..hi {
         let end = (i + r).min(t - 1);
         while pushed <= end {
             while max_dq.back().is_some_and(|&b| series[b] <= series[pushed]) {
@@ -95,7 +114,31 @@ pub fn dtw_envelope(series: &[f32], band: usize) -> DtwEnvelope {
         upper[i] = series[*max_dq.front().expect("non-empty window")];
         lower[i] = series[*min_dq.front().expect("non-empty window")];
     }
-    DtwEnvelope { lower, upper, first: series[0], last: series[t - 1] }
+}
+
+/// Extends `env` — built by [`dtw_envelope`] from a prefix of `series` with
+/// the same `band` — to cover the full `series`, recomputing only the
+/// suffix whose windows reach the appended samples. Bitwise identical to a
+/// full rebuild: entries below `old_len − band` have windows wholly inside
+/// the old prefix and are untouched, and the recomputed tail runs the same
+/// monotonic-deque pass over the same windows.
+pub fn dtw_envelope_extend(env: &mut DtwEnvelope, series: &[f32], band: usize) {
+    let t = series.len();
+    let old = env.len();
+    assert!(t >= old, "series cannot shrink under extend");
+    if t == old {
+        return;
+    }
+    // A clamped radius (band ≥ old length) widens with the series; rebuild.
+    if old == 0 || band >= old {
+        *env = dtw_envelope(series, band);
+        return;
+    }
+    env.lower.resize(t, 0.0);
+    env.upper.resize(t, 0.0);
+    fill_envelope_range(series, band, old - band, t, &mut env.lower, &mut env.upper);
+    env.first = series[0];
+    env.last = series[t - 1];
 }
 
 /// Builds envelopes for every series in parallel on the shared pool.
@@ -165,7 +208,7 @@ pub fn lb_keogh(query: &[f32], env: &DtwEnvelope) -> f32 {
 /// kernel accumulate in different orders, so a bound a few ulps above the
 /// true distance must never prune a candidate that ties the threshold.
 #[inline]
-fn threshold_cut(tau: f32) -> f32 {
+pub(crate) fn threshold_cut(tau: f32) -> f32 {
     tau * (1.0 + 1e-5) + 1e-6
 }
 
@@ -243,7 +286,7 @@ impl SparseNeighbors {
         self.neighbors(i).iter().copied().zip(self.distances(i).iter().copied())
     }
 
-    fn from_rows(q: usize, rows: Vec<Vec<(u32, f32)>>) -> SparseNeighbors {
+    pub(crate) fn from_rows(q: usize, rows: Vec<Vec<(u32, f32)>>) -> SparseNeighbors {
         let mut offsets = Vec::with_capacity(rows.len() + 1);
         offsets.push(0usize);
         let total: usize = rows.iter().map(Vec::len).sum();
@@ -300,7 +343,7 @@ impl PruneStats {
 
 /// Bounded best-q set ordered by `(distance, index)`; the max-heap root is
 /// the current worst kept entry, i.e. the pruning threshold.
-struct BestQ {
+pub(crate) struct BestQ {
     q: usize,
     // (distance bits don't order correctly; keep f32 and compare lexically)
     heap: std::collections::BinaryHeap<HeapEntry>,
@@ -329,13 +372,13 @@ impl Ord for HeapEntry {
 }
 
 impl BestQ {
-    fn new(q: usize) -> BestQ {
+    pub(crate) fn new(q: usize) -> BestQ {
         BestQ { q, heap: std::collections::BinaryHeap::with_capacity(q + 1) }
     }
 
     /// Current threshold: no candidate whose distance provably exceeds this
     /// can enter the set. `None` until `q` entries are held.
-    fn threshold(&self) -> Option<f32> {
+    pub(crate) fn threshold(&self) -> Option<f32> {
         if self.heap.len() < self.q {
             None
         } else {
@@ -343,7 +386,7 @@ impl BestQ {
         }
     }
 
-    fn offer(&mut self, idx: u32, d: f32) {
+    pub(crate) fn offer(&mut self, idx: u32, d: f32) {
         if self.heap.len() < self.q {
             self.heap.push(HeapEntry { d, idx });
         } else if let Some(worst) = self.heap.peek() {
@@ -354,7 +397,7 @@ impl BestQ {
         }
     }
 
-    fn into_sorted(self) -> Vec<(u32, f32)> {
+    pub(crate) fn into_sorted(self) -> Vec<(u32, f32)> {
         let mut v: Vec<HeapEntry> = self.heap.into_vec();
         v.sort();
         v.into_iter().map(|e| (e.idx, e.d)).collect()

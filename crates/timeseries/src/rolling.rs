@@ -1,0 +1,808 @@
+//! Rolling (online) DTW: warm-started banded frontiers and incremental
+//! top-q neighbour maintenance for streams where series grow a window at a
+//! time and sensors join or leave.
+//!
+//! Two pieces, both **exact** — every result is bitwise identical to the
+//! batch computation it replaces:
+//!
+//! * [`DtwFrontier`] stores the last row and last column of the banded DP
+//!   table of [`crate::dtw_banded`]. When either series grows, only the
+//!   L-shaped region of new cells is computed: old rows are extended into
+//!   the new columns from the stored last column, then the new rows run
+//!   from the extended previous row. Each DP cell uses the recurrence
+//!   `cost + prev[j].min(curr[j-1]).min(prev[j-1])` — character-identical
+//!   to the batch kernel — and every cell is computed exactly once either
+//!   way, so the appended distance is bitwise equal to a from-scratch
+//!   [`crate::dtw_banded`] call. The warm path requires the effective band
+//!   (`band.max(|n−m|)`) to be unchanged; otherwise the frontier silently
+//!   recomputes in full.
+//!
+//! * [`RollingNeighbors`] maintains each alive node's exact top-q DTW
+//!   neighbour row under appends, inserts and removes. A refresh seeds the
+//!   best-q set by *appending* the previous row's frontiers — O(Δ·band)
+//!   each — so the pruning threshold is tight before any other candidate
+//!   is scanned, then runs an extended admissible cascade over the
+//!   remaining alive candidates: first the *stale-frontier bound* (the max
+//!   of append-invariant DP row minimums captured the last time the full
+//!   kernel ran on the pair — a single float compare that keeps pruning
+//!   across refreshes, because DP rows `r` with `r + band <= m` never
+//!   change when either series grows), then PR 7's LB_Kim, LB_Keogh and
+//!   early-abandoning kernel. The Keogh bound is served from a
+//!   per-ordered-pair *cached stable prefix*: envelope entries below
+//!   `len − band` can never change under appends, so the prefix of the
+//!   Keogh sum over them is computed once per growth and re-used with a
+//!   single float compare. Final rows are uniquely determined by the
+//!   `(distance, index)` total order over kernel-computed distances, so
+//!   any admissible pruning schedule — including this one — selects rows
+//!   bitwise equal to [`crate::dtw_top_q`] over the alive set.
+
+use crate::prune::{
+    dtw_envelope, dtw_envelope_extend, lb_kim, threshold_cut, BestQ, DtwEnvelope, PruneStats,
+    SparseNeighbors,
+};
+use stsm_tensor::telemetry;
+
+/// How far past the abandon threshold an abandoned kernel run keeps
+/// extending the DP to strengthen the banked stale-frontier bound (see
+/// [`DtwFrontier::new_abandon_with_lb`]). Purely a work/validity trade-off;
+/// any value yields bitwise-identical neighbour rows.
+const LB_LOOKAHEAD: f32 = 4.0;
+
+/// Warm-startable banded DTW state between one ordered pair of series:
+/// the distance plus the DP-table frontier (last row and last column)
+/// needed to extend the computation when either series grows.
+#[derive(Clone, Debug)]
+pub struct DtwFrontier {
+    band: usize,
+    n: usize,
+    m: usize,
+    /// `D[n][0..=m]` — the final DP row (out-of-band cells hold `inf`).
+    last_row: Vec<f32>,
+    /// `D[0..=n][m]` — the final DP column.
+    last_col: Vec<f32>,
+    dist: f32,
+}
+
+impl DtwFrontier {
+    /// Computes the banded DTW of `a` vs `b`, capturing the frontier. The
+    /// distance is bitwise equal to `dtw_banded(a, b, band)`.
+    pub fn new(a: &[f32], b: &[f32], band: usize) -> DtwFrontier {
+        Self::new_abandon(a, b, band, f32::INFINITY).expect("cut = inf never abandons")
+    }
+
+    /// [`DtwFrontier::new`] with the early-abandoning row-minimum check of
+    /// the pruning cascade: returns `None` as soon as a DP row's minimum
+    /// exceeds `cut`. A `Some` result is bitwise equal to the unabandoned
+    /// computation.
+    pub fn new_abandon(a: &[f32], b: &[f32], band: usize, cut: f32) -> Option<DtwFrontier> {
+        Self::new_abandon_with_lb(a, b, band, cut).0
+    }
+
+    /// [`DtwFrontier::new_abandon`] that additionally returns a *stable
+    /// lower bound*: the maximum row-minimum over DP rows `r` with
+    /// `r + band <= m`, or `0.0` when no such row was computed (degenerate
+    /// lengths, or the effective band already exceeds `band`).
+    ///
+    /// Any warping path visits every row, and a row `r` with
+    /// `r + band <= m` has its banded window `[r − band, r + band]` fully
+    /// inside the current columns — so its cells are pure functions of the
+    /// prefixes `a[..r+band]`, `b[..r+band]` and never change when either
+    /// series grows (as long as the effective band stays `band`). The
+    /// returned value is therefore an admissible lower bound on the banded
+    /// DTW of *every future grown version* of this pair with
+    /// `|n' − m'| <= band`. Abandoned runs still return the bound
+    /// accumulated so far (including the abandoning row when stable).
+    fn new_abandon_with_lb(
+        a: &[f32],
+        b: &[f32],
+        band: usize,
+        cut: f32,
+    ) -> (Option<DtwFrontier>, f32) {
+        let (n, m) = (a.len(), b.len());
+        if n == 0 || m == 0 {
+            let inf = f32::INFINITY;
+            let mut last_row = vec![inf; m + 1];
+            let mut last_col = vec![inf; n + 1];
+            if n == 0 {
+                last_row[0] = 0.0;
+            }
+            if m == 0 {
+                last_col[0] = 0.0;
+            }
+            let dist = if n == m { 0.0 } else { inf };
+            return (Some(DtwFrontier { band, n, m, last_row, last_col, dist }), 0.0);
+        }
+        let band_eff = band.max(n.abs_diff(m));
+        // Rows are only append-stable when the band was not widened by a
+        // length difference; a widened band would shift every window.
+        let band_ok = band_eff == band;
+        let mut stable_lb = 0.0f32;
+        let inf = f32::INFINITY;
+        let mut prev = vec![inf; m + 1];
+        let mut curr = vec![inf; m + 1];
+        prev[0] = 0.0;
+        let mut last_col = Vec::with_capacity(n + 1);
+        last_col.push(inf); // D[0][m], m >= 1
+        for i in 1..=n {
+            curr.fill(inf);
+            let lo = i.saturating_sub(band_eff).max(1);
+            let hi = i.saturating_add(band_eff).min(m);
+            let mut row_min = inf;
+            for j in lo..=hi {
+                let cost = (a[i - 1] - b[j - 1]).abs();
+                let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+                curr[j] = cost + best;
+                row_min = row_min.min(curr[j]);
+            }
+            if band_ok && i.saturating_add(band) <= m {
+                stable_lb = stable_lb.max(row_min);
+            }
+            if row_min > cut {
+                // The result is decided (abandoned), but a bound barely
+                // above `cut` goes stale as soon as the threshold grows.
+                // Bank a stronger one by extending the DP until the row
+                // minimum clears a lookahead multiple of the cut: row
+                // minimums grow with the row index, so this costs a bounded
+                // factor over the plain abandon and keeps the pair pruned
+                // for many future refreshes.
+                if band_ok {
+                    let target = cut * LB_LOOKAHEAD;
+                    let mut lb_row_min = row_min;
+                    let mut i = i;
+                    while lb_row_min <= target && i < n {
+                        i += 1;
+                        std::mem::swap(&mut prev, &mut curr);
+                        curr.fill(inf);
+                        let lo = i.saturating_sub(band_eff).max(1);
+                        let hi = i.saturating_add(band_eff).min(m);
+                        lb_row_min = inf;
+                        for j in lo..=hi {
+                            let cost = (a[i - 1] - b[j - 1]).abs();
+                            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+                            curr[j] = cost + best;
+                            lb_row_min = lb_row_min.min(curr[j]);
+                        }
+                        if i.saturating_add(band) <= m {
+                            stable_lb = stable_lb.max(lb_row_min);
+                        }
+                    }
+                }
+                return (None, stable_lb);
+            }
+            last_col.push(curr[m]);
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        let dist = prev[m];
+        (Some(DtwFrontier { band, n, m, last_row: prev, last_col, dist }), stable_lb)
+    }
+
+    /// The DTW distance at the current lengths.
+    pub fn dist(&self) -> f32 {
+        self.dist
+    }
+
+    /// Series lengths `(n, m)` the frontier currently covers.
+    pub fn lens(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
+    /// Extends the frontier to the grown series `a` (length ≥ stored `n`)
+    /// and `b` (length ≥ stored `m`), whose stored-length prefixes must be
+    /// unchanged, and returns the new distance — bitwise equal to
+    /// `dtw_banded(a, b, band)`. Only the new DP cells are computed when
+    /// the effective band is unchanged; degenerate or band-shifting
+    /// transitions fall back to a full recompute.
+    pub fn append(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        let (n1, m1) = (a.len(), b.len());
+        assert!(n1 >= self.n && m1 >= self.m, "append cannot shrink a series");
+        if n1 == self.n && m1 == self.m {
+            return self.dist;
+        }
+        // The warm path is valid only when every old cell was computed
+        // under the same effective band as the grown problem requires.
+        if self.n == 0
+            || self.m == 0
+            || self.n.abs_diff(self.m) > self.band
+            || n1.abs_diff(m1) > self.band
+        {
+            *self = DtwFrontier::new(a, b, self.band);
+            return self.dist;
+        }
+        let (n0, m0) = (self.n, self.m);
+        let inf = f32::INFINITY;
+
+        // Phase 1: extend old rows 1..=n0 into the new columns m0+1..=m1.
+        // `ext_*` rows cover columns m0..=m1 (index j − m0); column m0 is
+        // read from the stored last column.
+        let width = m1 - m0 + 1;
+        let mut ext_prev = vec![inf; width];
+        ext_prev[0] = self.last_col[0];
+        let mut ext_curr = vec![inf; width];
+        let mut new_last_col = Vec::with_capacity(n1 + 1);
+        new_last_col.push(self.last_col[0]); // D[0][m0] = D[0][m1] = inf for m ≥ 1
+        for i in 1..=n0 {
+            ext_curr.fill(inf);
+            ext_curr[0] = self.last_col[i];
+            let lo = i.saturating_sub(self.band).max(m0 + 1);
+            let hi = i.saturating_add(self.band).min(m1);
+            for j in lo..=hi {
+                let cost = (a[i - 1] - b[j - 1]).abs();
+                let best = ext_prev[j - m0].min(ext_curr[j - 1 - m0]).min(ext_prev[j - 1 - m0]);
+                ext_curr[j - m0] = cost + best;
+            }
+            new_last_col.push(ext_curr[width - 1]);
+            std::mem::swap(&mut ext_prev, &mut ext_curr);
+        }
+
+        // Phase 2: new rows n0+1..=n1 over the full banded column range,
+        // starting from row n0 stitched together out of the stored last
+        // row and its phase-1 extension.
+        let mut prev_full = Vec::with_capacity(m1 + 1);
+        prev_full.extend_from_slice(&self.last_row);
+        prev_full.extend_from_slice(&ext_prev[1..]);
+        let mut curr_full = vec![inf; m1 + 1];
+        for i in (n0 + 1)..=n1 {
+            curr_full.fill(inf);
+            let lo = i.saturating_sub(self.band).max(1);
+            let hi = i.saturating_add(self.band).min(m1);
+            for j in lo..=hi {
+                let cost = (a[i - 1] - b[j - 1]).abs();
+                let best = prev_full[j].min(curr_full[j - 1]).min(prev_full[j - 1]);
+                curr_full[j] = cost + best;
+            }
+            new_last_col.push(curr_full[m1]);
+            std::mem::swap(&mut prev_full, &mut curr_full);
+        }
+
+        self.dist = prev_full[m1];
+        self.last_row = prev_full;
+        self.last_col = new_last_col;
+        self.n = n1;
+        self.m = m1;
+        self.dist
+    }
+}
+
+/// Cached admissible bounds for one ordered pair, both monotone under
+/// appends:
+///
+/// * `sum`/`upto` — the stable prefix of the LB_Keogh sum: envelope
+///   deviations over entries `[0, upto)`, where `upto` never passes the
+///   point at which envelope entries could still change.
+/// * `dtw` — the stable-row lower bound captured the last time the full
+///   kernel ran on this pair (see [`DtwFrontier::new_abandon_with_lb`]):
+///   a max of append-invariant DP row minimums, so it lower-bounds every
+///   future grown version of the pair for one float compare.
+#[derive(Clone, Copy, Debug, Default)]
+struct CachedLb {
+    sum: f32,
+    upto: u32,
+    dtw: f32,
+}
+
+struct Slot {
+    alive: bool,
+    series: Vec<f32>,
+    env: DtwEnvelope,
+    row: Vec<RowEntry>,
+    /// `lb[j]` caches the Keogh stable prefix of this slot's series against
+    /// slot `j`'s envelope; grown lazily, default `{0, 0}` is admissible.
+    lb: Vec<CachedLb>,
+}
+
+struct RowEntry {
+    j: u32,
+    d: f32,
+    frontier: DtwFrontier,
+}
+
+/// Incrementally maintained exact top-q DTW neighbour rows over a mutable
+/// population of growing series.
+///
+/// Slots are identified by stable ids: [`RollingNeighbors::insert`] returns
+/// a fresh id, [`RollingNeighbors::remove`] retires one forever (ids are
+/// never reused). Mutations ([`RollingNeighbors::append`], insert, remove)
+/// take effect on the neighbour rows at the next
+/// [`RollingNeighbors::refresh`], which re-ranks every alive node exactly:
+/// the resulting rows are bitwise identical to [`crate::dtw_top_q`] run
+/// from scratch over the alive series (see [`RollingNeighbors::to_sparse`]).
+pub struct RollingNeighbors {
+    band: usize,
+    q: usize,
+    slots: Vec<Slot>,
+    n_alive: usize,
+    stats: PruneStats,
+    /// Candidates discarded by the cached stale-frontier DTW bound — the
+    /// rolling-only stage 0 of the cascade, counted separately from
+    /// [`PruneStats`] so batch/rolling cascade numbers stay comparable.
+    stale_lb_pruned: u64,
+    refreshes: u64,
+}
+
+impl RollingNeighbors {
+    /// Empty structure with the given Sakoe–Chiba half-width and top-q.
+    pub fn new(band: usize, q: usize) -> RollingNeighbors {
+        assert!(q >= 1, "top-q requires q >= 1");
+        RollingNeighbors {
+            band,
+            q,
+            slots: Vec::new(),
+            n_alive: 0,
+            stats: PruneStats::default(),
+            stale_lb_pruned: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Bulk constructor: inserts every series and runs one refresh.
+    pub fn from_series(series: &[Vec<f32>], band: usize, q: usize) -> RollingNeighbors {
+        let mut rn = RollingNeighbors::new(band, q);
+        for s in series {
+            rn.insert(s.clone());
+        }
+        rn.refresh();
+        rn
+    }
+
+    /// Adds a new series; returns its stable slot id. Rows pick it up at
+    /// the next [`RollingNeighbors::refresh`].
+    pub fn insert(&mut self, series: Vec<f32>) -> usize {
+        let env = dtw_envelope(&series, self.band);
+        self.slots.push(Slot { alive: true, series, env, row: Vec::new(), lb: Vec::new() });
+        self.n_alive += 1;
+        self.slots.len() - 1
+    }
+
+    /// Retires a slot. Its id is never reused; other rows drop it at the
+    /// next [`RollingNeighbors::refresh`].
+    pub fn remove(&mut self, id: usize) {
+        let s = &mut self.slots[id];
+        assert!(s.alive, "slot {id} already removed");
+        s.alive = false;
+        s.series = Vec::new();
+        s.env = dtw_envelope(&[], self.band);
+        s.row = Vec::new();
+        s.lb = Vec::new();
+        self.n_alive -= 1;
+    }
+
+    /// Appends samples to an alive slot's series, extending its envelope
+    /// incrementally (bitwise equal to a rebuild).
+    pub fn append(&mut self, id: usize, suffix: &[f32]) {
+        let band = self.band;
+        let s = &mut self.slots[id];
+        assert!(s.alive, "cannot append to removed slot {id}");
+        s.series.extend_from_slice(suffix);
+        dtw_envelope_extend(&mut s.env, &s.series, band);
+    }
+
+    /// Number of alive slots.
+    pub fn len_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// True when no slot is alive.
+    pub fn is_empty(&self) -> bool {
+        self.n_alive == 0
+    }
+
+    /// True when `id` refers to an alive slot.
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.slots.get(id).is_some_and(|s| s.alive)
+    }
+
+    /// Alive slot ids, ascending.
+    pub fn alive_ids(&self) -> Vec<u32> {
+        self.slots.iter().enumerate().filter(|(_, s)| s.alive).map(|(i, _)| i as u32).collect()
+    }
+
+    /// Current series of a slot (empty once removed).
+    pub fn series(&self, id: usize) -> &[f32] {
+        &self.slots[id].series
+    }
+
+    /// Neighbour row of a slot as of the last refresh: `(slot id,
+    /// distance)` ascending by `(distance, id)`.
+    pub fn row(&self, id: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.slots[id].row.iter().map(|e| (e.j, e.d))
+    }
+
+    /// Cumulative cascade counters across all refreshes.
+    pub fn stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    /// Candidates discarded by the stale-frontier bound across all
+    /// refreshes (stage 0 of the rolling cascade; not part of
+    /// [`RollingNeighbors::stats`]).
+    pub fn stale_lb_pruned(&self) -> u64 {
+        self.stale_lb_pruned
+    }
+
+    /// Re-ranks every alive node against the current alive population.
+    /// Serial and deterministic; after it returns, every row is bitwise
+    /// identical to what [`crate::dtw_top_q`] would produce from scratch
+    /// on the alive series.
+    pub fn refresh(&mut self) {
+        let _span = telemetry::span("rolling.refresh");
+        let before = self.stats;
+        let before_stale = self.stale_lb_pruned;
+        let alive = self.alive_ids();
+        for &i in &alive {
+            self.refresh_row(i as usize, &alive);
+        }
+        self.refreshes += 1;
+        telemetry::count("rolling.refresh", 1);
+        telemetry::count("rolling.lb_kim_pruned", self.stats.lb_kim_pruned - before.lb_kim_pruned);
+        telemetry::count(
+            "rolling.lb_keogh_pruned",
+            self.stats.lb_keogh_pruned - before.lb_keogh_pruned,
+        );
+        telemetry::count("rolling.full_dtw", self.stats.full_dtw - before.full_dtw);
+        telemetry::count("rolling.stale_lb_pruned", self.stale_lb_pruned - before_stale);
+    }
+
+    /// Compacts the alive population: returns the ascending alive slot ids
+    /// and the neighbour structure re-indexed onto `0..n_alive` — directly
+    /// comparable (bitwise) with `dtw_top_q(alive_series, band, q)`.
+    pub fn to_sparse(&self) -> (Vec<u32>, SparseNeighbors) {
+        let alive = self.alive_ids();
+        let mut compact = vec![u32::MAX; self.slots.len()];
+        for (k, &id) in alive.iter().enumerate() {
+            compact[id as usize] = k as u32;
+        }
+        let rows: Vec<Vec<(u32, f32)>> = alive
+            .iter()
+            .map(|&id| {
+                self.slots[id as usize].row.iter().map(|e| (compact[e.j as usize], e.d)).collect()
+            })
+            .collect();
+        (alive, SparseNeighbors::from_rows(self.q, rows))
+    }
+
+    fn refresh_row(&mut self, i: usize, alive: &[u32]) {
+        let cand_count = alive.len() - 1;
+        let mut best = BestQ::new(self.q.min(cand_count.max(1)));
+        let old_row = std::mem::take(&mut self.slots[i].row);
+        let mut fronts: Vec<RowEntry> = Vec::with_capacity(old_row.len() + 8);
+        let mut seeded: Vec<u32> = Vec::with_capacity(old_row.len());
+        // Warm seed: the previous row members are strong candidates; an
+        // O(Δ·band) frontier append per member fills the best-q set with
+        // exact distances before any scan, so the pruning threshold is
+        // tight from the first unseen candidate.
+        for mut e in old_row {
+            if !self.slots[e.j as usize].alive {
+                continue;
+            }
+            let d = e.frontier.append(&self.slots[i].series, &self.slots[e.j as usize].series);
+            e.d = d;
+            best.offer(e.j, d);
+            seeded.push(e.j);
+            fronts.push(e);
+        }
+        seeded.sort_unstable();
+        for &j in alive {
+            let ju = j as usize;
+            if ju == i || seeded.binary_search(&j).is_ok() {
+                continue;
+            }
+            let Some(tau) = best.threshold() else {
+                // Below capacity: every candidate enters; no pruning.
+                self.stats.full_dtw += 1;
+                let (f, lb) = DtwFrontier::new_abandon_with_lb(
+                    &self.slots[i].series,
+                    &self.slots[ju].series,
+                    self.band,
+                    f32::INFINITY,
+                );
+                self.note_pair_lb(i, ju, lb);
+                let f = f.expect("cut = inf never abandons");
+                best.offer(j, f.dist());
+                fronts.push(RowEntry { j, d: f.dist(), frontier: f });
+                continue;
+            };
+            let cut = threshold_cut(tau);
+            // Stage 0: the stale-frontier bound from this pair's last kernel
+            // run — free, and under appends it keeps pruning as long as the
+            // pair stays comfortably outside the row.
+            if self.stale_lb_applies(i, ju) && self.slots[i].lb[ju].dtw > cut {
+                self.stale_lb_pruned += 1;
+                continue;
+            }
+            let kim = lb_kim(&self.slots[i].series, &self.slots[ju].series);
+            if kim > cut {
+                self.stats.lb_kim_pruned += 1;
+                continue;
+            }
+            if self.keogh_prunes(i, ju, cut) || self.keogh_prunes(ju, i, cut) {
+                self.stats.lb_keogh_pruned += 1;
+                continue;
+            }
+            self.stats.full_dtw += 1;
+            let (f, lb) = DtwFrontier::new_abandon_with_lb(
+                &self.slots[i].series,
+                &self.slots[ju].series,
+                self.band,
+                cut,
+            );
+            self.note_pair_lb(i, ju, lb);
+            if let Some(f) = f {
+                best.offer(j, f.dist());
+                fronts.push(RowEntry { j, d: f.dist(), frontier: f });
+            }
+        }
+        let chosen = best.into_sorted();
+        let mut row = Vec::with_capacity(chosen.len());
+        for (j, d) in chosen {
+            let pos = fronts
+                .iter()
+                .position(|e| e.j == j)
+                .expect("every offered candidate carries a frontier");
+            let mut e = fronts.swap_remove(pos);
+            e.d = d;
+            row.push(e);
+        }
+        self.slots[i].row = row;
+    }
+
+    /// True when the cached stale-frontier bound for the ordered pair
+    /// `(a, b)` is currently admissible: it was captured under effective
+    /// band == `band`, which must still hold for the grown lengths (a
+    /// length difference beyond the band widens every DP window and
+    /// invalidates the stored row minimums).
+    fn stale_lb_applies(&self, a: usize, b: usize) -> bool {
+        self.slots[a].lb.len() > b
+            && self.slots[a].series.len().abs_diff(self.slots[b].series.len()) <= self.band
+    }
+
+    /// Records a stale-frontier bound from a kernel run on the ordered pair
+    /// `(a, b)`. Bounds are monotone under appends, so keep the max.
+    fn note_pair_lb(&mut self, a: usize, b: usize, lb: f32) {
+        if lb <= 0.0 {
+            return;
+        }
+        if self.slots[a].lb.len() <= b {
+            self.slots[a].lb.resize(b + 1, CachedLb::default());
+        }
+        let c = &mut self.slots[a].lb[b];
+        c.dtw = c.dtw.max(lb);
+    }
+
+    /// Admissible LB_Keogh check of slot `a`'s series against slot `b`'s
+    /// envelope, served from the cached stable prefix: one float compare in
+    /// the common case, advancing the cache and scanning only the volatile
+    /// tail otherwise. Returns true when the bound proves the pair cannot
+    /// beat `cut`.
+    fn keogh_prunes(&mut self, a: usize, b: usize, cut: f32) -> bool {
+        let la = self.slots[a].series.len();
+        let lb_ = self.slots[b].series.len();
+        if la != lb_ || la == 0 {
+            // Keogh applies to equal-length series only (matching lb_keogh).
+            return false;
+        }
+        // Envelope entries of `b` strictly below len − band are final under
+        // appends; the prefix sum over them never goes stale.
+        let stable = la.min(lb_.saturating_sub(self.band)) as u32;
+        if self.slots[a].lb.len() <= b {
+            self.slots[a].lb.resize(b + 1, CachedLb::default());
+        }
+        let mut c = self.slots[a].lb[b];
+        if c.sum > cut {
+            return true;
+        }
+        if c.upto < stable {
+            let mut sum = c.sum;
+            {
+                let from = c.upto as usize;
+                let to = stable as usize;
+                let qs = &self.slots[a].series[from..to];
+                let env = &self.slots[b].env;
+                let ups = &env.upper[from..to];
+                let lows = &env.lower[from..to];
+                for (&q, (&u, &l)) in qs.iter().zip(ups.iter().zip(lows)) {
+                    if q > u {
+                        sum += q - u;
+                    } else if q < l {
+                        sum += l - q;
+                    }
+                }
+            }
+            c = CachedLb { sum, upto: stable, dtw: c.dtw };
+            self.slots[a].lb[b] = c;
+            if c.sum > cut {
+                return true;
+            }
+        }
+        // Volatile tail: entries whose envelope windows still move under
+        // appends. Early-abandon like lb_keogh_beats.
+        let from = c.upto as usize;
+        let qs = &self.slots[a].series[from..la];
+        let env = &self.slots[b].env;
+        let ups = &env.upper[from..la];
+        let lows = &env.lower[from..la];
+        let mut sum = c.sum;
+        for (&q, (&u, &l)) in qs.iter().zip(ups.iter().zip(lows)) {
+            if q > u {
+                sum += q - u;
+            } else if q < l {
+                sum += l - q;
+            }
+            if sum > cut {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::{dtw_banded, dtw_banded_abandon};
+    use crate::dtw_top_q;
+
+    fn wave(seed: u64, t: usize) -> Vec<f32> {
+        (0..t)
+            .map(|i| {
+                let s = seed as f32;
+                ((i as f32) * (0.11 + 0.03 * (s % 5.0))).sin() + (s * 0.37).cos() * 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frontier_matches_batch_on_construction() {
+        for (n, m, band) in [(12, 12, 3), (9, 14, 8), (20, 20, 0), (7, 7, usize::MAX), (1, 1, 2)] {
+            let a = wave(1, n);
+            let b = wave(2, m);
+            let f = DtwFrontier::new(&a, &b, band);
+            assert_eq!(f.dist().to_bits(), dtw_banded(&a, &b, band).to_bits(), "{n} {m} {band}");
+        }
+    }
+
+    #[test]
+    fn frontier_append_bitwise_equals_batch() {
+        let band = 4;
+        let a_full = wave(3, 60);
+        let b_full = wave(4, 60);
+        let mut f = DtwFrontier::new(&a_full[..24], &b_full[..24], band);
+        // Grow both series in uneven chunks, staying within the band.
+        let growths = [(28, 26), (30, 30), (31, 33), (45, 45), (60, 60)];
+        for &(na, nb) in &growths {
+            let d = f.append(&a_full[..na], &b_full[..nb]);
+            let want = dtw_banded(&a_full[..na], &b_full[..nb], band);
+            assert_eq!(d.to_bits(), want.to_bits(), "grown to ({na}, {nb})");
+        }
+    }
+
+    #[test]
+    fn frontier_append_from_empty_and_band_shift() {
+        // Degenerate starts and effective-band shifts take the recompute
+        // path and must still agree with the batch kernel.
+        let a_full = wave(5, 40);
+        let b_full = wave(6, 40);
+        for band in [0usize, 2, usize::MAX] {
+            let mut f = DtwFrontier::new(&[], &[], band);
+            for &(na, nb) in &[(0usize, 3usize), (5, 3), (12, 12), (40, 35), (40, 40)] {
+                let d = f.append(&a_full[..na], &b_full[..nb]);
+                let want = dtw_banded(&a_full[..na], &b_full[..nb], band);
+                assert_eq!(d.to_bits(), want.to_bits(), "band {band} ({na}, {nb})");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_abandon_parity_with_kernel() {
+        let a = wave(7, 30);
+        let b = wave(8, 30);
+        for band in [2usize, 6] {
+            let full = dtw_banded(&a, &b, band);
+            for cut in [0.0f32, full * 0.5, full, full * 2.0] {
+                let got = DtwFrontier::new_abandon(&a, &b, band, cut).map(|f| f.dist().to_bits());
+                let want = dtw_banded_abandon(&a, &b, band, cut).map(f32::to_bits);
+                assert_eq!(got, want, "band {band} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_rows_match_from_scratch_after_stream_of_mutations() {
+        let band = 3;
+        let q = 4;
+        let full: Vec<Vec<f32>> = (0..14).map(|s| wave(s, 64)).collect();
+        let mut rn = RollingNeighbors::from_series(
+            &full.iter().map(|s| s[..32].to_vec()).collect::<Vec<_>>(),
+            band,
+            q,
+        );
+        let mut lens: Vec<usize> = vec![32; 14];
+        let mut alive: Vec<usize> = (0..14).collect();
+
+        let check = |rn: &RollingNeighbors, alive: &[usize], lens: &[usize]| {
+            let series: Vec<Vec<f32>> =
+                alive.iter().map(|&id| full[id][..lens[id]].to_vec()).collect();
+            let (want, _) = dtw_top_q(&series, band, q);
+            let (ids, got) = rn.to_sparse();
+            assert_eq!(ids, alive.iter().map(|&i| i as u32).collect::<Vec<_>>());
+            assert_eq!(got, want);
+        };
+        check(&rn, &alive, &lens);
+
+        // Append a window to everyone.
+        for &id in &alive {
+            rn.append(id, &full[id][lens[id]..lens[id] + 8]);
+            lens[id] += 8;
+        }
+        rn.refresh();
+        check(&rn, &alive, &lens);
+
+        // Remove two sensors, append again.
+        for id in [3usize, 9] {
+            rn.remove(id);
+            alive.retain(|&x| x != id);
+        }
+        for &id in &alive {
+            rn.append(id, &full[id][lens[id]..lens[id] + 8]);
+            lens[id] += 8;
+        }
+        rn.refresh();
+        check(&rn, &alive, &lens);
+
+        // A refresh with no mutations is a no-op on the rows.
+        rn.refresh();
+        check(&rn, &alive, &lens);
+    }
+
+    #[test]
+    fn rolling_handles_insert_mid_stream() {
+        let band = 2;
+        let q = 3;
+        let full: Vec<Vec<f32>> = (20..28).map(|s| wave(s, 48)).collect();
+        let mut rn = RollingNeighbors::new(band, q);
+        for s in full.iter().take(5) {
+            rn.insert(s[..48].to_vec());
+        }
+        rn.refresh();
+        for s in full.iter().skip(5) {
+            rn.insert(s[..48].to_vec());
+        }
+        rn.refresh();
+        let (ids, got) = rn.to_sparse();
+        assert_eq!(ids.len(), 8);
+        let (want, _) = dtw_top_q(&full, band, q);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rolling_tiny_populations() {
+        let mut rn = RollingNeighbors::new(2, 4);
+        let a = rn.insert(wave(1, 10));
+        rn.refresh();
+        assert_eq!(rn.row(a).count(), 0);
+        let b = rn.insert(wave(2, 10));
+        rn.refresh();
+        assert_eq!(rn.row(a).count(), 1);
+        rn.remove(b);
+        rn.refresh();
+        assert_eq!(rn.row(a).count(), 0);
+        rn.remove(a);
+        rn.refresh();
+        assert!(rn.is_empty());
+    }
+
+    #[test]
+    fn envelope_extend_bitwise_equals_rebuild() {
+        let s = wave(9, 50);
+        for band in [0usize, 1, 4, 30, usize::MAX] {
+            let mut env = dtw_envelope(&s[..20], band);
+            for len in [21usize, 25, 33, 50] {
+                dtw_envelope_extend(&mut env, &s[..len], band);
+                let want = dtw_envelope(&s[..len], band);
+                let eq = env.lower.iter().zip(&want.lower).all(|(a, b)| a.to_bits() == b.to_bits())
+                    && env.upper.iter().zip(&want.upper).all(|(a, b)| a.to_bits() == b.to_bits())
+                    && env.len() == want.len();
+                assert!(eq, "band {band} len {len}");
+            }
+        }
+    }
+}

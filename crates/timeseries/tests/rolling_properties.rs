@@ -1,0 +1,163 @@
+//! Property-based checks for the online rolling-DTW layer: incremental
+//! maintenance must be *indistinguishable* from batch recomputation, or the
+//! online adjacency would silently drift away from the paper's `A_dtw`.
+//!
+//! Three contracts:
+//!
+//! 1. A [`DtwFrontier`] grown through any monotone sequence of appends
+//!    reports bitwise the same distance as a from-scratch `dtw_banded` at
+//!    every intermediate length pair.
+//! 2. After any interleaving of insert / remove / append / refresh,
+//!    [`RollingNeighbors`] rows are bitwise equal to `dtw_top_q` run from
+//!    scratch over the alive series.
+//! 3. Envelopes are monotone under appends — on the surviving prefix the
+//!    upper envelope never decreases and the lower never increases (windows
+//!    only gain elements) — and the incremental extension is bitwise equal
+//!    to a full rebuild.
+
+use proptest::prelude::*;
+use stsm_timeseries::{
+    dtw_banded, dtw_envelope, dtw_envelope_extend, dtw_top_q, DtwFrontier, RollingNeighbors,
+};
+
+const FULL_LEN: usize = 40;
+const START_LEN: usize = 16;
+const STEP: usize = 6;
+
+fn env_bits(e: &stsm_timeseries::DtwEnvelope) -> (Vec<u32>, Vec<u32>) {
+    (e.lower.iter().map(|v| v.to_bits()).collect(), e.upper.iter().map(|v| v.to_bits()).collect())
+}
+
+type FrontierCase = (Vec<f32>, Vec<f32>, usize, Vec<(usize, usize)>);
+
+fn frontier_case() -> impl Strategy<Value = FrontierCase> {
+    (8usize..40, 8usize..40, 0usize..7).prop_flat_map(|(la, lb, band)| {
+        (
+            proptest::collection::vec(-20f32..20.0, la),
+            proptest::collection::vec(-20f32..20.0, lb),
+            Just(band),
+            proptest::collection::vec((0usize..6, 0usize..6), 1..5),
+        )
+    })
+}
+
+type RollingCase = (Vec<Vec<f32>>, usize, usize, Vec<(u8, usize)>);
+
+fn rolling_case() -> impl Strategy<Value = RollingCase> {
+    (1usize..6, 1usize..4).prop_flat_map(|(band, q)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(-10f32..10.0, FULL_LEN), 10),
+            Just(band),
+            Just(q),
+            proptest::collection::vec((0u8..4, 0usize..16), 1..10),
+        )
+    })
+}
+
+type EnvelopeCase = (Vec<f32>, usize, usize);
+
+fn envelope_case() -> impl Strategy<Value = EnvelopeCase> {
+    (10usize..50, 0usize..12).prop_flat_map(|(len, band)| {
+        (proptest::collection::vec(-20f32..20.0, len), Just(band), 2usize..9)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frontier_append_sequence_bitwise_equals_batch(case in frontier_case()) {
+        let (a, b, band, steps) = case;
+        let (mut na, mut nb) = (a.len().min(5), b.len().min(5));
+        let mut f = DtwFrontier::new(&a[..na], &b[..nb], band);
+        prop_assert_eq!(f.dist().to_bits(), dtw_banded(&a[..na], &b[..nb], band).to_bits());
+        for (da, db) in steps {
+            na = (na + da).min(a.len());
+            nb = (nb + db).min(b.len());
+            let d = f.append(&a[..na], &b[..nb]);
+            let want = dtw_banded(&a[..na], &b[..nb], band);
+            prop_assert_eq!(d.to_bits(), want.to_bits(), "grown to ({}, {})", na, nb);
+        }
+    }
+
+    #[test]
+    fn rolling_rows_equal_from_scratch_after_any_mutation_sequence(case in rolling_case()) {
+        let (series, band, q, ops) = case;
+        // Start with 4 sensors at the prefix length; 6 more can join later.
+        let mut rn = RollingNeighbors::new(band, q);
+        let mut lens: Vec<usize> = Vec::new();
+        let mut alive: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        for _ in 0..4 {
+            let id = rn.insert(series[next][..START_LEN].to_vec());
+            prop_assert_eq!(id, next);
+            lens.push(START_LEN);
+            alive.push(id);
+            next += 1;
+        }
+        rn.refresh();
+
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    // Insert the next unused sensor, if any remain.
+                    if next < series.len() {
+                        let id = rn.insert(series[next][..START_LEN].to_vec());
+                        prop_assert_eq!(id, next);
+                        lens.push(START_LEN);
+                        alive.push(id);
+                        next += 1;
+                    }
+                }
+                1 => {
+                    // Remove one alive sensor (keep at least one).
+                    if alive.len() > 1 {
+                        let id = alive[pick % alive.len()];
+                        rn.remove(id);
+                        alive.retain(|&x| x != id);
+                    }
+                }
+                2 => {
+                    // Append a window to one alive sensor.
+                    let id = alive[pick % alive.len()];
+                    if lens[id] + STEP <= FULL_LEN {
+                        rn.append(id, &series[id][lens[id]..lens[id] + STEP]);
+                        lens[id] += STEP;
+                    }
+                }
+                _ => {
+                    // The streaming case: every alive sensor gains a window.
+                    for &id in &alive {
+                        if lens[id] + STEP <= FULL_LEN {
+                            rn.append(id, &series[id][lens[id]..lens[id] + STEP]);
+                            lens[id] += STEP;
+                        }
+                    }
+                }
+            }
+            rn.refresh();
+            let scratch: Vec<Vec<f32>> =
+                alive.iter().map(|&id| series[id][..lens[id]].to_vec()).collect();
+            let (want, _) = dtw_top_q(&scratch, band, q);
+            let (ids, got) = rn.to_sparse();
+            prop_assert_eq!(ids, alive.iter().map(|&i| i as u32).collect::<Vec<_>>());
+            prop_assert_eq!(got, want, "after op {}", op);
+        }
+    }
+
+    #[test]
+    fn envelope_extend_is_bitwise_and_monotone(case in envelope_case()) {
+        let (s, band, cut) = case;
+        let cut = cut.min(s.len() - 1);
+        let old = dtw_envelope(&s[..cut], band);
+        let mut inc = old.clone();
+        dtw_envelope_extend(&mut inc, &s, band);
+        let rebuilt = dtw_envelope(&s, band);
+        prop_assert_eq!(env_bits(&inc), env_bits(&rebuilt));
+        // Monotonicity on the surviving prefix: windows only gain samples.
+        for i in 0..cut {
+            prop_assert!(rebuilt.upper[i] >= old.upper[i], "upper shrank at {}", i);
+            prop_assert!(rebuilt.lower[i] <= old.lower[i], "lower grew at {}", i);
+        }
+    }
+}

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Full local gate: build, tests, and lints. Run from anywhere in the repo.
+# Local gate: build, tests, and lints. Run from anywhere in the repo.
+#
+#   scripts/check.sh              full gate (everything below)
+#   CHECK_FAST=1 scripts/check.sh equivalence tier only: the named bitwise /
+#                                 equivalence suites, skipping the full
+#                                 workspace test run, bench smokes and lints
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --check
-cargo build --release
-cargo test -q
+fast="${CHECK_FAST:-0}"
+
+if [[ "$fast" != "1" ]]; then
+  cargo fmt --check
+  cargo build --release
+  cargo test -q
+fi
 # The STSM_BUFFER_POOL bit-identity contract, exercised explicitly so a
 # plain `cargo test -q` filter can never silently skip it.
 cargo test -q -p stsm-tensor --test fused_equivalence
@@ -49,15 +58,33 @@ cargo test -q -p stsm-core --test quantized_equivalence
 # a forecast or a typed rejection under injected chaos (NaN bursts,
 # blackouts, worker panics, overload, hot-swap under load), post-chaos
 # bitwise recovery, telemetry-gate invisibility, quantized<->f32 hot-swap
-# compatibility and fingerprint-mismatch rejection — pinned by name.
+# compatibility, fingerprint-mismatch rejection, and the online-refresh
+# hot-swap — pinned by name.
 # `cargo clippy --all-targets` below covers the stsm-serve crate too.
 cargo test -q -p stsm-serve --test serve_chaos
 cargo test -q -p stsm-serve --test serve_equivalence
+# The online-adaptation contracts (DESIGN.md, "Online adaptation"): rolling
+# DTW frontier/row bitwise identity with the batch search under grown
+# series and churn, churn-renormalized pseudo-weights vs a fresh survivor
+# fit, one fine-tune epoch vs the batch-resumed epoch, and the scenario
+# matrix ({growth, churn, regime shift} × {STSM, baseline}) with finite,
+# bit-deterministic accuracy curves and post-churn recovery — pinned by
+# name.
+cargo test -q -p stsm-timeseries --test rolling_properties
+cargo test -q -p stsm-core --test online_equivalence
+cargo test -q --test scenario_matrix
+
+if [[ "$fast" == "1" ]]; then
+  echo "CHECK_FAST=1: equivalence tier green (full build/test, bench smokes and lints skipped)"
+  exit 0
+fi
+
 cargo run -q -p stsm-bench --release --bin bench_kernels -- --smoke
 # Bench-binary wiring smokes: train/infer assert their pool-on/off and
 # Train/Infer bitwise contracts in-process (bench_infer includes the
 # per-dtype f32/f16/bf16 serving pass with its f32-row bitwise assert);
-# scale asserts pruned-vs-dense top-q identity on a small metro layout.
+# scale asserts pruned-vs-dense top-q identity on a small metro layout;
+# online asserts rolling-vs-refit row identity after every appended window.
 # Smoke runs never rewrite the BENCH_*.json artefacts.
 cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_train -- --smoke
 cargo run -q -p stsm-bench --release --features alloc-stats --bin bench_infer -- --smoke
@@ -65,4 +92,5 @@ cargo run -q -p stsm-bench --release --bin bench_scale -- --smoke
 # Serving load-generator wiring: telemetry on/off forecast bits asserted
 # identical in-process; smoke never rewrites BENCH_serve.json.
 cargo run -q -p stsm-bench --release --bin bench_serve -- --smoke
+cargo run -q -p stsm-bench --release --bin bench_online -- --smoke
 cargo clippy --all-targets -q -- -D warnings

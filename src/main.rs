@@ -11,12 +11,13 @@
 
 use std::sync::Arc;
 use stsm::core::{
-    evaluate_detailed, evaluate_stsm, train_stsm_with, DistanceMode, ProblemInstance, StsmConfig,
-    StsmError, TrainOptions, TrainedStsm, Variant,
+    evaluate_detailed, evaluate_stsm, train_stsm_with, DistanceMode, OnlineConfig, OnlineTrainer,
+    Predictor, ProblemInstance, StsmConfig, StsmError, TrainOptions, TrainedStsm, Variant,
 };
 use stsm::serve::{ForecastRequest, ServeConfig, Server, SharedModel};
 use stsm::synth::{dataset_from_json, dataset_to_json, presets, space_split, Dataset, SplitAxis};
 use stsm::tensor::telemetry;
+use stsm::timeseries::{sliding_windows, Metrics};
 
 /// CLI failure classes, each with its own process exit code so scripts and
 /// supervisors can branch on *why* a run failed without parsing stderr:
@@ -75,6 +76,7 @@ fn main() {
         Some("evaluate") => cmd_evaluate(&args[1..], false),
         Some("forecast") => cmd_evaluate(&args[1..], true),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("online") => cmd_online(&args[1..]),
         _ => {
             print_usage();
             Ok(())
@@ -118,7 +120,9 @@ fn print_usage() {
            stsm evaluate --data FILE --model FILE\n\
            stsm forecast --data FILE --model FILE   (adds per-horizon breakdown)\n\
            stsm serve    --data FILE --model FILE [--steps N]   (in-process serving demo over the test period;\n\
-                         honors STSM_SERVE_WORKERS / STSM_SERVE_QUEUE_DEPTH / STSM_SERVE_DEADLINE_MS)\n\n\
+                         honors STSM_SERVE_WORKERS / STSM_SERVE_QUEUE_DEPTH / STSM_SERVE_DEADLINE_MS)\n\
+           stsm online   --data FILE --model FILE [--out FILE]  (stream the test period with online fine-tuning;\n\
+                         honors STSM_ONLINE_REPLAY / STSM_ONLINE_LR_SCALE / STSM_ONLINE_REFRESH)\n\n\
          EXIT CODES:\n\
            0 success   2 usage/config error   3 file I/O error   4 model/data parse error   5 training divergence"
     );
@@ -329,5 +333,76 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         stats.overloaded,
         stats.breaker_trips
     );
+    Ok(())
+}
+
+/// Online-adaptation demo: walks the test period window by window,
+/// forecasting the unobserved region with the current weights and
+/// fine-tuning on the replay horizon every few windows (knobs:
+/// `STSM_ONLINE_REPLAY` / `STSM_ONLINE_LR_SCALE` / `STSM_ONLINE_REFRESH`).
+/// Prints the per-window RMSE curve; `--out` saves the adapted model.
+fn cmd_online(args: &[String]) -> Result<(), CliError> {
+    let problem = load_problem(args)?;
+    let trained = load_model(args)?;
+    let online_cfg = OnlineConfig::from_env();
+    let cfg = trained.cfg.clone();
+    let mut online = OnlineTrainer::from_trained(&problem, &trained, online_cfg)?;
+    let windows = sliding_windows(problem.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
+    if windows.is_empty() {
+        return Err(CliError::Usage(format!(
+            "test period too short for one {}+{} window",
+            cfg.t_in, cfg.t_out
+        )));
+    }
+    println!(
+        "streaming {} windows over {} (replay {}, lr scale {}, refresh every {})",
+        windows.len(),
+        problem.dataset.name,
+        online.online_config().replay_windows,
+        online.online_config().lr_scale,
+        online.online_config().refresh_every
+    );
+    let mut current = online.trained()?;
+    let mut fine_tunes = 0usize;
+    for (wi, w) in windows.iter().enumerate() {
+        let abs_start = problem.test_time.start + w.input_start;
+        let mut predictor = Predictor::new(&current, &problem);
+        let (pred, quality) = predictor.predict_window_checked(&problem, abs_start);
+        let target_start = abs_start + cfg.t_in;
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for &u in &problem.unobserved {
+            for k in 0..cfg.t_out {
+                let truth = problem.dataset.value(u, target_start + k);
+                if truth.is_finite() {
+                    preds.push(problem.scaler.inverse(pred.at(&[u, k, 0])));
+                    truths.push(truth);
+                }
+            }
+        }
+        let rmse = if preds.is_empty() { f64::NAN } else { Metrics::compute(&preds, &truths).rmse };
+        let refreshed = (wi + 1) % online.online_config().refresh_every == 0;
+        println!(
+            "window {wi:>3} [t {target_start}..{}): rmse {rmse:.3}{}{}",
+            target_start + cfg.t_out,
+            if quality.is_clean() { "" } else { " (imputed inputs)" },
+            if refreshed { "  → fine-tune" } else { "" }
+        );
+        if refreshed {
+            let loss = online.fine_tune_epoch(&problem, target_start + cfg.t_out)?;
+            if !loss.is_finite() {
+                return Err(CliError::Diverged(format!(
+                    "online fine-tune diverged at window {wi} (loss {loss})"
+                )));
+            }
+            current = online.trained()?;
+            fine_tunes += 1;
+        }
+    }
+    println!("done: {fine_tunes} fine-tune epochs over {} windows", windows.len());
+    if let Some(out) = flag(args, "--out") {
+        std::fs::write(&out, current.to_json()).map_err(|e| CliError::Io(format!("{out}: {e}")))?;
+        println!("wrote adapted model to {out}");
+    }
     Ok(())
 }

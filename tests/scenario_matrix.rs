@@ -1,0 +1,230 @@
+//! Scenario-matrix suite (ISSUE 10): seeded {region growth, sensor churn,
+//! regime shift} × {STSM with online fine-tuning, historical-average
+//! baseline} smoke runs over a streamed test period.
+//!
+//! Contracts:
+//! * every accuracy-over-time curve is finite at every window;
+//! * curves are run-to-run bit-deterministic (same seed → same bits);
+//! * after the churn onset, RMSE recovers within `K` windows (back to no
+//!   worse than the worst error seen up to and including the onset).
+
+use stsm::core::{
+    train_stsm, DistanceMode, OnlineConfig, OnlineTrainer, Predictor, ProblemInstance, StsmConfig,
+};
+use stsm::synth::{space_split, ScenarioKind, ScenarioPlan, SplitAxis};
+use stsm::timeseries::{sliding_windows, Metrics};
+
+const SEED: u64 = 77;
+/// Post-onset windows within which churn RMSE must recover.
+const K: usize = 3;
+
+fn tiny_cfg(seed: u64) -> StsmConfig {
+    StsmConfig {
+        t_in: 6,
+        t_out: 6,
+        hidden: 8,
+        blocks: 1,
+        gcn_depth: 2,
+        epochs: 2,
+        windows_per_epoch: 8,
+        batch_windows: 4,
+        top_k: 8,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The scenario fixture: a clean problem, the disturbed copy actually
+/// streamed, and the plan that scripted the disturbance.
+struct Scenario {
+    clean: ProblemInstance,
+    disturbed: ProblemInstance,
+    plan: ScenarioPlan,
+}
+
+fn scenario(kind: ScenarioKind, seed: u64) -> Scenario {
+    let dataset = stsm::synth::test_support::tiny_dataset("scenario", seed);
+    let split = space_split(&dataset.coords, SplitAxis::Vertical, false);
+    let clean = ProblemInstance::new(dataset.clone(), split.clone(), DistanceMode::Euclidean);
+    let plan = ScenarioPlan::new(kind, seed, dataset.n, dataset.t_total, clean.test_time.clone());
+    let mut streamed = dataset;
+    for s in 0..streamed.n {
+        for t in clean.test_time.clone() {
+            let v = streamed.values[s * streamed.t_total + t];
+            streamed.values[s * streamed.t_total + t] = plan.reading(s, t, v);
+        }
+    }
+    let disturbed = ProblemInstance::new(streamed, split, DistanceMode::Euclidean);
+    Scenario { clean, disturbed, plan }
+}
+
+/// Per-window RMSE of STSM forecasts over the disturbed stream, scored
+/// against the *clean* ground truth. The model fine-tunes online every
+/// `refresh_every` windows on the sliding horizon ending at the stream
+/// position, then the forecaster is rebuilt from the refreshed weights.
+fn stsm_curve(sc: &Scenario, seed: u64) -> Vec<f64> {
+    let cfg = tiny_cfg(seed);
+    let (trained, _) = train_stsm(&sc.disturbed, &cfg).expect("trains");
+    let online_cfg = OnlineConfig { replay_windows: 24, lr_scale: 0.25, refresh_every: 2 };
+    let mut online =
+        OnlineTrainer::from_trained(&sc.disturbed, &trained, online_cfg).expect("wraps");
+    let span = sc.disturbed.test_time.len();
+    let windows = sliding_windows(span, cfg.t_in, cfg.t_out, cfg.t_out);
+    assert!(windows.len() >= 4, "test period too short for a curve");
+    let mut current = online.trained().expect("snapshot");
+    let mut curve = Vec::with_capacity(windows.len());
+    for (wi, w) in windows.iter().enumerate() {
+        let abs_start = sc.disturbed.test_time.start + w.input_start;
+        let mut predictor = Predictor::new(&current, &sc.disturbed);
+        let (pred, _quality) = predictor.predict_window_checked(&sc.disturbed, abs_start);
+        let target_start = abs_start + cfg.t_in;
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for &u in &sc.disturbed.unobserved {
+            for p in 0..cfg.t_out {
+                preds.push(sc.disturbed.scaler.inverse(pred.at(&[u, p, 0])));
+                truths.push(sc.clean.dataset.value(u, target_start + p));
+            }
+        }
+        curve.push(Metrics::compute(&preds, &truths).rmse);
+        // Adapt on the horizon seen so far, then hot-refresh the weights.
+        if (wi + 1) % online.online_config().refresh_every == 0 {
+            let now = target_start + cfg.t_out;
+            let _ = online.fine_tune_epoch(&sc.disturbed, now).expect("fine-tunes");
+            current = online.trained().expect("refreshed snapshot");
+        }
+    }
+    curve
+}
+
+/// Per-window RMSE of the historical-average baseline (time-of-day mean of
+/// the clean training period's observed sensors) against clean truth.
+fn baseline_curve(sc: &Scenario, cfg: &StsmConfig) -> Vec<f64> {
+    let p = &sc.disturbed;
+    let spd = p.steps_per_day();
+    let mut tod_sum = vec![0.0f64; spd];
+    let mut tod_cnt = vec![0usize; spd];
+    for &g in &p.observed {
+        for t in p.train_time.clone() {
+            let v = p.dataset.value(g, t);
+            if v.is_finite() {
+                tod_sum[t % spd] += v as f64;
+                tod_cnt[t % spd] += 1;
+            }
+        }
+    }
+    let tod_mean: Vec<f32> = tod_sum
+        .iter()
+        .zip(&tod_cnt)
+        .map(|(&s, &c)| if c > 0 { (s / c as f64) as f32 } else { 0.0 })
+        .collect();
+    let windows = sliding_windows(p.test_time.len(), cfg.t_in, cfg.t_out, cfg.t_out);
+    windows
+        .iter()
+        .map(|w| {
+            let target_start = p.test_time.start + w.input_start + cfg.t_in;
+            let mut preds = Vec::new();
+            let mut truths = Vec::new();
+            for &u in &p.unobserved {
+                for k in 0..cfg.t_out {
+                    preds.push(tod_mean[(target_start + k) % spd]);
+                    truths.push(sc.clean.dataset.value(u, target_start + k));
+                }
+            }
+            Metrics::compute(&preds, &truths).rmse
+        })
+        .collect()
+}
+
+fn bits(curve: &[f64]) -> Vec<u64> {
+    curve.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Index of the first curve window whose input-or-target span reaches the
+/// earliest scenario change point.
+fn onset_window(sc: &Scenario, cfg: &StsmConfig, curve_len: usize) -> Option<usize> {
+    let first = *sc.plan.change_points().first()?;
+    let start = sc.disturbed.test_time.start;
+    (0..curve_len).find(|wi| start + wi * cfg.t_out + cfg.t_in + cfg.t_out > first)
+}
+
+#[test]
+fn matrix_curves_are_finite_and_deterministic() {
+    for kind in ScenarioKind::ALL {
+        let sc = scenario(kind, SEED);
+        let cfg = tiny_cfg(SEED);
+        let stsm_a = stsm_curve(&sc, SEED);
+        let base_a = baseline_curve(&sc, &cfg);
+        assert!(
+            stsm_a.iter().all(|v| v.is_finite()),
+            "{}: STSM curve has non-finite RMSE: {stsm_a:?}",
+            kind.name()
+        );
+        assert!(
+            base_a.iter().all(|v| v.is_finite()),
+            "{}: baseline curve has non-finite RMSE: {base_a:?}",
+            kind.name()
+        );
+        assert_eq!(stsm_a.len(), base_a.len());
+
+        // Run-to-run bit-determinism: rebuild everything from the seed.
+        let sc2 = scenario(kind, SEED);
+        let stsm_b = stsm_curve(&sc2, SEED);
+        let base_b = baseline_curve(&sc2, &cfg);
+        assert_eq!(bits(&stsm_a), bits(&stsm_b), "{}: STSM curve not reproducible", kind.name());
+        assert_eq!(
+            bits(&base_a),
+            bits(&base_b),
+            "{}: baseline curve not reproducible",
+            kind.name()
+        );
+
+        // A different seed scripts a different disturbance somewhere.
+        let sc3 = scenario(kind, SEED + 1);
+        assert!(
+            sc3.plan.change_points() != sc.plan.change_points()
+                || bits(&baseline_curve(&sc3, &cfg)) != bits(&base_a),
+            "{}: seed must matter",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn churn_rmse_recovers_within_k_windows() {
+    let sc = scenario(ScenarioKind::SensorChurn, SEED);
+    let cfg = tiny_cfg(SEED);
+    let curve = stsm_curve(&sc, SEED);
+    let onset = onset_window(&sc, &cfg, curve.len()).expect("churn scripts an onset");
+    assert!(onset < curve.len(), "onset must land inside the streamed period");
+    // Error ceiling established up to and including the disturbance onset.
+    let ceiling = curve[..=onset].iter().copied().fold(f64::MIN, f64::max);
+    let post = &curve[onset + 1..(onset + 1 + K).min(curve.len())];
+    assert!(!post.is_empty(), "need at least one post-onset window (curve {curve:?})");
+    let best_post = post.iter().copied().fold(f64::MAX, f64::min);
+    assert!(
+        best_post <= ceiling,
+        "post-churn RMSE never recovered within {K} windows: onset {onset}, \
+         ceiling {ceiling}, post {post:?}, full curve {curve:?}"
+    );
+}
+
+#[test]
+fn growth_sensors_join_the_stream_alive_masks_track_it() {
+    let sc = scenario(ScenarioKind::RegionGrowth, SEED);
+    let t0 = sc.disturbed.test_time.start;
+    let t1 = sc.disturbed.test_time.end - 1;
+    let before = sc.plan.alive_mask(t0);
+    let after = sc.plan.alive_mask(t1);
+    let grown = before.iter().zip(&after).filter(|(b, a)| !**b && **a).count();
+    assert!(grown > 0, "growth scenario must bring at least one sensor online");
+    // The streamed dataset reflects it: a joining sensor is NaN before its
+    // join step and (mostly) finite after.
+    let e = &sc.plan.events()[0];
+    let s = e.sensor;
+    assert!(sc.disturbed.dataset.value(s, e.joins_at.saturating_sub(1).max(t0)).is_nan());
+    let alive_steps = (e.joins_at..sc.disturbed.test_time.end)
+        .filter(|&t| sc.disturbed.dataset.value(s, t).is_finite())
+        .count();
+    assert!(alive_steps > 0, "joined sensor must report finite readings");
+}
